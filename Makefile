@@ -1,0 +1,57 @@
+# Convenience targets mirroring the paper's artifact workflow (A.5).
+# The RTL/Vivado/Palladium steps of the original artifact map onto pure
+# cargo invocations here.
+
+CARGO ?= cargo
+
+.PHONY: all build test bench examples table5 table7 figures ablations doc clean
+
+all: build
+
+build:
+	$(CARGO) build --workspace --release
+
+test:
+	$(CARGO) test --workspace
+
+# A.5.2: optimization breakdown (Table 5), DIFF_CONFIG=Z/B/BN/BNSD is the
+# DiffConfig enum of difftest-core.
+table5:
+	$(CARGO) bench -p difftest-bench --bench table5
+
+table7:
+	$(CARGO) bench -p difftest-bench --bench table7
+
+figures:
+	$(CARGO) bench -p difftest-bench --bench fig2
+	$(CARGO) bench -p difftest-bench --bench fig4
+	$(CARGO) bench -p difftest-bench --bench fig13
+	$(CARGO) bench -p difftest-bench --bench fig14
+	$(CARGO) bench -p difftest-bench --bench fig15
+
+ablations:
+	$(CARGO) bench -p difftest-bench --bench ablations
+
+bench:
+	$(CARGO) bench --workspace
+
+# A.5.1-style quick start: run the co-simulation end to end.
+examples:
+	$(CARGO) run --release --example quickstart
+	$(CARGO) run --release --example linux_boot
+	$(CARGO) run --release --example bug_hunt
+	$(CARGO) run --release --example tuning
+	$(CARGO) run --release --example threaded
+
+# Regenerate the committed reference outputs.
+reference: 
+	mkdir -p reference
+	for b in table5 table7 fig2 fig4 fig13 fig14 fig15 ablations; do \
+		$(CARGO) bench -p difftest-bench --bench $$b 2>/dev/null | tail -n +2 > reference/$$b.txt; \
+	done
+
+doc:
+	$(CARGO) doc --workspace --no-deps
+
+clean:
+	$(CARGO) clean

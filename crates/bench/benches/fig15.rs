@@ -1,0 +1,61 @@
+//! Figure 15: resource usage.
+//!
+//! Evaluates the gate-count area model for the XiangShan configurations:
+//! DUT gates plus the verification units, with and without the Batch
+//! packing unit. Paper: ~6% overhead without Batch, ~25% average with it.
+
+use difftest_bench::{fmt_pct, Table};
+use difftest_dut::DutConfig;
+use difftest_platform::{AreaFeatures, AreaModel};
+
+fn main() {
+    println!("Figure 15: Resource usage (gate-count model, 128 probes/core)\n");
+    let model = AreaModel::default();
+    let mut table = Table::new(
+        "Area by configuration (million gates)",
+        &[
+            "DUT",
+            "DUT gates",
+            "Monitor",
+            "Squash",
+            "Replay",
+            "Batch",
+            "Overhead w/o Batch",
+            "Overhead w/ Batch",
+        ],
+    );
+    let mut with_batch = Vec::new();
+    let mut without_batch = Vec::new();
+    for cfg in [
+        DutConfig::xiangshan_minimal(),
+        DutConfig::xiangshan_default(),
+        DutConfig::xiangshan_dual(),
+    ] {
+        let full = model.estimate(cfg.gates, cfg.cores, cfg.probes_per_core, AreaFeatures::full());
+        let lean = model.estimate(
+            cfg.gates,
+            cfg.cores,
+            cfg.probes_per_core,
+            AreaFeatures::without_batch(),
+        );
+        with_batch.push(full.overhead_fraction());
+        without_batch.push(lean.overhead_fraction());
+        table.row(&[
+            cfg.name.clone(),
+            format!("{:.1}", full.dut_gates / 1e6),
+            format!("{:.2}", full.monitor_gates / 1e6),
+            format!("{:.2}", full.squash_gates / 1e6),
+            format!("{:.2}", full.replay_gates / 1e6),
+            format!("{:.2}", full.batch_gates / 1e6),
+            fmt_pct(lean.overhead_fraction()),
+            fmt_pct(full.overhead_fraction()),
+        ]);
+    }
+    println!("{table}");
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average overhead: {} without Batch (paper ~6%), {} with Batch (paper ~25%, max 26%)",
+        fmt_pct(avg(&without_batch)),
+        fmt_pct(avg(&with_batch))
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 2: overhead breakdown across DUTs and platforms.
+//!
+//! Runs the unoptimized (baseline) engine and attributes communication
+//! overhead to the three LogGP phases: startup, data transmission and
+//! software processing. The paper's qualitative findings: XiangShan incurs
+//! higher transmission and software shares than NutShell on Palladium, and
+//! the FPGA shows a higher startup share with a lower transmission share
+//! than Palladium.
+
+use difftest_bench::{boot_workload, fmt_pct, run, Setup, Table, BENCH_CYCLES};
+use difftest_core::DiffConfig;
+
+fn main() {
+    let workload = boot_workload();
+    println!("Figure 2: Overhead breakdown across DUTs and platforms (baseline)\n");
+
+    let mut table = Table::new(
+        "Baseline communication overhead by phase",
+        &["Setup", "Startup", "Transmission", "Software", "Overhead/cycle"],
+    );
+    let mut rows = Vec::new();
+    for setup in Setup::table5() {
+        let report = run(&setup.dut, &setup.platform, DiffConfig::Z, &workload, BENCH_CYCLES);
+        let [startup, trans, sw] = report.overhead.fractions();
+        rows.push((setup.name.clone(), startup, trans, sw));
+        table.row(&[
+            setup.name,
+            fmt_pct(startup),
+            fmt_pct(trans),
+            fmt_pct(sw),
+            format!(
+                "{:.1} us",
+                report.overhead.total() / report.cycles as f64 * 1e6
+            ),
+        ]);
+    }
+    println!("{table}");
+
+    // The paper's qualitative claims, checked mechanically.
+    let nutshell = &rows[0];
+    let xs_pldm = &rows[1];
+    let xs_fpga = &rows[2];
+    println!(
+        "XiangShan vs NutShell on Palladium: transmission {} vs {}, software {} vs {} \
+         (paper: XiangShan higher in both) -> {}",
+        fmt_pct(xs_pldm.2),
+        fmt_pct(nutshell.2),
+        fmt_pct(xs_pldm.3),
+        fmt_pct(nutshell.3),
+        ok(xs_pldm.2 > nutshell.2 && xs_pldm.3 > nutshell.3)
+    );
+    println!(
+        "FPGA vs Palladium for XiangShan: startup {} vs {}, transmission {} vs {} \
+         (paper: FPGA higher startup, lower transmission) -> {}",
+        fmt_pct(xs_fpga.1),
+        fmt_pct(xs_pldm.1),
+        fmt_pct(xs_fpga.2),
+        fmt_pct(xs_pldm.2),
+        ok(xs_fpga.1 > xs_pldm.1 && xs_fpga.2 < xs_pldm.2)
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "reproduced"
+    } else {
+        "NOT reproduced"
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 4 (and Table 4): verification event sizes and invocation rates.
+//!
+//! Runs the XiangShan-default monitor on the boot workload and reports,
+//! per event type in increasing size order, the encoded size and the
+//! invocations per cycle — the structural diversity (sizes spread ~170×,
+//! small events most frequent) that motivates Batch. Also reports the
+//! average verification bytes per instruction for every DUT configuration
+//! against the paper's Table 4.
+
+use difftest_bench::{boot_workload, Table};
+use difftest_dut::{Dut, DutConfig};
+use difftest_event::EventKind;
+use difftest_ref::Memory;
+
+fn main() {
+    let workload = boot_workload();
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, workload.words());
+
+    println!("Figure 4: event size and invocations (XiangShan default, boot workload)\n");
+    let mut dut = Dut::new(DutConfig::xiangshan_default(), &image, Vec::new());
+    let mut invocations = [0u64; EventKind::COUNT];
+    while dut.halted().is_none() && dut.cycles() < 150_000 {
+        for ev in dut.tick().events {
+            invocations[ev.event.kind() as usize] += 1;
+        }
+    }
+    let cycles = dut.cycles() as f64;
+
+    let mut kinds: Vec<EventKind> = EventKind::ALL.to_vec();
+    kinds.sort_by_key(|k| k.encoded_len());
+    let mut table = Table::new(
+        "Event types ordered by size",
+        &["ID", "Event", "Category", "Size (B)", "Invocations/cycle"],
+    );
+    for (id, kind) in kinds.iter().enumerate() {
+        table.row(&[
+            format!("{id}"),
+            kind.name().to_owned(),
+            kind.category().name().to_owned(),
+            format!("{}", kind.encoded_len()),
+            format!("{:.4}", invocations[*kind as usize] as f64 / cycles),
+        ]);
+    }
+    println!("{table}");
+
+    let min = kinds.first().map(|k| k.encoded_len()).unwrap_or(1);
+    let max = kinds.last().map(|k| k.encoded_len()).unwrap_or(1);
+    println!(
+        "size spread: {min} B .. {max} B = {}x (paper: up to 170x)\n",
+        max / min
+    );
+
+    println!("Table 4: average verification bytes per instruction\n");
+    let paper = [93.0, 692.0, 1437.0, 3025.0];
+    let mut t4 = Table::new(
+        "Verification coverage per DUT",
+        &["DUT", "Gates", "Event types", "B/instr (paper)"],
+    );
+    for (cfg, paper_bpi) in [
+        DutConfig::nutshell(),
+        DutConfig::xiangshan_minimal(),
+        DutConfig::xiangshan_default(),
+        DutConfig::xiangshan_dual(),
+    ]
+    .into_iter()
+    .zip(paper)
+    {
+        let name = cfg.name.clone();
+        let gates = cfg.gates;
+        let types = cfg.event_types();
+        let cores = cfg.cores as f64;
+        let mut dut = Dut::new(cfg, &image, Vec::new());
+        let mut bytes = 0u64;
+        while dut.halted().is_none() && dut.cycles() < 100_000 {
+            for ev in dut.tick().events {
+                bytes += ev.event.encoded_len() as u64;
+            }
+        }
+        // The paper's dual-core row aggregates both cores' bytes against
+        // one core's instruction count.
+        let instr = dut.total_commits() as f64 / cores;
+        t4.row(&[
+            name,
+            format!("{:.1} M", gates / 1e6),
+            format!("{types}"),
+            format!("{:.0} ({paper_bpi:.0})", bytes as f64 / instr),
+        ]);
+    }
+    println!("{t4}");
+}

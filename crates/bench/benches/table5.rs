@@ -1,0 +1,62 @@
+//! Table 5: optimization breakdown across DUTs and platforms.
+//!
+//! Reproduces the incremental Baseline → +Batch → +NonBlock → +Squash
+//! speedups on NutShell/Palladium, XiangShan/Palladium and XiangShan/FPGA,
+//! and the §6.3 communication-overhead reductions.
+
+use difftest_bench::{boot_workload, fmt_hz, fmt_pct, fmt_ratio, run, Setup, Table, BENCH_CYCLES};
+use difftest_core::DiffConfig;
+
+const PAPER: [[f64; 4]; 3] = [
+    [14e3, 102e3, 389e3, 1030e3],
+    [6e3, 24e3, 71e3, 478e3],
+    [0.1e6, 1.3e6, 2.2e6, 7.8e6],
+];
+
+fn main() {
+    let workload = boot_workload();
+    println!("Table 5: Optimization breakdown across DUTs and platforms");
+    println!("(paper values in parentheses; speedups are over each setup's own baseline)\n");
+
+    for (setup, paper_row) in Setup::table5().into_iter().zip(PAPER) {
+        let mut table = Table::new(
+            setup.name.clone(),
+            &["Setup", "Speed", "Speedup", "Comm overhead"],
+        );
+        let mut baseline_hz = 0.0;
+        let mut final_overhead = 0.0;
+        let mut baseline_overhead_s = 0.0;
+        let mut final_overhead_s = 0.0;
+        for (i, config) in DiffConfig::ALL.into_iter().enumerate() {
+            let report = run(&setup.dut, &setup.platform, config, &workload, BENCH_CYCLES);
+            if i == 0 {
+                baseline_hz = report.speed_hz;
+                baseline_overhead_s = report.sim_time_s - report.cycles as f64 / report.dut_only_hz;
+            }
+            if i == 3 {
+                final_overhead = report.comm_overhead_fraction();
+                final_overhead_s = report.sim_time_s - report.cycles as f64 / report.dut_only_hz;
+            }
+            let paper_speed = paper_row[i];
+            let paper_ratio = paper_row[i] / paper_row[0];
+            table.row(&[
+                config.label().to_owned(),
+                format!("{} ({})", fmt_hz(report.speed_hz), fmt_hz(paper_speed)),
+                format!(
+                    "{} ({})",
+                    fmt_ratio(report.speed_hz / baseline_hz),
+                    fmt_ratio(paper_ratio)
+                ),
+                fmt_pct(report.comm_overhead_fraction()),
+            ]);
+        }
+        println!("{table}");
+        let reduction = 1.0 - final_overhead_s / baseline_overhead_s;
+        println!(
+            "communication overhead cut by {} vs baseline (paper: 99.8% PLDM / 98.8% FPGA); \
+             residual overhead {}\n",
+            fmt_pct(reduction),
+            fmt_pct(final_overhead),
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Table 7: comparison with prior hardware-accelerated co-simulation
+//! frameworks.
+//!
+//! DiffTest-H rows come from real engine runs; IBI-check, SBS-check and
+//! Fromajo rows from the published-parameter models (`difftest_core::prior`,
+//! see `DESIGN.md` §1 for the substitution argument).
+
+use difftest_bench::{boot_workload, fmt_hz, fmt_pct, run, Table, BENCH_CYCLES};
+use difftest_core::prior::PriorFramework;
+use difftest_core::DiffConfig;
+use difftest_dut::{Dut, DutConfig};
+use difftest_platform::{AreaFeatures, AreaModel, Platform};
+use difftest_ref::Memory;
+
+fn main() {
+    let workload = boot_workload();
+    let dut = DutConfig::xiangshan_default();
+
+    // Verification bytes per instruction before optimization (the paper's
+    // "states/bytes" column; ours measured from the monitor).
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, workload.words());
+    let mut probe = Dut::new(dut.clone(), &image, Vec::new());
+    let mut bytes = 0u64;
+    while probe.halted().is_none() && probe.cycles() < 50_000 {
+        for ev in probe.tick().events {
+            bytes += ev.event.encoded_len() as u64;
+        }
+    }
+    let bpi = bytes / probe.total_commits();
+    let ipc = probe.ipc();
+
+    let area = AreaModel::default()
+        .estimate(dut.gates, dut.cores, dut.probes_per_core, AreaFeatures::full())
+        .overhead_fraction();
+
+    println!("Table 7: Comparison of hardware-accelerated co-simulation frameworks\n");
+    let mut table = Table::new(
+        "",
+        &[
+            "Work",
+            "Platform",
+            "States/Bytes",
+            "Comm overhead",
+            "Area overhead",
+            "DUT-only",
+            "Co-sim speed",
+        ],
+    );
+
+    for prior in [PriorFramework::ibi_check(), PriorFramework::sbs_check()] {
+        table.row(&prior_row(&prior, ipc));
+    }
+    let pldm = run(
+        &dut,
+        &Platform::palladium(),
+        DiffConfig::BNSD,
+        &workload,
+        BENCH_CYCLES,
+    );
+    table.row(&[
+        "DiffTest-H".to_owned(),
+        "Palladium".to_owned(),
+        format!("{} / {}", dut.event_types(), bpi),
+        fmt_pct(pldm.comm_overhead_fraction()),
+        fmt_pct(area),
+        fmt_hz(pldm.dut_only_hz),
+        fmt_hz(pldm.speed_hz),
+    ]);
+
+    table.row(&prior_row(&PriorFramework::fromajo(), ipc));
+    let fpga = run(&dut, &Platform::fpga(), DiffConfig::BNSD, &workload, BENCH_CYCLES);
+    table.row(&[
+        "DiffTest-H".to_owned(),
+        "Xilinx VU19P".to_owned(),
+        format!("{} / {}", dut.event_types(), bpi),
+        fmt_pct(fpga.comm_overhead_fraction()),
+        fmt_pct(area),
+        fmt_hz(fpga.dut_only_hz),
+        fmt_hz(fpga.speed_hz),
+    ]);
+    println!("{table}");
+
+    println!(
+        "\npaper row for DiffTest-H: 32 / 1200 states/bytes, 0.4% comm overhead and 478 KHz \
+         on Palladium; 84% and 7.8 MHz on the VU19P ({}x over Fromajo; ours: {:.1}x)",
+        7.8,
+        fpga.speed_hz / PriorFramework::fromajo().cosim_speed_hz(ipc)
+    );
+}
+
+fn prior_row(prior: &PriorFramework, ipc: f64) -> Vec<String> {
+    vec![
+        prior.name.to_owned(),
+        prior.platform.to_owned(),
+        format!("{} / {}", prior.states, prior.bytes_per_instr),
+        fmt_pct(prior.comm_overhead(ipc)),
+        prior
+            .area_overhead
+            .map(fmt_pct)
+            .unwrap_or_else(|| "unknown".to_owned()),
+        fmt_hz(prior.dut_only_hz),
+        fmt_hz(prior.cosim_speed_hz(ipc)),
+    ]
+}

@@ -1,0 +1,604 @@
+//! Batch: tight packing of structurally diverse events (paper §4.2).
+//!
+//! Batch minimizes communication startup frequency by packing many
+//! variable-length wire items into fixed-capacity transmission packets:
+//!
+//! - **Type level** — valid events of one type within a cycle are compacted
+//!   with a prefix-count mux-tree ([`type_level_pack`], paper Fig. 7).
+//! - **Cycle level** — different event types of a cycle are laid out
+//!   back-to-back, each run described by a [`MetaEntry`] (type, count);
+//!   offsets are the running sum of preceding lengths (paper Fig. 5/6).
+//! - **Transmission level** — cycle groups fill fixed-size packets, split
+//!   at item boundaries so no capacity is wasted (paper §4.2.2 (3)).
+//!
+//! The software side ([`Unpacker`]) walks the metadata, computes each run's
+//! offset from the accumulated lengths, and reconstructs the original
+//! structures — including differenced payloads via the mirrored
+//! [`DiffCache`].
+//!
+//! The module also provides the **fixed-offset baseline** of prior work
+//! ([`FixedOffsetPacker`]): every provisioned slot occupies packet space
+//! whether valid or not, producing the >60% bubbles of paper §4.2.1.
+
+use difftest_dut::SlotTable;
+use difftest_event::wire::{CodecError, Reader, Writer};
+use difftest_event::{Event, EventKind, MonitoredEvent};
+
+use crate::wire::{decode_item_body, encode_item_body, DiffCache, WireItem, WireKind};
+
+/// One metadata record: `count` items of `wire_kind` from `core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaEntry {
+    /// Source core of the run.
+    pub core: u8,
+    /// Wire kind of the run.
+    pub wire_kind: u8,
+    /// Number of items in the run.
+    pub count: u16,
+}
+
+/// Size of one encoded [`MetaEntry`].
+pub const META_ENTRY_BYTES: usize = 4;
+
+/// A fully assembled transmission packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The encoded packet: `[seq:u32][n_meta:u16][meta…][payload…]`.
+    ///
+    /// The sequence number lets the receiver restore packet order under
+    /// the out-of-order delivery non-blocking links can exhibit
+    /// (paper §4.5 "ordered parsing").
+    pub bytes: Vec<u8>,
+    /// Number of wire items inside.
+    pub items: u32,
+}
+
+impl Packet {
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` for a packet with no items (never produced).
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+}
+
+/// Type-level packing (paper Fig. 7): compacts the valid entries of one
+/// event type's hardware slots. The K-th output is the K-th valid input —
+/// in RTL this is a prefix-counter mux-tree; here the semantics are the
+/// same selection function.
+pub fn type_level_pack<T: Clone>(slots: &[Option<T>]) -> Vec<T> {
+    let mut packed = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        // prefix_valids(i) == packed.len() by induction: entry i lands at
+        // output index equal to the number of valid entries before it.
+        debug_assert!(packed.len() <= i);
+        if let Some(v) = slot {
+            packed.push(v.clone());
+        }
+    }
+    packed
+}
+
+/// Running statistics of a packer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PackStats {
+    /// Packets emitted.
+    pub packets: u64,
+    /// Total packet bytes emitted.
+    pub bytes: u64,
+    /// Total payload (non-meta, non-padding) bytes.
+    pub payload_bytes: u64,
+    /// Items packed.
+    pub items: u64,
+    /// Differenced items dropped because nothing changed (paper §4.3:
+    /// unchanged fields are never transmitted).
+    pub diff_dropped: u64,
+}
+
+impl PackStats {
+    /// Mean packet fill (payload / total).
+    pub fn utilization(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// The hardware-side tight packer (cycle + transmission levels).
+#[derive(Debug)]
+pub struct BatchUnit {
+    capacity: usize,
+    diff: DiffCache,
+    meta: Vec<MetaEntry>,
+    payload: Vec<u8>,
+    items: u32,
+    next_seq: u32,
+    stats: PackStats,
+}
+
+impl BatchUnit {
+    /// Creates a packer emitting packets of at most `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` cannot hold one maximal item (≤ 1 KiB).
+    pub fn new(cores: usize, capacity: usize) -> Self {
+        assert!(capacity >= 1024, "packet capacity too small: {capacity}");
+        BatchUnit {
+            capacity,
+            diff: DiffCache::new(cores),
+            meta: Vec::new(),
+            payload: Vec::new(),
+            items: 0,
+            next_seq: 0,
+            stats: PackStats::default(),
+        }
+    }
+
+    /// Packer statistics.
+    pub fn stats(&self) -> &PackStats {
+        &self.stats
+    }
+
+    fn current_len(&self) -> usize {
+        4 + 2 + self.meta.len() * META_ENTRY_BYTES + self.payload.len()
+    }
+
+    /// Packs one cycle's wire items, emitting any packets that filled.
+    pub fn push_cycle(&mut self, items: &[WireItem], out: &mut Vec<Packet>) {
+        let mut body = Vec::new();
+        for item in items {
+            body.clear();
+            // NOTE: diff encoding mutates the cache, so the item must be
+            // committed to the current packet (or dropped) once encoded.
+            if !encode_item_body(item, &mut self.diff, &mut body) {
+                // Vacuous diff: byte-identical to the previous same-kind
+                // event; the hardware transmits nothing.
+                self.stats.diff_dropped += 1;
+                continue;
+            }
+            let kind = item.wire_kind().to_u8();
+            let core = item.core();
+
+            // Transmission level: flush when this item cannot fit.
+            let extends_run = matches!(
+                self.meta.last(),
+                Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX
+            );
+            let needed = body.len() + if extends_run { 0 } else { META_ENTRY_BYTES };
+            if self.current_len() + needed > self.capacity && self.items > 0 {
+                self.flush_packet(out);
+            }
+
+            let extends_run = matches!(
+                self.meta.last(),
+                Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX
+            );
+            if extends_run {
+                self.meta.last_mut().expect("just matched").count += 1;
+            } else {
+                self.meta.push(MetaEntry {
+                    core,
+                    wire_kind: kind,
+                    count: 1,
+                });
+            }
+            self.payload.extend_from_slice(&body);
+            self.items += 1;
+        }
+    }
+
+    /// Flushes the partially filled packet, if any.
+    pub fn flush(&mut self, out: &mut Vec<Packet>) {
+        if self.items > 0 {
+            self.flush_packet(out);
+        }
+    }
+
+    fn flush_packet(&mut self, out: &mut Vec<Packet>) {
+        let mut bytes = Vec::with_capacity(self.current_len());
+        let mut w = Writer::new(&mut bytes);
+        w.u32(self.next_seq);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        w.u16(self.meta.len() as u16);
+        for m in &self.meta {
+            w.u8(m.core);
+            w.u8(m.wire_kind);
+            w.u16(m.count);
+        }
+        bytes.extend_from_slice(&self.payload);
+
+        self.stats.packets += 1;
+        self.stats.bytes += bytes.len() as u64;
+        self.stats.payload_bytes += self.payload.len() as u64;
+        self.stats.items += self.items as u64;
+
+        out.push(Packet {
+            bytes,
+            items: self.items,
+        });
+        self.meta.clear();
+        self.payload.clear();
+        self.items = 0;
+    }
+}
+
+/// The software-side meta-guided dynamic unpacker (paper §4.2.2), with
+/// sequence-based reassembly of out-of-order packets (paper §4.5).
+#[derive(Debug)]
+pub struct Unpacker {
+    diff: DiffCache,
+    expected_seq: u32,
+    /// Early arrivals waiting for the sequence gap to fill.
+    reorder: std::collections::BTreeMap<u32, Vec<u8>>,
+}
+
+impl Unpacker {
+    /// Creates an unpacker mirroring `cores` diff caches.
+    pub fn new(cores: usize) -> Self {
+        Unpacker {
+            diff: DiffCache::new(cores),
+            expected_seq: 0,
+            reorder: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Packets received ahead of a sequence gap, not yet deliverable.
+    pub fn buffered_packets(&self) -> usize {
+        self.reorder.len()
+    }
+
+    /// Decodes one packet back into wire items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed metadata or payload.
+    pub fn unpack(&mut self, packet: &Packet) -> Result<Vec<WireItem>, CodecError> {
+        self.unpack_bytes(&packet.bytes)
+    }
+
+    /// Accepts a packet in arrival order, which may differ from send order
+    /// on a non-blocking link. In-order packets decode immediately
+    /// (together with any buffered successors they unblock); early packets
+    /// are buffered and yield an empty batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed packets or on a stale/duplicate
+    /// sequence number (the link never replays old packets).
+    pub fn unpack_bytes(&mut self, bytes: &[u8]) -> Result<Vec<WireItem>, CodecError> {
+        let mut r = Reader::new(bytes);
+        let seq = r.u32()?;
+        if seq.wrapping_sub(self.expected_seq) > u32::MAX / 2 {
+            // Sequence numerically behind the expectation: a duplicate or
+            // a replayed packet.
+            return Err(CodecError::StaleSequence {
+                expected: self.expected_seq,
+                got: seq,
+            });
+        }
+        if seq != self.expected_seq {
+            // Bound the reassembly window: a gap that outlives this many
+            // packets means the link lost one, which must surface rather
+            // than buffer forever.
+            const REORDER_WINDOW: usize = 1024;
+            if self.reorder.len() >= REORDER_WINDOW {
+                return Err(CodecError::ReorderOverflow {
+                    missing: self.expected_seq,
+                });
+            }
+            self.reorder.insert(seq, bytes.to_vec());
+            return Ok(Vec::new());
+        }
+
+        let mut items = self.decode_body(&bytes[4..])?;
+        self.expected_seq = self.expected_seq.wrapping_add(1);
+        while let Some(next) = self.reorder.remove(&self.expected_seq) {
+            items.extend(self.decode_body(&next[4..])?);
+            self.expected_seq = self.expected_seq.wrapping_add(1);
+        }
+        Ok(items)
+    }
+
+    /// Decodes the body of an in-order packet (after the sequence number).
+    fn decode_body(&mut self, bytes: &[u8]) -> Result<Vec<WireItem>, CodecError> {
+        let mut r = Reader::new(bytes);
+        let n_meta = r.u16()? as usize;
+        let mut meta = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            let core = r.u8()?;
+            let wire_kind = r.u8()?;
+            let count = r.u16()?;
+            meta.push(MetaEntry {
+                core,
+                wire_kind,
+                count,
+            });
+        }
+        let mut items = Vec::new();
+        for m in meta {
+            let kind = WireKind::from_u8(m.wire_kind)?;
+            for _ in 0..m.count {
+                items.push(decode_item_body(kind, m.core, &mut self.diff, &mut r)?);
+            }
+        }
+        r.finish()?;
+        Ok(items)
+    }
+}
+
+/// The fixed-offset baseline packer of prior work (paper Fig. 5 top):
+/// every provisioned slot of the slot table occupies packet space each
+/// cycle, valid or not.
+#[derive(Debug)]
+pub struct FixedOffsetPacker {
+    slots: SlotTable,
+    cores: u32,
+    /// Valid payload bytes seen (for the bubble-ratio statistic).
+    pub valid_bytes: u64,
+    /// Total layout bytes emitted.
+    pub layout_bytes: u64,
+}
+
+impl FixedOffsetPacker {
+    /// Creates a fixed-offset packer over a DUT's slot provisioning.
+    pub fn new(slots: SlotTable, cores: u32) -> Self {
+        FixedOffsetPacker {
+            slots,
+            cores,
+            valid_bytes: 0,
+            layout_bytes: 0,
+        }
+    }
+
+    /// Bytes of one per-cycle layout (all cores).
+    pub fn cycle_layout_bytes(&self) -> usize {
+        self.slots.fixed_layout_bytes() * self.cores as usize
+    }
+
+    /// Encodes one cycle: every slot is emitted, bubbles as zeroes.
+    /// Returns the encoded layout.
+    ///
+    /// Events beyond a kind's slot count are dropped (hardware would have
+    /// back-pressured; the DUT model already respects the budget).
+    pub fn pack_cycle(&mut self, events: &[MonitoredEvent]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.cycle_layout_bytes());
+        let pairs: Vec<(EventKind, u8)> = self.slots.iter().collect();
+        for core in 0..self.cores as u8 {
+            for (kind, slots) in pairs.iter().copied() {
+                let mut filled = 0u8;
+                for ev in events
+                    .iter()
+                    .filter(|e| e.core == core && e.event.kind() == kind)
+                {
+                    if filled >= slots {
+                        break;
+                    }
+                    bytes.push(1);
+                    ev.event.encode_into(&mut bytes);
+                    self.valid_bytes += 1 + kind.encoded_len() as u64;
+                    filled += 1;
+                }
+                for _ in filled..slots {
+                    bytes.push(0);
+                    bytes.resize(bytes.len() + kind.encoded_len(), 0);
+                }
+            }
+        }
+        self.layout_bytes += bytes.len() as u64;
+        bytes
+    }
+
+    /// Decodes a fixed layout back into `(core, event)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation.
+    pub fn unpack_cycle(&self, bytes: &[u8]) -> Result<Vec<(u8, Event)>, CodecError> {
+        let mut r = Reader::new(bytes);
+        let mut out = Vec::new();
+        for core in 0..self.cores as u8 {
+            for (kind, slots) in self.slots.iter() {
+                for _ in 0..slots {
+                    let valid = r.u8()?;
+                    let payload = r.bytes_dyn(kind.encoded_len())?;
+                    if valid != 0 {
+                        out.push((core, Event::decode(kind, payload)?));
+                    }
+                }
+            }
+        }
+        r.finish()?;
+        Ok(out)
+    }
+
+    /// Fraction of emitted layout bytes that were bubbles.
+    pub fn bubble_ratio(&self) -> f64 {
+        if self.layout_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.valid_bytes as f64 / self.layout_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{InstrCommit, IntWriteback, OrderTag, StoreEvent, Token};
+
+    fn plain(core: u8, event: Event) -> WireItem {
+        WireItem::Plain { core, event }
+    }
+
+    fn commit(pc: u64) -> Event {
+        InstrCommit {
+            pc,
+            ..Default::default()
+        }
+        .into()
+    }
+
+    #[test]
+    fn type_level_pack_selects_kth_valid() {
+        let slots = [Some(1), None, Some(2), None, Some(3), None];
+        assert_eq!(type_level_pack(&slots), vec![1, 2, 3]);
+        let empty: [Option<u8>; 4] = [None; 4];
+        assert!(type_level_pack(&empty).is_empty());
+    }
+
+    #[test]
+    fn pack_unpack_identity() {
+        let mut packer = BatchUnit::new(1, 4096);
+        let mut unpacker = Unpacker::new(1);
+        let items: Vec<WireItem> = (0..10)
+            .map(|i| plain(0, commit(0x8000_0000 + 4 * i)))
+            .chain((0..3).map(|i| {
+                plain(
+                    0,
+                    StoreEvent {
+                        addr: 0x8000_1000 + i,
+                        data: i,
+                        mask: 0xff,
+                    }
+                    .into(),
+                )
+            }))
+            .collect();
+        let mut out = Vec::new();
+        packer.push_cycle(&items, &mut out);
+        packer.flush(&mut out);
+        assert_eq!(out.len(), 1);
+        let back = unpacker.unpack(&out[0]).unwrap();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn runs_share_meta_entries() {
+        let mut packer = BatchUnit::new(1, 4096);
+        let items: Vec<WireItem> = (0..5).map(|i| plain(0, commit(i))).collect();
+        let mut out = Vec::new();
+        packer.push_cycle(&items, &mut out);
+        packer.flush(&mut out);
+        // Sequence (4B) + u16 meta count + one meta entry + 5 commits.
+        let expected = 4 + 2 + META_ENTRY_BYTES + 5 * EventKind::InstrCommit.encoded_len();
+        assert_eq!(out[0].len(), expected);
+    }
+
+    #[test]
+    fn packets_split_when_full() {
+        let mut packer = BatchUnit::new(1, 1024);
+        let mut unpacker = Unpacker::new(1);
+        let items: Vec<WireItem> = (0..200).map(|i| plain(0, commit(i))).collect();
+        let mut out = Vec::new();
+        packer.push_cycle(&items, &mut out);
+        packer.flush(&mut out);
+        assert!(out.len() > 1, "must split across packets");
+        for p in &out {
+            assert!(p.len() <= 1024, "packet overflow: {}", p.len());
+        }
+        let back: Vec<WireItem> = out
+            .iter()
+            .flat_map(|p| unpacker.unpack(p).unwrap())
+            .collect();
+        assert_eq!(back, items);
+        assert!(packer.stats().utilization() > 0.9);
+    }
+
+    #[test]
+    fn out_of_order_packets_reassemble() {
+        let mut packer = BatchUnit::new(1, 1024);
+        let mut unpacker = Unpacker::new(1);
+        let items: Vec<WireItem> = (0..200).map(|i| plain(0, commit(i))).collect();
+        let mut packets = Vec::new();
+        packer.push_cycle(&items, &mut packets);
+        packer.flush(&mut packets);
+        assert!(packets.len() >= 4, "need several packets to shuffle");
+        packets.swap(1, 3);
+        packets.swap(0, 2);
+        let mut decoded = Vec::new();
+        for p in &packets {
+            decoded.extend(unpacker.unpack(p).unwrap());
+        }
+        assert_eq!(decoded, items, "arrival order differs, delivery order holds");
+        assert_eq!(unpacker.buffered_packets(), 0);
+    }
+
+    #[test]
+    fn duplicate_packet_is_a_stale_sequence_error() {
+        let mut packer = BatchUnit::new(1, 4096);
+        let mut unpacker = Unpacker::new(1);
+        let items: Vec<WireItem> = (0..3).map(|i| plain(0, commit(i))).collect();
+        let mut packets = Vec::new();
+        packer.push_cycle(&items, &mut packets);
+        packer.flush(&mut packets);
+        unpacker.unpack(&packets[0]).unwrap();
+        let err = unpacker.unpack(&packets[0]).unwrap_err();
+        assert!(matches!(err, CodecError::StaleSequence { expected: 1, got: 0 }));
+    }
+
+    #[test]
+    fn diff_items_survive_packet_boundaries() {
+        // Diff caches on both sides must stay in sync even when diffs land
+        // in different packets.
+        let mut packer = BatchUnit::new(1, 1024);
+        let mut unpacker = Unpacker::new(1);
+        let mut items = Vec::new();
+        let mut regs = [0u64; 32];
+        for i in 0..40u64 {
+            regs[(i % 32) as usize] = i;
+            items.push(WireItem::Diff {
+                core: 0,
+                tag: OrderTag(i),
+                token: Token(i),
+                event: difftest_event::ArchIntRegState { regs }.into(),
+            });
+        }
+        let mut out = Vec::new();
+        packer.push_cycle(&items, &mut out);
+        packer.flush(&mut out);
+        assert!(out.len() > 1);
+        let back: Vec<WireItem> = out
+            .iter()
+            .flat_map(|p| unpacker.unpack(p).unwrap())
+            .collect();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn fixed_offset_round_trip_and_bubbles() {
+        let slots = SlotTable::from_pairs(&[
+            (EventKind::InstrCommit, 4),
+            (EventKind::IntWriteback, 4),
+        ]);
+        let mut p = FixedOffsetPacker::new(slots, 1);
+        let events = vec![
+            MonitoredEvent {
+                core: 0,
+                cycle: 0,
+                order: OrderTag(0),
+                token: Token(0),
+                event: commit(0x8000_0000),
+            },
+            MonitoredEvent {
+                core: 0,
+                cycle: 0,
+                order: OrderTag(0),
+                token: Token(1),
+                event: IntWriteback { idx: 3, data: 9 }.into(),
+            },
+        ];
+        let layout = p.pack_cycle(&events);
+        assert_eq!(layout.len(), p.cycle_layout_bytes());
+        let back = p.unpack_cycle(&layout).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].1, events[0].event);
+        // 2 of 8 slots valid: bubbles dominate.
+        assert!(p.bubble_ratio() > 0.5, "bubbles {}", p.bubble_ratio());
+    }
+}

@@ -1,0 +1,986 @@
+//! The ISA checker: drives the REF from the wire stream and compares.
+//!
+//! The checker consumes [`WireItem`]s in arrival order. In plain mode
+//! (baseline / Batch-only) arrival order *is* checking order. In Squash
+//! mode, order-decoupled items carry [`difftest_event::OrderTag`]s and are queued until the
+//! fused commit covering their position arrives; the checker then restores
+//! the required checking order (paper §4.3 "reordering"): for each fused
+//! instruction it first applies/checks the *pre* events bound to that
+//! sequence number (interrupt entries, MMIO skips, state dumps, TLB and
+//! i-cache fills), steps the REF, then checks the *post* events (stores,
+//! atomics, redirect-class checks).
+//!
+//! Checkpoints for the Replay mechanism are taken before each fused record
+//! when replay support is enabled.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use difftest_event::{commit_flags, Event, EventKind, InstrCommit, MonitoredEvent, Token};
+use difftest_isa::csr::CsrIndex;
+use difftest_isa::trap::Interrupt;
+use difftest_ref::exec::Effect;
+use difftest_ref::{RefModel, StepOutcome};
+
+use crate::squash::FusedCommit;
+use crate::wire::WireItem;
+
+/// A detected divergence between the DUT and the REF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Core on which the divergence was detected.
+    pub core: u8,
+    /// Instruction sequence number at detection.
+    pub seq: u64,
+    /// The check that failed (e.g. `"commit.pc"`, `"csr mstatus"`).
+    pub check: String,
+    /// Expected (REF) value rendering.
+    pub expected: String,
+    /// Actual (DUT) value rendering.
+    pub actual: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {} @ instruction {}: {} expected {} got {}",
+            self.core, self.seq, self.check, self.expected, self.actual
+        )
+    }
+}
+
+/// Flow decision after processing an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep going.
+    Continue,
+    /// The simulation-terminating trap was verified.
+    Halt {
+        /// Core that trapped.
+        core: u8,
+        /// `true` for a good trap.
+        good: bool,
+        /// Trap PC.
+        pc: u64,
+    },
+}
+
+/// Checker-side statistics (drives the software-processing cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Events checked (all kinds).
+    pub events: u64,
+    /// REF instructions stepped.
+    pub instructions: u64,
+    /// MMIO skips synchronized.
+    pub skips: u64,
+    /// Interrupts synchronized.
+    pub interrupts: u64,
+    /// Exceptions verified.
+    pub exceptions: u64,
+    /// Fused records processed.
+    pub fused_records: u64,
+    /// Payload bytes compared.
+    pub bytes: u64,
+}
+
+/// Whether an order-tagged event is checked *before* stepping its tagged
+/// instruction (state it describes precedes the instruction) or *after*.
+fn is_pre(event: &Event) -> bool {
+    use EventKind as K;
+    match event.kind() {
+        K::ArchEvent
+        | K::TrapEvent
+        | K::VirtualInterrupt
+        | K::GuestPageFault
+        | K::ArchIntRegState
+        | K::ArchFpRegState
+        | K::CsrState
+        | K::ArchVecRegState
+        | K::VecCsrState
+        | K::HypervisorCsrState
+        | K::TriggerCsrState
+        | K::DebugModeState
+        | K::L1TlbEvent
+        | K::L2TlbEvent
+        | K::PtwEvent => true,
+        K::LoadEvent | K::InstrCommit => event.is_nde(), // MMIO skips arm pre-step
+        K::RefillEvent => matches!(event, Event::RefillEvent(r) if r.refill_type != 0),
+        _ => false,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Checkpoint {
+    seq: u64,
+    token: u64,
+}
+
+#[derive(Debug)]
+struct CoreChecker {
+    core: u8,
+    refm: RefModel,
+    /// Sequence number of the next instruction to check.
+    seq: u64,
+    last_effect: Option<Effect>,
+    pending: BTreeMap<u64, Vec<(Token, Event)>>,
+    token_watermark: u64,
+    ckpt: Option<Checkpoint>,
+    replay_support: bool,
+}
+
+macro_rules! mismatch {
+    ($self:expr, $check:expr, $expected:expr, $actual:expr) => {
+        return Err(Mismatch {
+            core: $self.core,
+            seq: $self.seq,
+            check: $check.to_string(),
+            expected: format!("{:#x}", $expected),
+            actual: format!("{:#x}", $actual),
+        })
+    };
+}
+
+impl CoreChecker {
+    fn ensure(
+        &self,
+        cond: bool,
+        check: impl Into<String>,
+        expected: impl fmt::LowerHex,
+        actual: impl fmt::LowerHex,
+    ) -> Result<(), Mismatch> {
+        if cond {
+            Ok(())
+        } else {
+            Err(Mismatch {
+                core: self.core,
+                seq: self.seq,
+                check: check.into(),
+                expected: format!("{expected:#x}"),
+                actual: format!("{actual:#x}"),
+            })
+        }
+    }
+
+    /// Checks one plain instruction commit: PC, step, destination value.
+    fn check_commit(&mut self, c: &InstrCommit, stats: &mut CheckStats) -> Result<(), Mismatch> {
+        stats.events += 1;
+        stats.bytes += InstrCommit::ENCODED_LEN as u64;
+        self.ensure(self.refm.state().pc() == c.pc, "commit.pc", self.refm.state().pc(), c.pc)?;
+
+        if c.flags & commit_flags::SKIP != 0 && c.flags & commit_flags::LOAD != 0 {
+            self.refm.skip_next(c.wdata);
+            stats.skips += 1;
+        }
+
+        match self.refm.step() {
+            StepOutcome::Retired { effect, .. } => {
+                if c.wen != 0 {
+                    let got = if c.flags & commit_flags::FP_WEN != 0 {
+                        effect.fw.map(|(r, v)| (r.index() as u8, v))
+                    } else {
+                        effect.xw.map(|(r, v)| (r.index() as u8, v))
+                    };
+                    match got {
+                        Some((rd, v)) => {
+                            self.ensure(rd == c.wdest, "commit.wdest", rd, c.wdest)?;
+                            self.ensure(v == c.wdata, "commit.wdata", v, c.wdata)?;
+                        }
+                        None => mismatch!(self, "commit.wen", 0u64, c.wen as u64),
+                    }
+                }
+                self.last_effect = Some(effect);
+            }
+            StepOutcome::Skipped { .. } => {
+                self.last_effect = None;
+            }
+            StepOutcome::Trapped { trap, .. } => {
+                mismatch!(self, "commit.step: REF trapped", trap.mcause(), c.pc)
+            }
+        }
+        stats.instructions += 1;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Checks one non-commit event against the current REF state.
+    fn check_event(&mut self, ev: &Event, stats: &mut CheckStats) -> Result<Option<Verdict>, Mismatch> {
+        stats.events += 1;
+        stats.bytes += ev.encoded_len() as u64;
+        let refm = &self.refm;
+        match ev {
+            Event::InstrCommit(_) => {
+                // Only order-tagged skip-commits reach this path; their
+                // synchronization happened in `apply_nde_arming` and the
+                // fused window performs the architectural step.
+            }
+            Event::TrapEvent(_) => {
+                unreachable!("handled by dedicated paths")
+            }
+            Event::ArchEvent(a) => {
+                if a.is_interrupt != 0 {
+                    // NDE synchronization: force the REF to take the DUT's
+                    // interrupt at this boundary.
+                    self.ensure(refm.state().pc() == a.pc, "interrupt.pc", refm.state().pc(), a.pc)?;
+                    let code = a.cause & 0x3ff;
+                    let Some(intr) = Interrupt::from_code(code) else {
+                        mismatch!(self, "interrupt.cause (unknown)", 7u64, code);
+                    };
+                    self.refm.raise_interrupt(intr);
+                    stats.interrupts += 1;
+                } else {
+                    // Exception: the REF must trap identically.
+                    match self.refm.step() {
+                        StepOutcome::Trapped { pc, trap } => {
+                            self.ensure(pc == a.pc, "exception.pc", pc, a.pc)?;
+                            self.ensure(
+                                trap.mcause() == a.cause,
+                                "exception.cause",
+                                trap.mcause(),
+                                a.cause,
+                            )?;
+                            self.ensure(trap.mtval() == a.tval, "exception.tval", trap.mtval(), a.tval)?;
+                        }
+                        other => {
+                            mismatch!(
+                                self,
+                                format!("exception: REF outcome {other:?}"),
+                                a.cause,
+                                0u64
+                            )
+                        }
+                    }
+                    stats.exceptions += 1;
+                }
+            }
+            Event::ArchIntRegState(s) => {
+                for (i, (got, want)) in s.regs.iter().zip(refm.state().xregs()).enumerate() {
+                    self.ensure(got == want, format!("xreg x{i}"), *want, *got)?;
+                }
+            }
+            Event::ArchFpRegState(s) => {
+                for (i, (got, want)) in s.regs.iter().zip(refm.state().fregs()).enumerate() {
+                    self.ensure(got == want, format!("freg f{i}"), *want, *got)?;
+                }
+            }
+            Event::CsrState(s) => {
+                for (i, (got, want)) in s.csrs.iter().zip(refm.state().csrs()).enumerate() {
+                    let name = CsrIndex::from_dense(i).map(|c| c.name()).unwrap_or("?");
+                    self.ensure(got == want, format!("csr {name}"), *want, *got)?;
+                }
+            }
+            Event::ArchVecRegState(s) => {
+                // Vector state is architecturally zero in this model on both
+                // sides; any non-zero reading is a monitor/datapath fault.
+                for (i, got) in s.regs.iter().enumerate() {
+                    self.ensure(*got == 0, format!("vreg half {i}"), 0u64, *got)?;
+                }
+            }
+            Event::VecCsrState(s) => {
+                let st = refm.state();
+                self.ensure(s.vstart == st.csr(CsrIndex::Vstart), "vstart", st.csr(CsrIndex::Vstart), s.vstart)?;
+                self.ensure(s.vl == st.csr(CsrIndex::Vl), "vl", st.csr(CsrIndex::Vl), s.vl)?;
+                self.ensure(s.vtype == st.csr(CsrIndex::Vtype), "vtype", st.csr(CsrIndex::Vtype), s.vtype)?;
+                self.ensure(s.vcsr == st.csr(CsrIndex::Vcsr), "vcsr", st.csr(CsrIndex::Vcsr), s.vcsr)?;
+            }
+            Event::HypervisorCsrState(s) => {
+                let st = refm.state();
+                self.ensure(s.csrs[0] == st.csr(CsrIndex::Hstatus), "hstatus", st.csr(CsrIndex::Hstatus), s.csrs[0])?;
+                self.ensure(s.csrs[1] == st.csr(CsrIndex::Hedeleg), "hedeleg", st.csr(CsrIndex::Hedeleg), s.csrs[1])?;
+            }
+            Event::TriggerCsrState(s) => {
+                self.ensure(s.tselect == 0, "tselect", 0u64, s.tselect)?;
+            }
+            Event::DebugModeState(s) => {
+                self.ensure(s.debug_mode == 0, "debug_mode", 0u8, s.debug_mode)?;
+            }
+            Event::IntWriteback(w) => {
+                let want = refm.state().xreg(difftest_isa::Reg::new(w.idx));
+                self.ensure(w.data == want, format!("int writeback x{}", w.idx), want, w.data)?;
+            }
+            Event::FpWriteback(w) => {
+                let want = refm.state().freg(difftest_isa::FReg::new(w.idx));
+                self.ensure(w.data == want, format!("fp writeback f{}", w.idx), want, w.data)?;
+            }
+            Event::LoadEvent(l) => {
+                if l.is_mmio != 0 {
+                    // Plain mode: the commit's SKIP flag already armed and
+                    // consumed the synchronization; the event itself is
+                    // informational here. (In Squash mode MMIO loads arrive
+                    // through the tagged path, which arms the skip before
+                    // dispatching here — see `apply_nde_arming`.)
+                } else if let Some(eff) = &self.last_effect {
+                    if let Some(m) = eff.memr {
+                        self.ensure(l.addr == m.addr, "load.addr", m.addr, l.addr)?;
+                    }
+                    if let Some((_, v)) = eff.xw.or(eff.fw.map(|(r, v)| (difftest_isa::Reg::new(r.index() as u8), v))) {
+                        self.ensure(l.data == v, "load.data", v, l.data)?;
+                    }
+                }
+            }
+            Event::StoreEvent(s) => {
+                let Some(w) = self.last_effect.as_ref().and_then(|e| e.memw) else {
+                    mismatch!(self, "store event without REF store", 0u64, s.addr);
+                };
+                let base = w.addr & !7;
+                let off = (w.addr - base) as u32;
+                let mask = (((1u16 << w.len) - 1) as u8) << off;
+                let data = w.value << (8 * off);
+                self.ensure(s.addr == base, "store.addr", base, s.addr)?;
+                self.ensure(s.mask == mask, "store.mask", mask, s.mask)?;
+                // Compare only the bytes the mask enables.
+                let mut bitmask = 0u64;
+                for b in 0..8 {
+                    if mask & (1 << b) != 0 {
+                        bitmask |= 0xffu64 << (8 * b);
+                    }
+                }
+                self.ensure(
+                    s.data & bitmask == data & bitmask,
+                    "store.data",
+                    data & bitmask,
+                    s.data & bitmask,
+                )?;
+            }
+            Event::AtomicEvent(a) => {
+                let Some(w) = self.last_effect.as_ref().and_then(|e| e.memw) else {
+                    mismatch!(self, "atomic event without REF store", 0u64, a.addr);
+                };
+                self.ensure(a.addr == w.addr, "atomic.addr", w.addr, a.addr)?;
+                if let Some((_, v)) = self.last_effect.as_ref().and_then(|e| e.xw) {
+                    self.ensure(a.out == v, "atomic.out", v, a.out)?;
+                }
+            }
+            Event::LrScEvent(l) => {
+                if l.valid != 0 {
+                    let want = self
+                        .last_effect
+                        .as_ref()
+                        .and_then(|e| e.xw)
+                        .map(|(_, v)| (v == 0) as u8)
+                        .unwrap_or(0);
+                    self.ensure(l.success == want, "sc.success", want, l.success)?;
+                }
+            }
+            Event::SbufferEvent(s) => {
+                for b in 0..64u64 {
+                    if s.mask & (1 << b) != 0 {
+                        let want = self.refm.mem().read_u8(s.addr + b);
+                        let got = s.data[b as usize];
+                        self.ensure(got == want, format!("sbuffer byte {b}"), want, got)?;
+                    } else {
+                        self.ensure(s.data[b as usize] == 0, format!("sbuffer bubble {b}"), 0u8, s.data[b as usize])?;
+                    }
+                }
+            }
+            Event::RefillEvent(r) => {
+                let line = r.addr & !63;
+                for (i, beat) in r.data.iter().enumerate() {
+                    let want = self.refm.mem().read(line + 8 * i as u64, 8);
+                    self.ensure(*beat == want, format!("refill beat {i}"), want, *beat)?;
+                }
+            }
+            Event::L1TlbEvent(t) => {
+                if t.valid != 0 {
+                    self.ensure(t.ppn == t.vpn, "l1tlb identity", t.vpn, t.ppn)?;
+                    let satp = self.refm.state().csr(CsrIndex::Satp);
+                    self.ensure(t.satp == satp, "l1tlb.satp", satp, t.satp)?;
+                }
+            }
+            Event::L2TlbEvent(t) => {
+                if t.valid != 0 {
+                    for (i, p) in t.ppns.iter().enumerate() {
+                        self.ensure(*p == t.vpn + i as u64, format!("l2tlb ppn {i}"), t.vpn + i as u64, *p)?;
+                    }
+                }
+            }
+            Event::PtwEvent(p) => {
+                self.ensure(p.pf == 0, "ptw.pf", 0u8, p.pf)?;
+                self.ensure(p.levels[3] == p.vpn, "ptw leaf", p.vpn, p.levels[3])?;
+            }
+            Event::Redirect(r) => {
+                let want = self.refm.state().pc();
+                self.ensure(r.target == want, "redirect.target", want, r.target)?;
+            }
+            Event::RunaheadEvent(r) => {
+                if r.valid != 0 {
+                    let want = (self.seq.wrapping_sub(1) & 0xffff) as u16;
+                    self.ensure(r.checkpoint_id == want, "runahead.id", want, r.checkpoint_id)?;
+                }
+            }
+            Event::FpCsrUpdate(u) => {
+                let want = self.refm.state().csr(CsrIndex::Fcsr);
+                self.ensure(u.data == want, "fcsr.data", want, u.data)?;
+                self.ensure(u.fflags as u64 == want & 0x1f, "fcsr.fflags", want & 0x1f, u.fflags as u64)?;
+            }
+            Event::VecConfig(v) => {
+                let st = refm.state();
+                self.ensure(v.vl == st.csr(CsrIndex::Vl), "vecconfig.vl", st.csr(CsrIndex::Vl), v.vl)?;
+                self.ensure(v.vtype == st.csr(CsrIndex::Vtype), "vecconfig.vtype", st.csr(CsrIndex::Vtype), v.vtype)?;
+            }
+            Event::HCsrUpdate(h) => {
+                if let Some(c) = CsrIndex::from_address(h.addr) {
+                    let want = self.refm.state().csr(c);
+                    self.ensure(h.data == want, format!("hcsr {}", c.name()), want, h.data)?;
+                }
+            }
+            // Rarely-emitted extension events: structural validity only.
+            Event::VecWriteback(_) | Event::VecLoad(_) | Event::VecStore(_) => {}
+            Event::VirtualInterrupt(v) => {
+                self.ensure(v.valid == 0, "virtual interrupt (unsupported)", 0u8, v.valid)?;
+            }
+            Event::GuestPageFault(g) => {
+                self.ensure(g.fault_type == 0, "guest page fault (unsupported)", 0u8, g.fault_type)?;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Handles a trap event (simulation end).
+    fn check_trap(&mut self, t: &difftest_event::TrapEvent, stats: &mut CheckStats) -> Result<Verdict, Mismatch> {
+        stats.events += 1;
+        self.ensure(self.refm.state().pc() == t.pc, "trap.pc", self.refm.state().pc(), t.pc)?;
+        Ok(Verdict::Halt {
+            core: self.core,
+            good: t.code == 0,
+            pc: t.pc,
+        })
+    }
+
+    /// Arms NDE synchronization carried by an order-tagged event before it
+    /// is dispatched for checking: an MMIO load's observed value becomes the
+    /// skip value of the instruction it is tagged to. Arming only applies
+    /// when the tagged instruction is the next to step; a stale event (the
+    /// instruction already stepped) must not poison a later one.
+    fn apply_nde_arming(&mut self, event: &Event, tag: u64, stats: &mut CheckStats) {
+        if tag != self.seq {
+            return;
+        }
+        match event {
+            Event::LoadEvent(l) if l.is_mmio != 0 => {
+                self.refm.skip_next(l.data);
+                stats.skips += 1;
+            }
+            Event::InstrCommit(c)
+                if c.flags & commit_flags::SKIP != 0 && c.flags & commit_flags::LOAD != 0 =>
+            {
+                self.refm.skip_next(c.wdata);
+                stats.skips += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Accepts an order-tagged item: checks it now when its position has
+    /// been reached, queues it otherwise.
+    fn accept_tagged(
+        &mut self,
+        tag: u64,
+        token: Token,
+        event: Event,
+        stats: &mut CheckStats,
+    ) -> Result<Option<Verdict>, Mismatch> {
+        self.token_watermark = self.token_watermark.max(token.0);
+        // Pre events tagged `t` become checkable once seq reaches the tag;
+        // post events once instruction `t` has stepped (seq > t). Always
+        // enqueue first so same-tag events are checked in capture (token)
+        // order — a newly arrived event must not jump ahead of earlier
+        // pending ones (e.g. an interrupt entry must not be applied before
+        // the state dumps captured ahead of it are compared).
+        let pre = is_pre(&event);
+        let ready = if pre { tag <= self.seq } else { tag < self.seq };
+        self.pending.entry(tag).or_default().push((token, event));
+        if ready {
+            if let Some(v) = self.drain_pending(tag, true, stats)? {
+                return Ok(Some(v));
+            }
+            if tag < self.seq {
+                if let Some(v) = self.drain_pending(tag, false, stats)? {
+                    return Ok(Some(v));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drains due pending events. `pre` selects the phase relative to the
+    /// instruction with sequence `seq`.
+    fn drain_pending(
+        &mut self,
+        seq: u64,
+        pre: bool,
+        stats: &mut CheckStats,
+    ) -> Result<Option<Verdict>, Mismatch> {
+        let Some(mut entries) = self.pending.remove(&seq) else {
+            return Ok(None);
+        };
+        let mut rest = Vec::new();
+        for (token, event) in entries.drain(..) {
+            if is_pre(&event) == pre {
+                if let Event::TrapEvent(t) = &event {
+                    return self.check_trap(t, stats).map(Some);
+                }
+                self.apply_nde_arming(&event, seq, stats);
+                if let Some(v) = self.check_event(&event, stats)? {
+                    return Ok(Some(v));
+                }
+            } else {
+                rest.push((token, event));
+            }
+        }
+        if !rest.is_empty() {
+            self.pending.insert(seq, rest);
+        }
+        Ok(None)
+    }
+
+    /// Processes one fused commit record (Squash mode).
+    fn process_fused(&mut self, f: &FusedCommit, stats: &mut CheckStats) -> Result<Option<Verdict>, Mismatch> {
+        stats.fused_records += 1;
+        stats.events += 1;
+        stats.bytes += f.encoded_len() as u64;
+        self.token_watermark = self.token_watermark.max(f.token_last);
+
+        if self.replay_support {
+            self.refm.checkpoint();
+            let min_pending = self
+                .pending
+                .values()
+                .flat_map(|v| v.iter().map(|(t, _)| t.0))
+                .min()
+                .unwrap_or(u64::MAX);
+            self.ckpt = Some(Checkpoint {
+                seq: self.seq,
+                token: f.token_first.min(min_pending),
+            });
+        }
+
+        self.ensure(f.first_seq == self.seq, "fused.first_seq", self.seq, f.first_seq)?;
+
+        for _ in 0..f.count {
+            if let Some(v) = self.drain_pending(self.seq, true, stats)? {
+                return Ok(Some(v));
+            }
+            match self.refm.step() {
+                StepOutcome::Retired { effect, .. } => self.last_effect = Some(effect),
+                StepOutcome::Skipped { .. } => {
+                    // The arming LoadEvent already counted the skip.
+                    self.last_effect = None;
+                }
+                StepOutcome::Trapped { trap, .. } => {
+                    mismatch!(self, "fused.step: REF trapped", trap.mcause(), self.seq)
+                }
+            }
+            stats.instructions += 1;
+            self.seq += 1;
+            if let Some(v) = self.drain_pending(self.seq - 1, false, stats)? {
+                return Ok(Some(v));
+            }
+        }
+
+        if f.final_pc != 0 {
+            self.ensure(
+                self.refm.state().pc() == f.final_pc,
+                "fused.final_pc",
+                self.refm.state().pc(),
+                f.final_pc,
+            )?;
+        }
+        for (r, v) in &f.int_writes {
+            let want = self.refm.state().xreg(difftest_isa::Reg::new(*r));
+            self.ensure(want == *v, format!("fused write x{r}"), want, *v)?;
+        }
+        for (r, v) in &f.fp_writes {
+            let want = self.refm.state().freg(difftest_isa::FReg::new(*r));
+            self.ensure(want == *v, format!("fused write f{r}"), want, *v)?;
+        }
+
+        if self.replay_support {
+            self.refm.prune_checkpoints(2);
+        }
+        Ok(None)
+    }
+}
+
+/// The multi-core ISA checker.
+#[derive(Debug)]
+pub struct Checker {
+    cores: Vec<CoreChecker>,
+    stats: CheckStats,
+}
+
+impl Checker {
+    /// Creates a checker over one REF per core. `replay_support` enables
+    /// journaling and checkpointing for the Replay mechanism.
+    pub fn new(refs: Vec<RefModel>, replay_support: bool) -> Self {
+        let cores = refs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut refm)| {
+                refm.set_journal_enabled(replay_support);
+                CoreChecker {
+                    core: i as u8,
+                    refm,
+                    seq: 0,
+                    last_effect: None,
+                    pending: BTreeMap::new(),
+                    token_watermark: 0,
+                    ckpt: None,
+                    replay_support,
+                }
+            })
+            .collect();
+        Checker {
+            cores,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &CheckStats {
+        &self.stats
+    }
+
+    /// Clones the per-core REF states and progress for an external snapshot
+    /// (the prior-work debugging strategy compared in `crate::snapshot`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if order-tagged items are still pending — snapshots must be
+    /// taken at quiesced points (flush the acceleration unit and process
+    /// everything first).
+    pub fn snapshot_refs(&self) -> Vec<(RefModel, u64)> {
+        assert_eq!(self.pending_items(), 0, "snapshot requires a quiesced checker");
+        self.cores
+            .iter()
+            .map(|c| (c.refm.clone(), c.seq))
+            .collect()
+    }
+
+    /// Rebuilds a checker from snapshotted REF states and progress.
+    pub fn resume(refs: Vec<(RefModel, u64)>, replay_support: bool) -> Self {
+        let cores = refs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut refm, seq))| {
+                refm.set_journal_enabled(replay_support);
+                CoreChecker {
+                    core: i as u8,
+                    refm,
+                    seq,
+                    last_effect: None,
+                    pending: BTreeMap::new(),
+                    token_watermark: 0,
+                    ckpt: None,
+                    replay_support,
+                }
+            })
+            .collect();
+        Checker {
+            cores,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Instructions checked so far on `core`.
+    pub fn seq(&self, core: u8) -> u64 {
+        self.cores[core as usize].seq
+    }
+
+    /// Processes one wire item (owned: tagged and differenced payloads are
+    /// queued without copying).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Mismatch`] that aborted checking.
+    pub fn process(&mut self, item: WireItem) -> Result<Verdict, Mismatch> {
+        let Some(core) = self.cores.get_mut(item.core() as usize) else {
+            // A corrupted transport can smuggle an out-of-range core id;
+            // surface it as a checkable failure instead of panicking.
+            return Err(Mismatch {
+                core: item.core(),
+                seq: 0,
+                check: "wire.core out of range".to_owned(),
+                expected: format!("{:#x}", self.cores.len()),
+                actual: format!("{:#x}", item.core()),
+            });
+        };
+        let stats = &mut self.stats;
+        match item {
+            WireItem::Plain { event, .. } => match event {
+                Event::InstrCommit(c) => {
+                    core.check_commit(&c, stats)?;
+                    Ok(Verdict::Continue)
+                }
+                Event::TrapEvent(t) => core.check_trap(&t, stats),
+                other => Ok(core.check_event(&other, stats)?.unwrap_or(Verdict::Continue)),
+            },
+            WireItem::Tagged {
+                tag, token, event, ..
+            }
+            | WireItem::Diff {
+                tag, token, event, ..
+            } => Ok(core
+                .accept_tagged(tag.0, token, event, stats)?
+                .unwrap_or(Verdict::Continue)),
+            WireItem::Fused { fused, .. } => Ok(core
+                .process_fused(&fused, stats)?
+                .unwrap_or(Verdict::Continue)),
+        }
+    }
+
+    /// Drains pending items whose position has been reached (called after
+    /// the final flush). Returns a halt verdict if the trap event was
+    /// pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Mismatch`] that aborted checking.
+    pub fn finalize(&mut self) -> Result<Verdict, Mismatch> {
+        for i in 0..self.cores.len() {
+            let core = &mut self.cores[i];
+            let due: Vec<u64> = core.pending.range(..=core.seq).map(|(k, _)| *k).collect();
+            for seq in due {
+                for pre in [true, false] {
+                    if let Some(v) = core.drain_pending(seq, pre, &mut self.stats)? {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+        Ok(Verdict::Continue)
+    }
+
+    /// Number of pending (not yet checkable) items across cores.
+    pub fn pending_items(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.pending.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Reverts `core`'s REF to the last checkpoint for a replay pass,
+    /// clearing its pending queue. Returns the token range
+    /// `(checkpoint, watermark)` to retransmit, or `None` when no
+    /// checkpoint exists (the mismatch is already precise).
+    pub fn revert_for_replay(&mut self, core: u8) -> Option<(u64, u64)> {
+        let c = &mut self.cores[core as usize];
+        let ckpt = c.ckpt.take()?;
+        if !c.refm.revert() {
+            return None;
+        }
+        c.seq = ckpt.seq;
+        c.last_effect = None;
+        c.pending.clear();
+        Some((ckpt.token, c.token_watermark))
+    }
+
+    /// Reprocesses retransmitted, unfused events in plain mode after a
+    /// revert, returning the precise mismatch if one reproduces.
+    pub fn replay_unfused(&mut self, core: u8, events: &[MonitoredEvent]) -> Option<Mismatch> {
+        for ev in events.iter().filter(|e| e.core == core) {
+            let item = WireItem::Plain {
+                core,
+                event: ev.event.clone(),
+            };
+            match self.process(item) {
+                Ok(_) => {}
+                Err(m) => return Some(m),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{ArchEvent, OrderTag};
+    use difftest_isa::{encode, Reg};
+    use difftest_ref::Memory;
+
+    fn ref_with(words: &[u32]) -> RefModel {
+        let mut mem = Memory::new();
+        mem.load_words(Memory::RAM_BASE, words);
+        RefModel::new(mem)
+    }
+
+    fn commit(pc: u64, instr: u32, wdest: u8, wdata: u64) -> InstrCommit {
+        InstrCommit {
+            pc,
+            instr,
+            wen: 1,
+            wdest,
+            wdata,
+            flags: 0,
+            rob_idx: 0,
+        }
+    }
+
+    #[test]
+    fn plain_commit_checks_pass_and_fail() {
+        let w = encode::addi(Reg::A0, Reg::ZERO, 7);
+        let mut ck = Checker::new(vec![ref_with(&[w, w])], false);
+        let ok = WireItem::Plain {
+            core: 0,
+            event: commit(Memory::RAM_BASE, w, 10, 7).into(),
+        };
+        assert_eq!(ck.process(ok).unwrap(), Verdict::Continue);
+
+        let bad = WireItem::Plain {
+            core: 0,
+            event: commit(Memory::RAM_BASE + 4, w, 10, 8).into(),
+        };
+        let m = ck.process(bad).unwrap_err();
+        assert_eq!(m.check, "commit.wdata");
+        assert_eq!(m.seq, 1);
+    }
+
+    #[test]
+    fn fused_window_steps_and_verifies_write_set() {
+        let words = [
+            encode::addi(Reg::A0, Reg::ZERO, 1),
+            encode::addi(Reg::A1, Reg::A0, 2),
+            encode::addi(Reg::A0, Reg::A1, 3),
+        ];
+        let mut ck = Checker::new(vec![ref_with(&words)], false);
+        let fused = FusedCommit {
+            first_seq: 0,
+            count: 3,
+            final_pc: Memory::RAM_BASE + 12,
+            int_writes: vec![(10, 6), (11, 3)],
+            ..Default::default()
+        };
+        let item = WireItem::Fused { core: 0, fused };
+        assert_eq!(ck.process(item).unwrap(), Verdict::Continue);
+        assert_eq!(ck.seq(0), 3);
+    }
+
+    #[test]
+    fn fused_write_set_mismatch_detected() {
+        let words = [encode::addi(Reg::A0, Reg::ZERO, 1)];
+        let mut ck = Checker::new(vec![ref_with(&words)], false);
+        let fused = FusedCommit {
+            first_seq: 0,
+            count: 1,
+            final_pc: 0,
+            int_writes: vec![(10, 99)],
+            ..Default::default()
+        };
+        let m = ck
+            .process(WireItem::Fused { core: 0, fused })
+            .unwrap_err();
+        assert_eq!(m.check, "fused write x10");
+    }
+
+    #[test]
+    fn tagged_nde_reorders_into_fused_window() {
+        // Instruction 1 is an MMIO load; its LoadEvent is transmitted ahead
+        // with tag 1 and must arm the skip inside the fused window.
+        let words = [
+            encode::addi(Reg::A1, Reg::ZERO, 0x100),
+            encode::lw(Reg::A0, Reg::A1, 0), // a1 = 0x100 -> MMIO
+            encode::addi(Reg::A2, Reg::A0, 1),
+        ];
+        let mut ck = Checker::new(vec![ref_with(&words)], false);
+        let nde = WireItem::Tagged {
+            core: 0,
+            tag: OrderTag(1),
+            token: Token(1),
+            event: difftest_event::LoadEvent {
+                pc: Memory::RAM_BASE + 4,
+                addr: 0x100,
+                data: 0xab,
+                len: 4,
+                is_mmio: 1,
+                fu_type: 0,
+                op_type: 0,
+            }
+            .into(),
+        };
+        assert_eq!(ck.process(nde).unwrap(), Verdict::Continue);
+        assert_eq!(ck.pending_items(), 1);
+
+        let fused = FusedCommit {
+            first_seq: 0,
+            count: 3,
+            final_pc: Memory::RAM_BASE + 12,
+            int_writes: vec![(11, 0x100), (10, 0xab), (12, 0xac)],
+            ..Default::default()
+        };
+        assert_eq!(
+            ck.process(WireItem::Fused { core: 0, fused }).unwrap(),
+            Verdict::Continue
+        );
+        assert_eq!(ck.pending_items(), 0);
+        assert_eq!(ck.stats().skips, 1);
+    }
+
+    #[test]
+    fn interrupt_event_syncs_ref() {
+        let words = [encode::nop(), encode::nop()];
+        let mut r = ref_with(&words);
+        r.state_mut().set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x40);
+        let mut ck = Checker::new(vec![r], false);
+        let intr = WireItem::Plain {
+            core: 0,
+            event: ArchEvent {
+                pc: Memory::RAM_BASE,
+                cause: (1 << 63) | 7,
+                tval: 0,
+                is_interrupt: 1,
+            }
+            .into(),
+        };
+        assert_eq!(ck.process(intr).unwrap(), Verdict::Continue);
+        assert_eq!(ck.stats().interrupts, 1);
+    }
+
+    #[test]
+    fn trap_event_halts() {
+        let words = [encode::ebreak()];
+        let mut ck = Checker::new(vec![ref_with(&words)], false);
+        let trap = WireItem::Plain {
+            core: 0,
+            event: difftest_event::TrapEvent {
+                pc: Memory::RAM_BASE,
+                code: 0,
+                has_trap: 1,
+                cycle: 5,
+            }
+            .into(),
+        };
+        assert_eq!(
+            ck.process(trap).unwrap(),
+            Verdict::Halt {
+                core: 0,
+                good: true,
+                pc: Memory::RAM_BASE
+            }
+        );
+    }
+
+    #[test]
+    fn revert_for_replay_restores_checkpoint() {
+        let words = [
+            encode::addi(Reg::A0, Reg::ZERO, 1),
+            encode::addi(Reg::A0, Reg::A0, 1),
+        ];
+        let mut ck = Checker::new(vec![ref_with(&words)], true);
+        let fused = FusedCommit {
+            first_seq: 0,
+            count: 2,
+            final_pc: 0,
+            token_first: 5,
+            token_last: 6,
+            int_writes: vec![(10, 2)],
+            ..Default::default()
+        };
+        ck.process(WireItem::Fused { core: 0, fused }).unwrap();
+        assert_eq!(ck.seq(0), 2);
+        let (from, _to) = ck.revert_for_replay(0).expect("checkpoint exists");
+        assert_eq!(from, 5);
+        assert_eq!(ck.seq(0), 0);
+    }
+}

@@ -1,0 +1,648 @@
+//! The co-simulation engine: DUT + acceleration unit + link model + checker.
+//!
+//! The engine runs the DUT cycle by cycle, streams verification events
+//! through the configured acceleration pipeline, decodes and checks them
+//! against per-core reference models, and accounts simulated time with the
+//! paper's LogGP overhead model (Eq. 1):
+//!
+//! - **blocking** configurations (baseline, +Batch) pause the DUT for every
+//!   transfer's startup, transmission and software processing;
+//! - **non-blocking** configurations overlap hardware execution, link
+//!   transfers and software processing, with a bounded in-flight queue
+//!   providing backpressure (paper §4.5).
+//!
+//! Real bytes flow through real pack/fuse/parse code; only *time* is
+//! virtual, so every reported speedup derives from genuinely reduced
+//! invocations, bytes and checks.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
+use difftest_ref::{Memory, RefModel};
+use difftest_workload::Workload;
+
+use crate::checker::{CheckStats, Checker, Mismatch, Verdict};
+use crate::replay::{FailureReport, ReplayBuffer};
+use crate::squash::SquashStats;
+use crate::transport::{AccelUnit, SwUnit, Transfer};
+
+/// The optimization configurations of the artifact appendix (`DIFF_CONFIG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiffConfig {
+    /// Baseline: per-event blocking transfers.
+    Z,
+    /// +Batch: tight packing, still blocking.
+    B,
+    /// +Batch +NonBlock: packed, non-blocking transfers.
+    BN,
+    /// +Batch +NonBlock +Squash(+Differencing): the full DiffTest-H.
+    BNSD,
+}
+
+impl DiffConfig {
+    /// All configurations in Table 5 order.
+    pub const ALL: [DiffConfig; 4] = [DiffConfig::Z, DiffConfig::B, DiffConfig::BN, DiffConfig::BNSD];
+
+    /// Tight packing enabled.
+    pub fn batch(self) -> bool {
+        self != DiffConfig::Z
+    }
+
+    /// Non-blocking transmission enabled.
+    pub fn nonblock(self) -> bool {
+        matches!(self, DiffConfig::BN | DiffConfig::BNSD)
+    }
+
+    /// Fusion + differencing enabled.
+    pub fn squash(self) -> bool {
+        self == DiffConfig::BNSD
+    }
+
+    /// Table 5 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffConfig::Z => "Baseline",
+            DiffConfig::B => "+Batch",
+            DiffConfig::BN => "+NonBlock",
+            DiffConfig::BNSD => "+Squash",
+        }
+    }
+}
+
+impl fmt::Display for DiffConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Build-time validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `max_cycles` must be positive.
+    ZeroCycles,
+    /// Packet capacity below the largest single item.
+    PacketTooSmall(usize),
+    /// Fusion window must be positive.
+    ZeroWindow,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroCycles => write!(f, "max_cycles must be positive"),
+            BuildError::PacketTooSmall(n) => write!(f, "packet capacity {n} below 1024 bytes"),
+            BuildError::ZeroWindow => write!(f, "fusion window must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Configures and builds a [`CoSimulation`].
+#[derive(Debug, Clone)]
+pub struct CoSimulationBuilder {
+    dut: DutConfig,
+    platform: Platform,
+    config: DiffConfig,
+    max_cycles: u64,
+    bugs: Vec<BugSpec>,
+    packet_bytes: usize,
+    fusion_window: u32,
+    order_coupled: bool,
+    differencing: bool,
+    replay: bool,
+    queue_depth: usize,
+}
+
+impl Default for CoSimulationBuilder {
+    fn default() -> Self {
+        CoSimulationBuilder {
+            dut: DutConfig::xiangshan_default(),
+            platform: Platform::palladium(),
+            config: DiffConfig::BNSD,
+            max_cycles: 1_000_000,
+            bugs: Vec::new(),
+            packet_bytes: 4096,
+            fusion_window: 32,
+            order_coupled: false,
+            differencing: true,
+            replay: true,
+            queue_depth: 8,
+        }
+    }
+}
+
+impl CoSimulationBuilder {
+    /// Selects the DUT configuration (default: XiangShan default).
+    pub fn dut(mut self, dut: DutConfig) -> Self {
+        self.dut = dut;
+        self
+    }
+
+    /// Selects the platform model (default: Palladium).
+    pub fn platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Selects the optimization configuration (default: BNSD).
+    pub fn config(mut self, config: DiffConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Caps the simulated cycles (default: 1,000,000).
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Injects bugs into core 0 of the DUT.
+    pub fn bugs(mut self, bugs: Vec<BugSpec>) -> Self {
+        self.bugs = bugs;
+        self
+    }
+
+    /// Sets the transmission packet capacity in bytes (default: 4096).
+    pub fn packet_bytes(mut self, bytes: usize) -> Self {
+        self.packet_bytes = bytes;
+        self
+    }
+
+    /// Sets the fusion window in commits (default: 32).
+    pub fn fusion_window(mut self, commits: u32) -> Self {
+        self.fusion_window = commits;
+        self
+    }
+
+    /// Uses the order-coupled fusion baseline of prior work (default: off).
+    pub fn order_coupled(mut self, coupled: bool) -> Self {
+        self.order_coupled = coupled;
+        self
+    }
+
+    /// Enables or disables differencing within Squash (default: on).
+    pub fn differencing(mut self, on: bool) -> Self {
+        self.differencing = on;
+        self
+    }
+
+    /// Enables the Replay debugging mechanism (default: on; only effective
+    /// with [`DiffConfig::BNSD`]).
+    pub fn replay(mut self, replay: bool) -> Self {
+        self.replay = replay;
+        self
+    }
+
+    /// Sets the non-blocking in-flight queue depth (default: 8).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Builds the co-simulation over a workload image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for invalid parameter combinations.
+    pub fn build(self, workload: &Workload) -> Result<CoSimulation, BuildError> {
+        if self.max_cycles == 0 {
+            return Err(BuildError::ZeroCycles);
+        }
+        if self.packet_bytes < 1024 {
+            return Err(BuildError::PacketTooSmall(self.packet_bytes));
+        }
+        if self.fusion_window == 0 {
+            return Err(BuildError::ZeroWindow);
+        }
+
+        let mut image = Memory::new();
+        image.load_words(Memory::RAM_BASE, workload.words());
+        let cores = self.dut.cores as usize;
+        let dut = Dut::new(self.dut.clone(), &image, self.bugs.clone());
+
+        let accel = match self.config {
+            DiffConfig::Z => AccelUnit::per_event(),
+            DiffConfig::B | DiffConfig::BN => AccelUnit::batch(cores, self.packet_bytes),
+            DiffConfig::BNSD => AccelUnit::squash_batch_with(
+                cores,
+                self.packet_bytes,
+                self.fusion_window,
+                self.order_coupled,
+                self.differencing,
+            ),
+        };
+        let sw = match self.config {
+            DiffConfig::Z => SwUnit::per_event(),
+            _ => SwUnit::packed(cores),
+        };
+        let replay_on = self.replay && self.config.squash();
+        let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
+        let checker = Checker::new(refs, replay_on);
+
+        let gates = self.dut.gates;
+        Ok(CoSimulation {
+            dut,
+            accel,
+            sw,
+            checker,
+            replay_buffer: replay_on.then(|| ReplayBuffer::new(1 << 16)),
+            timing: Timing::new(
+                self.platform.cycle_time_s(gates),
+                self.platform.step_sync_s(),
+                match self.config {
+                    DiffConfig::Z => TimingMode::BlockingStep,
+                    DiffConfig::B => TimingMode::Blocking,
+                    DiffConfig::BN | DiffConfig::BNSD => TimingMode::Pipelined,
+                },
+                self.queue_depth,
+            ),
+            platform: self.platform,
+            config: self.config,
+            max_cycles: self.max_cycles,
+            transfers: Vec::new(),
+            events_buf: Vec::new(),
+            halt: None,
+            failure: None,
+        })
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The workload reached its good trap and every check passed.
+    GoodTrap,
+    /// The workload signalled failure.
+    BadTrap,
+    /// A DUT/REF divergence was detected.
+    Mismatch,
+    /// The cycle budget was exhausted without a trap.
+    MaxCycles,
+}
+
+/// The result of one co-simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Failure details when `outcome == Mismatch`.
+    pub failure: Option<FailureReport>,
+    /// DUT cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed (all cores).
+    pub instructions: u64,
+    /// Simulated wall-clock seconds (virtual time).
+    pub sim_time_s: f64,
+    /// Achieved co-simulation speed in Hz (cycles / simulated second).
+    pub speed_hz: f64,
+    /// The platform's DUT-only speed for this design (theoretical maximum).
+    pub dut_only_hz: f64,
+    /// Per-phase communication overhead attribution.
+    pub overhead: OverheadBreakdown,
+    /// Communication invocations.
+    pub invokes: u64,
+    /// Bytes transferred hardware→software.
+    pub bytes: u64,
+    /// Fusion statistics (BNSD only).
+    pub squash: Option<SquashStats>,
+    /// Checker statistics.
+    pub check: CheckStats,
+}
+
+impl RunReport {
+    /// Fraction of simulated time spent on communication (not DUT
+    /// execution): the paper's "communication overhead".
+    pub fn comm_overhead_fraction(&self) -> f64 {
+        let dut_time = self.cycles as f64 / self.dut_only_hz;
+        if self.sim_time_s <= 0.0 {
+            0.0
+        } else {
+            ((self.sim_time_s - dut_time) / self.sim_time_s).max(0.0)
+        }
+    }
+
+    /// Speedup of this run over another (e.g. over the baseline).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        self.speed_hz / other.speed_hz
+    }
+
+    /// Exports the run's statistics as named performance counters
+    /// (paper §5 "performance evaluation support").
+    pub fn counters(&self) -> difftest_stats::Counters {
+        let mut c = difftest_stats::Counters::new();
+        c.set("hw.cycles", self.cycles);
+        c.set("hw.instructions", self.instructions);
+        c.set("link.invokes", self.invokes);
+        c.set("link.bytes", self.bytes);
+        c.set("sw.events_checked", self.check.events);
+        c.set("sw.instructions_stepped", self.check.instructions);
+        c.set("sw.mmio_skips", self.check.skips);
+        c.set("sw.interrupts_synced", self.check.interrupts);
+        c.set("sw.exceptions_checked", self.check.exceptions);
+        c.set("sw.fused_records", self.check.fused_records);
+        c.set("sw.bytes_compared", self.check.bytes);
+        if let Some(s) = self.squash {
+            c.set("squash.commits_fused", s.commits_fused);
+            c.set("squash.fused_records", s.fused_records);
+            c.set("squash.subsumed", s.subsumed);
+            c.set("squash.tagged", s.tagged);
+            c.set("squash.diffed", s.diffed);
+            c.set("squash.nde_breaks", s.nde_breaks);
+        }
+        c
+    }
+}
+
+/// How simulated time is charged (derived from [`DiffConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimingMode {
+    /// Step-and-compare per-event baseline: a per-cycle clock-control sync
+    /// plus fully serial transfers.
+    BlockingStep,
+    /// Packed but blocking: the DUT pauses for each packet round trip.
+    Blocking,
+    /// Non-blocking (paper §4.5): the hardware streams packet bytes (which
+    /// stalls the emulated clock for their wire time), while startup
+    /// handshakes and software processing run on overlapped lanes with a
+    /// bounded in-flight queue providing backpressure.
+    Pipelined,
+}
+
+/// LogGP virtual-time accounting (Eq. 1, per [`TimingMode`]).
+#[derive(Debug)]
+struct Timing {
+    mode: TimingMode,
+    cycle_time: f64,
+    step_sync: f64,
+    queue_depth: usize,
+    hw: f64,
+    link_free: f64,
+    sw_free: f64,
+    inflight: VecDeque<f64>,
+    end: f64,
+    overhead: OverheadBreakdown,
+}
+
+impl Timing {
+    fn new(cycle_time: f64, step_sync: f64, mode: TimingMode, queue_depth: usize) -> Self {
+        Timing {
+            mode,
+            cycle_time,
+            step_sync,
+            queue_depth,
+            hw: 0.0,
+            link_free: 0.0,
+            sw_free: 0.0,
+            inflight: VecDeque::new(),
+            end: 0.0,
+            overhead: OverheadBreakdown::default(),
+        }
+    }
+
+    fn on_cycle(&mut self) {
+        self.hw += self.cycle_time;
+        if self.mode == TimingMode::BlockingStep {
+            // Step-and-compare advances the emulated clock through a
+            // per-cycle hardware/software handshake.
+            self.hw += self.step_sync;
+            self.overhead.startup_s += self.step_sync;
+        }
+    }
+
+    fn on_transfer(&mut self, link: &LinkParams, invokes: u64, bytes: u64, sw_cost: f64) {
+        let startup = link.startup_time(invokes);
+        let trans = link.transmission_time(bytes);
+        self.overhead.startup_s += startup;
+        self.overhead.transmission_s += trans;
+        self.overhead.software_s += sw_cost;
+
+        match self.mode {
+            TimingMode::BlockingStep | TimingMode::Blocking => {
+                // The DUT clock pauses for the full round trip.
+                self.hw += startup + trans + sw_cost;
+                self.end = self.hw;
+            }
+            TimingMode::Pipelined => {
+                // Backpressure: a bounded number of transfers in flight.
+                while self.inflight.len() >= self.queue_depth {
+                    let t = self.inflight.pop_front().expect("non-empty");
+                    if t > self.hw {
+                        self.hw = t;
+                    }
+                }
+                // Streaming the payload shares the emulation fabric
+                // (GFIFO/XDMA), so the wire time stalls the DUT clock...
+                self.hw += trans;
+                // ...while the handshake and software processing overlap.
+                let link_done = self.link_free.max(self.hw) + startup;
+                self.link_free = link_done;
+                let sw_done = self.sw_free.max(link_done) + sw_cost;
+                self.sw_free = sw_done;
+                self.inflight.push_back(sw_done);
+                self.end = self.end.max(sw_done);
+            }
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.hw.max(self.end)
+    }
+}
+
+/// A runnable co-simulation.
+#[derive(Debug)]
+pub struct CoSimulation {
+    dut: Dut,
+    accel: AccelUnit,
+    sw: SwUnit,
+    checker: Checker,
+    replay_buffer: Option<ReplayBuffer>,
+    platform: Platform,
+    config: DiffConfig,
+    timing: Timing,
+    max_cycles: u64,
+    transfers: Vec<Transfer>,
+    events_buf: Vec<difftest_event::MonitoredEvent>,
+    halt: Option<Verdict>,
+    failure: Option<FailureReport>,
+}
+
+impl CoSimulation {
+    /// Starts configuring a co-simulation.
+    pub fn builder() -> CoSimulationBuilder {
+        CoSimulationBuilder::default()
+    }
+
+    /// The selected optimization configuration.
+    pub fn config(&self) -> DiffConfig {
+        self.config
+    }
+
+    /// The design under test (device transcripts, per-core state).
+    pub fn dut(&self) -> &Dut {
+        &self.dut
+    }
+
+    /// The ISA checker (statistics, per-core progress).
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// Runs to completion (trap, mismatch or cycle budget) and reports.
+    pub fn run(&mut self) -> RunReport {
+        let mut invokes = 0u64;
+        let mut bytes = 0u64;
+
+        'outer: while self.dut.halted().is_none() && self.dut.cycles() < self.max_cycles {
+            self.events_buf.clear();
+            self.dut.tick_into(&mut self.events_buf);
+            self.timing.on_cycle();
+
+            if let Some(rb) = &mut self.replay_buffer {
+                for ev in &self.events_buf {
+                    rb.push(ev.clone());
+                }
+            }
+
+            self.accel.push_cycle(&self.events_buf, &mut self.transfers);
+            if self.process_transfers(&mut invokes, &mut bytes) {
+                break 'outer;
+            }
+        }
+
+        // Drain: flush fusion windows and partial packets, then pending.
+        if self.halt.is_none() && self.failure.is_none() {
+            self.accel.flush(&mut self.transfers);
+            if !self.process_transfers(&mut invokes, &mut bytes) {
+                match self.checker.finalize() {
+                    Ok(v @ Verdict::Halt { .. }) => self.halt = Some(v),
+                    Ok(Verdict::Continue) => {}
+                    Err(m) => self.on_mismatch(m, &mut invokes, &mut bytes),
+                }
+            }
+        }
+
+        let outcome = if self.failure.is_some() {
+            RunOutcome::Mismatch
+        } else {
+            match self.halt {
+                Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+                Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+                _ => RunOutcome::MaxCycles,
+            }
+        };
+
+        let cycles = self.dut.cycles();
+        let sim_time_s = self.timing.total();
+        RunReport {
+            outcome,
+            failure: self.failure.clone(),
+            cycles,
+            instructions: self.dut.total_commits(),
+            sim_time_s,
+            speed_hz: cycles as f64 / sim_time_s.max(1e-12),
+            dut_only_hz: self.platform.dut_only_hz(self.dut.config().gates),
+            overhead: self.timing.overhead,
+            invokes,
+            bytes,
+            squash: self.accel.squash_stats(),
+            check: *self.checker.stats(),
+        }
+    }
+
+    /// Processes queued transfers; returns `true` when the run must stop.
+    fn process_transfers(&mut self, invokes: &mut u64, bytes: &mut u64) -> bool {
+        let transfers = std::mem::take(&mut self.transfers);
+        for t in &transfers {
+            *invokes += t.invokes;
+            *bytes += t.bytes.len() as u64;
+
+            let before = *self.checker.stats();
+            let items = self
+                .sw
+                .decode(t)
+                .expect("internal wire codec must round-trip");
+            let mut stop = false;
+            for item in items {
+                match self.checker.process(item) {
+                    Ok(Verdict::Continue) => {}
+                    Ok(v @ Verdict::Halt { .. }) => {
+                        self.halt = Some(v);
+                        stop = true;
+                        break;
+                    }
+                    Err(m) => {
+                        self.charge_transfer(t, &before);
+                        self.on_mismatch(m, invokes, bytes);
+                        return true;
+                    }
+                }
+            }
+            self.charge_transfer(t, &before);
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn charge_transfer(&mut self, t: &Transfer, before: &CheckStats) {
+        let after = self.checker.stats();
+        let host = self.platform.host();
+        let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
+            + (after.instructions - before.instructions) as f64 * host.ref_step_s
+            + t.bytes.len() as f64 * host.event_per_byte_s;
+        self.timing
+            .on_transfer(self.platform.link(), t.invokes, t.bytes.len() as u64, sw_cost);
+    }
+
+    /// Replay flow (paper §4.4): revert, retransmit, reprocess.
+    fn on_mismatch(&mut self, coarse: Mismatch, invokes: &mut u64, bytes: &mut u64) {
+        let core = coarse.core;
+        let Some(rb) = &self.replay_buffer else {
+            // Unfused configurations: the mismatch is already precise.
+            self.failure = Some(FailureReport {
+                precise: Some(coarse.clone()),
+                coarse,
+                token_range: (0, 0),
+                replayed_events: 0,
+            });
+            return;
+        };
+
+        let Some((from, to)) = self.checker.revert_for_replay(core) else {
+            self.failure = Some(FailureReport {
+                precise: Some(coarse.clone()),
+                coarse,
+                token_range: (0, 0),
+                replayed_events: 0,
+            });
+            return;
+        };
+
+        let events = rb.retransmit(core, from, to);
+        // Charge the retransmission: one request plus the unfused payload.
+        let replay_bytes: usize = events.iter().map(|e| 2 + e.encoded_len()).sum();
+        *invokes += 1;
+        *bytes += replay_bytes as u64;
+        let before = *self.checker.stats();
+        let precise = self.checker.replay_unfused(core, &events);
+        let after = self.checker.stats();
+        let host = self.platform.host();
+        let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
+            + (after.instructions - before.instructions) as f64 * host.ref_step_s
+            + replay_bytes as f64 * host.event_per_byte_s;
+        self.timing
+            .on_transfer(self.platform.link(), 1, replay_bytes as u64, sw_cost);
+
+        self.failure = Some(FailureReport {
+            coarse,
+            precise,
+            token_range: (from, to),
+            replayed_events: events.len(),
+        });
+    }
+}

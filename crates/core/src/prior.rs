@@ -1,0 +1,171 @@
+//! Models of prior hardware-accelerated co-simulation frameworks
+//! (paper Table 7: IBI-check, SBS-check, Fromajo).
+//!
+//! We cannot run IBM AWAN or FireSim, so each prior framework is modeled by
+//! its published communication *strategy* (verification state width,
+//! per-instruction vs. digest-fused transfers, blocking behaviour) evaluated
+//! through the same LogGP machinery as our engine, with platform constants
+//! anchored to the numbers the respective papers report (see the
+//! column notes of Table 7 and `DESIGN.md` §1).
+
+use difftest_platform::LinkParams;
+
+/// How a prior framework transfers verification state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorStrategy {
+    /// One blocking transfer per retired instruction (IBI-check, Fromajo).
+    PerInstruction,
+    /// Digest fusion: one blocking transfer per `n` instructions
+    /// (SBS-check's checksum digests, ArChiVED-style).
+    DigestFused {
+        /// Instructions per digest.
+        n: u32,
+    },
+}
+
+/// A prior co-simulation framework as published.
+#[derive(Debug, Clone)]
+pub struct PriorFramework {
+    /// Framework name.
+    pub name: &'static str,
+    /// Host platform name.
+    pub platform: &'static str,
+    /// Number of verification state types covered.
+    pub states: u32,
+    /// Average verification bytes per retired instruction.
+    pub bytes_per_instr: u32,
+    /// DUT-only speed of the host platform in Hz.
+    pub dut_only_hz: f64,
+    /// Link model of the host platform.
+    pub link: LinkParams,
+    /// Software processing seconds per checked instruction.
+    pub sw_per_instr_s: f64,
+    /// Transfer strategy.
+    pub strategy: PriorStrategy,
+    /// Published area overhead (fraction of DUT), if known.
+    pub area_overhead: Option<f64>,
+}
+
+impl PriorFramework {
+    /// IBI-check on IBM AWAN: 2 state types, 7 B/instruction, blocking
+    /// per-instruction checks; published ~20% communication overhead on a
+    /// 100 KHz emulator (≈80 KHz co-simulation).
+    pub fn ibi_check() -> Self {
+        PriorFramework {
+            name: "IBI-check",
+            platform: "IBM AWAN",
+            states: 2,
+            bytes_per_instr: 7,
+            dut_only_hz: 100e3,
+            link: LinkParams::new(1.8e-6, 100e6),
+            sw_per_instr_s: 0.4e-6,
+            strategy: PriorStrategy::PerInstruction,
+            area_overhead: Some(0.20),
+        }
+    }
+
+    /// SBS-check (ArChiVED-style digests, estimated on gem5 by the authors):
+    /// checksum fusion over ~64-instruction windows brings the overhead to
+    /// ~2% on the same 100 KHz platform (≈98 KHz).
+    pub fn sbs_check() -> Self {
+        PriorFramework {
+            name: "SBS-check",
+            platform: "gem5 (est.)",
+            states: 2,
+            bytes_per_instr: 7,
+            dut_only_hz: 100e3,
+            link: LinkParams::new(1.8e-6, 100e6),
+            sw_per_instr_s: 0.4e-6,
+            strategy: PriorStrategy::DigestFused { n: 64 },
+            area_overhead: Some(0.22),
+        }
+    }
+
+    /// Fromajo on FireSim: 7 state types, 24 B/instruction, blocking
+    /// per-instruction Dromajo checks over the FPGA bridge; published
+    /// ~1 MHz on a 100 MHz FireSim design (99% overhead).
+    pub fn fromajo() -> Self {
+        PriorFramework {
+            name: "Fromajo",
+            platform: "FireSim",
+            states: 7,
+            bytes_per_instr: 24,
+            dut_only_hz: 100e6,
+            link: LinkParams::new(0.85e-6, 2e9),
+            sw_per_instr_s: 0.12e-6,
+            strategy: PriorStrategy::PerInstruction,
+            area_overhead: None,
+        }
+    }
+
+    /// All prior frameworks of Table 7.
+    pub fn catalog() -> Vec<PriorFramework> {
+        vec![Self::ibi_check(), Self::sbs_check(), Self::fromajo()]
+    }
+
+    /// Communication time charged per cycle at the given IPC (Eq. 1,
+    /// blocking strategies).
+    fn comm_per_cycle_s(&self, ipc: f64) -> f64 {
+        match self.strategy {
+            PriorStrategy::PerInstruction => {
+                ipc * (self.link.transfer_time(self.bytes_per_instr as u64)
+                    + self.sw_per_instr_s)
+            }
+            PriorStrategy::DigestFused { n } => {
+                let per_digest = self
+                    .link
+                    .transfer_time(self.bytes_per_instr as u64 * n as u64)
+                    + self.sw_per_instr_s * n as f64 * 0.2; // digest check is cheaper
+                ipc * per_digest / n as f64
+            }
+        }
+    }
+
+    /// Modeled co-simulation speed at the given IPC.
+    pub fn cosim_speed_hz(&self, ipc: f64) -> f64 {
+        let cycle = 1.0 / self.dut_only_hz;
+        1.0 / (cycle + self.comm_per_cycle_s(ipc))
+    }
+
+    /// Modeled communication overhead fraction at the given IPC.
+    pub fn comm_overhead(&self, ipc: f64) -> f64 {
+        let cycle = 1.0 / self.dut_only_hz;
+        let comm = self.comm_per_cycle_s(ipc);
+        comm / (cycle + comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibi_matches_published_speed() {
+        let f = PriorFramework::ibi_check();
+        let speed = f.cosim_speed_hz(1.0);
+        assert!((75e3..85e3).contains(&speed), "IBI speed {speed}");
+        let ovh = f.comm_overhead(1.0);
+        assert!((0.15..0.25).contains(&ovh), "IBI overhead {ovh}");
+    }
+
+    #[test]
+    fn sbs_matches_published_speed() {
+        let f = PriorFramework::sbs_check();
+        let speed = f.cosim_speed_hz(1.0);
+        assert!((95e3..100e3).contains(&speed), "SBS speed {speed}");
+        assert!(f.comm_overhead(1.0) < 0.05);
+    }
+
+    #[test]
+    fn fromajo_matches_published_speed() {
+        let f = PriorFramework::fromajo();
+        let speed = f.cosim_speed_hz(1.0);
+        assert!((0.8e6..1.2e6).contains(&speed), "Fromajo speed {speed}");
+        assert!(f.comm_overhead(1.0) > 0.97);
+    }
+
+    #[test]
+    fn catalog_is_complete() {
+        assert_eq!(PriorFramework::catalog().len(), 3);
+    }
+}

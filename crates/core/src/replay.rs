@@ -1,0 +1,139 @@
+//! Replay: instruction-level debugging after fusion (paper §4.4).
+//!
+//! Fusion discards per-instruction detail. To restore it without re-running
+//! the whole DUT, the hardware buffers the *original, unfused* events in a
+//! token-indexed ring; when the software detects a mismatch on the fused
+//! stream it reverts the REF to the last checkpoint (compensation log, see
+//! `difftest_ref::Journal`), requests retransmission of the token range
+//! around the failure, and reprocesses the unfused events to localize the
+//! exact instruction and event.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use difftest_event::MonitoredEvent;
+
+use crate::checker::Mismatch;
+
+/// The hardware-side token-indexed ring of original events.
+#[derive(Debug, Default)]
+pub struct ReplayBuffer {
+    ring: VecDeque<MonitoredEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a ring retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            ring: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Buffers one captured event (before any optimization touches it).
+    pub fn push(&mut self, ev: MonitoredEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring overflowed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retransmits the buffered events with tokens in `[from, to]`, for one
+    /// core, in token order. Tokens also filter out unrelated events that
+    /// arrived between the failure and the replay request (paper §4.4).
+    pub fn retransmit(&self, core: u8, from: u64, to: u64) -> Vec<MonitoredEvent> {
+        self.ring
+            .iter()
+            .filter(|e| e.core == core && (from..=to).contains(&e.token.0))
+            .cloned()
+            .collect()
+    }
+}
+
+/// The outcome of a Replay pass: the coarse (fused-stream) mismatch and the
+/// precise instruction-level localization recovered from unfused events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// The mismatch observed on the optimized stream.
+    pub coarse: Mismatch,
+    /// The precise mismatch found by reprocessing unfused events, when the
+    /// replay pass reproduced one.
+    pub precise: Option<Mismatch>,
+    /// Token range retransmitted.
+    pub token_range: (u64, u64),
+    /// Number of unfused events reprocessed.
+    pub replayed_events: usize,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "co-simulation mismatch (fused stream): {}", self.coarse)?;
+        writeln!(
+            f,
+            "replayed {} unfused events over tokens [{}, {}]",
+            self.replayed_events, self.token_range.0, self.token_range.1
+        )?;
+        match &self.precise {
+            Some(p) => write!(f, "instruction-level localization: {p}"),
+            None => write!(f, "replay pass did not reproduce the mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{InstrCommit, OrderTag, Token};
+
+    fn ev(core: u8, token: u64) -> MonitoredEvent {
+        MonitoredEvent {
+            core,
+            cycle: token,
+            order: OrderTag(token),
+            token: Token(token),
+            event: InstrCommit::default().into(),
+        }
+    }
+
+    #[test]
+    fn retransmit_filters_by_core_and_token() {
+        let mut rb = ReplayBuffer::new(100);
+        for t in 0..20 {
+            rb.push(ev((t % 2) as u8, t));
+        }
+        let got = rb.retransmit(0, 4, 12);
+        let tokens: Vec<u64> = got.iter().map(|e| e.token.0).collect();
+        assert_eq!(tokens, vec![4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut rb = ReplayBuffer::new(4);
+        for t in 0..10 {
+            rb.push(ev(0, t));
+        }
+        assert_eq!(rb.len(), 4);
+        assert_eq!(rb.dropped(), 6);
+        assert!(rb.retransmit(0, 0, 5).is_empty());
+        assert_eq!(rb.retransmit(0, 6, 9).len(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! Snapshot-based debugging: the prior-work baseline Replay replaces
+//! (paper §4.4, Fig. 10).
+//!
+//! Before DiffTest-H, recovering instruction-level detail after a fused
+//! mismatch meant snapshotting the *entire DUT* periodically and
+//! re-executing it from the nearest checkpoint. This module implements that
+//! strategy faithfully so its costs can be compared against Replay:
+//!
+//! - snapshots clone the whole DUT and the checker's REF states, which
+//!   requires *quiescing* the acceleration pipeline (flushing fusion
+//!   windows and partial packets) at every snapshot point;
+//! - on a mismatch, the DUT is restored and re-executed cycle by cycle,
+//!   regenerating the full unfused event stream until the failure
+//!   reproduces.
+//!
+//! Replay instead buffers original events in a token ring and retransmits
+//! only the failing range — no DUT re-execution, no multi-megabyte
+//! snapshots, no quiesce-induced fusion breaks.
+
+use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_ref::{Memory, RefModel};
+use difftest_workload::Workload;
+
+use crate::checker::{Checker, Mismatch, Verdict};
+use crate::engine::RunOutcome;
+use crate::transport::{AccelUnit, SwUnit, Transfer};
+use crate::wire::WireItem;
+
+/// Outcome and cost accounting of a snapshot-debugged run.
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// The mismatch detected on the fused stream, if any.
+    pub coarse: Option<Mismatch>,
+    /// The instruction-level mismatch recovered by re-execution, if any.
+    pub precise: Option<Mismatch>,
+    /// DUT cycles simulated in the main run.
+    pub cycles: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Bytes held by one snapshot (DUT footprint; the dominant cost).
+    pub snapshot_bytes: u64,
+    /// Cycles re-executed from the restored snapshot to reproduce the bug.
+    pub reexecuted_cycles: u64,
+    /// Unfused events regenerated during re-execution.
+    pub regenerated_events: u64,
+}
+
+/// Runs a squash-fused co-simulation debugged by periodic whole-DUT
+/// snapshots (interval in cycles), reproducing the prior-work flow of
+/// paper Fig. 10 for comparison against Replay.
+pub fn snapshot_debug_run(
+    dut_cfg: DutConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    snapshot_interval: u64,
+    max_cycles: u64,
+) -> SnapshotReport {
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, workload.words());
+    let cores = dut_cfg.cores as usize;
+
+    let mut dut = Dut::new(dut_cfg, &image, bugs);
+    let mut accel = AccelUnit::squash_batch(cores, 4096, 32, false);
+    let mut sw = SwUnit::packed(cores);
+    let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
+    let mut checker = Checker::new(refs, false);
+
+    let mut snapshot: Option<(Dut, Vec<(RefModel, u64)>)> = None;
+    let mut snapshots_taken = 0u64;
+    let mut snapshot_bytes = 0u64;
+    let mut transfers: Vec<Transfer> = Vec::new();
+    let mut events_buf = Vec::new();
+    let mut coarse = None;
+    let mut halt = None;
+
+    let process =
+        |sw: &mut SwUnit, checker: &mut Checker, transfers: &mut Vec<Transfer>| -> Result<Option<Verdict>, Mismatch> {
+            for t in transfers.drain(..) {
+                for item in sw.decode(&t).expect("wire codec round-trips") {
+                    match checker.process(item)? {
+                        Verdict::Continue => {}
+                        v @ Verdict::Halt { .. } => return Ok(Some(v)),
+                    }
+                }
+            }
+            Ok(None)
+        };
+
+    'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
+        // Periodic snapshot: quiesce the pipeline first (flush fusion
+        // windows and partial packets, check everything) — the structural
+        // cost snapshotting imposes on fusion.
+        if dut.cycles().is_multiple_of(snapshot_interval) {
+            accel.flush(&mut transfers);
+            match process(&mut sw, &mut checker, &mut transfers) {
+                Ok(Some(v)) => {
+                    halt = Some(v);
+                    break 'run;
+                }
+                Ok(None) => {}
+                Err(m) => {
+                    coarse = Some(m);
+                    break 'run;
+                }
+            }
+            match checker.finalize() {
+                Ok(Verdict::Continue) => {}
+                Ok(v) => {
+                    halt = Some(v);
+                    break 'run;
+                }
+                Err(m) => {
+                    coarse = Some(m);
+                    break 'run;
+                }
+            }
+            snapshot = Some((dut.clone(), checker.snapshot_refs()));
+            snapshots_taken += 1;
+            snapshot_bytes = dut.snapshot_footprint();
+        }
+
+        events_buf.clear();
+        dut.tick_into(&mut events_buf);
+        accel.push_cycle(&events_buf, &mut transfers);
+        match process(&mut sw, &mut checker, &mut transfers) {
+            Ok(Some(v)) => {
+                halt = Some(v);
+                break 'run;
+            }
+            Ok(None) => {}
+            Err(m) => {
+                coarse = Some(m);
+                break 'run;
+            }
+        }
+    }
+
+    if coarse.is_none() && halt.is_none() {
+        accel.flush(&mut transfers);
+        match process(&mut sw, &mut checker, &mut transfers) {
+            Ok(v) => {
+                halt = v;
+                if halt.is_none() {
+                    match checker.finalize() {
+                        Ok(v) => halt = Some(v),
+                        Err(m) => coarse = Some(m),
+                    }
+                }
+            }
+            Err(m) => coarse = Some(m),
+        }
+    }
+
+    // Debug flow: restore the nearest snapshot and re-execute the whole DUT
+    // to regenerate unfused events until the failure reproduces.
+    let mut precise = None;
+    let mut reexecuted_cycles = 0u64;
+    let mut regenerated_events = 0u64;
+    if coarse.is_some() {
+        if let Some((mut re_dut, refs)) = snapshot.take() {
+            let mut re_checker = Checker::resume(refs, false);
+            'replay: while re_dut.halted().is_none() && re_dut.cycles() < max_cycles {
+                let out = re_dut.tick();
+                reexecuted_cycles += 1;
+                for ev in out.events {
+                    regenerated_events += 1;
+                    let item = WireItem::Plain {
+                        core: ev.core,
+                        event: ev.event,
+                    };
+                    match re_checker.process(item) {
+                        Ok(_) => {}
+                        Err(m) => {
+                            precise = Some(m);
+                            break 'replay;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let outcome = if coarse.is_some() {
+        RunOutcome::Mismatch
+    } else {
+        match halt {
+            Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+            Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+            _ => RunOutcome::MaxCycles,
+        }
+    };
+
+    SnapshotReport {
+        outcome,
+        coarse,
+        precise,
+        cycles: dut.cycles(),
+        snapshots: snapshots_taken,
+        snapshot_bytes,
+        reexecuted_cycles,
+        regenerated_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_dut::BugKind;
+
+    #[test]
+    fn snapshot_flow_localizes_a_bug() {
+        let w = Workload::linux_boot().seed(41).iterations(300).build();
+        let r = snapshot_debug_run(
+            DutConfig::xiangshan_minimal(),
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 6_000)],
+            2_000,
+            200_000,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        let precise = r.precise.expect("re-execution reproduces the bug");
+        assert!(precise.check.contains("commit"), "{precise}");
+        assert!(r.snapshots > 1);
+        assert!(r.reexecuted_cycles > 0);
+        assert!(r.snapshot_bytes > 10_000, "snapshots copy the DUT state");
+    }
+
+    #[test]
+    fn snapshot_flow_passes_clean_runs() {
+        let w = Workload::microbench().seed(41).iterations(40).build();
+        let r = snapshot_debug_run(
+            DutConfig::nutshell(),
+            &w,
+            Vec::new(),
+            5_000,
+            400_000,
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert!(r.precise.is_none());
+    }
+}

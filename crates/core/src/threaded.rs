@@ -1,0 +1,223 @@
+//! A real-threads pipelined runner: hardware/software parallelism with
+//! actual concurrency instead of virtual clocks.
+//!
+//! The engine in [`crate::engine`] *models* non-blocking transmission
+//! (paper §4.5) with overlapped virtual timelines. This module demonstrates
+//! the same architecture with OS threads: a producer thread runs the DUT
+//! and the acceleration unit, a consumer thread runs the decoder and the
+//! ISA checker, and a bounded channel between them provides the
+//! backpressure of the paper's sending/receiving queues. It reports
+//! wall-clock throughput rather than simulated KHz.
+
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel;
+use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_ref::{Memory, RefModel};
+use difftest_workload::Workload;
+
+use crate::checker::{Checker, Mismatch, Verdict};
+use crate::engine::{DiffConfig, RunOutcome};
+use crate::transport::{AccelUnit, SwUnit, Transfer};
+
+/// Result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// The mismatch, if one was detected.
+    pub mismatch: Option<Mismatch>,
+    /// DUT cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Wire items checked.
+    pub items: u64,
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+    /// Host-side throughput in DUT cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// Runs a co-simulation with the hardware and software sides on separate
+/// OS threads, connected by a bounded transfer queue of `queue_depth`.
+///
+/// Only the packed configurations make sense here ([`DiffConfig::BN`] /
+/// [`DiffConfig::BNSD`]); the blocking semantics of `Z`/`B` would serialize
+/// the threads anyway.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour.
+pub fn run_threaded(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+) -> ThreadedReport {
+    assert!(
+        config.nonblock(),
+        "threaded runner requires a non-blocking configuration"
+    );
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, workload.words());
+    let cores = dut_cfg.cores as usize;
+
+    let (tx, rx) = channel::bounded::<Transfer>(queue_depth.max(1));
+    // Consumer -> producer stop signal (mismatch or trap seen early).
+    let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+
+    let start = Instant::now();
+
+    let producer = {
+        let image = image.clone();
+        let dut_cfg = dut_cfg.clone();
+        thread::spawn(move || {
+            let mut dut = Dut::new(dut_cfg, &image, bugs);
+            let mut accel = match config {
+                DiffConfig::BNSD => AccelUnit::squash_batch(cores, 4096, 32, false),
+                _ => AccelUnit::batch(cores, 4096),
+            };
+            let mut transfers = Vec::new();
+            let mut events = Vec::new();
+            while dut.halted().is_none() && dut.cycles() < max_cycles {
+                if stop_rx.try_recv().is_ok() {
+                    break;
+                }
+                events.clear();
+                dut.tick_into(&mut events);
+                accel.push_cycle(&events, &mut transfers);
+                for t in transfers.drain(..) {
+                    // Blocking send: the bounded channel is the paper's
+                    // sending queue with backpressure.
+                    if tx.send(t).is_err() {
+                        return (dut.cycles(), dut.total_commits());
+                    }
+                }
+            }
+            accel.flush(&mut transfers);
+            for t in transfers.drain(..) {
+                if tx.send(t).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+            (dut.cycles(), dut.total_commits())
+        })
+    };
+
+    let consumer = thread::spawn(move || {
+        let mut sw = SwUnit::packed(cores);
+        let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
+        let mut checker = Checker::new(refs, false);
+        let mut items = 0u64;
+        let mut verdict = None;
+        let mut mismatch = None;
+        'recv: for t in rx.iter() {
+            let decoded = sw.decode(&t).expect("internal wire codec round-trips");
+            for item in decoded {
+                items += 1;
+                match checker.process(item) {
+                    Ok(Verdict::Continue) => {}
+                    Ok(v @ Verdict::Halt { .. }) => {
+                        verdict = Some(v);
+                        let _ = stop_tx.try_send(());
+                        break 'recv;
+                    }
+                    Err(m) => {
+                        mismatch = Some(m);
+                        let _ = stop_tx.try_send(());
+                        break 'recv;
+                    }
+                }
+            }
+        }
+        if verdict.is_none() && mismatch.is_none() {
+            match checker.finalize() {
+                Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
+                Ok(Verdict::Continue) => {}
+                Err(m) => mismatch = Some(m),
+            }
+        }
+        (items, verdict, mismatch)
+    });
+
+    let (cycles, instructions) = producer.join().expect("producer thread");
+    let (items, verdict, mismatch) = consumer.join().expect("consumer thread");
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let outcome = if mismatch.is_some() {
+        RunOutcome::Mismatch
+    } else {
+        match verdict {
+            Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+            Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+            _ => RunOutcome::MaxCycles,
+        }
+    };
+
+    ThreadedReport {
+        outcome,
+        mismatch,
+        cycles,
+        instructions,
+        items,
+        wall_s,
+        cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_dut::BugKind;
+
+    #[test]
+    fn threaded_run_reaches_good_trap() {
+        let w = Workload::microbench().seed(2).iterations(50).build();
+        let r = run_threaded(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert!(r.items > 0);
+        assert!(r.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn threaded_run_detects_bugs() {
+        let w = Workload::linux_boot().seed(2).iterations(300).build();
+        let r = run_threaded(
+            DutConfig::xiangshan_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 5_000)],
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert!(r.mismatch.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-blocking")]
+    fn threaded_run_rejects_blocking_configs() {
+        let w = Workload::microbench().seed(2).iterations(5).build();
+        let _ = run_threaded(
+            DutConfig::nutshell(),
+            DiffConfig::Z,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+        );
+    }
+}

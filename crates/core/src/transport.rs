@@ -1,0 +1,321 @@
+//! The acceleration unit and its software receiver.
+//!
+//! [`AccelUnit`] is the hardware-side pipeline selected by the
+//! configuration:
+//!
+//! - **per-event** (baseline DiffTest): every captured event is its own
+//!   DPI-style transfer,
+//! - **batch**: tight packing into transmission packets (paper §4.2),
+//! - **squash+batch**: order-decoupled fusion and differencing first, then
+//!   tight packing (paper §4.3 + §4.2).
+//!
+//! [`SwUnit`] is the matching software-side decoder producing
+//! [`WireItem`]s for the checker.
+
+use difftest_event::wire::{CodecError, Reader};
+use difftest_event::{Event, EventKind, MonitoredEvent};
+
+use crate::batch::{BatchUnit, PackStats, Packet, Unpacker};
+use crate::squash::{SquashStats, SquashUnit};
+use crate::wire::WireItem;
+
+/// One hardware→software transfer (one communication startup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// The raw bytes crossing the link.
+    pub bytes: Vec<u8>,
+    /// Communication invocations this transfer costs (always 1; kept
+    /// explicit for clarity in the LogGP accounting).
+    pub invokes: u64,
+    /// Decoded wire items (count), for statistics.
+    pub items: u32,
+}
+
+#[derive(Debug)]
+enum HwMode {
+    PerEvent,
+    Batch(BatchUnit),
+    SquashBatch(SquashUnit, BatchUnit),
+}
+
+/// The hardware-side acceleration unit.
+#[derive(Debug)]
+pub struct AccelUnit {
+    mode: HwMode,
+    item_buf: Vec<WireItem>,
+    packet_buf: Vec<Packet>,
+}
+
+impl AccelUnit {
+    /// Baseline: one transfer per verification event.
+    pub fn per_event() -> Self {
+        AccelUnit {
+            mode: HwMode::PerEvent,
+            item_buf: Vec::new(),
+            packet_buf: Vec::new(),
+        }
+    }
+
+    /// Batch only: tight packing of plain events.
+    pub fn batch(cores: usize, packet_bytes: usize) -> Self {
+        AccelUnit {
+            mode: HwMode::Batch(BatchUnit::new(cores, packet_bytes)),
+            item_buf: Vec::new(),
+            packet_buf: Vec::new(),
+        }
+    }
+
+    /// Squash + Batch: fusion/differencing feeding the tight packer.
+    pub fn squash_batch(
+        cores: usize,
+        packet_bytes: usize,
+        fusion_window: u32,
+        order_coupled: bool,
+    ) -> Self {
+        Self::squash_batch_with(cores, packet_bytes, fusion_window, order_coupled, true)
+    }
+
+    /// Squash + Batch with explicit differencing control (ablations).
+    pub fn squash_batch_with(
+        cores: usize,
+        packet_bytes: usize,
+        fusion_window: u32,
+        order_coupled: bool,
+        differencing: bool,
+    ) -> Self {
+        let mut squash = SquashUnit::new(cores, fusion_window);
+        squash.set_order_coupled(order_coupled);
+        squash.set_differencing(differencing);
+        AccelUnit {
+            mode: HwMode::SquashBatch(squash, BatchUnit::new(cores, packet_bytes)),
+            item_buf: Vec::new(),
+            packet_buf: Vec::new(),
+        }
+    }
+
+    /// Squash statistics, when the unit fuses.
+    pub fn squash_stats(&self) -> Option<SquashStats> {
+        match &self.mode {
+            HwMode::SquashBatch(s, _) => Some(*s.stats()),
+            _ => None,
+        }
+    }
+
+    /// Packing statistics, when the unit packs.
+    pub fn pack_stats(&self) -> Option<PackStats> {
+        match &self.mode {
+            HwMode::Batch(b) | HwMode::SquashBatch(_, b) => Some(*b.stats()),
+            HwMode::PerEvent => None,
+        }
+    }
+
+    /// Processes one DUT cycle's events, appending completed transfers.
+    pub fn push_cycle(&mut self, events: &[MonitoredEvent], out: &mut Vec<Transfer>) {
+        match &mut self.mode {
+            HwMode::PerEvent => {
+                for ev in events {
+                    let mut bytes = Vec::with_capacity(2 + ev.encoded_len());
+                    bytes.push(ev.core);
+                    bytes.push(ev.event.kind() as u8);
+                    ev.event.encode_into(&mut bytes);
+                    out.push(Transfer {
+                        bytes,
+                        invokes: 1,
+                        items: 1,
+                    });
+                }
+            }
+            HwMode::Batch(batch) => {
+                self.item_buf.clear();
+                self.item_buf.extend(events.iter().map(|ev| WireItem::Plain {
+                    core: ev.core,
+                    event: ev.event.clone(),
+                }));
+                batch.push_cycle(&self.item_buf, &mut self.packet_buf);
+                drain_packets(&mut self.packet_buf, out);
+            }
+            HwMode::SquashBatch(squash, batch) => {
+                self.item_buf.clear();
+                for ev in events {
+                    squash.push(ev, &mut self.item_buf);
+                }
+                squash.on_cycle_end(&mut self.item_buf);
+                batch.push_cycle(&self.item_buf, &mut self.packet_buf);
+                drain_packets(&mut self.packet_buf, out);
+            }
+        }
+    }
+
+    /// Flushes all buffered state (fusion windows, partial packets).
+    pub fn flush(&mut self, out: &mut Vec<Transfer>) {
+        match &mut self.mode {
+            HwMode::PerEvent => {}
+            HwMode::Batch(batch) => {
+                batch.flush(&mut self.packet_buf);
+                drain_packets(&mut self.packet_buf, out);
+            }
+            HwMode::SquashBatch(squash, batch) => {
+                self.item_buf.clear();
+                squash.flush_all(&mut self.item_buf);
+                batch.push_cycle(&self.item_buf, &mut self.packet_buf);
+                batch.flush(&mut self.packet_buf);
+                drain_packets(&mut self.packet_buf, out);
+            }
+        }
+    }
+}
+
+fn drain_packets(packets: &mut Vec<Packet>, out: &mut Vec<Transfer>) {
+    for p in packets.drain(..) {
+        out.push(Transfer {
+            invokes: 1,
+            items: p.items,
+            bytes: p.bytes,
+        });
+    }
+}
+
+#[derive(Debug)]
+enum SwMode {
+    PerEvent,
+    Packed(Unpacker),
+}
+
+/// The software-side receiver matching an [`AccelUnit`].
+#[derive(Debug)]
+pub struct SwUnit {
+    mode: SwMode,
+}
+
+impl SwUnit {
+    /// Receiver for the per-event baseline.
+    pub fn per_event() -> Self {
+        SwUnit {
+            mode: SwMode::PerEvent,
+        }
+    }
+
+    /// Receiver for packed transfers (Batch with or without Squash).
+    pub fn packed(cores: usize) -> Self {
+        SwUnit {
+            mode: SwMode::Packed(Unpacker::new(cores)),
+        }
+    }
+
+    /// Packets held back waiting for a sequence gap (packed mode only).
+    pub fn buffered_packets(&self) -> usize {
+        match &self.mode {
+            SwMode::PerEvent => 0,
+            SwMode::Packed(u) => u.buffered_packets(),
+        }
+    }
+
+    /// Decodes one transfer into wire items. Out-of-order packets are
+    /// buffered and released once the sequence gap fills, so a call may
+    /// legitimately return an empty batch (paper §4.5 ordered parsing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed transfers or stale sequences.
+    pub fn decode(&mut self, transfer: &Transfer) -> Result<Vec<WireItem>, CodecError> {
+        match &mut self.mode {
+            SwMode::PerEvent => {
+                let mut r = Reader::new(&transfer.bytes);
+                let core = r.u8()?;
+                let kind = EventKind::from_u8(r.u8()?)?;
+                let payload = r.bytes_dyn(kind.encoded_len())?;
+                r.finish()?;
+                Ok(vec![WireItem::Plain {
+                    core,
+                    event: Event::decode(kind, payload)?,
+                }])
+            }
+            SwMode::Packed(unpacker) => unpacker.unpack_bytes(&transfer.bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{InstrCommit, OrderTag, Token};
+
+    fn mev(core: u8, seq: u64, pc: u64) -> MonitoredEvent {
+        MonitoredEvent {
+            core,
+            cycle: seq,
+            order: OrderTag(seq),
+            token: Token(seq),
+            event: InstrCommit {
+                pc,
+                ..Default::default()
+            }
+            .into(),
+        }
+    }
+
+    #[test]
+    fn per_event_round_trip() {
+        let mut hw = AccelUnit::per_event();
+        let mut sw = SwUnit::per_event();
+        let events = vec![mev(0, 0, 0x8000_0000), mev(1, 0, 0x8000_0004)];
+        let mut transfers = Vec::new();
+        hw.push_cycle(&events, &mut transfers);
+        assert_eq!(transfers.len(), 2);
+        let items = sw.decode(&transfers[1]).unwrap();
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            WireItem::Plain { core, event } => {
+                assert_eq!(*core, 1);
+                assert_eq!(event.kind(), EventKind::InstrCommit);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_across_cycles() {
+        let mut hw = AccelUnit::batch(1, 1024);
+        let mut sw = SwUnit::packed(1);
+        let mut transfers = Vec::new();
+        let mut sent = Vec::new();
+        for cycle in 0..100u64 {
+            let evs = vec![mev(0, cycle, 0x8000_0000 + 4 * cycle)];
+            sent.extend(evs.iter().map(|e| e.event.clone()));
+            hw.push_cycle(&evs, &mut transfers);
+        }
+        hw.flush(&mut transfers);
+        assert!(transfers.len() < 100, "packing must reduce transfers");
+        let got: Vec<Event> = transfers
+            .iter()
+            .flat_map(|t| sw.decode(t).unwrap())
+            .map(|i| match i {
+                WireItem::Plain { event, .. } => event,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn squash_batch_reduces_bytes() {
+        let mut plain = AccelUnit::batch(1, 4096);
+        let mut squashed = AccelUnit::squash_batch(1, 4096, 32, false);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for cycle in 0..500u64 {
+            let evs = vec![mev(0, cycle, 0x8000_0000 + 4 * cycle)];
+            plain.push_cycle(&evs, &mut a);
+            squashed.push_cycle(&evs, &mut b);
+        }
+        plain.flush(&mut a);
+        squashed.flush(&mut b);
+        let bytes = |ts: &[Transfer]| ts.iter().map(|t| t.bytes.len()).sum::<usize>();
+        assert!(
+            bytes(&b) * 4 < bytes(&a),
+            "squash {} vs plain {}",
+            bytes(&b),
+            bytes(&a)
+        );
+    }
+}

@@ -1,0 +1,410 @@
+//! Wire items: what actually crosses the hardware/software link.
+//!
+//! The acceleration unit turns monitored events into *wire items*:
+//!
+//! - [`WireItem::Plain`]: an unmodified event (baseline and Batch-only
+//!   configurations),
+//! - [`WireItem::Tagged`]: an event transmitted *ahead* of its checking
+//!   position, carrying an [`OrderTag`] and replay [`Token`] (Squash's
+//!   order-decoupled NDEs and order-sensitive checks, paper §4.3),
+//! - [`WireItem::Fused`]: an N-commit fusion record (paper §4.3),
+//! - [`WireItem::Diff`]: a differenced event — a change bitmap plus the
+//!   changed 64-bit words relative to the previous same-kind event of the
+//!   same core (paper §4.3 "Differencing").
+//!
+//! Every item has a self-describing binary encoding so the Batch parser can
+//! compute offsets while walking a packet (structural semantics).
+
+use difftest_event::wire::{CodecError, Reader, Writer};
+use difftest_event::{Event, EventKind, OrderTag, Token};
+
+use crate::squash::FusedCommit;
+
+/// Discriminants of the wire-item classes (high bits of the kind byte).
+const CLASS_PLAIN: u8 = 0;
+const CLASS_TAGGED: u8 = 1;
+const CLASS_FUSED: u8 = 2;
+const CLASS_DIFF: u8 = 3;
+
+/// One unit of the hardware→software stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireItem {
+    /// An unmodified event in capture order.
+    Plain {
+        /// Source core.
+        core: u8,
+        /// The event.
+        event: Event,
+    },
+    /// An event transmitted ahead of its checking position.
+    Tagged {
+        /// Source core.
+        core: u8,
+        /// Commit-order binding.
+        tag: OrderTag,
+        /// Replay-buffer token.
+        token: Token,
+        /// The event.
+        event: Event,
+    },
+    /// A fused run of instruction commits.
+    Fused {
+        /// Source core.
+        core: u8,
+        /// The fusion record.
+        fused: FusedCommit,
+    },
+    /// A differenced event (already reconstructed on decode).
+    Diff {
+        /// Source core.
+        core: u8,
+        /// Commit-order binding.
+        tag: OrderTag,
+        /// Replay-buffer token.
+        token: Token,
+        /// The reconstructed event.
+        event: Event,
+    },
+}
+
+impl WireItem {
+    /// The source core of the item.
+    pub fn core(&self) -> u8 {
+        match self {
+            WireItem::Plain { core, .. }
+            | WireItem::Tagged { core, .. }
+            | WireItem::Fused { core, .. }
+            | WireItem::Diff { core, .. } => *core,
+        }
+    }
+
+    /// The wire-kind byte identifying class and payload type.
+    pub fn wire_kind(&self) -> WireKind {
+        match self {
+            WireItem::Plain { event, .. } => WireKind::Plain(event.kind()),
+            WireItem::Tagged { event, .. } => WireKind::Tagged(event.kind()),
+            WireItem::Fused { .. } => WireKind::Fused,
+            WireItem::Diff { event, .. } => WireKind::Diff(event.kind()),
+        }
+    }
+}
+
+/// The type tag of a wire item: class plus payload event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// Plain event of the given kind.
+    Plain(EventKind),
+    /// Order-tagged event of the given kind.
+    Tagged(EventKind),
+    /// Fused instruction commits.
+    Fused,
+    /// Differenced event of the given kind.
+    Diff(EventKind),
+}
+
+impl WireKind {
+    /// Encodes the kind as one byte: two class bits + kind index.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            WireKind::Plain(k) => (CLASS_PLAIN << 6) | k as u8,
+            WireKind::Tagged(k) => (CLASS_TAGGED << 6) | k as u8,
+            WireKind::Fused => CLASS_FUSED << 6,
+            WireKind::Diff(k) => (CLASS_DIFF << 6) | k as u8,
+        }
+    }
+
+    /// Decodes the kind byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadKind`] for invalid class/kind combinations.
+    pub fn from_u8(v: u8) -> Result<WireKind, CodecError> {
+        let class = v >> 6;
+        let kind = v & 0x3f;
+        Ok(match class {
+            CLASS_FUSED if kind == 0 => WireKind::Fused,
+            CLASS_PLAIN => WireKind::Plain(EventKind::from_u8(kind)?),
+            CLASS_TAGGED => WireKind::Tagged(EventKind::from_u8(kind)?),
+            CLASS_DIFF => WireKind::Diff(EventKind::from_u8(kind)?),
+            _ => return Err(CodecError::BadKind(v)),
+        })
+    }
+
+}
+
+/// Per-core mirror of the last transmitted payload of each event kind,
+/// kept identically on the hardware (encoder) and software (decoder) sides
+/// so differencing round-trips.
+#[derive(Debug, Clone, Default)]
+pub struct DiffCache {
+    last: Vec<Option<Vec<u8>>>, // indexed core * COUNT + kind
+    cores: usize,
+}
+
+impl DiffCache {
+    /// Creates a cache for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        DiffCache {
+            last: vec![None; cores * EventKind::COUNT],
+            cores,
+        }
+    }
+
+    fn slot(&mut self, core: u8, kind: EventKind) -> &mut Option<Vec<u8>> {
+        debug_assert!((core as usize) < self.cores);
+        &mut self.last[core as usize * EventKind::COUNT + kind as usize]
+    }
+
+    /// Encodes `event` as a difference against the cached previous payload,
+    /// updating the cache, and returns the number of changed 64-bit words
+    /// (zero means the event is byte-identical to the previous one and need
+    /// not be transmitted at all).
+    pub fn encode(&mut self, core: u8, event: &Event, out: &mut Vec<u8>) -> usize {
+        let mut cur = Vec::with_capacity(event.encoded_len());
+        event.encode_into(&mut cur);
+        let words = cur.len().div_ceil(8);
+        let bitmap_bytes = words.div_ceil(8);
+        let prev = self.slot(core, event.kind());
+
+        let start = out.len();
+        out.resize(start + bitmap_bytes, 0);
+        let mut changed_words = Vec::new();
+        for w in 0..words {
+            let lo = w * 8;
+            let hi = (lo + 8).min(cur.len());
+            let changed = match prev.as_deref() {
+                Some(p) => p[lo..hi] != cur[lo..hi],
+                None => true,
+            };
+            if changed {
+                out[start + w / 8] |= 1 << (w % 8);
+                let mut word = [0u8; 8];
+                word[..hi - lo].copy_from_slice(&cur[lo..hi]);
+                changed_words.push(word);
+            }
+        }
+        let changed = changed_words.len();
+        for w in changed_words {
+            out.extend_from_slice(&w);
+        }
+        *prev = Some(cur);
+        changed
+    }
+
+    /// Decodes a diff body produced by [`DiffCache::encode`], reconstructing
+    /// the full event and updating the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] when the body is truncated or when a word is
+    /// marked unchanged but no previous payload exists.
+    pub fn decode(
+        &mut self,
+        core: u8,
+        kind: EventKind,
+        r: &mut Reader<'_>,
+    ) -> Result<Event, CodecError> {
+        let len = kind.encoded_len();
+        let words = len.div_ceil(8);
+        let bitmap_bytes = words.div_ceil(8);
+        let bitmap = r.bytes_dyn(bitmap_bytes)?.to_vec();
+
+        let mut cur = match self.slot(core, kind).take() {
+            Some(p) => p,
+            None => vec![0u8; len],
+        };
+        for w in 0..words {
+            if bitmap[w / 8] & (1 << (w % 8)) != 0 {
+                let word = r.bytes_dyn(8)?;
+                let lo = w * 8;
+                let hi = (lo + 8).min(len);
+                cur[lo..hi].copy_from_slice(&word[..hi - lo]);
+            }
+        }
+        let event = Event::decode(kind, &cur)?;
+        *self.slot(core, kind) = Some(cur);
+        Ok(event)
+    }
+}
+
+/// Encodes one wire item's body (excluding the kind byte, which packet
+/// metadata carries). Returns `false` for a *vacuous* item: a differenced
+/// event that is byte-identical to its predecessor, which the hardware
+/// drops instead of transmitting (paper §4.3 "only modified ones are
+/// transmitted"). The caller must then discard `out`'s new suffix.
+pub fn encode_item_body(item: &WireItem, diff: &mut DiffCache, out: &mut Vec<u8>) -> bool {
+    match item {
+        WireItem::Plain { event, .. } => {
+            event.encode_into(out);
+            true
+        }
+        WireItem::Tagged {
+            tag, token, event, ..
+        } => {
+            let mut w = Writer::new(out);
+            w.u64(tag.0);
+            w.u64(token.0);
+            event.encode_into(out);
+            true
+        }
+        WireItem::Fused { fused, .. } => {
+            fused.encode_into(out);
+            true
+        }
+        WireItem::Diff {
+            tag,
+            token,
+            event,
+            core,
+        } => {
+            let mut w = Writer::new(out);
+            w.u64(tag.0);
+            w.u64(token.0);
+            diff.encode(*core, event, out) > 0
+        }
+    }
+}
+
+/// Decodes one wire item's body given its kind and core.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated or malformed bodies.
+pub fn decode_item_body(
+    kind: WireKind,
+    core: u8,
+    diff: &mut DiffCache,
+    r: &mut Reader<'_>,
+) -> Result<WireItem, CodecError> {
+    Ok(match kind {
+        WireKind::Plain(k) => {
+            let payload = r.bytes_dyn(k.encoded_len())?;
+            WireItem::Plain {
+                core,
+                event: Event::decode(k, payload)?,
+            }
+        }
+        WireKind::Tagged(k) => {
+            let tag = OrderTag(r.u64()?);
+            let token = Token(r.u64()?);
+            let payload = r.bytes_dyn(k.encoded_len())?;
+            WireItem::Tagged {
+                core,
+                tag,
+                token,
+                event: Event::decode(k, payload)?,
+            }
+        }
+        WireKind::Fused => WireItem::Fused {
+            core,
+            fused: FusedCommit::decode_from(r)?,
+        },
+        WireKind::Diff(k) => {
+            let tag = OrderTag(r.u64()?);
+            let token = Token(r.u64()?);
+            let event = diff.decode(core, k, r)?;
+            WireItem::Diff {
+                core,
+                tag,
+                token,
+                event,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{ArchIntRegState, CsrState, StoreEvent};
+
+    #[test]
+    fn wire_kind_round_trip() {
+        for k in EventKind::ALL {
+            for wk in [WireKind::Plain(k), WireKind::Tagged(k), WireKind::Diff(k)] {
+                assert_eq!(WireKind::from_u8(wk.to_u8()).unwrap(), wk);
+            }
+        }
+        assert_eq!(WireKind::from_u8(WireKind::Fused.to_u8()).unwrap(), WireKind::Fused);
+        assert!(WireKind::from_u8((CLASS_FUSED << 6) | 5).is_err());
+    }
+
+    #[test]
+    fn diff_round_trip_first_and_incremental() {
+        let mut enc = DiffCache::new(1);
+        let mut dec = DiffCache::new(1);
+
+        let mut regs = [7u64; 32];
+        let e1: Event = ArchIntRegState { regs }.into();
+        regs[3] = 8;
+        regs[31] = 9;
+        let e2: Event = ArchIntRegState { regs }.into();
+
+        for (i, e) in [&e1, &e2].into_iter().enumerate() {
+            let mut body = Vec::new();
+            enc.encode(0, e, &mut body);
+            let mut r = Reader::new(&body);
+            let back = dec
+                .decode(0, EventKind::ArchIntRegState, &mut r)
+                .unwrap();
+            assert_eq!(&back, e, "round {i}");
+            r.finish().unwrap();
+            if i == 1 {
+                // Incremental diff: bitmap (4B) + 2 changed words.
+                assert_eq!(body.len(), 4 + 16);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_caches_are_per_core_and_kind() {
+        let mut enc = DiffCache::new(2);
+        let e: Event = CsrState { csrs: [5; 24] }.into();
+        let mut b0 = Vec::new();
+        enc.encode(0, &e, &mut b0);
+        let mut b1 = Vec::new();
+        enc.encode(1, &e, &mut b1);
+        // Core 1 has no cached payload: still a full transmission.
+        assert_eq!(b0.len(), b1.len());
+        let mut b0b = Vec::new();
+        enc.encode(0, &e, &mut b0b);
+        assert!(b0b.len() < b0.len(), "unchanged repeat must shrink");
+    }
+
+    #[test]
+    fn plain_and_tagged_round_trip() {
+        let mut diff_enc = DiffCache::new(1);
+        let mut diff_dec = DiffCache::new(1);
+        let ev: Event = StoreEvent {
+            addr: 0x8000_0000,
+            data: 42,
+            mask: 0xff,
+        }
+        .into();
+        for item in [
+            WireItem::Plain {
+                core: 0,
+                event: ev.clone(),
+            },
+            WireItem::Tagged {
+                core: 0,
+                tag: OrderTag(77),
+                token: Token(5),
+                event: ev.clone(),
+            },
+            WireItem::Diff {
+                core: 0,
+                tag: OrderTag(78),
+                token: Token(6),
+                event: ev.clone(),
+            },
+        ] {
+            let mut body = Vec::new();
+            encode_item_body(&item, &mut diff_enc, &mut body);
+            let mut r = Reader::new(&body);
+            let back = decode_item_body(item.wire_kind(), 0, &mut diff_dec, &mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, item);
+        }
+    }
+}

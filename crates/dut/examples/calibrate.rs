@@ -1,0 +1,38 @@
+//! Prints per-configuration IPC and bytes/instruction for calibration
+//! against the paper's Table 4.
+use difftest_dut::{Dut, DutConfig};
+use difftest_ref::Memory;
+use difftest_workload::Workload;
+
+fn main() {
+    let w = Workload::linux_boot().seed(5).iterations(400).build();
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, w.words());
+    for cfg in [
+        DutConfig::nutshell(),
+        DutConfig::xiangshan_minimal(),
+        DutConfig::xiangshan_default(),
+        DutConfig::xiangshan_dual(),
+    ] {
+        let name = cfg.name.clone();
+        let fixed = cfg.slots.fixed_layout_bytes() * cfg.cores as usize;
+        let mut dut = Dut::new(cfg, &mem, Vec::new());
+        let mut bytes = 0usize;
+        let mut events = 0usize;
+        while dut.halted().is_none() && dut.cycles() < 500_000 {
+            for ev in dut.tick().events {
+                bytes += ev.event.encoded_len();
+                events += 1;
+            }
+        }
+        let commits = dut.total_commits();
+        let cycles = dut.cycles();
+        println!(
+            "{name:28} cycles={cycles:8} commits={commits:8} ipc={:.2} B/instr={:6.0} ev/cycle={:.2} B/cycle={:6.0} fixed_layout={fixed}",
+            dut.ipc() * dut.config().cores as f64,
+            bytes as f64 / commits as f64,
+            events as f64 / cycles as f64,
+            bytes as f64 / cycles as f64,
+        );
+    }
+}

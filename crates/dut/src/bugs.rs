@@ -1,0 +1,476 @@
+//! Bug injection: the fault catalog that exercises mismatch detection.
+//!
+//! The paper's §6.5 reports 151 bugs across 19 pull requests in three
+//! categories (Table 6). Our DUT is a model rather than RTL, so bugs are
+//! *injected*: one-shot perturbations of the DUT's architectural effects,
+//! trap entries, CSR state or monitor events. Each catalog entry mirrors one
+//! pull request, including the cycle count at which the paper-scale bug
+//! manifests (used by the Figure 14 detection-time study).
+
+use difftest_event::{Event, EventKind};
+use difftest_isa::csr::CsrIndex;
+use difftest_ref::exec::Effect;
+use difftest_ref::{ArchState, Memory};
+
+/// Where in the commit path a bug perturbs the DUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hook {
+    /// Perturbs the architectural [`Effect`] of a committing instruction.
+    Effect,
+    /// Perturbs the CSR values written during trap entry.
+    TrapEntry,
+    /// Perturbs architectural state at an instruction boundary.
+    StateBoundary,
+    /// Perturbs a monitor event payload of the given kind.
+    Event(EventKind),
+}
+
+/// The 19 injectable bug kinds, mirroring the paper's Table 6 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    // --- Exception and interrupt handling errors -----------------------
+    /// Trap entry records a corrupted `mepc`.
+    CorruptMepc,
+    /// Trap entry records a corrupted `mcause`.
+    WrongTrapCause,
+    /// Trap entry records a corrupted `mtval` (wrong virtual address).
+    WrongTval,
+    /// Trap entry redirects past the real `mtvec`.
+    WrongTrapVector,
+    /// Trap entry fails to clear `mstatus.MIE`.
+    MstatusMieLeak,
+    /// Trap entry corrupts the saved privilege (`mstatus.MPP`).
+    WrongMpp,
+    // --- Memory hierarchy and coherence issues --------------------------
+    /// A store commits with a flipped data bit.
+    StoreValueCorruption,
+    /// A store is silently dropped (classic latent coherence bug).
+    LostStore,
+    /// A load writes back a flipped bit.
+    LoadValueCorruption,
+    /// The store-queue reports a wrong store address.
+    StoreQueueAddrError,
+    /// An sbuffer flush reports an inconsistent byte mask.
+    SbufferMaskError,
+    /// An i-cache refill returns a corrupted beat.
+    RefillCorruption,
+    // --- Vector and control logic errors --------------------------------
+    /// `vstart` is corrupted at an instruction boundary.
+    WrongVstart,
+    /// `mstatus.VS` dirty bits are not updated.
+    VsDirtyNotSet,
+    /// An integer register write is corrupted.
+    RegWriteCorruption,
+    /// A taken branch redirects to a wrong target.
+    WrongBranchTarget,
+    /// A redirect event reports a wrong target.
+    RedirectCorruption,
+    /// A floating-point CSR update event reports stale flags.
+    FpCsrStale,
+    /// A vector configuration event reports a wrong `vl`.
+    VecConfigError,
+}
+
+impl BugKind {
+    /// The hook at which this bug perturbs the DUT.
+    pub fn hook(self) -> Hook {
+        use BugKind::*;
+        match self {
+            CorruptMepc | WrongTrapCause | WrongTval | WrongTrapVector | MstatusMieLeak
+            | WrongMpp => Hook::TrapEntry,
+            StoreValueCorruption | LostStore | LoadValueCorruption | RegWriteCorruption
+            | WrongBranchTarget => Hook::Effect,
+            WrongVstart | VsDirtyNotSet => Hook::StateBoundary,
+            StoreQueueAddrError => Hook::Event(EventKind::StoreEvent),
+            SbufferMaskError => Hook::Event(EventKind::SbufferEvent),
+            RefillCorruption => Hook::Event(EventKind::RefillEvent),
+            RedirectCorruption => Hook::Event(EventKind::Redirect),
+            FpCsrStale => Hook::Event(EventKind::FpCsrUpdate),
+            VecConfigError => Hook::Event(EventKind::VecConfig),
+        }
+    }
+
+    /// The Table 6 category of this bug.
+    pub fn category(self) -> &'static str {
+        use BugKind::*;
+        match self {
+            CorruptMepc | WrongTrapCause | WrongTval | WrongTrapVector | MstatusMieLeak
+            | WrongMpp => "Exception and interrupt handling errors",
+            StoreValueCorruption | LostStore | LoadValueCorruption | StoreQueueAddrError
+            | SbufferMaskError | RefillCorruption => "Memory hierarchy and coherence issues",
+            _ => "Vector and control logic errors",
+        }
+    }
+}
+
+/// One injectable bug instance.
+#[derive(Debug, Clone)]
+pub struct BugSpec {
+    /// The kind of perturbation.
+    pub kind: BugKind,
+    /// The bug fires at the first commit with sequence `>= trigger_instret`.
+    pub trigger_instret: u64,
+    /// Pull-request label from the paper's Table 6 (catalog entries) or a
+    /// test-local label.
+    pub label: String,
+    /// Cycles the paper-scale bug needs to manifest (Figure 14 study).
+    pub manifest_cycles: u64,
+}
+
+impl BugSpec {
+    /// Creates a bug firing at `trigger_instret` with a test-local label.
+    pub fn new(kind: BugKind, trigger_instret: u64) -> Self {
+        BugSpec {
+            kind,
+            trigger_instret,
+            label: format!("{kind:?}"),
+            manifest_cycles: trigger_instret * 2,
+        }
+    }
+}
+
+/// The catalog of 19 paper-scale bugs (one per Table 6 pull request),
+/// with manifestation cycle counts spanning millions to billions of cycles
+/// as in Figure 14.
+pub fn bug_catalog() -> Vec<BugSpec> {
+    use BugKind::*;
+    let entries: [(&str, BugKind, u64); 19] = [
+        // Exception and interrupt handling errors.
+        ("#3639", WrongTval, 2_400_000_000),
+        ("#4239", CorruptMepc, 820_000_000),
+        ("#4263", WrongTrapCause, 1_350_000_000),
+        ("#3991", WrongTrapVector, 310_000_000),
+        ("#3778", MstatusMieLeak, 5_600_000_000),
+        ("#4157", WrongMpp, 960_000_000),
+        // Memory hierarchy and coherence issues.
+        ("#3964", LostStore, 12_000_000_000),
+        ("#3685", StoreValueCorruption, 430_000_000),
+        ("#3621", LoadValueCorruption, 95_000_000),
+        ("#4037", StoreQueueAddrError, 2_100_000_000),
+        ("#3719", SbufferMaskError, 670_000_000),
+        ("#4442", RefillCorruption, 18_900_000_000),
+        // Vector and control logic errors.
+        ("#3876", WrongVstart, 240_000_000),
+        ("#3965", VsDirtyNotSet, 1_700_000_000),
+        ("#3690", RegWriteCorruption, 36_000_000),
+        ("#3643", WrongBranchTarget, 58_000_000),
+        ("#3646", RedirectCorruption, 140_000_000),
+        ("#3664", FpCsrStale, 3_800_000_000),
+        ("#4361", VecConfigError, 510_000_000),
+    ];
+    entries
+        .into_iter()
+        .map(|(label, kind, cycles)| BugSpec {
+            kind,
+            trigger_instret: cycles / 2,
+            label: label.to_owned(),
+            manifest_cycles: cycles,
+        })
+        .collect()
+}
+
+/// Applies one-shot bug perturbations at the configured hooks.
+#[derive(Debug, Clone, Default)]
+pub struct BugInjector {
+    specs: Vec<BugSpec>,
+    fired: Vec<bool>,
+}
+
+impl BugInjector {
+    /// Creates an injector over `specs`.
+    pub fn new(specs: Vec<BugSpec>) -> Self {
+        let fired = vec![false; specs.len()];
+        BugInjector { specs, fired }
+    }
+
+    /// An injector with no bugs.
+    pub fn none() -> Self {
+        BugInjector::default()
+    }
+
+    /// Returns `true` if any bug has fired.
+    pub fn any_fired(&self) -> bool {
+        self.fired.iter().any(|f| *f)
+    }
+
+    fn fire(&mut self, hook: Hook, seq: u64) -> Option<BugKind> {
+        for (i, spec) in self.specs.iter().enumerate() {
+            if !self.fired[i] && spec.kind.hook() == hook && seq >= spec.trigger_instret {
+                self.fired[i] = true;
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+
+    /// Effect-hook perturbation at commit of instruction `seq`. `mem` is
+    /// the DUT memory, used to pick targets where the fault is observable.
+    pub fn perturb_effect(&mut self, seq: u64, effect: &mut Effect, mem: &Memory) {
+        let Some(kind) = self.peek_effect_kind(seq, effect, mem) else {
+            return;
+        };
+        match kind {
+            BugKind::RegWriteCorruption => {
+                if let Some((_, v)) = effect.xw.as_mut() {
+                    *v ^= 0x1;
+                }
+            }
+            BugKind::LoadValueCorruption => {
+                if let Some((_, v)) = effect.xw.as_mut() {
+                    *v ^= 0x100;
+                }
+            }
+            BugKind::StoreValueCorruption => {
+                if let Some(w) = effect.memw.as_mut() {
+                    w.value ^= 0x1;
+                }
+            }
+            BugKind::LostStore => {
+                effect.memw = None;
+            }
+            BugKind::WrongBranchTarget => {
+                effect.next_pc = effect.next_pc.wrapping_add(8);
+            }
+            _ => unreachable!("non-effect bug dispatched to effect hook"),
+        }
+    }
+
+    /// Selects an applicable effect-hook bug whose perturbation target is
+    /// present in `effect` (a store bug waits for a store, etc.).
+    fn peek_effect_kind(&mut self, seq: u64, effect: &Effect, mem: &Memory) -> Option<BugKind> {
+        for (i, spec) in self.specs.iter().enumerate() {
+            if self.fired[i] || spec.kind.hook() != Hook::Effect || seq < spec.trigger_instret {
+                continue;
+            }
+            let applicable = match spec.kind {
+                // MMIO loads are synchronized *from* the DUT (there is no
+                // golden device model), so corrupting their value is
+                // invisible to any checker; target verifiable effects.
+                BugKind::RegWriteCorruption => effect.xw.is_some() && !effect.mmio,
+                BugKind::LoadValueCorruption => {
+                    effect.memr.is_some() && effect.xw.is_some() && !effect.mmio
+                }
+                // MMIO stores are device-side effects the REF discards, so
+                // corrupting or dropping one is architecturally invisible;
+                // wait for a RAM store. Dropped stores surface only through
+                // a later reload, so LostStore targets full-width stores
+                // (the workloads' read-after-write traffic).
+                BugKind::StoreValueCorruption => effect
+                    .memw
+                    .is_some_and(|w| !Memory::is_mmio(w.addr)),
+                // A lost store only manifests when it would have changed
+                // memory (otherwise it is architecturally a no-op).
+                BugKind::LostStore => effect.memw.is_some_and(|w| {
+                    !Memory::is_mmio(w.addr)
+                        && w.len == 8
+                        && mem.read(w.addr, 8) != w.value
+                }),
+                BugKind::WrongBranchTarget => effect.branch_taken,
+                _ => false,
+            };
+            if applicable {
+                self.fired[i] = true;
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+
+    /// Trap-entry perturbation: mutates the CSR values the DUT is about to
+    /// write during trap entry. Returns the extra PC offset to apply to the
+    /// redirect target.
+    pub fn perturb_trap_entry(
+        &mut self,
+        seq: u64,
+        mepc: &mut u64,
+        mcause: &mut u64,
+        mtval: &mut u64,
+        mstatus: &mut u64,
+    ) -> u64 {
+        let Some(kind) = self.fire(Hook::TrapEntry, seq) else {
+            return 0;
+        };
+        use difftest_isa::csr::mstatus as ms;
+        match kind {
+            BugKind::CorruptMepc => *mepc ^= 0x4,
+            BugKind::WrongTrapCause => *mcause ^= 0x1,
+            BugKind::WrongTval => *mtval ^= 0x1000,
+            BugKind::MstatusMieLeak => *mstatus |= ms::MIE,
+            BugKind::WrongMpp => *mstatus &= !ms::MPP_MASK,
+            BugKind::WrongTrapVector => return 8,
+            _ => unreachable!("non-trap bug dispatched to trap hook"),
+        }
+        0
+    }
+
+    /// Boundary perturbation: corrupts architectural state directly.
+    /// Waits for state in which the corruption is observable (non-zero
+    /// `vstart`, dirty `mstatus.VS`).
+    pub fn perturb_state(&mut self, seq: u64, state: &mut ArchState) {
+        use difftest_isa::csr::mstatus as ms;
+        let applicable = |k: BugKind| match k {
+            BugKind::VsDirtyNotSet => state.csr(CsrIndex::Mstatus) & ms::VS_MASK != 0,
+            _ => true,
+        };
+        let due: Vec<BugKind> = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(i, sp)| {
+                !self.fired[*i]
+                    && sp.kind.hook() == Hook::StateBoundary
+                    && seq >= sp.trigger_instret
+                    && applicable(sp.kind)
+            })
+            .map(|(_, sp)| sp.kind)
+            .collect();
+        for k in due {
+            for (i, sp) in self.specs.iter().enumerate() {
+                if sp.kind == k {
+                    self.fired[i] = true;
+                }
+            }
+            self.apply_state_bug(k, state);
+        }
+    }
+
+    fn apply_state_bug(&mut self, kind: BugKind, state: &mut ArchState) {
+        {
+            match kind {
+                BugKind::WrongVstart => {
+                    let v = state.csr(CsrIndex::Vstart);
+                    state.set_csr(CsrIndex::Vstart, v ^ 0x8);
+                }
+                BugKind::VsDirtyNotSet => {
+                    use difftest_isa::csr::mstatus as ms;
+                    let v = state.csr(CsrIndex::Mstatus);
+                    state.set_csr(CsrIndex::Mstatus, v & !ms::VS_MASK);
+                }
+                _ => unreachable!("non-state bug dispatched to state hook"),
+            }
+        }
+    }
+
+
+    /// Event perturbation: corrupts a monitor event payload in flight.
+    /// Waits for an event instance on which the corruption is observable
+    /// (e.g. an sbuffer flush that actually carries data).
+    pub fn perturb_event(&mut self, seq: u64, event: &mut Event) {
+        let hook = Hook::Event(event.kind());
+        let applicable = match event {
+            Event::SbufferEvent(e) => e.data.iter().any(|b| *b != 0),
+            _ => true,
+        };
+        if !applicable {
+            return;
+        }
+        let Some(kind) = self.fire(hook, seq) else {
+            return;
+        };
+        match (kind, event) {
+            (BugKind::StoreQueueAddrError, Event::StoreEvent(e)) => e.addr ^= 0x8,
+            (BugKind::SbufferMaskError, Event::SbufferEvent(e)) => {
+                // A mask-computation bug on an *active* byte: clear the
+                // byte-enable of the first byte that actually carries data.
+                let k = e.data.iter().position(|b| *b != 0).unwrap_or(0);
+                e.mask ^= 1 << k;
+            }
+            (BugKind::RefillCorruption, Event::RefillEvent(e)) => e.data[3] ^= 0xdead,
+            (BugKind::RedirectCorruption, Event::Redirect(e)) => e.target ^= 0x10,
+            (BugKind::FpCsrStale, Event::FpCsrUpdate(e)) => e.fflags ^= 0x1,
+            (BugKind::VecConfigError, Event::VecConfig(e)) => e.vl ^= 0x1,
+            _ => unreachable!("event bug dispatched to wrong event kind"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_ref::exec::MemWrite;
+
+    #[test]
+    fn catalog_matches_table6() {
+        let cat = bug_catalog();
+        assert_eq!(cat.len(), 19);
+        let exc = cat
+            .iter()
+            .filter(|b| b.kind.category().starts_with("Exception"))
+            .count();
+        let mem = cat
+            .iter()
+            .filter(|b| b.kind.category().starts_with("Memory"))
+            .count();
+        let vec = cat
+            .iter()
+            .filter(|b| b.kind.category().starts_with("Vector"))
+            .count();
+        assert_eq!((exc, mem, vec), (6, 6, 7));
+        // Manifestation spans millions to billions of cycles.
+        assert!(cat.iter().any(|b| b.manifest_cycles < 100_000_000));
+        assert!(cat.iter().any(|b| b.manifest_cycles > 10_000_000_000));
+    }
+
+    #[test]
+    fn effect_bug_fires_once_when_applicable() {
+        let mut inj = BugInjector::new(vec![BugSpec::new(BugKind::StoreValueCorruption, 10)]);
+        let mem = Memory::new();
+        let mut eff = Effect::default();
+        // Not applicable: no store present even past the trigger.
+        inj.perturb_effect(20, &mut eff, &mem);
+        assert!(!inj.any_fired());
+        eff.memw = Some(MemWrite {
+            addr: 0x8000_0000,
+            len: 8,
+            value: 42,
+        });
+        // Before the trigger: nothing.
+        let mut early = eff.clone();
+        inj.perturb_effect(5, &mut early, &mem);
+        assert_eq!(early, eff);
+        // At the trigger with a store: fires once.
+        inj.perturb_effect(12, &mut eff, &mem);
+        assert_eq!(eff.memw.unwrap().value, 43);
+        let snapshot = eff.clone();
+        inj.perturb_effect(13, &mut eff, &mem);
+        assert_eq!(eff, snapshot, "one-shot");
+    }
+
+    #[test]
+    fn trap_bug_corrupts_mepc() {
+        let mut inj = BugInjector::new(vec![BugSpec::new(BugKind::CorruptMepc, 0)]);
+        let (mut mepc, mut mcause, mut mtval, mut mstatus) = (0x8000_0000u64, 11, 0, 0);
+        let off = inj.perturb_trap_entry(0, &mut mepc, &mut mcause, &mut mtval, &mut mstatus);
+        assert_eq!(off, 0);
+        assert_eq!(mepc, 0x8000_0004);
+        assert_eq!(mcause, 11);
+    }
+
+    #[test]
+    fn event_bug_targets_matching_kind_only() {
+        let mut inj = BugInjector::new(vec![BugSpec::new(BugKind::RedirectCorruption, 0)]);
+        let mut store: Event = difftest_event::StoreEvent::default().into();
+        inj.perturb_event(1, &mut store);
+        assert!(!inj.any_fired());
+        let mut redirect: Event = difftest_event::Redirect {
+            target: 0x100,
+            ..Default::default()
+        }
+        .into();
+        inj.perturb_event(1, &mut redirect);
+        match redirect {
+            Event::Redirect(r) => assert_eq!(r.target, 0x110),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn state_bug_flips_vstart() {
+        let mut inj = BugInjector::new(vec![BugSpec::new(BugKind::WrongVstart, 3)]);
+        let mut s = ArchState::new(0);
+        inj.perturb_state(2, &mut s);
+        assert_eq!(s.csr(CsrIndex::Vstart), 0);
+        inj.perturb_state(3, &mut s);
+        assert_eq!(s.csr(CsrIndex::Vstart), 8);
+    }
+}

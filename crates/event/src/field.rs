@@ -1,0 +1,107 @@
+//! Trait over the field types that may appear in an event payload.
+
+use crate::wire::{CodecError, Reader, Writer};
+
+/// A fixed-width field of an event payload.
+///
+/// Implemented for the scalar integers and fixed arrays used by the event
+/// catalog; the catalog macro sums `LEN` to derive each event's encoded
+/// length at compile time.
+pub trait WireField: Sized {
+    /// Encoded length in bytes.
+    const LEN: usize;
+    /// The all-zeroes value (used by `Default` impls of payload structs).
+    const ZERO: Self;
+    /// Appends this field to the writer.
+    fn write(&self, w: &mut Writer<'_>);
+    /// Reads this field from the reader.
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+impl WireField for u8 {
+    const LEN: usize = 1;
+    const ZERO: Self = 0;
+    fn write(&self, w: &mut Writer<'_>) {
+        w.u8(*self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u8()
+    }
+}
+
+impl WireField for u16 {
+    const LEN: usize = 2;
+    const ZERO: Self = 0;
+    fn write(&self, w: &mut Writer<'_>) {
+        w.u16(*self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u16()
+    }
+}
+
+impl WireField for u32 {
+    const LEN: usize = 4;
+    const ZERO: Self = 0;
+    fn write(&self, w: &mut Writer<'_>) {
+        w.u32(*self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl WireField for u64 {
+    const LEN: usize = 8;
+    const ZERO: Self = 0;
+    fn write(&self, w: &mut Writer<'_>) {
+        w.u64(*self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl<const N: usize> WireField for [u64; N] {
+    const LEN: usize = 8 * N;
+    const ZERO: Self = [0; N];
+    fn write(&self, w: &mut Writer<'_>) {
+        w.u64_array(self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64_array::<N>()
+    }
+}
+
+impl<const N: usize> WireField for [u8; N] {
+    const LEN: usize = N;
+    const ZERO: Self = [0; N];
+    fn write(&self, w: &mut Writer<'_>) {
+        w.bytes(self);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.bytes::<N>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lens() {
+        assert_eq!(<u8 as WireField>::LEN, 1);
+        assert_eq!(<u64 as WireField>::LEN, 8);
+        assert_eq!(<[u64; 32] as WireField>::LEN, 256);
+        assert_eq!(<[u8; 64] as WireField>::LEN, 64);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let mut buf = Vec::new();
+        let a: [u64; 4] = [1, 2, 3, u64::MAX];
+        a.write(&mut Writer::new(&mut buf));
+        let got = <[u64; 4] as WireField>::read(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got, a);
+    }
+}

@@ -1,0 +1,104 @@
+//! Monitored-event wrappers: order tags and replay tokens.
+//!
+//! The DUT-side monitor stamps every captured event with
+//!
+//! - an [`OrderTag`]: the global commit sequence number the event binds to,
+//!   which the Squash mechanism uses to decouple transmission order from
+//!   checking order (paper §4.3), and
+//! - a [`Token`]: a monotone identifier over the replay buffer, which the
+//!   Replay mechanism uses to select the exact retransmission range after a
+//!   mismatch (paper §4.4).
+
+use std::fmt;
+
+use crate::catalog::Event;
+
+/// The commit sequence number an event is ordered against.
+///
+/// An event tagged `OrderTag(n)` must be checked after the instruction with
+/// commit sequence `n - 1` and before the instruction with sequence `n`
+/// (for interrupt-style events), or belongs to instruction `n` itself (for
+/// per-instruction events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OrderTag(pub u64);
+
+impl fmt::Display for OrderTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A monotone token naming an entry of the hardware replay buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Token(pub u64);
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok{}", self.0)
+    }
+}
+
+/// An event as captured by the DUT-side monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitoredEvent {
+    /// Core the event came from.
+    pub core: u8,
+    /// DUT cycle at capture.
+    pub cycle: u64,
+    /// Commit-order binding.
+    pub order: OrderTag,
+    /// Replay-buffer token.
+    pub token: Token,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl MonitoredEvent {
+    /// Encoded payload size of the wrapped event.
+    pub fn encoded_len(&self) -> usize {
+        self.event.encoded_len()
+    }
+
+    /// Whether the wrapped event is a non-deterministic event.
+    pub fn is_nde(&self) -> bool {
+        self.event.is_nde()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ArchEvent, StoreEvent};
+
+    #[test]
+    fn order_tags_sort() {
+        let mut tags = [OrderTag(3), OrderTag(1), OrderTag(2)];
+        tags.sort();
+        assert_eq!(tags, [OrderTag(1), OrderTag(2), OrderTag(3)]);
+        assert_eq!(OrderTag(7).to_string(), "#7");
+        assert_eq!(Token(7).to_string(), "tok7");
+    }
+
+    #[test]
+    fn monitored_event_delegates() {
+        let m = MonitoredEvent {
+            core: 0,
+            cycle: 10,
+            order: OrderTag(5),
+            token: Token(1),
+            event: ArchEvent {
+                is_interrupt: 1,
+                ..Default::default()
+            }
+            .into(),
+        };
+        assert!(m.is_nde());
+        assert_eq!(m.encoded_len(), 25);
+
+        let m2 = MonitoredEvent {
+            event: StoreEvent::default().into(),
+            ..m
+        };
+        assert!(!m2.is_nde());
+    }
+}

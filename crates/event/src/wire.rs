@@ -1,0 +1,243 @@
+//! Little-endian fixed-layout binary codec primitives.
+//!
+//! Every verification event encodes to a fixed number of bytes determined by
+//! its type — the *structural semantics* the Batch mechanism exploits. The
+//! [`Writer`] and [`Reader`] here are deliberately minimal: no framing, no
+//! lengths, no tags. All framing lives in the packing layers above.
+
+use std::fmt;
+
+/// Error returned when decoding runs out of bytes or sees an invalid value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the fixed layout was fully read.
+    UnexpectedEnd {
+        /// Bytes still required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// An event-kind discriminant was out of range.
+    BadKind(u8),
+    /// Trailing bytes remained after a payload decode that must be exact.
+    TrailingBytes(usize),
+    /// A transport sequence number was older than the receive window (a
+    /// duplicated or replayed packet).
+    StaleSequence {
+        /// Next sequence number the receiver expects.
+        expected: u32,
+        /// The stale number that arrived.
+        got: u32,
+    },
+    /// The reorder buffer overflowed: a sequence gap never filled (packet
+    /// loss on the link).
+    ReorderOverflow {
+        /// Sequence number the receiver is still waiting for.
+        missing: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { needed, available } => write!(
+                f,
+                "unexpected end of buffer: needed {needed} bytes, {available} available"
+            ),
+            CodecError::BadKind(k) => write!(f, "invalid event kind discriminant {k}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::StaleSequence { expected, got } => {
+                write!(f, "stale packet sequence {got} (expected {expected})")
+            }
+            CodecError::ReorderOverflow { missing } => {
+                write!(f, "reorder buffer overflow: packet {missing} never arrived")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends fixed-layout little-endian fields to a byte vector.
+#[derive(Debug)]
+pub struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> Writer<'a> {
+    /// Wraps `buf` for appending.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
+    /// Writes a `u8`.
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16` little-endian.
+    #[inline]
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` little-endian.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a fixed array of `u64` values.
+    #[inline]
+    pub fn u64_array(&mut self, vs: &[u64]) {
+        for v in vs {
+            self.u64(*v);
+        }
+    }
+
+    /// Writes a fixed array of raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, vs: &[u8]) {
+        self.buf.extend_from_slice(vs);
+    }
+}
+
+/// Reads fixed-layout little-endian fields from a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEnd {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` little-endian.
+    #[inline]
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` little-endian.
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` little-endian.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `N` `u64` values.
+    #[inline]
+    pub fn u64_array<const N: usize>(&mut self) -> Result<[u64; N], CodecError> {
+        let mut out = [0u64; N];
+        for slot in &mut out {
+            *slot = self.u64()?;
+        }
+        Ok(out)
+    }
+
+    /// Reads `N` raw bytes.
+    #[inline]
+    pub fn bytes<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Reads `n` raw bytes with a run-time length.
+    #[inline]
+    pub fn bytes_dyn(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Fails unless the reader consumed the buffer exactly.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(0x0102_0304_0506_0708);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_buffer_errors() {
+        let buf = [0u8; 3];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.u64(), Err(CodecError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [0u8; 4];
+        let mut r = Reader::new(&buf);
+        r.u16().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u64_array(&[1, 2, 3]);
+        w.bytes(&[9, 8]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u64_array::<3>().unwrap(), [1, 2, 3]);
+        assert_eq!(r.bytes::<2>().unwrap(), [9, 8]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Property tests: every event kind's codec is total over exact-length
+//! inputs and encode∘decode is the identity on the byte level.
+
+use difftest_event::{Event, EventKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_encode_is_identity_on_bytes(
+        kind_idx in 0usize..EventKind::COUNT,
+        seed in any::<u64>(),
+    ) {
+        let kind = EventKind::ALL[kind_idx];
+        // Deterministic pseudo-random payload of the exact length.
+        let bytes: Vec<u8> = (0..kind.encoded_len())
+            .map(|i| (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i as u32) >> 32) as u8)
+            .collect();
+        let event = Event::decode(kind, &bytes).expect("exact length decodes");
+        let mut back = Vec::new();
+        event.encode_into(&mut back);
+        prop_assert_eq!(back, bytes);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_lengths(
+        kind_idx in 0usize..EventKind::COUNT,
+        delta in prop_oneof![Just(-1i64), Just(1i64), Just(7i64)],
+    ) {
+        let kind = EventKind::ALL[kind_idx];
+        let len = (kind.encoded_len() as i64 + delta).max(0) as usize;
+        prop_assume!(len != kind.encoded_len());
+        let bytes = vec![0u8; len];
+        prop_assert!(Event::decode(kind, &bytes).is_err());
+    }
+}

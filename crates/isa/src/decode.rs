@@ -1,0 +1,380 @@
+//! Decoder from raw 32-bit machine words to [`Insn`].
+
+use crate::{Insn, Op, Reg};
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn sext(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value as i64) << shift) >> shift
+}
+
+fn imm_i(word: u32) -> i64 {
+    sext(bits(word, 31, 20), 12)
+}
+
+fn imm_s(word: u32) -> i64 {
+    sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+}
+
+fn imm_b(word: u32) -> i64 {
+    let v = (bits(word, 31, 31) << 12)
+        | (bits(word, 7, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1);
+    sext(v, 13)
+}
+
+fn imm_u(word: u32) -> i64 {
+    sext(word & 0xffff_f000, 32)
+}
+
+fn imm_j(word: u32) -> i64 {
+    let v = (bits(word, 31, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bits(word, 20, 20) << 11)
+        | (bits(word, 30, 21) << 1);
+    sext(v, 21)
+}
+
+/// Decodes a raw 32-bit machine word.
+///
+/// Unrecognised encodings decode to [`Op::Illegal`]; executing such an
+/// instruction raises an illegal-instruction exception, so the decoder never
+/// fails.
+///
+/// # Examples
+///
+/// ```
+/// use difftest_isa::{decode, Op};
+/// assert_eq!(decode(0x0000_0013).op, Op::Addi); // canonical NOP
+/// assert_eq!(decode(0xffff_ffff).op, Op::Illegal);
+/// ```
+pub fn decode(word: u32) -> Insn {
+    let opcode = bits(word, 6, 0);
+    let rd = Reg::new(bits(word, 11, 7) as u8);
+    let rs1 = Reg::new(bits(word, 19, 15) as u8);
+    let rs2 = Reg::new(bits(word, 24, 20) as u8);
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+
+    let mut insn = Insn {
+        raw: word,
+        op: Op::Illegal,
+        rd,
+        rs1,
+        rs2,
+        imm: 0,
+        csr: 0,
+    };
+
+    match opcode {
+        0x37 => {
+            insn.op = Op::Lui;
+            insn.imm = imm_u(word);
+        }
+        0x17 => {
+            insn.op = Op::Auipc;
+            insn.imm = imm_u(word);
+        }
+        0x6f => {
+            insn.op = Op::Jal;
+            insn.imm = imm_j(word);
+        }
+        0x67 if funct3 == 0 => {
+            insn.op = Op::Jalr;
+            insn.imm = imm_i(word);
+        }
+        0x63 => {
+            insn.imm = imm_b(word);
+            insn.op = match funct3 {
+                0 => Op::Beq,
+                1 => Op::Bne,
+                4 => Op::Blt,
+                5 => Op::Bge,
+                6 => Op::Bltu,
+                7 => Op::Bgeu,
+                _ => Op::Illegal,
+            };
+        }
+        0x03 => {
+            insn.imm = imm_i(word);
+            insn.op = match funct3 {
+                0 => Op::Lb,
+                1 => Op::Lh,
+                2 => Op::Lw,
+                3 => Op::Ld,
+                4 => Op::Lbu,
+                5 => Op::Lhu,
+                6 => Op::Lwu,
+                _ => Op::Illegal,
+            };
+        }
+        0x23 => {
+            insn.imm = imm_s(word);
+            insn.op = match funct3 {
+                0 => Op::Sb,
+                1 => Op::Sh,
+                2 => Op::Sw,
+                3 => Op::Sd,
+                _ => Op::Illegal,
+            };
+        }
+        0x13 => {
+            insn.imm = imm_i(word);
+            let funct12 = bits(word, 31, 20);
+            insn.op = match funct3 {
+                0 => Op::Addi,
+                2 => Op::Slti,
+                3 => Op::Sltiu,
+                4 => Op::Xori,
+                6 => Op::Ori,
+                7 => Op::Andi,
+                // Zbb unary operations share the shift funct space.
+                1 if funct12 == 0x600 => Op::Clz,
+                1 if funct12 == 0x601 => Op::Ctz,
+                1 if funct12 == 0x602 => Op::Cpop,
+                1 if funct12 == 0x604 => Op::SextB,
+                1 if funct12 == 0x605 => Op::SextH,
+                5 if funct12 == 0x6b8 => Op::Rev8,
+                5 if funct12 == 0x287 => Op::OrcB,
+                1 if funct7 >> 1 == 0 => {
+                    insn.imm = bits(word, 25, 20) as i64;
+                    Op::Slli
+                }
+                5 if funct7 >> 1 == 0 => {
+                    insn.imm = bits(word, 25, 20) as i64;
+                    Op::Srli
+                }
+                5 if funct7 >> 1 == 0b010000 => {
+                    insn.imm = bits(word, 25, 20) as i64;
+                    Op::Srai
+                }
+                5 if funct7 >> 1 == 0b011000 => {
+                    insn.imm = bits(word, 25, 20) as i64;
+                    Op::Rori
+                }
+                _ => Op::Illegal,
+            };
+        }
+        0x1b => {
+            insn.imm = imm_i(word);
+            insn.op = match funct3 {
+                0 => Op::Addiw,
+                1 if funct7 == 0 => {
+                    insn.imm = bits(word, 24, 20) as i64;
+                    Op::Slliw
+                }
+                5 if funct7 == 0 => {
+                    insn.imm = bits(word, 24, 20) as i64;
+                    Op::Srliw
+                }
+                5 if funct7 == 0b0100000 => {
+                    insn.imm = bits(word, 24, 20) as i64;
+                    Op::Sraiw
+                }
+                _ => Op::Illegal,
+            };
+        }
+        0x33 => {
+            insn.op = match (funct7, funct3) {
+                // Zbb register-register.
+                (0x20, 7) => Op::Andn,
+                (0x20, 6) => Op::Orn,
+                (0x20, 4) => Op::Xnor,
+                (0x05, 4) => Op::Min,
+                (0x05, 5) => Op::Minu,
+                (0x05, 6) => Op::Max,
+                (0x05, 7) => Op::Maxu,
+                (0x30, 1) => Op::Rol,
+                (0x30, 5) => Op::Ror,
+                (0x00, 0) => Op::Add,
+                (0x20, 0) => Op::Sub,
+                (0x00, 1) => Op::Sll,
+                (0x00, 2) => Op::Slt,
+                (0x00, 3) => Op::Sltu,
+                (0x00, 4) => Op::Xor,
+                (0x00, 5) => Op::Srl,
+                (0x20, 5) => Op::Sra,
+                (0x00, 6) => Op::Or,
+                (0x00, 7) => Op::And,
+                (0x01, 0) => Op::Mul,
+                (0x01, 1) => Op::Mulh,
+                (0x01, 2) => Op::Mulhsu,
+                (0x01, 3) => Op::Mulhu,
+                (0x01, 4) => Op::Div,
+                (0x01, 5) => Op::Divu,
+                (0x01, 6) => Op::Rem,
+                (0x01, 7) => Op::Remu,
+                _ => Op::Illegal,
+            };
+        }
+        0x3b => {
+            insn.op = match (funct7, funct3) {
+                (0x04, 4) if rs2.is_zero() => Op::ZextH,
+                (0x00, 0) => Op::Addw,
+                (0x20, 0) => Op::Subw,
+                (0x00, 1) => Op::Sllw,
+                (0x00, 5) => Op::Srlw,
+                (0x20, 5) => Op::Sraw,
+                (0x01, 0) => Op::Mulw,
+                (0x01, 4) => Op::Divw,
+                (0x01, 5) => Op::Divuw,
+                (0x01, 6) => Op::Remw,
+                (0x01, 7) => Op::Remuw,
+                _ => Op::Illegal,
+            };
+        }
+        0x2f => {
+            let funct5 = funct7 >> 2;
+            insn.op = match (funct5, funct3) {
+                (0x02, 2) if rs2.is_zero() => Op::LrW,
+                (0x03, 2) => Op::ScW,
+                (0x02, 3) if rs2.is_zero() => Op::LrD,
+                (0x03, 3) => Op::ScD,
+                (0x01, 2) => Op::AmoSwapW,
+                (0x00, 2) => Op::AmoAddW,
+                (0x04, 2) => Op::AmoXorW,
+                (0x0c, 2) => Op::AmoAndW,
+                (0x08, 2) => Op::AmoOrW,
+                (0x10, 2) => Op::AmoMinW,
+                (0x14, 2) => Op::AmoMaxW,
+                (0x18, 2) => Op::AmoMinuW,
+                (0x1c, 2) => Op::AmoMaxuW,
+                (0x01, 3) => Op::AmoSwapD,
+                (0x00, 3) => Op::AmoAddD,
+                (0x04, 3) => Op::AmoXorD,
+                (0x0c, 3) => Op::AmoAndD,
+                (0x08, 3) => Op::AmoOrD,
+                (0x10, 3) => Op::AmoMinD,
+                (0x14, 3) => Op::AmoMaxD,
+                (0x18, 3) => Op::AmoMinuD,
+                (0x1c, 3) => Op::AmoMaxuD,
+                _ => Op::Illegal,
+            };
+        }
+        0x0f => {
+            insn.op = Op::Fence;
+        }
+        0x73 => {
+            match funct3 {
+                0 => {
+                    insn.op = match bits(word, 31, 20) {
+                        0x000 if rd.is_zero() && rs1.is_zero() => Op::Ecall,
+                        0x001 if rd.is_zero() && rs1.is_zero() => Op::Ebreak,
+                        0x302 if rd.is_zero() && rs1.is_zero() => Op::Mret,
+                        0x105 if rd.is_zero() && rs1.is_zero() => Op::Wfi,
+                        _ => Op::Illegal,
+                    };
+                }
+                1..=3 | 5..=7 => {
+                    insn.csr = bits(word, 31, 20) as u16;
+                    insn.op = match funct3 {
+                        1 => Op::Csrrw,
+                        2 => Op::Csrrs,
+                        3 => Op::Csrrc,
+                        5 => Op::Csrrwi,
+                        6 => Op::Csrrsi,
+                        7 => Op::Csrrci,
+                        _ => unreachable!(),
+                    };
+                }
+                _ => {}
+            }
+        }
+        0x07 if funct3 == 3 => {
+            insn.op = Op::Fld;
+            insn.imm = imm_i(word);
+        }
+        0x27 if funct3 == 3 => {
+            insn.op = Op::Fsd;
+            insn.imm = imm_s(word);
+        }
+        0x53 => {
+            insn.op = match funct7 {
+                0b0000001 => Op::FaddD,
+                0b0000101 => Op::FsubD,
+                0b0001001 => Op::FmulD,
+                0b0001101 => Op::FdivD,
+                0b1111001 if rs2.is_zero() && funct3 == 0 => Op::FmvDX,
+                0b1110001 if rs2.is_zero() && funct3 == 0 => Op::FmvXD,
+                _ => Op::Illegal,
+            };
+        }
+        _ => {}
+    }
+
+    insn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_nop() {
+        let i = decode(0x0000_0013);
+        assert_eq!(i.op, Op::Addi);
+        assert!(i.rd.is_zero());
+        assert_eq!(i.imm, 0);
+    }
+
+    #[test]
+    fn decode_negative_immediates() {
+        // addi a0, a0, -1  => 0xfff50513
+        let i = decode(0xfff5_0513);
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.imm, -1);
+        // beq x0, x0, -4 has a negative B immediate.
+        let word = crate::encode::beq(Reg::ZERO, Reg::ZERO, -4);
+        assert_eq!(decode(word).imm, -4);
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode(0x0000_0073).op, Op::Ecall);
+        assert_eq!(decode(0x0010_0073).op, Op::Ebreak);
+        assert_eq!(decode(0x3020_0073).op, Op::Mret);
+        assert_eq!(decode(0x1050_0073).op, Op::Wfi);
+    }
+
+    #[test]
+    fn decode_csr() {
+        // csrrw a0, mscratch, a1 => 0x340595f3? Build via encoder instead.
+        let w = crate::encode::csrrw(Reg::A0, 0x340, Reg::A1);
+        let i = decode(w);
+        assert_eq!(i.op, Op::Csrrw);
+        assert_eq!(i.csr, 0x340);
+        assert_eq!(i.rd, Reg::A0);
+        assert_eq!(i.rs1, Reg::A1);
+    }
+
+    #[test]
+    fn decode_illegal() {
+        assert_eq!(decode(0x0000_0000).op, Op::Illegal);
+        assert_eq!(decode(0xffff_ffff).op, Op::Illegal);
+    }
+
+    #[test]
+    fn decode_shamt_rv64() {
+        // slli a0, a0, 63
+        let w = crate::encode::slli(Reg::A0, Reg::A0, 63);
+        let i = decode(w);
+        assert_eq!(i.op, Op::Slli);
+        assert_eq!(i.imm, 63);
+    }
+
+    #[test]
+    fn decode_amo() {
+        let w = crate::encode::amoadd_w(Reg::A0, Reg::A1, Reg::A2);
+        let i = decode(w);
+        assert_eq!(i.op, Op::AmoAddW);
+        assert_eq!(i.rd, Reg::A0);
+        assert_eq!(i.rs1, Reg::A1);
+        assert_eq!(i.rs2, Reg::A2);
+    }
+}

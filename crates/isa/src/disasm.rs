@@ -1,0 +1,215 @@
+//! Disassembly used by `Display for Insn` and by debugging reports.
+
+use std::fmt;
+
+use crate::{Insn, Op};
+
+fn mnemonic(op: Op) -> &'static str {
+    use Op::*;
+    match op {
+        Lui => "lui",
+        Auipc => "auipc",
+        Jal => "jal",
+        Jalr => "jalr",
+        Beq => "beq",
+        Bne => "bne",
+        Blt => "blt",
+        Bge => "bge",
+        Bltu => "bltu",
+        Bgeu => "bgeu",
+        Lb => "lb",
+        Lh => "lh",
+        Lw => "lw",
+        Ld => "ld",
+        Lbu => "lbu",
+        Lhu => "lhu",
+        Lwu => "lwu",
+        Sb => "sb",
+        Sh => "sh",
+        Sw => "sw",
+        Sd => "sd",
+        Addi => "addi",
+        Slti => "slti",
+        Sltiu => "sltiu",
+        Xori => "xori",
+        Ori => "ori",
+        Andi => "andi",
+        Slli => "slli",
+        Srli => "srli",
+        Srai => "srai",
+        Addiw => "addiw",
+        Slliw => "slliw",
+        Srliw => "srliw",
+        Sraiw => "sraiw",
+        Add => "add",
+        Sub => "sub",
+        Sll => "sll",
+        Slt => "slt",
+        Sltu => "sltu",
+        Xor => "xor",
+        Srl => "srl",
+        Sra => "sra",
+        Or => "or",
+        And => "and",
+        Addw => "addw",
+        Subw => "subw",
+        Sllw => "sllw",
+        Srlw => "srlw",
+        Sraw => "sraw",
+        Mul => "mul",
+        Mulh => "mulh",
+        Mulhsu => "mulhsu",
+        Mulhu => "mulhu",
+        Div => "div",
+        Divu => "divu",
+        Rem => "rem",
+        Remu => "remu",
+        Mulw => "mulw",
+        Divw => "divw",
+        Divuw => "divuw",
+        Remw => "remw",
+        Remuw => "remuw",
+        LrW => "lr.w",
+        ScW => "sc.w",
+        LrD => "lr.d",
+        ScD => "sc.d",
+        AmoSwapW => "amoswap.w",
+        AmoAddW => "amoadd.w",
+        AmoXorW => "amoxor.w",
+        AmoAndW => "amoand.w",
+        AmoOrW => "amoor.w",
+        AmoMinW => "amomin.w",
+        AmoMaxW => "amomax.w",
+        AmoMinuW => "amominu.w",
+        AmoMaxuW => "amomaxu.w",
+        AmoSwapD => "amoswap.d",
+        AmoAddD => "amoadd.d",
+        AmoXorD => "amoxor.d",
+        AmoAndD => "amoand.d",
+        AmoOrD => "amoor.d",
+        AmoMinD => "amomin.d",
+        AmoMaxD => "amomax.d",
+        AmoMinuD => "amominu.d",
+        AmoMaxuD => "amomaxu.d",
+        Andn => "andn",
+        Orn => "orn",
+        Xnor => "xnor",
+        Min => "min",
+        Minu => "minu",
+        Max => "max",
+        Maxu => "maxu",
+        Rol => "rol",
+        Ror => "ror",
+        Rori => "rori",
+        Clz => "clz",
+        Ctz => "ctz",
+        Cpop => "cpop",
+        SextB => "sext.b",
+        SextH => "sext.h",
+        ZextH => "zext.h",
+        Rev8 => "rev8",
+        OrcB => "orc.b",
+        Fence => "fence",
+        Ecall => "ecall",
+        Ebreak => "ebreak",
+        Mret => "mret",
+        Wfi => "wfi",
+        Csrrw => "csrrw",
+        Csrrs => "csrrs",
+        Csrrc => "csrrc",
+        Csrrwi => "csrrwi",
+        Csrrsi => "csrrsi",
+        Csrrci => "csrrci",
+        Fld => "fld",
+        Fsd => "fsd",
+        FmvDX => "fmv.d.x",
+        FmvXD => "fmv.x.d",
+        FaddD => "fadd.d",
+        FsubD => "fsub.d",
+        FmulD => "fmul.d",
+        FdivD => "fdiv.d",
+        Illegal => "illegal",
+    }
+}
+
+pub(crate) fn fmt_insn(insn: &Insn, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use Op::*;
+    let m = mnemonic(insn.op);
+    match insn.op {
+        Lui | Auipc => write!(f, "{m} {}, {:#x}", insn.rd, (insn.imm as u64) >> 12),
+        Jal => write!(f, "{m} {}, {}", insn.rd, insn.imm),
+        Jalr => write!(f, "{m} {}, {}({})", insn.rd, insn.imm, insn.rs1),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            write!(f, "{m} {}, {}, {}", insn.rs1, insn.rs2, insn.imm)
+        }
+        Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+            write!(f, "{m} {}, {}({})", insn.rd, insn.imm, insn.rs1)
+        }
+        Fld => write!(f, "{m} {}, {}({})", insn.frd(), insn.imm, insn.rs1),
+        Sb | Sh | Sw | Sd => write!(f, "{m} {}, {}({})", insn.rs2, insn.imm, insn.rs1),
+        Fsd => write!(f, "{m} {}, {}({})", insn.frs2(), insn.imm, insn.rs1),
+        Slli | Srli | Srai | Slliw | Srliw | Sraiw => {
+            write!(f, "{m} {}, {}, {}", insn.rd, insn.rs1, insn.imm)
+        }
+        Addi | Slti | Sltiu | Xori | Ori | Andi | Addiw => {
+            write!(f, "{m} {}, {}, {}", insn.rd, insn.rs1, insn.imm)
+        }
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Addw | Subw | Sllw | Srlw
+        | Sraw | Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu | Mulw | Divw | Divuw
+        | Remw | Remuw => write!(f, "{m} {}, {}, {}", insn.rd, insn.rs1, insn.rs2),
+        LrW | LrD => write!(f, "{m} {}, ({})", insn.rd, insn.rs1),
+        ScW | ScD | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW
+        | AmoMinuW | AmoMaxuW | AmoSwapD | AmoAddD | AmoXorD | AmoAndD | AmoOrD | AmoMinD
+        | AmoMaxD | AmoMinuD | AmoMaxuD => {
+            write!(f, "{m} {}, {}, ({})", insn.rd, insn.rs2, insn.rs1)
+        }
+        Andn | Orn | Xnor | Min | Minu | Max | Maxu | Rol | Ror => {
+            write!(f, "{m} {}, {}, {}", insn.rd, insn.rs1, insn.rs2)
+        }
+        Rori => write!(f, "{m} {}, {}, {}", insn.rd, insn.rs1, insn.imm & 63),
+        Clz | Ctz | Cpop | SextB | SextH | ZextH | Rev8 | OrcB => {
+            write!(f, "{m} {}, {}", insn.rd, insn.rs1)
+        }
+        Fence | Ecall | Ebreak | Mret | Wfi => f.write_str(m),
+        Csrrw | Csrrs | Csrrc => {
+            write!(f, "{m} {}, {:#x}, {}", insn.rd, insn.csr, insn.rs1)
+        }
+        Csrrwi | Csrrsi | Csrrci => {
+            write!(f, "{m} {}, {:#x}, {}", insn.rd, insn.csr, insn.zimm())
+        }
+        FmvDX => write!(f, "{m} {}, {}", insn.frd(), insn.rs1),
+        FmvXD => write!(f, "{m} {}, {}", insn.rd, insn.frs1()),
+        FaddD | FsubD | FmulD | FdivD => {
+            write!(f, "{m} {}, {}, {}", insn.frd(), insn.frs1(), insn.frs2())
+        }
+        Illegal => write!(f, "{m} ({:#010x})", insn.raw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode, encode, Reg};
+
+    #[test]
+    fn disasm_smoke() {
+        assert_eq!(decode(encode::nop()).to_string(), "addi zero, zero, 0");
+        assert_eq!(
+            decode(encode::ld(Reg::A0, Reg::SP, 8)).to_string(),
+            "ld a0, 8(sp)"
+        );
+        assert_eq!(
+            decode(encode::beq(Reg::A0, Reg::A1, -8)).to_string(),
+            "beq a0, a1, -8"
+        );
+        assert_eq!(decode(encode::ecall()).to_string(), "ecall");
+        assert_eq!(decode(0).to_string(), "illegal (0x00000000)");
+    }
+
+    #[test]
+    fn disasm_never_empty() {
+        // C-DEBUG-NONEMPTY: every decodable word renders to something.
+        for w in [0u32, 0x13, 0x73, 0xffff_ffff, encode::mret()] {
+            assert!(!decode(w).to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the encoder and decoder are mutual inverses on the
+//! supported subset, and the decoder never panics on arbitrary words.
+
+use difftest_isa::{decode, encode, Op, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+proptest! {
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let insn = decode(word);
+        // Display must never panic or be empty either (C-DEBUG-NONEMPTY).
+        prop_assert!(!insn.to_string().is_empty());
+    }
+
+    #[test]
+    fn rtype_round_trip(rd in any_reg(), rs1 in any_reg(), rs2 in any_reg()) {
+        for (f, op) in [
+            (encode::add as fn(Reg, Reg, Reg) -> u32, Op::Add),
+            (encode::sub, Op::Sub),
+            (encode::xor, Op::Xor),
+            (encode::mul, Op::Mul),
+            (encode::divu, Op::Divu),
+            (encode::remw, Op::Remw),
+            (encode::sltu, Op::Sltu),
+        ] {
+            let i = decode(f(rd, rs1, rs2));
+            prop_assert_eq!(i.op, op);
+            prop_assert_eq!(i.rd, rd);
+            prop_assert_eq!(i.rs1, rs1);
+            prop_assert_eq!(i.rs2, rs2);
+        }
+    }
+
+    #[test]
+    fn itype_round_trip(rd in any_reg(), rs1 in any_reg(), imm in -2048i64..=2047) {
+        for (f, op) in [
+            (encode::addi as fn(Reg, Reg, i64) -> u32, Op::Addi),
+            (encode::andi, Op::Andi),
+            (encode::ld, Op::Ld),
+            (encode::lbu, Op::Lbu),
+            (encode::jalr, Op::Jalr),
+        ] {
+            let i = decode(f(rd, rs1, imm));
+            prop_assert_eq!(i.op, op);
+            prop_assert_eq!(i.rd, rd);
+            prop_assert_eq!(i.rs1, rs1);
+            prop_assert_eq!(i.imm, imm);
+        }
+    }
+
+    #[test]
+    fn stype_round_trip(rs1 in any_reg(), rs2 in any_reg(), imm in -2048i64..=2047) {
+        let i = decode(encode::sd(rs2, rs1, imm));
+        prop_assert_eq!(i.op, Op::Sd);
+        prop_assert_eq!(i.rs1, rs1);
+        prop_assert_eq!(i.rs2, rs2);
+        prop_assert_eq!(i.imm, imm);
+    }
+
+    #[test]
+    fn btype_round_trip(rs1 in any_reg(), rs2 in any_reg(), off in -2048i64..=2047) {
+        let off = off * 2; // branch offsets are even
+        let i = decode(encode::bne(rs1, rs2, off));
+        prop_assert_eq!(i.op, Op::Bne);
+        prop_assert_eq!(i.imm, off);
+    }
+
+    #[test]
+    fn jtype_round_trip(rd in any_reg(), off in -524288i64..=524287) {
+        let off = off * 2;
+        let i = decode(encode::jal(rd, off));
+        prop_assert_eq!(i.op, Op::Jal);
+        prop_assert_eq!(i.rd, rd);
+        prop_assert_eq!(i.imm, off);
+    }
+
+    #[test]
+    fn utype_round_trip(rd in any_reg(), page in 0i64..=0xfffff) {
+        let imm = page << 12;
+        let i = decode(encode::lui(rd, imm));
+        prop_assert_eq!(i.op, Op::Lui);
+        // The decoder sign-extends from bit 31.
+        prop_assert_eq!(i.imm as u32, imm as u32);
+    }
+
+    #[test]
+    fn shift_round_trip(rd in any_reg(), rs1 in any_reg(), sh in 0u32..64) {
+        let i = decode(encode::srai(rd, rs1, sh));
+        prop_assert_eq!(i.op, Op::Srai);
+        prop_assert_eq!(i.imm, sh as i64);
+    }
+
+    #[test]
+    fn csr_round_trip(rd in any_reg(), rs1 in any_reg(), csr in 0u16..4096) {
+        let i = decode(encode::csrrs(rd, csr, rs1));
+        prop_assert_eq!(i.op, Op::Csrrs);
+        prop_assert_eq!(i.csr, csr);
+        prop_assert_eq!(i.rd, rd);
+        prop_assert_eq!(i.rs1, rs1);
+    }
+}

@@ -1,0 +1,690 @@
+//! Pure RV64 instruction semantics.
+//!
+//! [`execute`] evaluates one instruction against an immutable view of the
+//! architectural state and memory, and returns an [`Effect`] describing every
+//! state mutation the instruction performs. The caller (the reference model,
+//! or the DUT's commit stage) applies the effect — possibly through a
+//! compensation journal, possibly with injected faults.
+//!
+//! Keeping semantics pure gives three things the project relies on:
+//! deterministic replay, journaled application for checkpoint/revert, and a
+//! single place where the DUT and REF semantics are defined (the DUT's
+//! *microarchitecture* and its injected bugs provide the divergence that
+//! co-simulation detects).
+
+use difftest_isa::csr::CsrIndex;
+use difftest_isa::trap::{Exception, Trap};
+use difftest_isa::{FReg, Insn, Op, Reg};
+use serde::{Deserialize, Serialize};
+
+use crate::{ArchState, Memory};
+
+/// A memory write performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemWrite {
+    /// Byte address of the write.
+    pub addr: u64,
+    /// Width in bytes (1, 2, 4 or 8).
+    pub len: u8,
+    /// The value written (low `len` bytes significant).
+    pub value: u64,
+}
+
+/// A memory read performed by an instruction (informational; the loaded
+/// value appears in the register-write field of the effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRead {
+    /// Byte address of the read.
+    pub addr: u64,
+    /// Width in bytes (1, 2, 4 or 8).
+    pub len: u8,
+}
+
+/// Every architectural mutation one instruction performs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Effect {
+    /// The PC of the next instruction.
+    pub next_pc: u64,
+    /// Integer register write, if any.
+    pub xw: Option<(Reg, u64)>,
+    /// Floating-point register write, if any.
+    pub fw: Option<(FReg, u64)>,
+    /// Up to two CSR writes (CSR instructions write one; `mret` writes
+    /// `mstatus` and consumes `mepc`).
+    pub csrw: [Option<(CsrIndex, u64)>; 2],
+    /// Memory write, if any.
+    pub memw: Option<MemWrite>,
+    /// Memory read, if any.
+    pub memr: Option<MemRead>,
+    /// `Some(new)` replaces the LR/SC reservation.
+    pub set_reservation: Option<Option<u64>>,
+    /// The memory access (if any) touched the MMIO hole. For loads the
+    /// effect's register value is a placeholder; the DUT resolves it against
+    /// its devices and the REF must be synchronized via `skip_next`.
+    pub mmio: bool,
+    /// Exception raised; when set, no other field applies.
+    pub trap: Option<Trap>,
+    /// A conditional branch evaluated taken.
+    pub branch_taken: bool,
+}
+
+impl Effect {
+    fn fall_through(pc: u64) -> Effect {
+        Effect {
+            next_pc: pc.wrapping_add(4),
+            ..Effect::default()
+        }
+    }
+
+    fn trap(t: Trap) -> Effect {
+        Effect {
+            trap: Some(t),
+            ..Effect::default()
+        }
+    }
+}
+
+#[inline]
+fn sext(value: u64, len: u8) -> u64 {
+    let bits = len as u32 * 8;
+    if bits == 64 {
+        value
+    } else {
+        let shift = 64 - bits;
+        (((value << shift) as i64) >> shift) as u64
+    }
+}
+
+fn csr_read(state: &ArchState, addr: u16) -> Result<(CsrIndex, u64), Trap> {
+    match CsrIndex::from_address(addr) {
+        Some(c) => Ok((c, state.csr(c))),
+        None => Err(Trap::Exception(Exception::IllegalInstr, 0)),
+    }
+}
+
+/// Evaluates `insn` at `state.pc()` against `state` and `mem`.
+///
+/// The returned [`Effect`] is not applied; callers decide how (journaled,
+/// fault-injected, ...). MMIO loads return a zero placeholder value with
+/// [`Effect::mmio`] set — resolving the device value is the caller's job.
+pub fn execute(state: &ArchState, mem: &Memory, insn: &Insn) -> Effect {
+    use Op::*;
+    let pc = state.pc();
+    let rs1 = state.xreg(insn.rs1);
+    let rs2 = state.xreg(insn.rs2);
+    let imm = insn.imm;
+    let mut eff = Effect::fall_through(pc);
+
+    macro_rules! wx {
+        ($v:expr) => {
+            // Writes to x0 are architectural no-ops and never reported as
+            // register-write effects (the monitor would otherwise emit
+            // commits whose destination value the REF cannot mirror).
+            if !insn.rd.is_zero() {
+                eff.xw = Some((insn.rd, $v));
+            }
+        };
+    }
+
+    match insn.op {
+        Lui => wx!(imm as u64),
+        Auipc => wx!(pc.wrapping_add(imm as u64)),
+        Jal => {
+            wx!(pc.wrapping_add(4));
+            eff.next_pc = pc.wrapping_add(imm as u64);
+        }
+        Jalr => {
+            wx!(pc.wrapping_add(4));
+            eff.next_pc = rs1.wrapping_add(imm as u64) & !1;
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let taken = match insn.op {
+                Beq => rs1 == rs2,
+                Bne => rs1 != rs2,
+                Blt => (rs1 as i64) < (rs2 as i64),
+                Bge => (rs1 as i64) >= (rs2 as i64),
+                Bltu => rs1 < rs2,
+                Bgeu => rs1 >= rs2,
+                _ => unreachable!(),
+            };
+            if taken {
+                eff.next_pc = pc.wrapping_add(imm as u64);
+                eff.branch_taken = true;
+            }
+        }
+        Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+            let addr = rs1.wrapping_add(imm as u64);
+            let (len, signed) = match insn.op {
+                Lb => (1, true),
+                Lh => (2, true),
+                Lw => (4, true),
+                Ld => (8, true),
+                Lbu => (1, false),
+                Lhu => (2, false),
+                Lwu => (4, false),
+                _ => unreachable!(),
+            };
+            if Memory::is_mmio(addr) {
+                eff.mmio = true;
+                eff.memr = Some(MemRead { addr, len });
+                wx!(0); // placeholder: resolved by the device / skip sync
+            } else if !Memory::in_ram(addr, len as u64) {
+                return Effect::trap(Trap::Exception(Exception::LoadAccessFault, addr));
+            } else {
+                let raw = mem.read(addr, len as usize);
+                eff.memr = Some(MemRead { addr, len });
+                wx!(if signed { sext(raw, len) } else { raw });
+            }
+        }
+        Fld => {
+            let addr = rs1.wrapping_add(imm as u64);
+            if Memory::is_mmio(addr) {
+                eff.mmio = true;
+                eff.memr = Some(MemRead { addr, len: 8 });
+                eff.fw = Some((insn.frd(), 0));
+            } else if !Memory::in_ram(addr, 8) {
+                return Effect::trap(Trap::Exception(Exception::LoadAccessFault, addr));
+            } else {
+                eff.memr = Some(MemRead { addr, len: 8 });
+                eff.fw = Some((insn.frd(), mem.read(addr, 8)));
+            }
+        }
+        Sb | Sh | Sw | Sd | Fsd => {
+            let addr = rs1.wrapping_add(imm as u64);
+            let (len, value) = match insn.op {
+                Sb => (1, rs2),
+                Sh => (2, rs2),
+                Sw => (4, rs2),
+                Sd => (8, rs2),
+                Fsd => (8, state.freg(insn.frs2())),
+                _ => unreachable!(),
+            };
+            if Memory::is_mmio(addr) {
+                eff.mmio = true;
+                eff.memw = Some(MemWrite { addr, len, value });
+            } else if !Memory::in_ram(addr, len as u64) {
+                return Effect::trap(Trap::Exception(Exception::StoreAccessFault, addr));
+            } else {
+                eff.memw = Some(MemWrite { addr, len, value });
+            }
+        }
+        Addi => wx!(rs1.wrapping_add(imm as u64)),
+        Slti => wx!(((rs1 as i64) < imm) as u64),
+        Sltiu => wx!((rs1 < imm as u64) as u64),
+        Xori => wx!(rs1 ^ imm as u64),
+        Ori => wx!(rs1 | imm as u64),
+        Andi => wx!(rs1 & imm as u64),
+        Slli => wx!(rs1 << (imm as u32 & 63)),
+        Srli => wx!(rs1 >> (imm as u32 & 63)),
+        Srai => wx!(((rs1 as i64) >> (imm as u32 & 63)) as u64),
+        Addiw => wx!(sext(rs1.wrapping_add(imm as u64) & 0xffff_ffff, 4)),
+        Slliw => wx!(sext(((rs1 as u32) << (imm as u32 & 31)) as u64, 4)),
+        Srliw => wx!(sext(((rs1 as u32) >> (imm as u32 & 31)) as u64, 4)),
+        Sraiw => wx!(sext((((rs1 as i32) >> (imm as u32 & 31)) as u32) as u64, 4)),
+        Add => wx!(rs1.wrapping_add(rs2)),
+        Sub => wx!(rs1.wrapping_sub(rs2)),
+        Sll => wx!(rs1 << (rs2 & 63)),
+        Slt => wx!(((rs1 as i64) < (rs2 as i64)) as u64),
+        Sltu => wx!((rs1 < rs2) as u64),
+        Xor => wx!(rs1 ^ rs2),
+        Srl => wx!(rs1 >> (rs2 & 63)),
+        Sra => wx!(((rs1 as i64) >> (rs2 & 63)) as u64),
+        Or => wx!(rs1 | rs2),
+        And => wx!(rs1 & rs2),
+        Addw => wx!(sext(rs1.wrapping_add(rs2) & 0xffff_ffff, 4)),
+        Subw => wx!(sext(rs1.wrapping_sub(rs2) & 0xffff_ffff, 4)),
+        Sllw => wx!(sext(((rs1 as u32) << (rs2 & 31)) as u64, 4)),
+        Srlw => wx!(sext(((rs1 as u32) >> (rs2 & 31)) as u64, 4)),
+        Sraw => wx!(sext((((rs1 as i32) >> (rs2 & 31)) as u32) as u64, 4)),
+        Mul => wx!(rs1.wrapping_mul(rs2)),
+        Mulh => wx!((((rs1 as i64 as i128) * (rs2 as i64 as i128)) >> 64) as u64),
+        Mulhsu => wx!((((rs1 as i64 as i128) * (rs2 as u128 as i128)) >> 64) as u64),
+        Mulhu => wx!((((rs1 as u128) * (rs2 as u128)) >> 64) as u64),
+        Div => {
+            let (a, b) = (rs1 as i64, rs2 as i64);
+            wx!(if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                (a / b) as u64
+            })
+        }
+        Divu => wx!(rs1.checked_div(rs2).unwrap_or(u64::MAX)),
+        Rem => {
+            let (a, b) = (rs1 as i64, rs2 as i64);
+            wx!(if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            })
+        }
+        Remu => wx!(if rs2 == 0 { rs1 } else { rs1 % rs2 }),
+        Mulw => wx!(sext((rs1 as u32).wrapping_mul(rs2 as u32) as u64, 4)),
+        Divw => {
+            let (a, b) = (rs1 as i32, rs2 as i32);
+            wx!(sext(
+                if b == 0 {
+                    u32::MAX as u64
+                } else if a == i32::MIN && b == -1 {
+                    a as u32 as u64
+                } else {
+                    (a / b) as u32 as u64
+                },
+                4
+            ))
+        }
+        Divuw => {
+            let (a, b) = (rs1 as u32, rs2 as u32);
+            wx!(sext(a.checked_div(b).unwrap_or(u32::MAX) as u64, 4))
+        }
+        Remw => {
+            let (a, b) = (rs1 as i32, rs2 as i32);
+            wx!(sext(
+                if b == 0 {
+                    a as u32 as u64
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as u32 as u64
+                },
+                4
+            ))
+        }
+        Remuw => {
+            let (a, b) = (rs1 as u32, rs2 as u32);
+            wx!(sext(if b == 0 { a as u64 } else { (a % b) as u64 }, 4))
+        }
+        LrW | LrD => {
+            let addr = rs1;
+            let len: u8 = if insn.op == LrW { 4 } else { 8 };
+            if !Memory::in_ram(addr, len as u64) {
+                return Effect::trap(Trap::Exception(Exception::LoadAccessFault, addr));
+            }
+            let raw = mem.read(addr, len as usize);
+            eff.memr = Some(MemRead { addr, len });
+            wx!(sext(raw, len));
+            eff.set_reservation = Some(Some(addr));
+        }
+        ScW | ScD => {
+            let addr = rs1;
+            let len: u8 = if insn.op == ScW { 4 } else { 8 };
+            if !Memory::in_ram(addr, len as u64) {
+                return Effect::trap(Trap::Exception(Exception::StoreAccessFault, addr));
+            }
+            if state.reservation() == Some(addr) {
+                eff.memw = Some(MemWrite {
+                    addr,
+                    len,
+                    value: rs2,
+                });
+                wx!(0);
+            } else {
+                wx!(1);
+            }
+            eff.set_reservation = Some(None);
+        }
+        AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW | AmoMinuW
+        | AmoMaxuW | AmoSwapD | AmoAddD | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD
+        | AmoMinuD | AmoMaxuD => {
+            let op = insn.op;
+            let addr = rs1;
+            let len: u8 = match op {
+                AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW
+                | AmoMinuW | AmoMaxuW => 4,
+                _ => 8,
+            };
+            if !Memory::in_ram(addr, len as u64) {
+                return Effect::trap(Trap::Exception(Exception::StoreAccessFault, addr));
+            }
+            let old = sext(mem.read(addr, len as usize), len);
+            // W-form AMOs operate on the sign-extended 32-bit views.
+            let (a, b) = if len == 4 {
+                (old as i32 as i64, rs2 as i32 as i64)
+            } else {
+                (old as i64, rs2 as i64)
+            };
+            let new = match op {
+                AmoSwapW | AmoSwapD => rs2,
+                AmoAddW | AmoAddD => (a.wrapping_add(b)) as u64,
+                AmoXorW | AmoXorD => (a ^ b) as u64,
+                AmoAndW | AmoAndD => (a & b) as u64,
+                AmoOrW | AmoOrD => (a | b) as u64,
+                AmoMinW | AmoMinD => a.min(b) as u64,
+                AmoMaxW | AmoMaxD => a.max(b) as u64,
+                AmoMinuW | AmoMinuD => {
+                    if len == 4 {
+                        (old as u32).min(rs2 as u32) as u64
+                    } else {
+                        old.min(rs2)
+                    }
+                }
+                AmoMaxuW | AmoMaxuD => {
+                    if len == 4 {
+                        (old as u32).max(rs2 as u32) as u64
+                    } else {
+                        old.max(rs2)
+                    }
+                }
+                _ => unreachable!("is_amo covers exactly these"),
+            };
+            eff.memr = Some(MemRead { addr, len });
+            eff.memw = Some(MemWrite {
+                addr,
+                len,
+                value: new,
+            });
+            wx!(old);
+        }
+        Andn => wx!(rs1 & !rs2),
+        Orn => wx!(rs1 | !rs2),
+        Xnor => wx!(!(rs1 ^ rs2)),
+        Min => wx!((rs1 as i64).min(rs2 as i64) as u64),
+        Minu => wx!(rs1.min(rs2)),
+        Max => wx!((rs1 as i64).max(rs2 as i64) as u64),
+        Maxu => wx!(rs1.max(rs2)),
+        Rol => wx!(rs1.rotate_left((rs2 & 63) as u32)),
+        Ror => wx!(rs1.rotate_right((rs2 & 63) as u32)),
+        Rori => wx!(rs1.rotate_right(imm as u32 & 63)),
+        Clz => wx!(rs1.leading_zeros() as u64),
+        Ctz => wx!(rs1.trailing_zeros() as u64),
+        Cpop => wx!(rs1.count_ones() as u64),
+        SextB => wx!(rs1 as u8 as i8 as i64 as u64),
+        SextH => wx!(rs1 as u16 as i16 as i64 as u64),
+        ZextH => wx!(rs1 as u16 as u64),
+        Rev8 => wx!(rs1.swap_bytes()),
+        OrcB => {
+            let mut v = 0u64;
+            for byte in 0..8 {
+                if (rs1 >> (8 * byte)) & 0xff != 0 {
+                    v |= 0xffu64 << (8 * byte);
+                }
+            }
+            wx!(v)
+        }
+        Fence | Wfi => {}
+        Ecall => return Effect::trap(Trap::Exception(Exception::EcallM, 0)),
+        Ebreak => return Effect::trap(Trap::Exception(Exception::Breakpoint, pc)),
+        Mret => {
+            use difftest_isa::csr::mstatus;
+            let status = state.csr(CsrIndex::Mstatus);
+            let mpie = (status & mstatus::MPIE) != 0;
+            let mut new_status = status;
+            if mpie {
+                new_status |= mstatus::MIE;
+            } else {
+                new_status &= !mstatus::MIE;
+            }
+            new_status |= mstatus::MPIE;
+            eff.csrw[0] = Some((CsrIndex::Mstatus, new_status));
+            eff.next_pc = state.csr(CsrIndex::Mepc);
+        }
+        Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
+            let (c, old) = match csr_read(state, insn.csr) {
+                Ok(v) => v,
+                Err(t) => return Effect::trap(t),
+            };
+            let operand = if matches!(insn.op, Csrrwi | Csrrsi | Csrrci) {
+                insn.zimm()
+            } else {
+                rs1
+            };
+            let write = match insn.op {
+                Csrrw | Csrrwi => Some(operand),
+                Csrrs | Csrrsi => {
+                    // No write when the mask operand is x0/zero-imm.
+                    if matches!(insn.op, Csrrs) && insn.rs1.is_zero() || operand == 0 {
+                        None
+                    } else {
+                        Some(old | operand)
+                    }
+                }
+                Csrrc | Csrrci => {
+                    if matches!(insn.op, Csrrc) && insn.rs1.is_zero() || operand == 0 {
+                        None
+                    } else {
+                        Some(old & !operand)
+                    }
+                }
+                _ => unreachable!(),
+            };
+            if let Some(v) = write {
+                eff.csrw[0] = Some((c, v));
+            }
+            wx!(old);
+        }
+        FmvDX => eff.fw = Some((insn.frd(), rs1)),
+        FmvXD => wx!(state.freg(insn.frs1())),
+        FaddD | FsubD | FmulD | FdivD => {
+            let a = f64::from_bits(state.freg(insn.frs1()));
+            let b = f64::from_bits(state.freg(insn.frs2()));
+            let r = match insn.op {
+                FaddD => a + b,
+                FsubD => a - b,
+                FmulD => a * b,
+                FdivD => a / b,
+                _ => unreachable!(),
+            };
+            eff.fw = Some((insn.frd(), r.to_bits()));
+        }
+        Illegal => {
+            return Effect::trap(Trap::Exception(Exception::IllegalInstr, insn.raw as u64))
+        }
+    }
+
+    eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_isa::{decode, encode};
+
+    fn setup() -> (ArchState, Memory) {
+        (ArchState::new(Memory::RAM_BASE), Memory::new())
+    }
+
+    fn run(state: &ArchState, mem: &Memory, word: u32) -> Effect {
+        execute(state, mem, &decode(word))
+    }
+
+    #[test]
+    fn addi_and_fall_through() {
+        let (s, m) = setup();
+        let e = run(&s, &m, encode::addi(Reg::A0, Reg::ZERO, -7));
+        assert_eq!(e.xw, Some((Reg::A0, (-7i64) as u64)));
+        assert_eq!(e.next_pc, Memory::RAM_BASE + 4);
+        assert!(e.trap.is_none());
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A0, 1);
+        let e = run(&s, &m, encode::beq(Reg::A0, Reg::ZERO, 16));
+        assert!(!e.branch_taken);
+        assert_eq!(e.next_pc, Memory::RAM_BASE + 4);
+        let e = run(&s, &m, encode::bne(Reg::A0, Reg::ZERO, 16));
+        assert!(e.branch_taken);
+        assert_eq!(e.next_pc, Memory::RAM_BASE + 16);
+    }
+
+    #[test]
+    fn load_sign_extension() {
+        let (mut s, mut m) = setup();
+        m.write(Memory::RAM_BASE + 0x100, 1, 0x80);
+        s.set_xreg(Reg::A1, Memory::RAM_BASE + 0x100);
+        let e = run(&s, &m, encode::lb(Reg::A0, Reg::A1, 0));
+        assert_eq!(e.xw, Some((Reg::A0, 0xffff_ffff_ffff_ff80)));
+        let e = run(&s, &m, encode::lbu(Reg::A0, Reg::A1, 0));
+        assert_eq!(e.xw, Some((Reg::A0, 0x80)));
+    }
+
+    #[test]
+    fn mmio_load_is_flagged() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A1, 0x1000_0000);
+        let e = run(&s, &m, encode::lw(Reg::A0, Reg::A1, 0));
+        assert!(e.mmio);
+        assert_eq!(e.xw, Some((Reg::A0, 0)));
+        assert!(e.trap.is_none());
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A1, Memory::RAM_BASE + Memory::RAM_SIZE);
+        let e = run(&s, &m, encode::lw(Reg::A0, Reg::A1, 0));
+        assert!(matches!(
+            e.trap,
+            Some(Trap::Exception(Exception::LoadAccessFault, _))
+        ));
+        let e = run(&s, &m, encode::sw(Reg::A0, Reg::A1, 0));
+        assert!(matches!(
+            e.trap,
+            Some(Trap::Exception(Exception::StoreAccessFault, _))
+        ));
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A1, 5);
+        s.set_xreg(Reg::A2, 0);
+        let e = run(&s, &m, encode::div(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, u64::MAX)));
+        let e = run(&s, &m, encode::rem(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 5)));
+        s.set_xreg(Reg::A1, i64::MIN as u64);
+        s.set_xreg(Reg::A2, (-1i64) as u64);
+        let e = run(&s, &m, encode::div(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, i64::MIN as u64)));
+        let e = run(&s, &m, encode::rem(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 0)));
+    }
+
+    #[test]
+    fn mulh_wideness() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A1, u64::MAX);
+        s.set_xreg(Reg::A2, u64::MAX);
+        let e = run(&s, &m, encode::mulhu(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, u64::MAX - 1)));
+        let e = run(&s, &m, encode::mulh(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 0))); // (-1) * (-1) = 1, high = 0
+    }
+
+    #[test]
+    fn lr_sc_success_and_failure() {
+        let (mut s, mut m) = setup();
+        let addr = Memory::RAM_BASE + 0x40;
+        m.write(addr, 8, 99);
+        s.set_xreg(Reg::A1, addr);
+        s.set_xreg(Reg::A2, 123);
+
+        let e = run(&s, &m, encode::lr_d(Reg::A0, Reg::A1));
+        assert_eq!(e.xw, Some((Reg::A0, 99)));
+        assert_eq!(e.set_reservation, Some(Some(addr)));
+        s.set_reservation(Some(addr));
+
+        let e = run(&s, &m, encode::sc_d(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 0)));
+        assert_eq!(
+            e.memw,
+            Some(MemWrite {
+                addr,
+                len: 8,
+                value: 123
+            })
+        );
+
+        s.set_reservation(None);
+        let e = run(&s, &m, encode::sc_d(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 1)));
+        assert!(e.memw.is_none());
+    }
+
+    #[test]
+    fn amoadd() {
+        let (mut s, mut m) = setup();
+        let addr = Memory::RAM_BASE + 0x80;
+        m.write(addr, 4, 10);
+        s.set_xreg(Reg::A1, addr);
+        s.set_xreg(Reg::A2, 32);
+        let e = run(&s, &m, encode::amoadd_w(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 10)));
+        assert_eq!(e.memw.unwrap().value, 42);
+    }
+
+    #[test]
+    fn csr_rw_returns_old() {
+        let (mut s, m) = setup();
+        s.set_csr(CsrIndex::Mscratch, 7);
+        s.set_xreg(Reg::A1, 9);
+        let e = run(&s, &m, encode::csrrw(Reg::A0, 0x340, Reg::A1));
+        assert_eq!(e.xw, Some((Reg::A0, 7)));
+        assert_eq!(e.csrw[0], Some((CsrIndex::Mscratch, 9)));
+    }
+
+    #[test]
+    fn csrrs_with_x0_does_not_write() {
+        let (mut s, m) = setup();
+        s.set_csr(CsrIndex::Mscratch, 7);
+        let e = run(&s, &m, encode::csrrs(Reg::A0, 0x340, Reg::ZERO));
+        assert_eq!(e.xw, Some((Reg::A0, 7)));
+        assert_eq!(e.csrw[0], None);
+    }
+
+    #[test]
+    fn unknown_csr_is_illegal() {
+        let (s, m) = setup();
+        let e = run(&s, &m, encode::csrrw(Reg::A0, 0x7c0, Reg::A1));
+        assert!(matches!(
+            e.trap,
+            Some(Trap::Exception(Exception::IllegalInstr, _))
+        ));
+    }
+
+    #[test]
+    fn ecall_traps() {
+        let (s, m) = setup();
+        let e = run(&s, &m, encode::ecall());
+        assert_eq!(e.trap, Some(Trap::Exception(Exception::EcallM, 0)));
+    }
+
+    #[test]
+    fn mret_restores() {
+        use difftest_isa::csr::mstatus;
+        let (mut s, m) = setup();
+        s.set_csr(CsrIndex::Mepc, 0x8000_1234);
+        s.set_csr(CsrIndex::Mstatus, mstatus::MPIE);
+        let e = run(&s, &m, encode::mret());
+        assert_eq!(e.next_pc, 0x8000_1234);
+        let (c, v) = e.csrw[0].unwrap();
+        assert_eq!(c, CsrIndex::Mstatus);
+        assert!(v & mstatus::MIE != 0);
+        assert!(v & mstatus::MPIE != 0);
+    }
+
+    #[test]
+    fn fp_ops() {
+        let (mut s, m) = setup();
+        s.set_freg(FReg::new(1), 2.5f64.to_bits());
+        s.set_freg(FReg::new(2), 0.5f64.to_bits());
+        let e = run(&s, &m, encode::fadd_d(FReg::new(0), FReg::new(1), FReg::new(2)));
+        assert_eq!(e.fw, Some((FReg::new(0), 3.0f64.to_bits())));
+        let e = run(&s, &m, encode::fdiv_d(FReg::new(0), FReg::new(1), FReg::new(2)));
+        assert_eq!(e.fw, Some((FReg::new(0), 5.0f64.to_bits())));
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let (mut s, m) = setup();
+        s.set_xreg(Reg::A1, 0x7fff_ffff);
+        s.set_xreg(Reg::A2, 1);
+        let e = run(&s, &m, encode::addw(Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(e.xw, Some((Reg::A0, 0xffff_ffff_8000_0000)));
+    }
+}

@@ -1,0 +1,35 @@
+//! The physical memory map shared by the DUT model, the REF and the
+//! workload generators.
+
+/// Base of the RAM window (also [`crate::Memory::RAM_BASE`]).
+pub const RAM_BASE: u64 = 0x8000_0000;
+
+/// CLINT base address.
+pub const CLINT_BASE: u64 = 0x0200_0000;
+/// CLINT `msip` software-interrupt register.
+pub const CLINT_MSIP: u64 = CLINT_BASE;
+/// CLINT `mtimecmp` timer compare register.
+pub const CLINT_MTIMECMP: u64 = CLINT_BASE + 0x4000;
+/// CLINT `mtime` free-running counter.
+pub const CLINT_MTIME: u64 = CLINT_BASE + 0xbff8;
+
+/// UART base address.
+pub const UART_BASE: u64 = 0x1000_0000;
+/// UART data register (read: receive, write: transmit).
+pub const UART_DATA: u64 = UART_BASE;
+/// UART line-status register.
+pub const UART_STATUS: u64 = UART_BASE + 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Memory;
+
+    #[test]
+    fn devices_live_in_the_mmio_hole() {
+        for addr in [CLINT_MSIP, CLINT_MTIMECMP, CLINT_MTIME, UART_DATA, UART_STATUS] {
+            assert!(Memory::is_mmio(addr), "{addr:#x}");
+        }
+        assert_eq!(RAM_BASE, Memory::RAM_BASE);
+    }
+}

@@ -1,0 +1,131 @@
+//! Semantics tests for the Zbb and full RV64A extensions.
+
+use difftest_isa::{decode, encode, Op, Reg};
+use difftest_ref::exec::execute;
+use difftest_ref::{ArchState, Memory};
+
+fn eval2(word: u32, a: u64, b: u64) -> u64 {
+    let mut s = ArchState::new(Memory::RAM_BASE);
+    s.set_xreg(Reg::A1, a);
+    s.set_xreg(Reg::A2, b);
+    let m = Memory::new();
+    let e = execute(&s, &m, &decode(word));
+    assert!(e.trap.is_none(), "unexpected trap for {:#x}", word);
+    e.xw.expect("writes rd").1
+}
+
+#[test]
+fn zbb_logic_ops() {
+    let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
+    assert_eq!(eval2(encode::andn(rd, rs1, rs2), 0b1100, 0b1010), 0b0100);
+    assert_eq!(eval2(encode::orn(rd, rs1, rs2), 0, 0), u64::MAX);
+    assert_eq!(eval2(encode::xnor(rd, rs1, rs2), 5, 5), u64::MAX);
+}
+
+#[test]
+fn zbb_min_max() {
+    let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
+    let neg1 = u64::MAX; // -1 signed
+    assert_eq!(eval2(encode::min(rd, rs1, rs2), neg1, 3), neg1);
+    assert_eq!(eval2(encode::max(rd, rs1, rs2), neg1, 3), 3);
+    assert_eq!(eval2(encode::minu(rd, rs1, rs2), neg1, 3), 3);
+    assert_eq!(eval2(encode::maxu(rd, rs1, rs2), neg1, 3), neg1);
+}
+
+#[test]
+fn zbb_rotates() {
+    let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
+    assert_eq!(eval2(encode::rol(rd, rs1, rs2), 1, 1), 2);
+    assert_eq!(eval2(encode::ror(rd, rs1, rs2), 1, 1), 1 << 63);
+    assert_eq!(eval2(encode::rori(rd, rs1, 4), 0x10, 0), 1);
+    // Rotation counts wrap modulo 64.
+    assert_eq!(eval2(encode::rol(rd, rs1, rs2), 7, 64), 7);
+}
+
+#[test]
+fn zbb_counts_and_extends() {
+    let (rd, rs1) = (Reg::A0, Reg::A1);
+    assert_eq!(eval2(encode::clz(rd, rs1), 1, 0), 63);
+    assert_eq!(eval2(encode::clz(rd, rs1), 0, 0), 64);
+    assert_eq!(eval2(encode::ctz(rd, rs1), 0x8, 0), 3);
+    assert_eq!(eval2(encode::cpop(rd, rs1), 0xf0f0, 0), 8);
+    assert_eq!(eval2(encode::sext_b(rd, rs1), 0x80, 0), u64::MAX << 7);
+    assert_eq!(eval2(encode::sext_h(rd, rs1), 0x8000, 0), u64::MAX << 15);
+    assert_eq!(eval2(encode::zext_h(rd, rs1), 0xdead_beef, 0), 0xbeef);
+    assert_eq!(
+        eval2(encode::rev8(rd, rs1), 0x0102_0304_0506_0708, 0),
+        0x0807_0605_0403_0201
+    );
+    assert_eq!(eval2(encode::orc_b(rd, rs1), 0x0100_0000_0023_0001, 0), 0xff00_0000_00ff_00ff);
+}
+
+#[test]
+fn zbb_round_trips_through_decoder() {
+    let pairs = [
+        (encode::andn(Reg::A0, Reg::A1, Reg::A2), Op::Andn),
+        (encode::orn(Reg::A0, Reg::A1, Reg::A2), Op::Orn),
+        (encode::xnor(Reg::A0, Reg::A1, Reg::A2), Op::Xnor),
+        (encode::min(Reg::A0, Reg::A1, Reg::A2), Op::Min),
+        (encode::maxu(Reg::A0, Reg::A1, Reg::A2), Op::Maxu),
+        (encode::rol(Reg::A0, Reg::A1, Reg::A2), Op::Rol),
+        (encode::ror(Reg::A0, Reg::A1, Reg::A2), Op::Ror),
+        (encode::rori(Reg::A0, Reg::A1, 17), Op::Rori),
+        (encode::clz(Reg::A0, Reg::A1), Op::Clz),
+        (encode::ctz(Reg::A0, Reg::A1), Op::Ctz),
+        (encode::cpop(Reg::A0, Reg::A1), Op::Cpop),
+        (encode::sext_b(Reg::A0, Reg::A1), Op::SextB),
+        (encode::sext_h(Reg::A0, Reg::A1), Op::SextH),
+        (encode::zext_h(Reg::A0, Reg::A1), Op::ZextH),
+        (encode::rev8(Reg::A0, Reg::A1), Op::Rev8),
+        (encode::orc_b(Reg::A0, Reg::A1), Op::OrcB),
+    ];
+    for (word, op) in pairs {
+        assert_eq!(decode(word).op, op, "{word:#010x}");
+        assert!(!decode(word).to_string().is_empty());
+    }
+    // The Zbb funct12 space does not swallow ordinary shifts.
+    assert_eq!(decode(encode::slli(Reg::A0, Reg::A1, 63)).op, Op::Slli);
+    assert_eq!(decode(encode::srai(Reg::A0, Reg::A1, 1)).op, Op::Srai);
+}
+
+fn amo(word: u32, mem_before: u64, rs2: u64, len: usize) -> (u64, u64) {
+    let addr = Memory::RAM_BASE + 0x100;
+    let mut s = ArchState::new(Memory::RAM_BASE);
+    s.set_xreg(Reg::A1, addr);
+    s.set_xreg(Reg::A2, rs2);
+    let mut m = Memory::new();
+    m.write(addr, len, mem_before);
+    let e = execute(&s, &m, &decode(word));
+    let old = e.xw.expect("amo returns old value").1;
+    let new = e.memw.expect("amo stores").value;
+    (old, new)
+}
+
+#[test]
+fn amo_variants_word_and_double() {
+    let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
+    assert_eq!(amo(encode::amoxor_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b0110));
+    assert_eq!(amo(encode::amoand_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b1000));
+    assert_eq!(amo(encode::amoor_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b1110));
+    // Signed min/max on doubles.
+    let neg = -5i64 as u64;
+    assert_eq!(amo(encode::amomin_d(rd, rs1, rs2), neg, 3, 8), (neg, neg));
+    assert_eq!(amo(encode::amomax_d(rd, rs1, rs2), neg, 3, 8), (neg, 3));
+    // Unsigned min/max.
+    assert_eq!(amo(encode::amominu_d(rd, rs1, rs2), neg, 3, 8), (neg, 3));
+    assert_eq!(amo(encode::amomaxu_d(rd, rs1, rs2), neg, 3, 8), (neg, neg));
+}
+
+#[test]
+fn amo_word_forms_sign_extend() {
+    let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
+    // 0x8000_0000 as a W operand is negative.
+    let (old, new) = amo(encode::amomin_w(rd, rs1, rs2), 0x8000_0000, 1, 4);
+    assert_eq!(old, 0xffff_ffff_8000_0000, "loaded value sign-extends");
+    assert_eq!(new as u32, 0x8000_0000, "min picks the negative side");
+    let (_, new) = amo(encode::amomaxu_w(rd, rs1, rs2), 0x8000_0000, 1, 4);
+    assert_eq!(new as u32, 0x8000_0000, "unsigned max picks the large side");
+    let (old, new) = amo(encode::amoadd_w(rd, rs1, rs2), 0xffff_ffff, 1, 4);
+    assert_eq!(old, u64::MAX, "W-form old value sign-extends");
+    assert_eq!(new as u32, 0, "wraps in 32 bits");
+}

@@ -1,0 +1,115 @@
+//! Named performance counters (paper §5 "performance evaluation support").
+//!
+//! Both the hardware side (fusion ratios, packet utilization) and the
+//! software side (transfer counts, data volume) of DiffTest-H integrate
+//! performance counters. [`Counters`] is the shared primitive: a small
+//! ordered map from static names to `u64` values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered collection of named `u64` counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.values.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets counter `name` to `value`.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.values.insert(name, value);
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another counter set into this one (summing).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (k, v) in &self.values {
+            writeln!(f, "{k:40} {v:>16}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        c.inc("events");
+        c.add("events", 2);
+        c.add("bytes", 100);
+        assert_eq!(c.get("events"), 3);
+        assert_eq!(c.get("bytes"), 100);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn display_not_empty() {
+        let mut c = Counters::new();
+        assert_eq!(c.to_string(), "(no counters)");
+        c.inc("n");
+        assert!(c.to_string().contains('n'));
+    }
+}

@@ -1,0 +1,35 @@
+//! Performance counters, report tables and the trace toolkit.
+//!
+//! This crate implements the paper's §5 "tuning toolkit":
+//!
+//! - [`Counters`]: hardware- and software-side performance counters
+//!   (transmission counts, data volume, fusion ratios, packet utilization),
+//! - [`Table`] and the `fmt_*` helpers: the plain-text renderer every
+//!   benchmark harness uses to print paper-shaped tables,
+//! - [`trace`]: DUT-trace dump/reload for DUT-decoupled iterative
+//!   debugging of the verification logic,
+//! - [`TraceQuery`]: typed filter/group/aggregate analysis over reloaded
+//!   traces (the substitution for the paper's SQL backend — see
+//!   `DESIGN.md` §1).
+//!
+//! # Examples
+//!
+//! ```
+//! use difftest_stats::Counters;
+//!
+//! let mut c = Counters::new();
+//! c.add("hw.bytes_sent", 4096);
+//! c.inc("hw.transfers");
+//! assert_eq!(c.get("hw.bytes_sent"), 4096);
+//! ```
+
+#![warn(missing_docs)]
+
+mod counter;
+mod query;
+mod table;
+pub mod trace;
+
+pub use counter::Counters;
+pub use query::{GroupStats, TraceQuery};
+pub use table::{fmt_hz, fmt_pct, fmt_ratio, Table};

@@ -1,0 +1,202 @@
+//! Offline trace analysis (paper §5 "SQL analysis support").
+//!
+//! The paper records transmissions in a SQL database for offline analysis
+//! of event correlations. Shipping a SQL engine is out of scope for the
+//! sanctioned dependency set, so this module provides the equivalent
+//! analyses through a typed in-memory query API over a reloaded trace:
+//! filtering, grouping and aggregation (see `DESIGN.md` §1).
+
+use std::collections::BTreeMap;
+
+use difftest_event::{Category, EventKind, MonitoredEvent};
+
+/// Aggregates computed per group by [`TraceQuery::group_by_kind`] and
+/// friends.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupStats {
+    /// Number of events in the group.
+    pub count: u64,
+    /// Total encoded payload bytes.
+    pub bytes: u64,
+    /// First cycle observed.
+    pub first_cycle: u64,
+    /// Last cycle observed.
+    pub last_cycle: u64,
+}
+
+impl GroupStats {
+    fn absorb(&mut self, ev: &MonitoredEvent) {
+        if self.count == 0 {
+            self.first_cycle = ev.cycle;
+        }
+        self.count += 1;
+        self.bytes += ev.encoded_len() as u64;
+        self.last_cycle = self.last_cycle.max(ev.cycle);
+    }
+
+    /// Events per cycle over the group's observed span.
+    pub fn rate_per_cycle(&self) -> f64 {
+        let span = (self.last_cycle - self.first_cycle + 1) as f64;
+        self.count as f64 / span
+    }
+}
+
+/// A borrowed, filterable view over a trace.
+#[derive(Debug, Clone)]
+pub struct TraceQuery<'a> {
+    rows: Vec<&'a MonitoredEvent>,
+}
+
+impl<'a> TraceQuery<'a> {
+    /// Creates a query over the whole trace.
+    pub fn new(trace: &'a [MonitoredEvent]) -> Self {
+        TraceQuery {
+            rows: trace.iter().collect(),
+        }
+    }
+
+    /// Number of rows currently selected.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Keeps rows matching the predicate.
+    pub fn filter(mut self, mut pred: impl FnMut(&MonitoredEvent) -> bool) -> Self {
+        self.rows.retain(|e| pred(e));
+        self
+    }
+
+    /// Keeps rows of one event kind.
+    pub fn kind(self, kind: EventKind) -> Self {
+        self.filter(move |e| e.event.kind() == kind)
+    }
+
+    /// Keeps rows of one category.
+    pub fn category(self, cat: Category) -> Self {
+        self.filter(move |e| e.event.kind().category() == cat)
+    }
+
+    /// Keeps rows from one core.
+    pub fn core(self, core: u8) -> Self {
+        self.filter(move |e| e.core == core)
+    }
+
+    /// Keeps rows with `cycle` in `[lo, hi)`.
+    pub fn cycles(self, lo: u64, hi: u64) -> Self {
+        self.filter(move |e| (lo..hi).contains(&e.cycle))
+    }
+
+    /// Keeps only non-deterministic events.
+    pub fn nde(self) -> Self {
+        self.filter(|e| e.is_nde())
+    }
+
+    /// Groups the selection by event kind.
+    pub fn group_by_kind(&self) -> BTreeMap<EventKind, GroupStats> {
+        let mut out = BTreeMap::new();
+        for e in &self.rows {
+            out.entry(e.event.kind())
+                .or_insert_with(GroupStats::default)
+                .absorb(e);
+        }
+        out
+    }
+
+    /// Groups the selection by category.
+    pub fn group_by_category(&self) -> BTreeMap<Category, GroupStats> {
+        let mut out = BTreeMap::new();
+        for e in &self.rows {
+            out.entry(e.event.kind().category())
+                .or_insert_with(GroupStats::default)
+                .absorb(e);
+        }
+        out
+    }
+
+    /// Total encoded bytes of the selection.
+    pub fn total_bytes(&self) -> u64 {
+        self.rows.iter().map(|e| e.encoded_len() as u64).sum()
+    }
+
+    /// The selected rows.
+    pub fn rows(&self) -> &[&'a MonitoredEvent] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{ArchEvent, InstrCommit, OrderTag, StoreEvent, Token};
+
+    fn ev(core: u8, cycle: u64, event: difftest_event::Event) -> MonitoredEvent {
+        MonitoredEvent {
+            core,
+            cycle,
+            order: OrderTag(cycle),
+            token: Token(cycle),
+            event,
+        }
+    }
+
+    fn trace() -> Vec<MonitoredEvent> {
+        vec![
+            ev(0, 1, InstrCommit::default().into()),
+            ev(0, 2, InstrCommit::default().into()),
+            ev(1, 2, StoreEvent::default().into()),
+            ev(
+                0,
+                3,
+                ArchEvent {
+                    is_interrupt: 1,
+                    ..Default::default()
+                }
+                .into(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn filters_compose() {
+        let t = trace();
+        let q = TraceQuery::new(&t).core(0).cycles(2, 4);
+        assert_eq!(q.len(), 2);
+        assert_eq!(TraceQuery::new(&t).nde().len(), 1);
+        assert!(TraceQuery::new(&t).kind(EventKind::RefillEvent).is_empty());
+    }
+
+    #[test]
+    fn group_by_kind_counts() {
+        let t = trace();
+        let g = TraceQuery::new(&t).group_by_kind();
+        assert_eq!(g[&EventKind::InstrCommit].count, 2);
+        assert_eq!(g[&EventKind::StoreEvent].count, 1);
+        assert_eq!(
+            g[&EventKind::InstrCommit].bytes,
+            2 * EventKind::InstrCommit.encoded_len() as u64
+        );
+    }
+
+    #[test]
+    fn group_by_category() {
+        let t = trace();
+        let g = TraceQuery::new(&t).group_by_category();
+        assert_eq!(g[&Category::ControlFlow].count, 3);
+        assert_eq!(g[&Category::MemoryAccess].count, 1);
+    }
+
+    #[test]
+    fn rates() {
+        let t = trace();
+        let g = TraceQuery::new(&t).kind(EventKind::InstrCommit).group_by_kind();
+        let s = g[&EventKind::InstrCommit];
+        assert_eq!(s.first_cycle, 1);
+        assert_eq!(s.last_cycle, 2);
+        assert!((s.rate_per_cycle() - 1.0).abs() < 1e-12);
+    }
+}

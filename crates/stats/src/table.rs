@@ -1,0 +1,154 @@
+//! Plain-text table rendering for the benchmark harnesses.
+//!
+//! Every reproduced table/figure prints through [`Table`] so the output of
+//! `cargo bench` lines up with the paper's rows.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are kept.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row of `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|c| (*c).to_owned()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+
+        if !self.title.is_empty() {
+            writeln!(f, "== {} ==", self.title)?;
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            print_row(f, &self.headers)?;
+            let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            writeln!(f, "{}", "-".repeat(rule))?;
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a frequency in engineering units (`KHz`/`MHz`) as the paper does.
+pub fn fmt_hz(hz: f64) -> String {
+    if hz >= 1e6 {
+        format!("{:.2} MHz", hz / 1e6)
+    } else if hz >= 1e3 {
+        format!("{:.1} KHz", hz / 1e3)
+    } else {
+        format!("{hz:.1} Hz")
+    }
+}
+
+/// Formats a ratio like the paper's speedup columns (`80×`).
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 10.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["name", "speed"]);
+        t.row_str(&["baseline", "6 KHz"]);
+        t.row_str(&["+Squash", "478 KHz"]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("baseline"));
+        let lines: Vec<_> = s.lines().collect();
+        // header, rule, two rows, plus title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn hz_formatting() {
+        assert_eq!(fmt_hz(478_120.0), "478.1 KHz");
+        assert_eq!(fmt_hz(7_800_000.0), "7.80 MHz");
+        assert_eq!(fmt_hz(12.0), "12.0 Hz");
+    }
+
+    #[test]
+    fn ratio_and_pct() {
+        assert_eq!(fmt_ratio(80.4), "80x");
+        assert_eq!(fmt_ratio(4.26), "4.3x");
+        assert_eq!(fmt_pct(0.998), "99.8%");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("", &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

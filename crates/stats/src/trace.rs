@@ -1,0 +1,168 @@
+//! Trace dump and reload (paper §5 "iterative debugging support").
+//!
+//! Re-running the whole DUT to debug the *verification logic* is wasteful,
+//! so DiffTest-H can dump the monitored event stream (the "DUT trace") and
+//! later drive the checking pipeline from the trace alone. The binary
+//! format reuses the event catalog codec: each record is
+//!
+//! ```text
+//! core:u8  cycle:u64  order:u64  token:u64  kind:u8  payload[kind-length]
+//! ```
+
+use std::io::{self, Read, Write};
+
+use difftest_event::wire::{Reader, Writer};
+use difftest_event::{CodecError, Event, EventKind, MonitoredEvent, OrderTag, Token};
+
+/// Magic prefix of a trace file.
+const MAGIC: &[u8; 8] = b"DTHTRC01";
+
+/// Errors from trace reload.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with the trace magic.
+    BadMagic,
+    /// A record failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a DiffTest-H trace (bad magic)"),
+            TraceError::Codec(e) => write!(f, "trace record corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<CodecError> for TraceError {
+    fn from(e: CodecError) -> Self {
+        TraceError::Codec(e)
+    }
+}
+
+/// Writes monitored events to a byte stream.
+///
+/// A `&mut W` also works wherever `W: Write` is required.
+pub fn dump<W: Write>(mut w: W, events: &[MonitoredEvent]) -> Result<(), TraceError> {
+    w.write_all(MAGIC)?;
+    let mut buf = Vec::new();
+    for ev in events {
+        buf.clear();
+        let mut wr = Writer::new(&mut buf);
+        wr.u8(ev.core);
+        wr.u64(ev.cycle);
+        wr.u64(ev.order.0);
+        wr.u64(ev.token.0);
+        wr.u8(ev.event.kind() as u8);
+        ev.event.encode_into(&mut buf);
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads an entire trace back into memory.
+pub fn reload<R: Read>(mut r: R) -> Result<Vec<MonitoredEvent>, TraceError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut out = Vec::new();
+    let mut rd = Reader::new(&bytes[MAGIC.len()..]);
+    while rd.remaining() > 0 {
+        let core = rd.u8()?;
+        let cycle = rd.u64()?;
+        let order = rd.u64()?;
+        let token = rd.u64()?;
+        let kind = EventKind::from_u8(rd.u8()?)?;
+        let payload = rd.bytes_dyn(kind.encoded_len())?;
+        let event = Event::decode(kind, payload)?;
+        out.push(MonitoredEvent {
+            core,
+            cycle,
+            order: OrderTag(order),
+            token: Token(token),
+            event,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_event::{InstrCommit, StoreEvent};
+
+    fn sample() -> Vec<MonitoredEvent> {
+        vec![
+            MonitoredEvent {
+                core: 0,
+                cycle: 10,
+                order: OrderTag(1),
+                token: Token(0),
+                event: InstrCommit {
+                    pc: 0x8000_0000,
+                    wen: 1,
+                    wdest: 5,
+                    wdata: 99,
+                    ..Default::default()
+                }
+                .into(),
+            },
+            MonitoredEvent {
+                core: 1,
+                cycle: 11,
+                order: OrderTag(2),
+                token: Token(1),
+                event: StoreEvent {
+                    addr: 0x8000_1000,
+                    data: 7,
+                    mask: 0xff,
+                }
+                .into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn dump_reload_round_trip() {
+        let events = sample();
+        let mut buf = Vec::new();
+        dump(&mut buf, &events).unwrap();
+        let back = reload(&buf[..]).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = reload(&b"NOTATRACE"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut buf = Vec::new();
+        dump(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(reload(&buf[..]), Err(TraceError::Codec(_))));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        dump(&mut buf, &[]).unwrap();
+        assert!(reload(&buf[..]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! A tiny label-based assembler over `difftest_isa::encode`.
+//!
+//! The workload generators build RV64 programs with forward and backward
+//! branches; the assembler collects fixups against named labels and resolves
+//! them in [`Asm::finish`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use difftest_isa::{encode, Reg};
+
+/// Conditional-branch flavours usable with [`Asm::branch_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// Errors reported when resolving a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never bound.
+    UndefinedLabel(String),
+    /// A resolved offset does not fit the instruction's immediate field.
+    OffsetOutOfRange {
+        /// The label whose offset overflowed.
+        label: String,
+        /// The offending byte offset.
+        offset: i64,
+    },
+    /// A label was bound twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::OffsetOutOfRange { label, offset } => {
+                write!(f, "offset {offset} to label `{label}` out of range")
+            }
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug)]
+enum FixKind {
+    Branch(BranchOp, Reg, Reg),
+    Jal(Reg),
+    /// `la rd, label`: an `auipc`+`addi` pair.
+    La(Reg),
+}
+
+#[derive(Debug)]
+struct Fixup {
+    at_word: usize,
+    label: String,
+    kind: FixKind,
+}
+
+/// An incremental program assembler.
+///
+/// # Examples
+///
+/// ```
+/// use difftest_isa::Reg;
+/// use difftest_workload::{Asm, BranchOp};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::A0, 3);
+/// a.label("loop");
+/// a.addi(Reg::A0, Reg::A0, -1);
+/// a.branch_to(BranchOp::Bne, Reg::A0, Reg::ZERO, "loop");
+/// a.ebreak();
+/// let words = a.finish()?;
+/// assert!(words.len() >= 4);
+/// # Ok::<(), difftest_workload::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    words: Vec<u32>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current position in bytes from the program start.
+    pub fn pos(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    /// Appends a raw machine word.
+    pub fn raw(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+    /// Binds `name` to the current position.
+    pub fn label(&mut self, name: &str) {
+        if self
+            .labels
+            .insert(name.to_owned(), self.words.len())
+            .is_some()
+        {
+            self.duplicate.get_or_insert_with(|| name.to_owned());
+        }
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch_to(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, label: &str) {
+        self.fixups.push(Fixup {
+            at_word: self.words.len(),
+            label: label.to_owned(),
+            kind: FixKind::Branch(op, rs1, rs2),
+        });
+        self.words.push(encode::nop()); // patched in finish()
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal_to(&mut self, rd: Reg, label: &str) {
+        self.fixups.push(Fixup {
+            at_word: self.words.len(),
+            label: label.to_owned(),
+            kind: FixKind::Jal(rd),
+        });
+        self.words.push(encode::nop());
+    }
+
+    /// Emits `la rd, label` (an `auipc`/`addi` pair).
+    pub fn la(&mut self, rd: Reg, label: &str) {
+        self.fixups.push(Fixup {
+            at_word: self.words.len(),
+            label: label.to_owned(),
+            kind: FixKind::La(rd),
+        });
+        self.words.push(encode::nop());
+        self.words.push(encode::nop());
+    }
+
+    /// Materializes an arbitrary 64-bit immediate into `rd`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.li_rec(rd, imm);
+    }
+
+    fn li_rec(&mut self, rd: Reg, v: i64) {
+        if (-2048..=2047).contains(&v) {
+            self.raw(encode::addi(rd, Reg::ZERO, v));
+            return;
+        }
+        if (i32::MIN as i64..=i32::MAX as i64).contains(&v) {
+            // lui + addiw, accounting for addiw's sign extension.
+            let low = (v << 52) >> 52; // low 12 bits, sign-extended
+            let hi = v.wrapping_sub(low);
+            debug_assert_eq!(hi & 0xfff, 0);
+            self.raw(encode::lui(rd, hi));
+            if low != 0 {
+                self.raw(encode::addiw(rd, rd, low));
+            }
+            return;
+        }
+        // Recursive: materialize v >> 12, shift, add the low 12 bits.
+        let low = v & 0xfff;
+        if low >= 2048 {
+            self.li_rec(rd, (v >> 12) + 1);
+            self.raw(encode::slli(rd, rd, 12));
+            self.raw(encode::addi(rd, rd, low - 4096));
+        } else {
+            self.li_rec(rd, v >> 12);
+            self.raw(encode::slli(rd, rd, 12));
+            if low != 0 {
+                self.raw(encode::addi(rd, rd, low));
+            }
+        }
+    }
+
+    /// `csrr rd, csr` (pseudo for `csrrs rd, csr, x0`).
+    pub fn csrr(&mut self, rd: Reg, csr: u16) {
+        self.raw(encode::csrrs(rd, csr, Reg::ZERO));
+    }
+
+    /// `csrw csr, rs` (pseudo for `csrrw x0, csr, rs`).
+    pub fn csrw(&mut self, csr: u16, rs: Reg) {
+        self.raw(encode::csrrw(Reg::ZERO, csr, rs));
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.raw(encode::addi(rd, rs1, imm));
+    }
+
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.raw(encode::mret());
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.raw(encode::ecall());
+    }
+
+    /// `ebreak` — the simulation-terminating trap.
+    pub fn ebreak(&mut self) {
+        self.raw(encode::ebreak());
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.raw(encode::nop());
+    }
+
+    /// Resolves all fixups and returns the machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined or duplicate labels and for
+    /// offsets that do not fit their immediate fields.
+    pub fn finish(self) -> Result<Vec<u32>, AsmError> {
+        let Asm {
+            mut words,
+            labels,
+            fixups,
+            duplicate,
+        } = self;
+        if let Some(d) = duplicate {
+            return Err(AsmError::DuplicateLabel(d));
+        }
+        for fix in fixups {
+            let target = *labels
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::UndefinedLabel(fix.label.clone()))?;
+            let offset = (target as i64 - fix.at_word as i64) * 4;
+            match fix.kind {
+                FixKind::Branch(op, rs1, rs2) => {
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: fix.label,
+                            offset,
+                        });
+                    }
+                    let enc = match op {
+                        BranchOp::Beq => encode::beq,
+                        BranchOp::Bne => encode::bne,
+                        BranchOp::Blt => encode::blt,
+                        BranchOp::Bge => encode::bge,
+                        BranchOp::Bltu => encode::bltu,
+                        BranchOp::Bgeu => encode::bgeu,
+                    };
+                    words[fix.at_word] = enc(rs1, rs2, offset);
+                }
+                FixKind::Jal(rd) => {
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: fix.label,
+                            offset,
+                        });
+                    }
+                    words[fix.at_word] = encode::jal(rd, offset);
+                }
+                FixKind::La(rd) => {
+                    // auipc-relative: offset from the auipc instruction.
+                    let low = (offset << 52) >> 52;
+                    let hi = offset.wrapping_sub(low);
+                    words[fix.at_word] = encode::auipc(rd, hi);
+                    words[fix.at_word + 1] = encode::addi(rd, rd, low);
+                }
+            }
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_isa::{decode, Op};
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.nop();
+        a.branch_to(BranchOp::Bne, Reg::A0, Reg::ZERO, "top");
+        let w = a.finish().unwrap();
+        let i = decode(w[1]);
+        assert_eq!(i.op, Op::Bne);
+        assert_eq!(i.imm, -4);
+    }
+
+    #[test]
+    fn forward_jal_resolves() {
+        let mut a = Asm::new();
+        a.jal_to(Reg::ZERO, "end");
+        a.nop();
+        a.nop();
+        a.label("end");
+        a.ebreak();
+        let w = a.finish().unwrap();
+        let i = decode(w[0]);
+        assert_eq!(i.op, Op::Jal);
+        assert_eq!(i.imm, 12);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new();
+        a.jal_to(Reg::ZERO, "nowhere");
+        assert_eq!(
+            a.finish(),
+            Err(AsmError::UndefinedLabel("nowhere".to_owned()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert_eq!(a.finish(), Err(AsmError::DuplicateLabel("x".to_owned())));
+    }
+
+    #[test]
+    fn la_pair() {
+        let mut a = Asm::new();
+        a.la(Reg::A0, "data");
+        a.nop();
+        a.label("data");
+        let w = a.finish().unwrap();
+        assert_eq!(decode(w[0]).op, Op::Auipc);
+        assert_eq!(decode(w[1]).op, Op::Addi);
+        // auipc(hi=0) + addi(12) lands on the label at byte 12.
+        assert_eq!(decode(w[1]).imm, 12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation: seeded RV64 programs for the co-simulation engine.
+//!
+//! The paper evaluates DiffTest-H on Linux boot, microbenchmarks and SPEC
+//! CPU 2006. Booting Linux inside a Rust model is out of scope, so this
+//! crate generates programs that reproduce the *communication-relevant*
+//! characteristics of those workloads: commit density, CSR churn, MMIO and
+//! interrupt (non-deterministic event) rates, exception frequency and memory
+//! locality. See `DESIGN.md` §1 for the substitution argument.
+//!
+//! - [`Asm`]: a label-based assembler over `difftest_isa::encode`,
+//! - [`Workload`] / [`Preset`]: the five preset program families
+//!   (`linux_boot`, `microbench`, `spec_like`, `mmio_heavy`, `trap_heavy`).
+//!
+//! # Examples
+//!
+//! ```
+//! use difftest_workload::Workload;
+//!
+//! let w = Workload::linux_boot().seed(42).iterations(100).build();
+//! assert_eq!(w.name(), "linux_boot");
+//! assert!(!w.words().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod presets;
+
+pub use asm::{Asm, AsmError, BranchOp};
+pub use presets::{Preset, Workload, WorkloadBuilder};

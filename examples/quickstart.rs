@@ -1,0 +1,53 @@
+//! Quick start: run a full DiffTest-H co-simulation and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use difftest_h::core::{CoSimulation, DiffConfig};
+use difftest_h::dut::DutConfig;
+use difftest_h::platform::Platform;
+use difftest_h::stats::fmt_hz;
+use difftest_h::workload::Workload;
+
+fn main() {
+    // 1. Generate a workload: a boot-like program with CSR churn, timer
+    //    interrupts, UART MMIO and exceptions — the non-deterministic mix
+    //    that makes co-simulation hard.
+    let workload = Workload::linux_boot().seed(42).iterations(300).build();
+
+    // 2. Build the co-simulation: XiangShan-class DUT on the Palladium
+    //    platform model, with the full DiffTest-H pipeline
+    //    (Batch + NonBlock + Squash + Differencing + Replay).
+    let mut sim = CoSimulation::builder()
+        .dut(DutConfig::xiangshan_default())
+        .platform(Platform::palladium())
+        .config(DiffConfig::BNSD)
+        .max_cycles(200_000)
+        .build(&workload)
+        .expect("valid setup");
+
+    // 3. Run to the workload's good trap.
+    let report = sim.run();
+
+    println!("outcome:           {:?}", report.outcome);
+    println!("cycles simulated:  {}", report.cycles);
+    println!("instructions:      {}", report.instructions);
+    println!("co-sim speed:      {}", fmt_hz(report.speed_hz));
+    println!("DUT-only speed:    {}", fmt_hz(report.dut_only_hz));
+    println!(
+        "comm overhead:     {:.1}%",
+        report.comm_overhead_fraction() * 100.0
+    );
+    println!("transfers:         {}", report.invokes);
+    println!("bytes transferred: {}", report.bytes);
+    if let Some(squash) = report.squash {
+        println!("fusion ratio:      {:.1} commits/record", squash.fusion_ratio());
+    }
+    println!(
+        "checker: {} events, {} instructions, {} skips, {} interrupts",
+        report.check.events, report.check.instructions, report.check.skips,
+        report.check.interrupts
+    );
+    println!("\nperformance counters (paper \u{a7}5):\n{}", report.counters());
+}

@@ -1,0 +1,43 @@
+//! Hardware/software parallelism with real OS threads (paper §4.5).
+//!
+//! The producer thread runs the DUT and the acceleration unit; the
+//! consumer thread unpacks and checks; a bounded channel between them is
+//! the sending queue with backpressure. Compares wall-clock throughput of
+//! the Batch-only and full-Squash pipelines.
+//!
+//! ```text
+//! cargo run --release --example threaded
+//! ```
+
+use difftest_h::core::{run_threaded, DiffConfig, RunOutcome};
+use difftest_h::dut::DutConfig;
+use difftest_h::workload::Workload;
+
+fn main() {
+    let workload = Workload::linux_boot().seed(17).iterations(2_000).build();
+
+    for config in [DiffConfig::BN, DiffConfig::BNSD] {
+        let report = run_threaded(
+            DutConfig::xiangshan_default(),
+            config,
+            &workload,
+            Vec::new(),
+            400_000,
+            8,
+        );
+        assert_eq!(report.outcome, RunOutcome::GoodTrap);
+        println!(
+            "{config:10}  {} cycles, {} instructions, {} items checked \
+             in {:.2}s  ->  {:.0} Kcycles/s host throughput",
+            report.cycles,
+            report.instructions,
+            report.items,
+            report.wall_s,
+            report.cycles_per_sec / 1e3,
+        );
+    }
+    println!(
+        "\nSquash hands the checker far fewer items for the same cycles — \
+         the software-side win that non-blocking transmission then overlaps."
+    );
+}

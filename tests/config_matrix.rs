@@ -1,0 +1,129 @@
+//! Cross-configuration equivalence: every optimization level verifies the
+//! same workloads to the same good trap, checking the same instruction
+//! stream — optimizations change communication, never semantics.
+
+use difftest_h::core::{CoSimulation, DiffConfig, RunOutcome};
+use difftest_h::dut::DutConfig;
+use difftest_h::platform::Platform;
+use difftest_h::workload::Workload;
+
+fn run_one(workload: &Workload, dut: DutConfig, config: DiffConfig) -> (RunOutcome, u64, u64) {
+    let mut sim = CoSimulation::builder()
+        .dut(dut)
+        .platform(Platform::palladium())
+        .config(config)
+        .max_cycles(400_000)
+        .build(workload)
+        .expect("valid setup");
+    let report = sim.run();
+    (report.outcome, report.cycles, report.instructions)
+}
+
+#[test]
+fn all_workloads_verify_under_all_configs() {
+    let workloads = [
+        Workload::microbench().seed(3).iterations(60).build(),
+        Workload::linux_boot().seed(3).iterations(60).build(),
+        Workload::spec_like().seed(3).iterations(60).build(),
+        Workload::mmio_heavy().seed(3).iterations(120).build(),
+        Workload::trap_heavy().seed(3).iterations(120).build(),
+    ];
+    for w in &workloads {
+        let mut reference: Option<(u64, u64)> = None;
+        for config in DiffConfig::ALL {
+            let (outcome, cycles, instructions) =
+                run_one(w, DutConfig::xiangshan_minimal(), config);
+            assert_eq!(
+                outcome,
+                RunOutcome::GoodTrap,
+                "{} under {config:?}",
+                w.name()
+            );
+            // The DUT execution is identical regardless of the
+            // communication configuration.
+            match reference {
+                None => reference = Some((cycles, instructions)),
+                Some(r) => assert_eq!(
+                    (cycles, instructions),
+                    r,
+                    "{} under {config:?}: DUT execution must not depend on the transport",
+                    w.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn speeds_increase_monotonically_with_optimizations() {
+    let w = Workload::linux_boot().seed(4).iterations(200).build();
+    for platform in [Platform::palladium(), Platform::fpga()] {
+        let mut last = 0.0;
+        for config in DiffConfig::ALL {
+            let mut sim = CoSimulation::builder()
+                .dut(DutConfig::xiangshan_default())
+                .platform(platform.clone())
+                .config(config)
+                .max_cycles(60_000)
+                .build(&w)
+                .expect("valid setup");
+            let report = sim.run();
+            assert!(
+                report.speed_hz > last,
+                "{config:?} on {} must be faster than the previous level \
+                 ({} <= {last})",
+                platform.name(),
+                report.speed_hz
+            );
+            last = report.speed_hz;
+        }
+    }
+}
+
+#[test]
+fn dual_core_verifies_and_reports_per_core() {
+    let w = Workload::linux_boot().seed(6).iterations(80).build();
+    let mut sim = CoSimulation::builder()
+        .dut(DutConfig::xiangshan_dual())
+        .platform(Platform::palladium())
+        .config(DiffConfig::BNSD)
+        .max_cycles(400_000)
+        .build(&w)
+        .expect("valid setup");
+    let report = sim.run();
+    assert_eq!(report.outcome, RunOutcome::GoodTrap);
+    // Both cores were checked. They run the same program under
+    // independent stall timing, so their progress differs slightly at the
+    // moment core 0 hits the good trap.
+    let (a, b) = (sim.checker().seq(0), sim.checker().seq(1));
+    assert!(a > 1_000 && b > 1_000, "both cores progressed ({a}, {b})");
+    let gap = a.abs_diff(b) as f64 / a.max(b) as f64;
+    assert!(gap < 0.05, "cores drifted too far apart ({a}, {b})");
+}
+
+#[test]
+fn dual_core_bug_is_attributed_to_core_zero() {
+    use difftest_h::dut::{BugKind, BugSpec};
+    let w = Workload::linux_boot().seed(6).iterations(200).build();
+    let mut sim = CoSimulation::builder()
+        .dut(DutConfig::xiangshan_dual())
+        .platform(Platform::palladium())
+        .config(DiffConfig::BNSD)
+        .bugs(vec![BugSpec::new(BugKind::RegWriteCorruption, 5_000)])
+        .max_cycles(400_000)
+        .build(&w)
+        .expect("valid setup");
+    let report = sim.run();
+    assert_eq!(report.outcome, RunOutcome::Mismatch);
+    let failure = report.failure.expect("mismatch report");
+    assert_eq!(failure.coarse.core, 0, "bugs are injected into core 0");
+    assert_eq!(failure.precise.expect("replay localizes").core, 0);
+}
+
+#[test]
+fn max_cycles_is_respected() {
+    let w = Workload::linux_boot().seed(3).iterations(50_000).build();
+    let (outcome, cycles, _) = run_one(&w, DutConfig::nutshell(), DiffConfig::BNSD);
+    assert_eq!(outcome, RunOutcome::MaxCycles);
+    assert_eq!(cycles, 400_000);
+}

@@ -1,0 +1,53 @@
+//! Differential fuzzing: randomized programs (interrupts racing random
+//! blocks of arithmetic, memory, CSR, FP, atomic, MMIO and exception
+//! traffic) must verify cleanly under both the baseline and the fully
+//! optimized configuration, across seeds.
+
+use difftest_h::core::{CoSimulation, DiffConfig, RunOutcome};
+use difftest_h::dut::DutConfig;
+use difftest_h::platform::Platform;
+use difftest_h::workload::Workload;
+
+#[test]
+fn random_programs_verify_under_baseline_and_bnsd() {
+    for seed in 0..6u64 {
+        let w = Workload::fuzz().seed(seed).iterations(60).build();
+        for config in [DiffConfig::Z, DiffConfig::BNSD] {
+            let mut sim = CoSimulation::builder()
+                .dut(DutConfig::xiangshan_minimal())
+                .platform(Platform::palladium())
+                .config(config)
+                .max_cycles(400_000)
+                .build(&w)
+                .expect("valid setup");
+            let report = sim.run();
+            assert_eq!(
+                report.outcome,
+                RunOutcome::GoodTrap,
+                "seed {seed} under {config:?}: {:?}",
+                report.failure
+            );
+        }
+    }
+}
+
+#[test]
+fn random_programs_verify_on_every_dut_width() {
+    let w = Workload::fuzz().seed(99).iterations(60).build();
+    for dut in [
+        DutConfig::nutshell(),
+        DutConfig::xiangshan_minimal(),
+        DutConfig::xiangshan_default(),
+    ] {
+        let name = dut.name.clone();
+        let mut sim = CoSimulation::builder()
+            .dut(dut)
+            .platform(Platform::palladium())
+            .config(DiffConfig::BNSD)
+            .max_cycles(400_000)
+            .build(&w)
+            .expect("valid setup");
+        let report = sim.run();
+        assert_eq!(report.outcome, RunOutcome::GoodTrap, "{name}: {:?}", report.failure);
+    }
+}
