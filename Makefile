@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test bench examples table5 table7 figures ablations doc clean
+.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci
 
 all: build
 
@@ -32,8 +32,19 @@ figures:
 ablations:
 	$(CARGO) bench -p difftest-bench --bench ablations
 
+# The bench crate is not a default workspace member; opt in with -p.
 bench:
-	$(CARGO) bench --workspace
+	$(CARGO) bench -p difftest-bench
+
+sharded:
+	$(CARGO) bench -p difftest-bench --bench sharded
+
+# What .github/workflows/ci.yml runs: formatting, lints, tier-1 build+test.
+ci:
+	$(CARGO) fmt --all -- --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	$(CARGO) build --release
+	$(CARGO) test -q
 
 # A.5.1-style quick start: run the co-simulation end to end.
 examples:

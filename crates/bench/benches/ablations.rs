@@ -88,16 +88,28 @@ fn main() {
         ],
     );
     for (name, w) in [
-        ("microbench (no NDEs)", Workload::microbench().seed(5).iterations(600).build()),
+        (
+            "microbench (no NDEs)",
+            Workload::microbench().seed(5).iterations(600).build(),
+        ),
         ("linux_boot", boot_workload()),
-        ("mmio_heavy", Workload::mmio_heavy().seed(5).iterations(900).build()),
+        (
+            "mmio_heavy",
+            Workload::mmio_heavy().seed(5).iterations(900).build(),
+        ),
     ] {
         let coupled = run_with(&w, |b| b.order_coupled(true));
         let decoupled = run_with(&w, |b| b.order_coupled(false));
         t.row(&[
             name.to_owned(),
-            format!("{:.1}", coupled.squash.map(|s| s.fusion_ratio()).unwrap_or(0.0)),
-            format!("{:.1}", decoupled.squash.map(|s| s.fusion_ratio()).unwrap_or(0.0)),
+            format!(
+                "{:.1}",
+                coupled.squash.map(|s| s.fusion_ratio()).unwrap_or(0.0)
+            ),
+            format!(
+                "{:.1}",
+                decoupled.squash.map(|s| s.fusion_ratio()).unwrap_or(0.0)
+            ),
             format!("{}", coupled.squash.map(|s| s.nde_breaks).unwrap_or(0)),
             fmt_hz(coupled.speed_hz),
             fmt_hz(decoupled.speed_hz),
@@ -112,7 +124,11 @@ fn main() {
         "Differencing contribution",
         &["Differencing", "Bytes transferred", "Speed"],
     );
-    t.row(&["on".to_owned(), format!("{}", with.bytes), fmt_hz(with.speed_hz)]);
+    t.row(&[
+        "on".to_owned(),
+        format!("{}", with.bytes),
+        fmt_hz(with.speed_hz),
+    ]);
     t.row(&[
         "off".to_owned(),
         format!("{}", without.bytes),

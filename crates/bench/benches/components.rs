@@ -132,11 +132,7 @@ fn bench_checker(c: &mut Criterion) {
 
 fn bench_event_codec(c: &mut Criterion) {
     let (_, cycles) = recorded_events(5_000);
-    let events: Vec<Event> = cycles
-        .iter()
-        .flatten()
-        .map(|e| e.event.clone())
-        .collect();
+    let events: Vec<Event> = cycles.iter().flatten().map(|e| e.event.clone()).collect();
     let bytes: u64 = events.iter().map(|e| e.encoded_len() as u64).sum();
 
     let mut g = c.benchmark_group("codec");
@@ -157,7 +153,9 @@ fn bench_event_codec(c: &mut Criterion) {
             for e in &events {
                 buf.clear();
                 e.encode_into(&mut buf);
-                out += Event::decode(e.kind(), &buf).expect("round-trip").encoded_len();
+                out += Event::decode(e.kind(), &buf)
+                    .expect("round-trip")
+                    .encoded_len();
             }
             out
         });

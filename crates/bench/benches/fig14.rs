@@ -81,7 +81,13 @@ fn main() {
     // Part 2: projected detection times for the paper-scale catalog.
     let mut projected = Table::new(
         "Projected: Table 6 catalog at paper-scale manifestation counts",
-        &["PR", "Bug", "Manifest cycles", "Verilator-16T", "DiffTest-H PLDM"],
+        &[
+            "PR",
+            "Bug",
+            "Manifest cycles",
+            "Verilator-16T",
+            "DiffTest-H PLDM",
+        ],
     );
     let mut worst_verilator: f64 = 0.0;
     let mut worst_h: f64 = 0.0;

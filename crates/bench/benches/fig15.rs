@@ -31,7 +31,12 @@ fn main() {
         DutConfig::xiangshan_default(),
         DutConfig::xiangshan_dual(),
     ] {
-        let full = model.estimate(cfg.gates, cfg.cores, cfg.probes_per_core, AreaFeatures::full());
+        let full = model.estimate(
+            cfg.gates,
+            cfg.cores,
+            cfg.probes_per_core,
+            AreaFeatures::full(),
+        );
         let lean = model.estimate(
             cfg.gates,
             cfg.cores,

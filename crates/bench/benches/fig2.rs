@@ -16,11 +16,23 @@ fn main() {
 
     let mut table = Table::new(
         "Baseline communication overhead by phase",
-        &["Setup", "Startup", "Transmission", "Software", "Overhead/cycle"],
+        &[
+            "Setup",
+            "Startup",
+            "Transmission",
+            "Software",
+            "Overhead/cycle",
+        ],
     );
     let mut rows = Vec::new();
     for setup in Setup::table5() {
-        let report = run(&setup.dut, &setup.platform, DiffConfig::Z, &workload, BENCH_CYCLES);
+        let report = run(
+            &setup.dut,
+            &setup.platform,
+            DiffConfig::Z,
+            &workload,
+            BENCH_CYCLES,
+        );
         let [startup, trans, sw] = report.overhead.fractions();
         rows.push((setup.name.clone(), startup, trans, sw));
         table.row(&[

@@ -31,7 +31,12 @@ fn main() {
     let ipc = probe.ipc();
 
     let area = AreaModel::default()
-        .estimate(dut.gates, dut.cores, dut.probes_per_core, AreaFeatures::full())
+        .estimate(
+            dut.gates,
+            dut.cores,
+            dut.probes_per_core,
+            AreaFeatures::full(),
+        )
         .overhead_fraction();
 
     println!("Table 7: Comparison of hardware-accelerated co-simulation frameworks\n");
@@ -69,7 +74,13 @@ fn main() {
     ]);
 
     table.row(&prior_row(&PriorFramework::fromajo(), ipc));
-    let fpga = run(&dut, &Platform::fpga(), DiffConfig::BNSD, &workload, BENCH_CYCLES);
+    let fpga = run(
+        &dut,
+        &Platform::fpga(),
+        DiffConfig::BNSD,
+        &workload,
+        BENCH_CYCLES,
+    );
     table.row(&[
         "DiffTest-H".to_owned(),
         "Xilinx VU19P".to_owned(),

@@ -24,6 +24,7 @@ use difftest_dut::SlotTable;
 use difftest_event::wire::{CodecError, Reader, Writer};
 use difftest_event::{Event, EventKind, MonitoredEvent};
 
+use crate::pool::{BufferPool, PooledBuf};
 use crate::wire::{decode_item_body, encode_item_body, DiffCache, WireItem, WireKind};
 
 /// One metadata record: `count` items of `wire_kind` from `core`.
@@ -47,8 +48,10 @@ pub struct Packet {
     ///
     /// The sequence number lets the receiver restore packet order under
     /// the out-of-order delivery non-blocking links can exhibit
-    /// (paper §4.5 "ordered parsing").
-    pub bytes: Vec<u8>,
+    /// (paper §4.5 "ordered parsing"). The buffer is pooled: once every
+    /// owner is done (typically after the consumer decodes it), it
+    /// returns to the packer's [`BufferPool`] for the next packet.
+    pub bytes: PooledBuf,
     /// Number of wire items inside.
     pub items: u32,
 }
@@ -109,6 +112,11 @@ impl PackStats {
     }
 }
 
+/// Idle packet buffers a packer's default pool retains. Sized to cover a
+/// deep in-flight queue (producer → channel → consumer) with headroom so
+/// the steady state never allocates.
+pub const DEFAULT_POOL_SLOTS: usize = 64;
+
 /// The hardware-side tight packer (cycle + transmission levels).
 #[derive(Debug)]
 pub struct BatchUnit {
@@ -116,27 +124,43 @@ pub struct BatchUnit {
     diff: DiffCache,
     meta: Vec<MetaEntry>,
     payload: Vec<u8>,
+    /// Scratch for one item's encoded body, reused across items.
+    body: Vec<u8>,
     items: u32,
     next_seq: u32,
     stats: PackStats,
+    pool: BufferPool,
 }
 
 impl BatchUnit {
-    /// Creates a packer emitting packets of at most `capacity` bytes.
+    /// Creates a packer emitting packets of at most `capacity` bytes,
+    /// recycling buffers through a private pool.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` cannot hold one maximal item (≤ 1 KiB).
     pub fn new(cores: usize, capacity: usize) -> Self {
+        Self::with_pool(cores, capacity, BufferPool::new(DEFAULT_POOL_SLOTS))
+    }
+
+    /// Creates a packer drawing packet buffers from a caller-supplied
+    /// (possibly shared) pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` cannot hold one maximal item (≤ 1 KiB).
+    pub fn with_pool(cores: usize, capacity: usize, pool: BufferPool) -> Self {
         assert!(capacity >= 1024, "packet capacity too small: {capacity}");
         BatchUnit {
             capacity,
             diff: DiffCache::new(cores),
             meta: Vec::new(),
             payload: Vec::new(),
+            body: Vec::new(),
             items: 0,
             next_seq: 0,
             stats: PackStats::default(),
+            pool,
         }
     }
 
@@ -145,18 +169,22 @@ impl BatchUnit {
         &self.stats
     }
 
+    /// The buffer pool packets are drawn from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
     fn current_len(&self) -> usize {
         4 + 2 + self.meta.len() * META_ENTRY_BYTES + self.payload.len()
     }
 
     /// Packs one cycle's wire items, emitting any packets that filled.
     pub fn push_cycle(&mut self, items: &[WireItem], out: &mut Vec<Packet>) {
-        let mut body = Vec::new();
         for item in items {
-            body.clear();
+            self.body.clear();
             // NOTE: diff encoding mutates the cache, so the item must be
             // committed to the current packet (or dropped) once encoded.
-            if !encode_item_body(item, &mut self.diff, &mut body) {
+            if !encode_item_body(item, &mut self.diff, &mut self.body) {
                 // Vacuous diff: byte-identical to the previous same-kind
                 // event; the hardware transmits nothing.
                 self.stats.diff_dropped += 1;
@@ -170,7 +198,7 @@ impl BatchUnit {
                 self.meta.last(),
                 Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX
             );
-            let needed = body.len() + if extends_run { 0 } else { META_ENTRY_BYTES };
+            let needed = self.body.len() + if extends_run { 0 } else { META_ENTRY_BYTES };
             if self.current_len() + needed > self.capacity && self.items > 0 {
                 self.flush_packet(out);
             }
@@ -188,7 +216,7 @@ impl BatchUnit {
                     count: 1,
                 });
             }
-            self.payload.extend_from_slice(&body);
+            self.payload.extend_from_slice(&self.body);
             self.items += 1;
         }
     }
@@ -201,7 +229,8 @@ impl BatchUnit {
     }
 
     fn flush_packet(&mut self, out: &mut Vec<Packet>) {
-        let mut bytes = Vec::with_capacity(self.current_len());
+        let mut bytes = self.pool.acquire();
+        bytes.reserve(self.current_len());
         let mut w = Writer::new(&mut bytes);
         w.u32(self.next_seq);
         self.next_seq = self.next_seq.wrapping_add(1);
@@ -236,6 +265,8 @@ pub struct Unpacker {
     expected_seq: u32,
     /// Early arrivals waiting for the sequence gap to fill.
     reorder: std::collections::BTreeMap<u32, Vec<u8>>,
+    /// Metadata scratch, reused across packets.
+    meta_buf: Vec<MetaEntry>,
 }
 
 impl Unpacker {
@@ -245,6 +276,7 @@ impl Unpacker {
             diff: DiffCache::new(cores),
             expected_seq: 0,
             reorder: std::collections::BTreeMap::new(),
+            meta_buf: Vec::new(),
         }
     }
 
@@ -272,6 +304,25 @@ impl Unpacker {
     /// Returns [`CodecError`] on malformed packets or on a stale/duplicate
     /// sequence number (the link never replays old packets).
     pub fn unpack_bytes(&mut self, bytes: &[u8]) -> Result<Vec<WireItem>, CodecError> {
+        let mut items = Vec::new();
+        self.unpack_bytes_into(bytes, &mut items)?;
+        Ok(items)
+    }
+
+    /// Allocation-free variant of [`unpack_bytes`](Self::unpack_bytes):
+    /// appends decoded items to `out` (which the caller clears and
+    /// reuses) and returns how many were appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed packets or on a
+    /// stale/duplicate sequence number. `out` may hold a partial batch
+    /// after an error.
+    pub fn unpack_bytes_into(
+        &mut self,
+        bytes: &[u8],
+        out: &mut Vec<WireItem>,
+    ) -> Result<usize, CodecError> {
         let mut r = Reader::new(bytes);
         let seq = r.u32()?;
         if seq.wrapping_sub(self.expected_seq) > u32::MAX / 2 {
@@ -293,23 +344,27 @@ impl Unpacker {
                 });
             }
             self.reorder.insert(seq, bytes.to_vec());
-            return Ok(Vec::new());
+            return Ok(0);
         }
 
-        let mut items = self.decode_body(&bytes[4..])?;
+        let before = out.len();
+        self.decode_body(&bytes[4..], out)?;
         self.expected_seq = self.expected_seq.wrapping_add(1);
         while let Some(next) = self.reorder.remove(&self.expected_seq) {
-            items.extend(self.decode_body(&next[4..])?);
+            self.decode_body(&next[4..], out)?;
             self.expected_seq = self.expected_seq.wrapping_add(1);
         }
-        Ok(items)
+        Ok(out.len() - before)
     }
 
-    /// Decodes the body of an in-order packet (after the sequence number).
-    fn decode_body(&mut self, bytes: &[u8]) -> Result<Vec<WireItem>, CodecError> {
+    /// Decodes the body of an in-order packet (after the sequence number),
+    /// appending to `out`.
+    fn decode_body(&mut self, bytes: &[u8], out: &mut Vec<WireItem>) -> Result<(), CodecError> {
         let mut r = Reader::new(bytes);
         let n_meta = r.u16()? as usize;
-        let mut meta = Vec::with_capacity(n_meta);
+        let mut meta = std::mem::take(&mut self.meta_buf);
+        meta.clear();
+        meta.reserve(n_meta);
         for _ in 0..n_meta {
             let core = r.u8()?;
             let wire_kind = r.u8()?;
@@ -320,15 +375,18 @@ impl Unpacker {
                 count,
             });
         }
-        let mut items = Vec::new();
-        for m in meta {
-            let kind = WireKind::from_u8(m.wire_kind)?;
-            for _ in 0..m.count {
-                items.push(decode_item_body(kind, m.core, &mut self.diff, &mut r)?);
+        let decode_runs = |diff: &mut DiffCache, out: &mut Vec<WireItem>| {
+            for m in &meta {
+                let kind = WireKind::from_u8(m.wire_kind)?;
+                for _ in 0..m.count {
+                    out.push(decode_item_body(kind, m.core, diff, &mut r)?);
+                }
             }
-        }
-        r.finish()?;
-        Ok(items)
+            r.finish()
+        };
+        let result = decode_runs(&mut self.diff, out);
+        self.meta_buf = meta;
+        result
     }
 }
 
@@ -525,7 +583,10 @@ mod tests {
         for p in &packets {
             decoded.extend(unpacker.unpack(p).unwrap());
         }
-        assert_eq!(decoded, items, "arrival order differs, delivery order holds");
+        assert_eq!(
+            decoded, items,
+            "arrival order differs, delivery order holds"
+        );
         assert_eq!(unpacker.buffered_packets(), 0);
     }
 
@@ -539,7 +600,13 @@ mod tests {
         packer.flush(&mut packets);
         unpacker.unpack(&packets[0]).unwrap();
         let err = unpacker.unpack(&packets[0]).unwrap_err();
-        assert!(matches!(err, CodecError::StaleSequence { expected: 1, got: 0 }));
+        assert!(matches!(
+            err,
+            CodecError::StaleSequence {
+                expected: 1,
+                got: 0
+            }
+        ));
     }
 
     #[test]
@@ -572,10 +639,8 @@ mod tests {
 
     #[test]
     fn fixed_offset_round_trip_and_bubbles() {
-        let slots = SlotTable::from_pairs(&[
-            (EventKind::InstrCommit, 4),
-            (EventKind::IntWriteback, 4),
-        ]);
+        let slots =
+            SlotTable::from_pairs(&[(EventKind::InstrCommit, 4), (EventKind::IntWriteback, 4)]);
         let mut p = FixedOffsetPacker::new(slots, 1);
         let events = vec![
             MonitoredEvent {

@@ -167,7 +167,12 @@ impl CoreChecker {
     fn check_commit(&mut self, c: &InstrCommit, stats: &mut CheckStats) -> Result<(), Mismatch> {
         stats.events += 1;
         stats.bytes += InstrCommit::ENCODED_LEN as u64;
-        self.ensure(self.refm.state().pc() == c.pc, "commit.pc", self.refm.state().pc(), c.pc)?;
+        self.ensure(
+            self.refm.state().pc() == c.pc,
+            "commit.pc",
+            self.refm.state().pc(),
+            c.pc,
+        )?;
 
         if c.flags & commit_flags::SKIP != 0 && c.flags & commit_flags::LOAD != 0 {
             self.refm.skip_next(c.wdata);
@@ -205,7 +210,11 @@ impl CoreChecker {
     }
 
     /// Checks one non-commit event against the current REF state.
-    fn check_event(&mut self, ev: &Event, stats: &mut CheckStats) -> Result<Option<Verdict>, Mismatch> {
+    fn check_event(
+        &mut self,
+        ev: &Event,
+        stats: &mut CheckStats,
+    ) -> Result<Option<Verdict>, Mismatch> {
         stats.events += 1;
         stats.bytes += ev.encoded_len() as u64;
         let refm = &self.refm;
@@ -222,7 +231,12 @@ impl CoreChecker {
                 if a.is_interrupt != 0 {
                     // NDE synchronization: force the REF to take the DUT's
                     // interrupt at this boundary.
-                    self.ensure(refm.state().pc() == a.pc, "interrupt.pc", refm.state().pc(), a.pc)?;
+                    self.ensure(
+                        refm.state().pc() == a.pc,
+                        "interrupt.pc",
+                        refm.state().pc(),
+                        a.pc,
+                    )?;
                     let code = a.cause & 0x3ff;
                     let Some(intr) = Interrupt::from_code(code) else {
                         mismatch!(self, "interrupt.cause (unknown)", 7u64, code);
@@ -240,7 +254,12 @@ impl CoreChecker {
                                 trap.mcause(),
                                 a.cause,
                             )?;
-                            self.ensure(trap.mtval() == a.tval, "exception.tval", trap.mtval(), a.tval)?;
+                            self.ensure(
+                                trap.mtval() == a.tval,
+                                "exception.tval",
+                                trap.mtval(),
+                                a.tval,
+                            )?;
                         }
                         other => {
                             mismatch!(
@@ -279,15 +298,45 @@ impl CoreChecker {
             }
             Event::VecCsrState(s) => {
                 let st = refm.state();
-                self.ensure(s.vstart == st.csr(CsrIndex::Vstart), "vstart", st.csr(CsrIndex::Vstart), s.vstart)?;
-                self.ensure(s.vl == st.csr(CsrIndex::Vl), "vl", st.csr(CsrIndex::Vl), s.vl)?;
-                self.ensure(s.vtype == st.csr(CsrIndex::Vtype), "vtype", st.csr(CsrIndex::Vtype), s.vtype)?;
-                self.ensure(s.vcsr == st.csr(CsrIndex::Vcsr), "vcsr", st.csr(CsrIndex::Vcsr), s.vcsr)?;
+                self.ensure(
+                    s.vstart == st.csr(CsrIndex::Vstart),
+                    "vstart",
+                    st.csr(CsrIndex::Vstart),
+                    s.vstart,
+                )?;
+                self.ensure(
+                    s.vl == st.csr(CsrIndex::Vl),
+                    "vl",
+                    st.csr(CsrIndex::Vl),
+                    s.vl,
+                )?;
+                self.ensure(
+                    s.vtype == st.csr(CsrIndex::Vtype),
+                    "vtype",
+                    st.csr(CsrIndex::Vtype),
+                    s.vtype,
+                )?;
+                self.ensure(
+                    s.vcsr == st.csr(CsrIndex::Vcsr),
+                    "vcsr",
+                    st.csr(CsrIndex::Vcsr),
+                    s.vcsr,
+                )?;
             }
             Event::HypervisorCsrState(s) => {
                 let st = refm.state();
-                self.ensure(s.csrs[0] == st.csr(CsrIndex::Hstatus), "hstatus", st.csr(CsrIndex::Hstatus), s.csrs[0])?;
-                self.ensure(s.csrs[1] == st.csr(CsrIndex::Hedeleg), "hedeleg", st.csr(CsrIndex::Hedeleg), s.csrs[1])?;
+                self.ensure(
+                    s.csrs[0] == st.csr(CsrIndex::Hstatus),
+                    "hstatus",
+                    st.csr(CsrIndex::Hstatus),
+                    s.csrs[0],
+                )?;
+                self.ensure(
+                    s.csrs[1] == st.csr(CsrIndex::Hedeleg),
+                    "hedeleg",
+                    st.csr(CsrIndex::Hedeleg),
+                    s.csrs[1],
+                )?;
             }
             Event::TriggerCsrState(s) => {
                 self.ensure(s.tselect == 0, "tselect", 0u64, s.tselect)?;
@@ -297,11 +346,21 @@ impl CoreChecker {
             }
             Event::IntWriteback(w) => {
                 let want = refm.state().xreg(difftest_isa::Reg::new(w.idx));
-                self.ensure(w.data == want, format!("int writeback x{}", w.idx), want, w.data)?;
+                self.ensure(
+                    w.data == want,
+                    format!("int writeback x{}", w.idx),
+                    want,
+                    w.data,
+                )?;
             }
             Event::FpWriteback(w) => {
                 let want = refm.state().freg(difftest_isa::FReg::new(w.idx));
-                self.ensure(w.data == want, format!("fp writeback f{}", w.idx), want, w.data)?;
+                self.ensure(
+                    w.data == want,
+                    format!("fp writeback f{}", w.idx),
+                    want,
+                    w.data,
+                )?;
             }
             Event::LoadEvent(l) => {
                 if l.is_mmio != 0 {
@@ -314,7 +373,10 @@ impl CoreChecker {
                     if let Some(m) = eff.memr {
                         self.ensure(l.addr == m.addr, "load.addr", m.addr, l.addr)?;
                     }
-                    if let Some((_, v)) = eff.xw.or(eff.fw.map(|(r, v)| (difftest_isa::Reg::new(r.index() as u8), v))) {
+                    if let Some((_, v)) = eff.xw.or(eff
+                        .fw
+                        .map(|(r, v)| (difftest_isa::Reg::new(r.index() as u8), v)))
+                    {
                         self.ensure(l.data == v, "load.data", v, l.data)?;
                     }
                 }
@@ -370,7 +432,12 @@ impl CoreChecker {
                         let got = s.data[b as usize];
                         self.ensure(got == want, format!("sbuffer byte {b}"), want, got)?;
                     } else {
-                        self.ensure(s.data[b as usize] == 0, format!("sbuffer bubble {b}"), 0u8, s.data[b as usize])?;
+                        self.ensure(
+                            s.data[b as usize] == 0,
+                            format!("sbuffer bubble {b}"),
+                            0u8,
+                            s.data[b as usize],
+                        )?;
                     }
                 }
             }
@@ -391,7 +458,12 @@ impl CoreChecker {
             Event::L2TlbEvent(t) => {
                 if t.valid != 0 {
                     for (i, p) in t.ppns.iter().enumerate() {
-                        self.ensure(*p == t.vpn + i as u64, format!("l2tlb ppn {i}"), t.vpn + i as u64, *p)?;
+                        self.ensure(
+                            *p == t.vpn + i as u64,
+                            format!("l2tlb ppn {i}"),
+                            t.vpn + i as u64,
+                            *p,
+                        )?;
                     }
                 }
             }
@@ -406,18 +478,38 @@ impl CoreChecker {
             Event::RunaheadEvent(r) => {
                 if r.valid != 0 {
                     let want = (self.seq.wrapping_sub(1) & 0xffff) as u16;
-                    self.ensure(r.checkpoint_id == want, "runahead.id", want, r.checkpoint_id)?;
+                    self.ensure(
+                        r.checkpoint_id == want,
+                        "runahead.id",
+                        want,
+                        r.checkpoint_id,
+                    )?;
                 }
             }
             Event::FpCsrUpdate(u) => {
                 let want = self.refm.state().csr(CsrIndex::Fcsr);
                 self.ensure(u.data == want, "fcsr.data", want, u.data)?;
-                self.ensure(u.fflags as u64 == want & 0x1f, "fcsr.fflags", want & 0x1f, u.fflags as u64)?;
+                self.ensure(
+                    u.fflags as u64 == want & 0x1f,
+                    "fcsr.fflags",
+                    want & 0x1f,
+                    u.fflags as u64,
+                )?;
             }
             Event::VecConfig(v) => {
                 let st = refm.state();
-                self.ensure(v.vl == st.csr(CsrIndex::Vl), "vecconfig.vl", st.csr(CsrIndex::Vl), v.vl)?;
-                self.ensure(v.vtype == st.csr(CsrIndex::Vtype), "vecconfig.vtype", st.csr(CsrIndex::Vtype), v.vtype)?;
+                self.ensure(
+                    v.vl == st.csr(CsrIndex::Vl),
+                    "vecconfig.vl",
+                    st.csr(CsrIndex::Vl),
+                    v.vl,
+                )?;
+                self.ensure(
+                    v.vtype == st.csr(CsrIndex::Vtype),
+                    "vecconfig.vtype",
+                    st.csr(CsrIndex::Vtype),
+                    v.vtype,
+                )?;
             }
             Event::HCsrUpdate(h) => {
                 if let Some(c) = CsrIndex::from_address(h.addr) {
@@ -428,19 +520,38 @@ impl CoreChecker {
             // Rarely-emitted extension events: structural validity only.
             Event::VecWriteback(_) | Event::VecLoad(_) | Event::VecStore(_) => {}
             Event::VirtualInterrupt(v) => {
-                self.ensure(v.valid == 0, "virtual interrupt (unsupported)", 0u8, v.valid)?;
+                self.ensure(
+                    v.valid == 0,
+                    "virtual interrupt (unsupported)",
+                    0u8,
+                    v.valid,
+                )?;
             }
             Event::GuestPageFault(g) => {
-                self.ensure(g.fault_type == 0, "guest page fault (unsupported)", 0u8, g.fault_type)?;
+                self.ensure(
+                    g.fault_type == 0,
+                    "guest page fault (unsupported)",
+                    0u8,
+                    g.fault_type,
+                )?;
             }
         }
         Ok(None)
     }
 
     /// Handles a trap event (simulation end).
-    fn check_trap(&mut self, t: &difftest_event::TrapEvent, stats: &mut CheckStats) -> Result<Verdict, Mismatch> {
+    fn check_trap(
+        &mut self,
+        t: &difftest_event::TrapEvent,
+        stats: &mut CheckStats,
+    ) -> Result<Verdict, Mismatch> {
         stats.events += 1;
-        self.ensure(self.refm.state().pc() == t.pc, "trap.pc", self.refm.state().pc(), t.pc)?;
+        self.ensure(
+            self.refm.state().pc() == t.pc,
+            "trap.pc",
+            self.refm.state().pc(),
+            t.pc,
+        )?;
         Ok(Verdict::Halt {
             core: self.core,
             good: t.code == 0,
@@ -536,7 +647,11 @@ impl CoreChecker {
     }
 
     /// Processes one fused commit record (Squash mode).
-    fn process_fused(&mut self, f: &FusedCommit, stats: &mut CheckStats) -> Result<Option<Verdict>, Mismatch> {
+    fn process_fused(
+        &mut self,
+        f: &FusedCommit,
+        stats: &mut CheckStats,
+    ) -> Result<Option<Verdict>, Mismatch> {
         stats.fused_records += 1;
         stats.events += 1;
         stats.bytes += f.encoded_len() as u64;
@@ -556,7 +671,12 @@ impl CoreChecker {
             });
         }
 
-        self.ensure(f.first_seq == self.seq, "fused.first_seq", self.seq, f.first_seq)?;
+        self.ensure(
+            f.first_seq == self.seq,
+            "fused.first_seq",
+            self.seq,
+            f.first_seq,
+        )?;
 
         for _ in 0..f.count {
             if let Some(v) = self.drain_pending(self.seq, true, stats)? {
@@ -604,10 +724,18 @@ impl CoreChecker {
 }
 
 /// The multi-core ISA checker.
+///
+/// A checker owns a contiguous range of core ids starting at its *core
+/// base* (0 for [`Checker::new`]): items whose [`WireItem::core`] falls in
+/// `core_base .. core_base + cores` are checked, anything else is reported
+/// as a transport fault. [`Checker::single`] builds a one-core checker
+/// with a non-zero base, which is how the sharded runner gives each worker
+/// its own core without renumbering items on the wire.
 #[derive(Debug)]
 pub struct Checker {
     cores: Vec<CoreChecker>,
     stats: CheckStats,
+    core_base: u8,
 }
 
 impl Checker {
@@ -634,6 +762,31 @@ impl Checker {
         Checker {
             cores,
             stats: CheckStats::default(),
+            core_base: 0,
+        }
+    }
+
+    /// Creates a single-core checker responsible for exactly `core`.
+    ///
+    /// Items for any other core id are rejected as mismatches, so a
+    /// sharded topology (one checker per worker thread) detects routing
+    /// faults the same way the monolithic checker detects corrupted core
+    /// bytes. `replay_support` is as in [`Checker::new`].
+    pub fn single(core: u8, mut refm: RefModel, replay_support: bool) -> Self {
+        refm.set_journal_enabled(replay_support);
+        Checker {
+            cores: vec![CoreChecker {
+                core,
+                refm,
+                seq: 0,
+                last_effect: None,
+                pending: BTreeMap::new(),
+                token_watermark: 0,
+                ckpt: None,
+                replay_support,
+            }],
+            stats: CheckStats::default(),
+            core_base: core,
         }
     }
 
@@ -651,11 +804,12 @@ impl Checker {
     /// taken at quiesced points (flush the acceleration unit and process
     /// everything first).
     pub fn snapshot_refs(&self) -> Vec<(RefModel, u64)> {
-        assert_eq!(self.pending_items(), 0, "snapshot requires a quiesced checker");
-        self.cores
-            .iter()
-            .map(|c| (c.refm.clone(), c.seq))
-            .collect()
+        assert_eq!(
+            self.pending_items(),
+            0,
+            "snapshot requires a quiesced checker"
+        );
+        self.cores.iter().map(|c| (c.refm.clone(), c.seq)).collect()
     }
 
     /// Rebuilds a checker from snapshotted REF states and progress.
@@ -680,12 +834,13 @@ impl Checker {
         Checker {
             cores,
             stats: CheckStats::default(),
+            core_base: 0,
         }
     }
 
     /// Instructions checked so far on `core`.
     pub fn seq(&self, core: u8) -> u64 {
-        self.cores[core as usize].seq
+        self.cores[(core - self.core_base) as usize].seq
     }
 
     /// Processes one wire item (owned: tagged and differenced payloads are
@@ -695,7 +850,8 @@ impl Checker {
     ///
     /// Returns the [`Mismatch`] that aborted checking.
     pub fn process(&mut self, item: WireItem) -> Result<Verdict, Mismatch> {
-        let Some(core) = self.cores.get_mut(item.core() as usize) else {
+        let idx = (item.core() as usize).wrapping_sub(self.core_base as usize);
+        let Some(core) = self.cores.get_mut(idx) else {
             // A corrupted transport can smuggle an out-of-range core id;
             // surface it as a checkable failure instead of panicking.
             return Err(Mismatch {
@@ -714,7 +870,9 @@ impl Checker {
                     Ok(Verdict::Continue)
                 }
                 Event::TrapEvent(t) => core.check_trap(&t, stats),
-                other => Ok(core.check_event(&other, stats)?.unwrap_or(Verdict::Continue)),
+                other => Ok(core
+                    .check_event(&other, stats)?
+                    .unwrap_or(Verdict::Continue)),
             },
             WireItem::Tagged {
                 tag, token, event, ..
@@ -765,7 +923,7 @@ impl Checker {
     /// `(checkpoint, watermark)` to retransmit, or `None` when no
     /// checkpoint exists (the mismatch is already precise).
     pub fn revert_for_replay(&mut self, core: u8) -> Option<(u64, u64)> {
-        let c = &mut self.cores[core as usize];
+        let c = &mut self.cores[(core - self.core_base) as usize];
         let ckpt = c.ckpt.take()?;
         if !c.refm.revert() {
             return None;
@@ -868,9 +1026,7 @@ mod tests {
             int_writes: vec![(10, 99)],
             ..Default::default()
         };
-        let m = ck
-            .process(WireItem::Fused { core: 0, fused })
-            .unwrap_err();
+        let m = ck.process(WireItem::Fused { core: 0, fused }).unwrap_err();
         assert_eq!(m.check, "fused write x10");
     }
 
@@ -921,7 +1077,8 @@ mod tests {
     fn interrupt_event_syncs_ref() {
         let words = [encode::nop(), encode::nop()];
         let mut r = ref_with(&words);
-        r.state_mut().set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x40);
+        r.state_mut()
+            .set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x40);
         let mut ck = Checker::new(vec![r], false);
         let intr = WireItem::Plain {
             core: 0,

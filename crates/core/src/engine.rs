@@ -43,7 +43,12 @@ pub enum DiffConfig {
 
 impl DiffConfig {
     /// All configurations in Table 5 order.
-    pub const ALL: [DiffConfig; 4] = [DiffConfig::Z, DiffConfig::B, DiffConfig::BN, DiffConfig::BNSD];
+    pub const ALL: [DiffConfig; 4] = [
+        DiffConfig::Z,
+        DiffConfig::B,
+        DiffConfig::BN,
+        DiffConfig::BNSD,
+    ];
 
     /// Tight packing enabled.
     pub fn batch(self) -> bool {
@@ -264,6 +269,7 @@ impl CoSimulationBuilder {
             max_cycles: self.max_cycles,
             transfers: Vec::new(),
             events_buf: Vec::new(),
+            items_buf: Vec::new(),
             halt: None,
             failure: None,
         })
@@ -466,6 +472,7 @@ pub struct CoSimulation {
     max_cycles: u64,
     transfers: Vec<Transfer>,
     events_buf: Vec<difftest_event::MonitoredEvent>,
+    items_buf: Vec<crate::wire::WireItem>,
     halt: Option<Verdict>,
     failure: Option<FailureReport>,
 }
@@ -556,37 +563,41 @@ impl CoSimulation {
     /// Processes queued transfers; returns `true` when the run must stop.
     fn process_transfers(&mut self, invokes: &mut u64, bytes: &mut u64) -> bool {
         let transfers = std::mem::take(&mut self.transfers);
-        for t in &transfers {
+        // Reuse the decode scratch across calls: dropping the transfer at
+        // the end of each iteration recycles its payload to the pool, so
+        // the steady state allocates neither payload nor item storage.
+        let mut items = std::mem::take(&mut self.items_buf);
+        let mut stopped = false;
+        'transfers: for t in &transfers {
             *invokes += t.invokes;
             *bytes += t.bytes.len() as u64;
 
             let before = *self.checker.stats();
-            let items = self
-                .sw
-                .decode(t)
+            items.clear();
+            self.sw
+                .decode_into(t, &mut items)
                 .expect("internal wire codec must round-trip");
-            let mut stop = false;
-            for item in items {
+            for item in items.drain(..) {
                 match self.checker.process(item) {
                     Ok(Verdict::Continue) => {}
                     Ok(v @ Verdict::Halt { .. }) => {
                         self.halt = Some(v);
-                        stop = true;
-                        break;
+                        self.charge_transfer(t, &before);
+                        stopped = true;
+                        break 'transfers;
                     }
                     Err(m) => {
                         self.charge_transfer(t, &before);
                         self.on_mismatch(m, invokes, bytes);
-                        return true;
+                        stopped = true;
+                        break 'transfers;
                     }
                 }
             }
             self.charge_transfer(t, &before);
-            if stop {
-                return true;
-            }
         }
-        false
+        self.items_buf = items;
+        stopped
     }
 
     fn charge_transfer(&mut self, t: &Transfer, before: &CheckStats) {
@@ -595,8 +606,12 @@ impl CoSimulation {
         let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
             + (after.instructions - before.instructions) as f64 * host.ref_step_s
             + t.bytes.len() as f64 * host.event_per_byte_s;
-        self.timing
-            .on_transfer(self.platform.link(), t.invokes, t.bytes.len() as u64, sw_cost);
+        self.timing.on_transfer(
+            self.platform.link(),
+            t.invokes,
+            t.bytes.len() as u64,
+            sw_cost,
+        );
     }
 
     /// Replay flow (paper §4.4): revert, retransmit, reprocess.

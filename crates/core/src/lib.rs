@@ -51,8 +51,10 @@
 pub mod batch;
 pub mod checker;
 pub mod engine;
+pub mod pool;
 pub mod prior;
 pub mod replay;
+pub mod sharded;
 pub mod snapshot;
 pub mod squash;
 pub mod threaded;
@@ -63,7 +65,9 @@ pub use checker::{CheckStats, Checker, Mismatch, Verdict};
 pub use engine::{
     BuildError, CoSimulation, CoSimulationBuilder, DiffConfig, RunOutcome, RunReport,
 };
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use replay::{FailureReport, ReplayBuffer};
+pub use sharded::{run_sharded, ShardedReport, WorkerReport};
 pub use snapshot::{snapshot_debug_run, SnapshotReport};
 pub use squash::{FusedCommit, SquashStats, SquashUnit};
 pub use threaded::{run_threaded, ThreadedReport};

@@ -108,8 +108,7 @@ impl PriorFramework {
     fn comm_per_cycle_s(&self, ipc: f64) -> f64 {
         match self.strategy {
             PriorStrategy::PerInstruction => {
-                ipc * (self.link.transfer_time(self.bytes_per_instr as u64)
-                    + self.sw_per_instr_s)
+                ipc * (self.link.transfer_time(self.bytes_per_instr as u64) + self.sw_per_instr_s)
             }
             PriorStrategy::DigestFused { n } => {
                 let per_digest = self

@@ -1,0 +1,467 @@
+//! Per-core sharded parallel checking: one decoder + checker worker per
+//! DUT core.
+//!
+//! [`crate::threaded`] demonstrates the paper's non-blocking architecture
+//! with a single software consumer; for multi-core DUTs that consumer is
+//! the bottleneck because every core's reference model steps on one host
+//! thread. This module shards the software side by core: the producer runs
+//! the DUT and one [`AccelUnit`] *per core*, stamping each [`Transfer`]
+//! with its core id, and routes it over a dedicated bounded channel to
+//! that core's worker — O(1) routing, no demultiplexing on the consumer
+//! side. Each worker owns a [`SwUnit`] and a single-core
+//! [`Checker`](crate::Checker) ([`Checker::single`]), so the per-core
+//! reference models step concurrently on separate host threads.
+//!
+//! Coordination:
+//!
+//! - **Stop broadcast** — any worker that verifies a halting trap or
+//!   detects a mismatch sets a shared [`AtomicBool`]; the producer polls
+//!   it every DUT cycle and stops feeding the channels.
+//! - **First-mismatch semantics** — when several cores fail in the same
+//!   drain, the coordinator reports the mismatch with the lowest
+//!   instruction count (ties broken by the lower core id), matching what a
+//!   single in-order consumer would have hit first.
+//! - **Backpressure** — each per-core channel is bounded by
+//!   `queue_depth`, the paper's sending-queue model applied per shard.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel;
+use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_event::MonitoredEvent;
+use difftest_ref::{Memory, RefModel};
+use difftest_workload::Workload;
+
+use crate::checker::{Checker, Mismatch, Verdict};
+use crate::engine::{DiffConfig, RunOutcome};
+use crate::pool::PoolStats;
+use crate::transport::{AccelUnit, SwUnit, Transfer};
+use crate::wire::WireItem;
+
+/// Per-worker (per-core) statistics of a sharded run.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// DUT core this worker checked.
+    pub core: u8,
+    /// Wire items checked by this worker.
+    pub items: u64,
+    /// Instructions stepped on this worker's reference model.
+    pub instructions: u64,
+    /// Worker wall-clock seconds (receive loop + finalize).
+    pub wall_s: f64,
+    /// Items checked per wall-clock second on this worker.
+    pub items_per_sec: f64,
+}
+
+/// Result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// The winning mismatch (lowest instruction count), if any.
+    pub mismatch: Option<Mismatch>,
+    /// DUT cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed by the DUT.
+    pub instructions: u64,
+    /// Wire items checked across all workers.
+    pub items: u64,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Host-side throughput in DUT cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Aggregate items per wall-clock second across workers.
+    pub items_per_sec: f64,
+    /// One report per core worker, ordered by core id.
+    pub workers: Vec<WorkerReport>,
+    /// Aggregate buffer-pool statistics across the per-core producers.
+    pub pool: PoolStats,
+}
+
+impl ShardedReport {
+    /// Exports the run as [`difftest_stats::Counters`] (per-worker
+    /// throughput and buffer-recycling rates included), for the same
+    /// table-rendering toolkit the engine reports feed.
+    pub fn counters(&self) -> difftest_stats::Counters {
+        let mut c = difftest_stats::Counters::new();
+        c.set("hw.cycles", self.cycles);
+        c.set("hw.instructions", self.instructions);
+        c.set("sw.items_checked", self.items);
+        c.set("host.items_per_sec", self.items_per_sec as u64);
+        c.set("host.cycles_per_sec", self.cycles_per_sec as u64);
+        c.set("pool.hits", self.pool.hits);
+        c.set("pool.misses", self.pool.misses);
+        c.set("pool.returns", self.pool.returns);
+        c.set("pool.discards", self.pool.discards);
+        c.set("pool.hit_rate_pct", (self.pool.hit_rate() * 100.0) as u64);
+        for w in &self.workers {
+            c.set(format!("worker{}.items", w.core), w.items);
+            c.set(format!("worker{}.instructions", w.core), w.instructions);
+            c.set(
+                format!("worker{}.items_per_sec", w.core),
+                w.items_per_sec as u64,
+            );
+        }
+        c
+    }
+}
+
+/// What one worker thread hands back to the coordinator.
+struct WorkerOutcome {
+    core: u8,
+    items: u64,
+    instructions: u64,
+    wall_s: f64,
+    verdict: Option<Verdict>,
+    mismatch: Option<Mismatch>,
+}
+
+fn accel_for(config: DiffConfig, cores: usize) -> AccelUnit {
+    match config {
+        DiffConfig::BNSD => AccelUnit::squash_batch(cores, 4096, 32, false),
+        _ => AccelUnit::batch(cores, 4096),
+    }
+}
+
+/// Runs a co-simulation with one checker worker per DUT core.
+///
+/// The producer thread runs the DUT and one acceleration unit per core;
+/// each worker thread decodes and checks one core's stream. Verdicts are
+/// aggregated with first-mismatch semantics (see the module docs). The
+/// signature mirrors [`crate::run_threaded`]; on a single-core DUT the two
+/// runners produce identical verdicts, the sharded one merely adds the
+/// per-core plumbing.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour.
+pub fn run_sharded(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+) -> ShardedReport {
+    assert!(
+        config.nonblock(),
+        "sharded runner requires a non-blocking configuration"
+    );
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, workload.words());
+    let cores = dut_cfg.cores as usize;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut txs = Vec::with_capacity(cores);
+    let mut rxs = Vec::with_capacity(cores);
+    for _ in 0..cores {
+        let (tx, rx) = channel::bounded::<Transfer>(queue_depth.max(1));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let start = Instant::now();
+
+    let producer = {
+        let image = image.clone();
+        let dut_cfg = dut_cfg.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut dut = Dut::new(dut_cfg, &image, bugs);
+            let mut accels: Vec<AccelUnit> = (0..cores)
+                .map(|k| {
+                    let mut a = accel_for(config, cores);
+                    a.set_route_core(k as u8);
+                    a
+                })
+                .collect();
+            let mut events: Vec<MonitoredEvent> = Vec::new();
+            let mut transfers = Vec::new();
+            'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                events.clear();
+                dut.tick_into(&mut events);
+                for (k, accel) in accels.iter_mut().enumerate() {
+                    accel.push_cycle_for_route_core(&events, &mut transfers);
+                    for t in transfers.drain(..) {
+                        // Blocking send: each bounded channel is one
+                        // shard's sending queue with backpressure.
+                        if txs[k].send(t).is_err() {
+                            break 'run;
+                        }
+                    }
+                }
+            }
+            for (k, accel) in accels.iter_mut().enumerate() {
+                accel.flush(&mut transfers);
+                for t in transfers.drain(..) {
+                    if txs[k].send(t).is_err() {
+                        break;
+                    }
+                }
+            }
+            let pool =
+                accels
+                    .iter()
+                    .map(AccelUnit::pool_stats)
+                    .fold(PoolStats::default(), |a, s| PoolStats {
+                        hits: a.hits + s.hits,
+                        misses: a.misses + s.misses,
+                        returns: a.returns + s.returns,
+                        discards: a.discards + s.discards,
+                    });
+            drop(txs);
+            (dut.cycles(), dut.total_commits(), pool)
+        })
+    };
+
+    let workers: Vec<thread::JoinHandle<WorkerOutcome>> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(k, rx)| {
+            let image = image.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let started = Instant::now();
+                let core = k as u8;
+                let mut sw = SwUnit::packed(cores);
+                let mut checker = Checker::single(core, RefModel::new(image), false);
+                let mut item_buf: Vec<WireItem> = Vec::new();
+                let mut items = 0u64;
+                let mut verdict = None;
+                let mut mismatch = None;
+                'recv: for t in rx.iter() {
+                    item_buf.clear();
+                    sw.decode_into(&t, &mut item_buf)
+                        .expect("internal wire codec round-trips");
+                    for item in item_buf.drain(..) {
+                        items += 1;
+                        match checker.process(item) {
+                            Ok(Verdict::Continue) => {}
+                            Ok(v @ Verdict::Halt { .. }) => {
+                                verdict = Some(v);
+                                stop.store(true, Ordering::Release);
+                                break 'recv;
+                            }
+                            Err(m) => {
+                                mismatch = Some(m);
+                                stop.store(true, Ordering::Release);
+                                break 'recv;
+                            }
+                        }
+                    }
+                }
+                if verdict.is_none() && mismatch.is_none() {
+                    match checker.finalize() {
+                        Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
+                        Ok(Verdict::Continue) => {}
+                        Err(m) => mismatch = Some(m),
+                    }
+                }
+                let wall_s = started.elapsed().as_secs_f64();
+                WorkerOutcome {
+                    core,
+                    items,
+                    instructions: checker.seq(core),
+                    wall_s,
+                    verdict,
+                    mismatch,
+                }
+            })
+        })
+        .collect();
+
+    let (cycles, instructions, pool) = producer.join().expect("producer thread");
+    let mut outcomes: Vec<WorkerOutcome> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker thread"))
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    outcomes.sort_by_key(|o| o.core);
+
+    // First-mismatch semantics across shards: lowest instruction count
+    // wins, core id breaks ties deterministically.
+    let mismatch = outcomes
+        .iter()
+        .filter_map(|o| o.mismatch.clone())
+        .min_by_key(|m| (m.seq, m.core));
+    let verdict = outcomes.iter().filter_map(|o| o.verdict).next();
+
+    let outcome = if mismatch.is_some() {
+        RunOutcome::Mismatch
+    } else {
+        match verdict {
+            Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+            Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+            _ => RunOutcome::MaxCycles,
+        }
+    };
+
+    let items: u64 = outcomes.iter().map(|o| o.items).sum();
+    let workers = outcomes
+        .into_iter()
+        .map(|o| WorkerReport {
+            core: o.core,
+            items: o.items,
+            instructions: o.instructions,
+            wall_s: o.wall_s,
+            items_per_sec: o.items as f64 / o.wall_s.max(1e-9),
+        })
+        .collect();
+
+    ShardedReport {
+        outcome,
+        mismatch,
+        cycles,
+        instructions,
+        items,
+        wall_s,
+        cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+        items_per_sec: items as f64 / wall_s.max(1e-9),
+        workers,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_dut::BugKind;
+
+    fn dual_core_minimal() -> DutConfig {
+        let mut cfg = DutConfig::xiangshan_minimal();
+        cfg.cores = 2;
+        cfg
+    }
+
+    #[test]
+    fn sharded_run_reaches_good_trap() {
+        let w = Workload::microbench().seed(2).iterations(50).build();
+        let r = run_sharded(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert!(r.items > 0);
+        assert!(r.cycles_per_sec > 0.0);
+        assert_eq!(r.workers.len(), 1);
+        assert_eq!(r.workers[0].items, r.items);
+    }
+
+    #[test]
+    fn sharded_run_detects_bugs() {
+        let w = Workload::linux_boot().seed(2).iterations(300).build();
+        let r = run_sharded(
+            DutConfig::xiangshan_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 5_000)],
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert!(r.mismatch.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-blocking")]
+    fn sharded_run_rejects_blocking_configs() {
+        let w = Workload::microbench().seed(2).iterations(5).build();
+        let _ = run_sharded(
+            DutConfig::nutshell(),
+            DiffConfig::Z,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+        );
+    }
+
+    #[test]
+    fn dual_core_good_trap_with_per_worker_reports() {
+        let w = Workload::microbench().seed(5).iterations(40).build();
+        let r = run_sharded(
+            dual_core_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(r.workers[0].core, 0);
+        assert_eq!(r.workers[1].core, 1);
+        assert!(r.workers.iter().all(|wk| wk.items > 0));
+        assert_eq!(r.items, r.workers.iter().map(|wk| wk.items).sum::<u64>());
+    }
+
+    #[test]
+    fn dual_core_bug_detected() {
+        let w = Workload::linux_boot().seed(3).iterations(300).build();
+        let r = run_sharded(
+            dual_core_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 5_000)],
+            500_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert!(r.mismatch.is_some());
+    }
+
+    #[test]
+    fn pool_recycles_after_warmup() {
+        // Long enough that the bounded warmup allocations (at most the
+        // in-flight window) are under 5% of total acquisitions.
+        let w = Workload::microbench().seed(2).iterations(1500).build();
+        let r = run_sharded(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            5_000_000,
+            8,
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        let s = r.pool;
+        assert!(
+            s.hits + s.misses > 0,
+            "producer must draw payloads from the pool"
+        );
+        assert!(
+            s.hit_rate() >= 0.95,
+            "steady-state recycle rate {} below 95% ({s:?})",
+            s.hit_rate()
+        );
+    }
+
+    #[test]
+    fn counters_export_worker_stats() {
+        let w = Workload::microbench().seed(2).iterations(30).build();
+        let r = run_sharded(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+        );
+        let c = r.counters();
+        assert_eq!(c.get("sw.items_checked"), r.items);
+        assert_eq!(c.get("worker0.items"), r.items);
+        assert_eq!(c.get("pool.hits"), r.pool.hits);
+        assert_eq!(c.get("pool.misses"), r.pool.misses);
+    }
+}

@@ -75,18 +75,20 @@ pub fn snapshot_debug_run(
     let mut coarse = None;
     let mut halt = None;
 
-    let process =
-        |sw: &mut SwUnit, checker: &mut Checker, transfers: &mut Vec<Transfer>| -> Result<Option<Verdict>, Mismatch> {
-            for t in transfers.drain(..) {
-                for item in sw.decode(&t).expect("wire codec round-trips") {
-                    match checker.process(item)? {
-                        Verdict::Continue => {}
-                        v @ Verdict::Halt { .. } => return Ok(Some(v)),
-                    }
+    let process = |sw: &mut SwUnit,
+                   checker: &mut Checker,
+                   transfers: &mut Vec<Transfer>|
+     -> Result<Option<Verdict>, Mismatch> {
+        for t in transfers.drain(..) {
+            for item in sw.decode(&t).expect("wire codec round-trips") {
+                match checker.process(item)? {
+                    Verdict::Continue => {}
+                    v @ Verdict::Halt { .. } => return Ok(Some(v)),
                 }
             }
-            Ok(None)
-        };
+        }
+        Ok(None)
+    };
 
     'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
         // Periodic snapshot: quiesce the pipeline first (flush fusion
@@ -230,13 +232,7 @@ mod tests {
     #[test]
     fn snapshot_flow_passes_clean_runs() {
         let w = Workload::microbench().seed(41).iterations(40).build();
-        let r = snapshot_debug_run(
-            DutConfig::nutshell(),
-            &w,
-            Vec::new(),
-            5_000,
-            400_000,
-        );
+        let r = snapshot_debug_run(DutConfig::nutshell(), &w, Vec::new(), 5_000, 400_000);
         assert_eq!(r.outcome, RunOutcome::GoodTrap);
         assert!(r.precise.is_none());
     }

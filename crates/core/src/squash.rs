@@ -85,25 +85,73 @@ pub struct FusedCommit {
     pub fp_writes: Vec<(u8, u64)>,
 }
 
+/// Bytes a LEB128 varint encoding of `v` occupies (1–10).
+fn varint_len(v: u64) -> usize {
+    (64 - v.leading_zeros()).max(1).div_ceil(7) as usize
+}
+
+fn write_varint(w: &mut Writer<'_>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.u8(byte);
+            return;
+        }
+        w.u8(byte | 0x80);
+    }
+}
+
+fn read_varint(r: &mut Reader<'_>) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = r.u8()?;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(CodecError::Malformed("varint overruns 64 bits"))
+}
+
 impl FusedCommit {
     /// Encoded size in bytes.
+    ///
+    /// Scalar fields and write values are LEB128 varints: fused records
+    /// dominate BNSD wire traffic, and sequence numbers, commit counts,
+    /// and most register values occupy far fewer than 8 significant
+    /// bytes, so variable-length encoding is where the squash stream's
+    /// byte reduction comes from (paper §4.3 transmits "only modified"
+    /// state — this squeezes the modified values themselves).
     pub fn encoded_len(&self) -> usize {
-        8 + 4 + 8 + 8 + 8 + 1 + 1 + 9 * (self.int_writes.len() + self.fp_writes.len())
+        varint_len(self.first_seq)
+            + varint_len(u64::from(self.count))
+            + varint_len(self.final_pc)
+            + varint_len(self.token_first)
+            + varint_len(self.token_last)
+            + 1
+            + 1
+            + self
+                .int_writes
+                .iter()
+                .chain(&self.fp_writes)
+                .map(|(_, v)| 1 + varint_len(*v))
+                .sum::<usize>()
     }
 
     /// Appends the self-describing binary layout.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut w = Writer::new(out);
-        w.u64(self.first_seq);
-        w.u32(self.count);
-        w.u64(self.final_pc);
-        w.u64(self.token_first);
-        w.u64(self.token_last);
+        write_varint(&mut w, self.first_seq);
+        write_varint(&mut w, u64::from(self.count));
+        write_varint(&mut w, self.final_pc);
+        write_varint(&mut w, self.token_first);
+        write_varint(&mut w, self.token_last);
         w.u8(self.int_writes.len() as u8);
         w.u8(self.fp_writes.len() as u8);
         for (r, v) in self.int_writes.iter().chain(&self.fp_writes) {
             w.u8(*r);
-            w.u64(*v);
+            write_varint(&mut w, *v);
         }
     }
 
@@ -111,22 +159,25 @@ impl FusedCommit {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] on a truncated record.
+    /// Returns [`CodecError`] on a truncated or malformed record.
     pub fn decode_from(r: &mut Reader<'_>) -> Result<FusedCommit, CodecError> {
-        let first_seq = r.u64()?;
-        let count = r.u32()?;
-        let final_pc = r.u64()?;
-        let token_first = r.u64()?;
-        let token_last = r.u64()?;
+        let first_seq = read_varint(r)?;
+        let count = u32::try_from(read_varint(r)?)
+            .map_err(|_| CodecError::Malformed("fused count overruns 32 bits"))?;
+        let final_pc = read_varint(r)?;
+        let token_first = read_varint(r)?;
+        let token_last = read_varint(r)?;
         let n_int = r.u8()? as usize;
         let n_fp = r.u8()? as usize;
         let mut int_writes = Vec::with_capacity(n_int);
         for _ in 0..n_int {
-            int_writes.push((r.u8()?, r.u64()?));
+            let reg = r.u8()?;
+            int_writes.push((reg, read_varint(r)?));
         }
         let mut fp_writes = Vec::with_capacity(n_fp);
         for _ in 0..n_fp {
-            fp_writes.push((r.u8()?, r.u64()?));
+            let reg = r.u8()?;
+            fp_writes.push((reg, read_varint(r)?));
         }
         Ok(FusedCommit {
             first_seq,

@@ -9,6 +9,8 @@
 //! backpressure of the paper's sending/receiving queues. It reports
 //! wall-clock throughput rather than simulated KHz.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -68,14 +70,18 @@ pub fn run_threaded(
     let cores = dut_cfg.cores as usize;
 
     let (tx, rx) = channel::bounded::<Transfer>(queue_depth.max(1));
-    // Consumer -> producer stop signal (mismatch or trap seen early).
-    let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+    // Consumer -> producer stop signal (mismatch or trap seen early). An
+    // atomic flag cannot race or fill up the way a 1-slot channel could:
+    // a second stop reason published while the first is still unread is
+    // simply idempotent.
+    let stop = Arc::new(AtomicBool::new(false));
 
     let start = Instant::now();
 
     let producer = {
         let image = image.clone();
         let dut_cfg = dut_cfg.clone();
+        let stop = Arc::clone(&stop);
         thread::spawn(move || {
             let mut dut = Dut::new(dut_cfg, &image, bugs);
             let mut accel = match config {
@@ -85,7 +91,7 @@ pub fn run_threaded(
             let mut transfers = Vec::new();
             let mut events = Vec::new();
             while dut.halted().is_none() && dut.cycles() < max_cycles {
-                if stop_rx.try_recv().is_ok() {
+                if stop.load(Ordering::Acquire) {
                     break;
                 }
                 events.clear();
@@ -114,23 +120,26 @@ pub fn run_threaded(
         let mut sw = SwUnit::packed(cores);
         let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
         let mut checker = Checker::new(refs, false);
+        let mut item_buf = Vec::new();
         let mut items = 0u64;
         let mut verdict = None;
         let mut mismatch = None;
         'recv: for t in rx.iter() {
-            let decoded = sw.decode(&t).expect("internal wire codec round-trips");
-            for item in decoded {
+            item_buf.clear();
+            sw.decode_into(&t, &mut item_buf)
+                .expect("internal wire codec round-trips");
+            for item in item_buf.drain(..) {
                 items += 1;
                 match checker.process(item) {
                     Ok(Verdict::Continue) => {}
                     Ok(v @ Verdict::Halt { .. }) => {
                         verdict = Some(v);
-                        let _ = stop_tx.try_send(());
+                        stop.store(true, Ordering::Release);
                         break 'recv;
                     }
                     Err(m) => {
                         mismatch = Some(m);
-                        let _ = stop_tx.try_send(());
+                        stop.store(true, Ordering::Release);
                         break 'recv;
                     }
                 }

@@ -15,15 +15,22 @@
 use difftest_event::wire::{CodecError, Reader};
 use difftest_event::{Event, EventKind, MonitoredEvent};
 
-use crate::batch::{BatchUnit, PackStats, Packet, Unpacker};
+use crate::batch::{BatchUnit, PackStats, Packet, Unpacker, DEFAULT_POOL_SLOTS};
+use crate::pool::{BufferPool, PoolStats, PooledBuf};
 use crate::squash::{SquashStats, SquashUnit};
 use crate::wire::WireItem;
 
 /// One hardware→software transfer (one communication startup).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transfer {
-    /// The raw bytes crossing the link.
-    pub bytes: Vec<u8>,
+    /// The raw bytes crossing the link. Pooled: dropping the transfer
+    /// (after decode) recycles the buffer to its producing [`AccelUnit`].
+    pub bytes: PooledBuf,
+    /// Routing core for sharded checking: the DUT core whose events this
+    /// transfer carries. Single-consumer runners ignore it; an unsharded
+    /// multi-core [`AccelUnit`] stamps its configured route core
+    /// (default 0) since its packets interleave all cores.
+    pub core: u8,
     /// Communication invocations this transfer costs (always 1; kept
     /// explicit for clarity in the LogGP accounting).
     pub invokes: u64,
@@ -44,6 +51,11 @@ pub struct AccelUnit {
     mode: HwMode,
     item_buf: Vec<WireItem>,
     packet_buf: Vec<Packet>,
+    /// Buffer pool for the per-event path (packed paths draw from the
+    /// [`BatchUnit`]'s pool).
+    event_pool: BufferPool,
+    /// Core id stamped on produced transfers (see [`Transfer::core`]).
+    route_core: u8,
 }
 
 impl AccelUnit {
@@ -53,6 +65,8 @@ impl AccelUnit {
             mode: HwMode::PerEvent,
             item_buf: Vec::new(),
             packet_buf: Vec::new(),
+            event_pool: BufferPool::new(DEFAULT_POOL_SLOTS),
+            route_core: 0,
         }
     }
 
@@ -62,6 +76,8 @@ impl AccelUnit {
             mode: HwMode::Batch(BatchUnit::new(cores, packet_bytes)),
             item_buf: Vec::new(),
             packet_buf: Vec::new(),
+            event_pool: BufferPool::new(DEFAULT_POOL_SLOTS),
+            route_core: 0,
         }
     }
 
@@ -90,7 +106,29 @@ impl AccelUnit {
             mode: HwMode::SquashBatch(squash, BatchUnit::new(cores, packet_bytes)),
             item_buf: Vec::new(),
             packet_buf: Vec::new(),
+            event_pool: BufferPool::new(DEFAULT_POOL_SLOTS),
+            route_core: 0,
         }
+    }
+
+    /// Sets the core id stamped on every transfer this unit produces
+    /// (see [`Transfer::core`]). Sharded runners dedicate one unit per
+    /// core and stamp that core's id for O(1) routing.
+    pub fn set_route_core(&mut self, core: u8) {
+        self.route_core = core;
+    }
+
+    /// The pool transfers draw their payload buffers from.
+    pub fn pool(&self) -> &BufferPool {
+        match &self.mode {
+            HwMode::PerEvent => &self.event_pool,
+            HwMode::Batch(b) | HwMode::SquashBatch(_, b) => b.pool(),
+        }
+    }
+
+    /// Buffer-recycling statistics of [`pool`](Self::pool).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool().stats()
     }
 
     /// Squash statistics, when the unit fuses.
@@ -111,15 +149,40 @@ impl AccelUnit {
 
     /// Processes one DUT cycle's events, appending completed transfers.
     pub fn push_cycle(&mut self, events: &[MonitoredEvent], out: &mut Vec<Transfer>) {
+        self.push_iter(events.iter(), out);
+    }
+
+    /// Like [`push_cycle`](Self::push_cycle), but only processes events
+    /// belonging to this unit's route core (see
+    /// [`set_route_core`](Self::set_route_core)). The sharded runner runs
+    /// one unit per core over the full event stream; filtering by
+    /// reference here avoids copying the (large) events into per-core
+    /// staging buffers.
+    pub fn push_cycle_for_route_core(
+        &mut self,
+        events: &[MonitoredEvent],
+        out: &mut Vec<Transfer>,
+    ) {
+        let core = self.route_core;
+        self.push_iter(events.iter().filter(move |ev| ev.core == core), out);
+    }
+
+    fn push_iter<'a>(
+        &mut self,
+        events: impl Iterator<Item = &'a MonitoredEvent>,
+        out: &mut Vec<Transfer>,
+    ) {
         match &mut self.mode {
             HwMode::PerEvent => {
                 for ev in events {
-                    let mut bytes = Vec::with_capacity(2 + ev.encoded_len());
+                    let mut bytes = self.event_pool.acquire();
+                    bytes.reserve(2 + ev.encoded_len());
                     bytes.push(ev.core);
                     bytes.push(ev.event.kind() as u8);
                     ev.event.encode_into(&mut bytes);
                     out.push(Transfer {
                         bytes,
+                        core: self.route_core,
                         invokes: 1,
                         items: 1,
                     });
@@ -127,12 +190,12 @@ impl AccelUnit {
             }
             HwMode::Batch(batch) => {
                 self.item_buf.clear();
-                self.item_buf.extend(events.iter().map(|ev| WireItem::Plain {
+                self.item_buf.extend(events.map(|ev| WireItem::Plain {
                     core: ev.core,
                     event: ev.event.clone(),
                 }));
                 batch.push_cycle(&self.item_buf, &mut self.packet_buf);
-                drain_packets(&mut self.packet_buf, out);
+                drain_packets(&mut self.packet_buf, self.route_core, out);
             }
             HwMode::SquashBatch(squash, batch) => {
                 self.item_buf.clear();
@@ -141,7 +204,7 @@ impl AccelUnit {
                 }
                 squash.on_cycle_end(&mut self.item_buf);
                 batch.push_cycle(&self.item_buf, &mut self.packet_buf);
-                drain_packets(&mut self.packet_buf, out);
+                drain_packets(&mut self.packet_buf, self.route_core, out);
             }
         }
     }
@@ -152,25 +215,26 @@ impl AccelUnit {
             HwMode::PerEvent => {}
             HwMode::Batch(batch) => {
                 batch.flush(&mut self.packet_buf);
-                drain_packets(&mut self.packet_buf, out);
+                drain_packets(&mut self.packet_buf, self.route_core, out);
             }
             HwMode::SquashBatch(squash, batch) => {
                 self.item_buf.clear();
                 squash.flush_all(&mut self.item_buf);
                 batch.push_cycle(&self.item_buf, &mut self.packet_buf);
                 batch.flush(&mut self.packet_buf);
-                drain_packets(&mut self.packet_buf, out);
+                drain_packets(&mut self.packet_buf, self.route_core, out);
             }
         }
     }
 }
 
-fn drain_packets(packets: &mut Vec<Packet>, out: &mut Vec<Transfer>) {
+fn drain_packets(packets: &mut Vec<Packet>, core: u8, out: &mut Vec<Transfer>) {
     for p in packets.drain(..) {
         out.push(Transfer {
             invokes: 1,
             items: p.items,
             bytes: p.bytes,
+            core,
         });
     }
 }
@@ -218,6 +282,26 @@ impl SwUnit {
     ///
     /// Returns [`CodecError`] on malformed transfers or stale sequences.
     pub fn decode(&mut self, transfer: &Transfer) -> Result<Vec<WireItem>, CodecError> {
+        let mut items = Vec::new();
+        self.decode_into(transfer, &mut items)?;
+        Ok(items)
+    }
+
+    /// Allocation-free variant of [`decode`](Self::decode): appends the
+    /// transfer's wire items to `out` (which the caller clears and reuses
+    /// across transfers) and returns how many were appended. The hot
+    /// loops of the threaded runners use this so the steady state per
+    /// transfer performs no heap allocation on the decode side either.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed transfers or stale sequences.
+    /// `out` may hold a partial batch after an error.
+    pub fn decode_into(
+        &mut self,
+        transfer: &Transfer,
+        out: &mut Vec<WireItem>,
+    ) -> Result<usize, CodecError> {
         match &mut self.mode {
             SwMode::PerEvent => {
                 let mut r = Reader::new(&transfer.bytes);
@@ -225,12 +309,13 @@ impl SwUnit {
                 let kind = EventKind::from_u8(r.u8()?)?;
                 let payload = r.bytes_dyn(kind.encoded_len())?;
                 r.finish()?;
-                Ok(vec![WireItem::Plain {
+                out.push(WireItem::Plain {
                     core,
                     event: Event::decode(kind, payload)?,
-                }])
+                });
+                Ok(1)
             }
-            SwMode::Packed(unpacker) => unpacker.unpack_bytes(&transfer.bytes),
+            SwMode::Packed(unpacker) => unpacker.unpack_bytes_into(&transfer.bytes, out),
         }
     }
 }

@@ -129,7 +129,6 @@ impl WireKind {
             _ => return Err(CodecError::BadKind(v)),
         })
     }
-
 }
 
 /// Per-core mirror of the last transmitted payload of each event kind,
@@ -325,7 +324,10 @@ mod tests {
                 assert_eq!(WireKind::from_u8(wk.to_u8()).unwrap(), wk);
             }
         }
-        assert_eq!(WireKind::from_u8(WireKind::Fused.to_u8()).unwrap(), WireKind::Fused);
+        assert_eq!(
+            WireKind::from_u8(WireKind::Fused.to_u8()).unwrap(),
+            WireKind::Fused
+        );
         assert!(WireKind::from_u8((CLASS_FUSED << 6) | 5).is_err());
     }
 
@@ -344,9 +346,7 @@ mod tests {
             let mut body = Vec::new();
             enc.encode(0, e, &mut body);
             let mut r = Reader::new(&body);
-            let back = dec
-                .decode(0, EventKind::ArchIntRegState, &mut r)
-                .unwrap();
+            let back = dec.decode(0, EventKind::ArchIntRegState, &mut r).unwrap();
             assert_eq!(&back, e, "round {i}");
             r.finish().unwrap();
             if i == 1 {

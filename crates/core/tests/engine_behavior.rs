@@ -10,7 +10,9 @@ fn small_workload() -> Workload {
     Workload::linux_boot().seed(9).iterations(120).build()
 }
 
-fn run(configure: impl FnOnce(difftest_core::CoSimulationBuilder) -> difftest_core::CoSimulationBuilder) -> RunReport {
+fn run(
+    configure: impl FnOnce(difftest_core::CoSimulationBuilder) -> difftest_core::CoSimulationBuilder,
+) -> RunReport {
     let b = CoSimulation::builder()
         .dut(DutConfig::nutshell())
         .platform(Platform::palladium())
@@ -27,11 +29,17 @@ fn builder_rejects_bad_parameters() {
         BuildError::ZeroCycles
     );
     assert_eq!(
-        CoSimulation::builder().packet_bytes(16).build(&w).unwrap_err(),
+        CoSimulation::builder()
+            .packet_bytes(16)
+            .build(&w)
+            .unwrap_err(),
         BuildError::PacketTooSmall(16)
     );
     assert_eq!(
-        CoSimulation::builder().fusion_window(0).build(&w).unwrap_err(),
+        CoSimulation::builder()
+            .fusion_window(0)
+            .build(&w)
+            .unwrap_err(),
         BuildError::ZeroWindow
     );
 }
@@ -42,7 +50,11 @@ fn report_accounting_is_self_consistent() {
     assert_eq!(r.outcome, RunOutcome::GoodTrap);
     // Virtual time can never undercut the DUT-only time.
     let dut_time = r.cycles as f64 / r.dut_only_hz;
-    assert!(r.sim_time_s >= dut_time * 0.999, "{} < {dut_time}", r.sim_time_s);
+    assert!(
+        r.sim_time_s >= dut_time * 0.999,
+        "{} < {dut_time}",
+        r.sim_time_s
+    );
     // Speed is cycles / time.
     assert!((r.speed_hz - r.cycles as f64 / r.sim_time_s).abs() / r.speed_hz < 1e-9);
     // The checker stepped every committed instruction.
@@ -72,7 +84,12 @@ fn blocking_overhead_is_additive() {
 fn squash_reduces_bytes_and_invokes() {
     let plain = run(|b| b.config(DiffConfig::BN));
     let squashed = run(|b| b.config(DiffConfig::BNSD));
-    assert!(squashed.bytes * 4 < plain.bytes, "{} vs {}", squashed.bytes, plain.bytes);
+    assert!(
+        squashed.bytes * 4 < plain.bytes,
+        "{} vs {}",
+        squashed.bytes,
+        plain.bytes
+    );
     assert!(squashed.invokes <= plain.invokes);
     let s = squashed.squash.expect("squash stats present");
     assert!(s.fusion_ratio() > 8.0);

@@ -23,8 +23,14 @@ fn any_event() -> impl Strategy<Value = Event> {
 /// Strategy: a non-diff wire item (diff items are exercised separately
 /// because vacuous diffs are intentionally dropped by the packer).
 fn any_plain_or_tagged() -> impl Strategy<Value = WireItem> {
-    (any_event(), any::<u64>(), any::<u64>(), 0u8..2, any::<bool>()).prop_map(
-        |(event, tag, token, core, tagged)| {
+    (
+        any_event(),
+        any::<u64>(),
+        any::<u64>(),
+        0u8..2,
+        any::<bool>(),
+    )
+        .prop_map(|(event, tag, token, core, tagged)| {
             if tagged {
                 WireItem::Tagged {
                     core,
@@ -35,8 +41,7 @@ fn any_plain_or_tagged() -> impl Strategy<Value = WireItem> {
             } else {
                 WireItem::Plain { core, event }
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -255,15 +255,13 @@ impl BugInjector {
                 // wait for a RAM store. Dropped stores surface only through
                 // a later reload, so LostStore targets full-width stores
                 // (the workloads' read-after-write traffic).
-                BugKind::StoreValueCorruption => effect
-                    .memw
-                    .is_some_and(|w| !Memory::is_mmio(w.addr)),
+                BugKind::StoreValueCorruption => {
+                    effect.memw.is_some_and(|w| !Memory::is_mmio(w.addr))
+                }
                 // A lost store only manifests when it would have changed
                 // memory (otherwise it is architecturally a no-op).
                 BugKind::LostStore => effect.memw.is_some_and(|w| {
-                    !Memory::is_mmio(w.addr)
-                        && w.len == 8
-                        && mem.read(w.addr, 8) != w.value
+                    !Memory::is_mmio(w.addr) && w.len == 8 && mem.read(w.addr, 8) != w.value
                 }),
                 BugKind::WrongBranchTarget => effect.branch_taken,
                 _ => false,
@@ -350,7 +348,6 @@ impl BugInjector {
             }
         }
     }
-
 
     /// Event perturbation: corrupts a monitor event payload in flight.
     /// Waits for an event instance on which the corruption is observable

@@ -248,7 +248,8 @@ impl DutCore {
                 self.resolve_mmio(&insn, &mut effect, cycle);
             }
 
-            self.injector.perturb_effect(self.seq, &mut effect, &self.mem);
+            self.injector
+                .perturb_effect(self.seq, &mut effect, &self.mem);
 
             let group_end = self.apply_and_emit(&insn, &effect, mmio, cycle, out, &mut budget);
             committed += 1;
@@ -262,7 +263,10 @@ impl DutCore {
         if committed > 0 {
             self.commit_cycles += 1;
             self.injector.perturb_state(self.seq, &mut self.state);
-            if self.commit_cycles.is_multiple_of(self.cfg.policy.state_dump_period as u64) {
+            if self
+                .commit_cycles
+                .is_multiple_of(self.cfg.policy.state_dump_period as u64)
+            {
                 self.emit_state_dumps(out, &mut budget);
             }
         }
@@ -473,8 +477,12 @@ impl DutCore {
             self.state.set_csr(*c, *v);
             match c {
                 CsrIndex::Fcsr => self.fp_dirty = true,
-                CsrIndex::Vstart | CsrIndex::Vxsat | CsrIndex::Vxrm | CsrIndex::Vcsr
-                | CsrIndex::Vl | CsrIndex::Vtype => self.vec_dirty = true,
+                CsrIndex::Vstart
+                | CsrIndex::Vxsat
+                | CsrIndex::Vxrm
+                | CsrIndex::Vcsr
+                | CsrIndex::Vl
+                | CsrIndex::Vtype => self.vec_dirty = true,
                 _ => {}
             }
         }
@@ -679,9 +687,9 @@ impl DutCore {
         }
 
         // ---- d-side hierarchy -------------------------------------------
-        if let Some(m) = effect.memr.or(effect
-            .memw
-            .map(|w| difftest_ref::exec::MemRead {
+        if let Some(m) = effect
+            .memr
+            .or(effect.memw.map(|w| difftest_ref::exec::MemRead {
                 addr: w.addr,
                 len: w.len,
             }))

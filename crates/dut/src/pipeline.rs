@@ -62,7 +62,7 @@ impl StallModel {
     /// The commit group ends after the `nth` commit of this cycle.
     #[inline]
     pub fn group_break(&self, cycle: u64, nth: u32) -> bool {
-        self.draw_ppm(cycle.wrapping_mul(8).wrapping_add(nth as u64), 0x6b) 
+        self.draw_ppm(cycle.wrapping_mul(8).wrapping_add(nth as u64), 0x6b)
             < self.params.group_break_ppm
     }
 }
@@ -87,7 +87,10 @@ mod tests {
         let b = StallModel::new(params(), 7);
         for c in 0..1000 {
             assert_eq!(a.frontend_stall(c), b.frontend_stall(c));
-            assert_eq!(a.l2_miss_penalty(c, 0x8000_0000), b.l2_miss_penalty(c, 0x8000_0000));
+            assert_eq!(
+                a.l2_miss_penalty(c, 0x8000_0000),
+                b.l2_miss_penalty(c, 0x8000_0000)
+            );
         }
     }
 

@@ -24,7 +24,9 @@ fn microbench_runs_to_good_trap_on_every_config() {
         let name = cfg.name.clone();
         let mut dut = Dut::new(cfg, &image_of(w.words()), Vec::new());
         dut.run_to_halt(2_000_000);
-        let halt = dut.halted().unwrap_or_else(|| panic!("{name} did not halt"));
+        let halt = dut
+            .halted()
+            .unwrap_or_else(|| panic!("{name} did not halt"));
         assert!(halt.good, "{name} bad trap at {:#x}", halt.pc);
     }
 }
@@ -32,7 +34,11 @@ fn microbench_runs_to_good_trap_on_every_config() {
 #[test]
 fn linux_boot_takes_timer_interrupts() {
     let w = Workload::linux_boot().seed(5).iterations(200).build();
-    let mut dut = Dut::new(DutConfig::xiangshan_default(), &image_of(w.words()), Vec::new());
+    let mut dut = Dut::new(
+        DutConfig::xiangshan_default(),
+        &image_of(w.words()),
+        Vec::new(),
+    );
     let mut interrupts = 0;
     let mut mmio_loads = 0;
     while dut.halted().is_none() && dut.cycles() < 2_000_000 {
@@ -45,7 +51,10 @@ fn linux_boot_takes_timer_interrupts() {
             }
         }
     }
-    assert!(dut.halted().map(|h| h.good).unwrap_or(false), "no good trap");
+    assert!(
+        dut.halted().map(|h| h.good).unwrap_or(false),
+        "no good trap"
+    );
     assert!(interrupts > 3, "only {interrupts} interrupts");
     assert!(mmio_loads > 50, "only {mmio_loads} MMIO loads");
 }
@@ -55,7 +64,11 @@ fn dut_matches_ref_on_deterministic_workload() {
     // Microbench has no MMIO and no interrupts, so the DUT (bug-free) and
     // the REF must retire identical instruction streams.
     let w = Workload::microbench().seed(11).iterations(80).build();
-    let mut dut = Dut::new(DutConfig::xiangshan_default(), &image_of(w.words()), Vec::new());
+    let mut dut = Dut::new(
+        DutConfig::xiangshan_default(),
+        &image_of(w.words()),
+        Vec::new(),
+    );
     let mut rf = RefModel::new(image_of(w.words()));
 
     let mut commits = Vec::new();
@@ -91,7 +104,11 @@ fn dut_matches_ref_on_deterministic_workload() {
 #[test]
 fn event_stream_has_expected_shape() {
     let w = Workload::linux_boot().seed(7).iterations(40).build();
-    let mut dut = Dut::new(DutConfig::xiangshan_default(), &image_of(w.words()), Vec::new());
+    let mut dut = Dut::new(
+        DutConfig::xiangshan_default(),
+        &image_of(w.words()),
+        Vec::new(),
+    );
     let mut kind_seen = [false; EventKind::COUNT];
     let mut bytes = 0usize;
     let mut events = 0usize;
@@ -132,7 +149,11 @@ fn tick_and_tick_into_are_equivalent() {
 #[test]
 fn tokens_are_monotone_and_orders_nondecreasing_per_core() {
     let w = Workload::microbench().seed(1).iterations(10).build();
-    let mut dut = Dut::new(DutConfig::xiangshan_dual(), &image_of(w.words()), Vec::new());
+    let mut dut = Dut::new(
+        DutConfig::xiangshan_dual(),
+        &image_of(w.words()),
+        Vec::new(),
+    );
     let mut last_token = None;
     let mut last_order = [0u64; 2];
     while dut.halted().is_none() && dut.cycles() < 1_000_000 {

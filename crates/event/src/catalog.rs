@@ -599,8 +599,16 @@ mod tests {
 
     #[test]
     fn size_spread_is_170x() {
-        let min = EventKind::ALL.iter().map(|k| k.encoded_len()).min().unwrap();
-        let max = EventKind::ALL.iter().map(|k| k.encoded_len()).max().unwrap();
+        let min = EventKind::ALL
+            .iter()
+            .map(|k| k.encoded_len())
+            .min()
+            .unwrap();
+        let max = EventKind::ALL
+            .iter()
+            .map(|k| k.encoded_len())
+            .max()
+            .unwrap();
         assert_eq!(min, RunaheadEvent::ENCODED_LEN);
         assert_eq!(min, 3);
         assert_eq!(max, ArchVecRegState::ENCODED_LEN);

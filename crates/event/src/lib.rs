@@ -37,11 +37,10 @@ pub mod wire;
 
 pub use catalog::{
     commit_flags, ArchEvent, ArchFpRegState, ArchIntRegState, ArchVecRegState, AtomicEvent,
-    Category, CsrState, DebugModeState, Event, EventKind, FpCsrUpdate, FpWriteback,
-    GuestPageFault, HCsrUpdate, HypervisorCsrState, InstrCommit, IntWriteback, L1TlbEvent,
-    L2TlbEvent, LoadEvent, LrScEvent, PtwEvent, Redirect, RefillEvent, RunaheadEvent,
-    SbufferEvent, StoreEvent, TrapEvent, TriggerCsrState, VecConfig, VecCsrState, VecLoad,
-    VecStore, VecWriteback, VirtualInterrupt,
+    Category, CsrState, DebugModeState, Event, EventKind, FpCsrUpdate, FpWriteback, GuestPageFault,
+    HCsrUpdate, HypervisorCsrState, InstrCommit, IntWriteback, L1TlbEvent, L2TlbEvent, LoadEvent,
+    LrScEvent, PtwEvent, Redirect, RefillEvent, RunaheadEvent, SbufferEvent, StoreEvent, TrapEvent,
+    TriggerCsrState, VecConfig, VecCsrState, VecLoad, VecStore, VecWriteback, VirtualInterrupt,
 };
 pub use field::WireField;
 pub use monitor::{MonitoredEvent, OrderTag, Token};

@@ -35,6 +35,8 @@ pub enum CodecError {
         /// Sequence number the receiver is still waiting for.
         missing: u32,
     },
+    /// A structurally invalid field (e.g. an overlong varint).
+    Malformed(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -52,6 +54,7 @@ impl fmt::Display for CodecError {
             CodecError::ReorderOverflow { missing } => {
                 write!(f, "reorder buffer overflow: packet {missing} never arrived")
             }
+            CodecError::Malformed(what) => write!(f, "malformed field: {what}"),
         }
     }
 }

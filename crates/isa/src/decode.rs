@@ -260,32 +260,30 @@ pub fn decode(word: u32) -> Insn {
         0x0f => {
             insn.op = Op::Fence;
         }
-        0x73 => {
-            match funct3 {
-                0 => {
-                    insn.op = match bits(word, 31, 20) {
-                        0x000 if rd.is_zero() && rs1.is_zero() => Op::Ecall,
-                        0x001 if rd.is_zero() && rs1.is_zero() => Op::Ebreak,
-                        0x302 if rd.is_zero() && rs1.is_zero() => Op::Mret,
-                        0x105 if rd.is_zero() && rs1.is_zero() => Op::Wfi,
-                        _ => Op::Illegal,
-                    };
-                }
-                1..=3 | 5..=7 => {
-                    insn.csr = bits(word, 31, 20) as u16;
-                    insn.op = match funct3 {
-                        1 => Op::Csrrw,
-                        2 => Op::Csrrs,
-                        3 => Op::Csrrc,
-                        5 => Op::Csrrwi,
-                        6 => Op::Csrrsi,
-                        7 => Op::Csrrci,
-                        _ => unreachable!(),
-                    };
-                }
-                _ => {}
+        0x73 => match funct3 {
+            0 => {
+                insn.op = match bits(word, 31, 20) {
+                    0x000 if rd.is_zero() && rs1.is_zero() => Op::Ecall,
+                    0x001 if rd.is_zero() && rs1.is_zero() => Op::Ebreak,
+                    0x302 if rd.is_zero() && rs1.is_zero() => Op::Mret,
+                    0x105 if rd.is_zero() && rs1.is_zero() => Op::Wfi,
+                    _ => Op::Illegal,
+                };
             }
-        }
+            1..=3 | 5..=7 => {
+                insn.csr = bits(word, 31, 20) as u16;
+                insn.op = match funct3 {
+                    1 => Op::Csrrw,
+                    2 => Op::Csrrs,
+                    3 => Op::Csrrc,
+                    5 => Op::Csrrwi,
+                    6 => Op::Csrrsi,
+                    7 => Op::Csrrci,
+                    _ => unreachable!(),
+                };
+            }
+            _ => {}
+        },
         0x07 if funct3 == 3 => {
             insn.op = Op::Fld;
             insn.imm = imm_i(word);

@@ -24,7 +24,10 @@ fn r_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, rs2: Reg, funct7: u32) ->
 
 #[inline]
 fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i64) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "I-immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "I-immediate out of range: {imm}"
+    );
     opcode
         | ((rd.index() as u32) << 7)
         | (funct3 << 12)
@@ -34,7 +37,10 @@ fn i_type(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i64) -> u32 {
 
 #[inline]
 fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "S-immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "S-immediate out of range: {imm}"
+    );
     let imm = imm as u32;
     opcode
         | ((imm & 0x1f) << 7)
@@ -398,12 +404,26 @@ pub fn fsd(frs2: FReg, rs1: Reg, imm: i64) -> u32 {
 
 /// `fmv.d.x frd, rs1` — move integer bits into a floating-point register.
 pub fn fmv_d_x(frd: FReg, rs1: Reg) -> u32 {
-    r_type(0x53, Reg::new(frd.index() as u8), 0, rs1, Reg::ZERO, 0b1111001)
+    r_type(
+        0x53,
+        Reg::new(frd.index() as u8),
+        0,
+        rs1,
+        Reg::ZERO,
+        0b1111001,
+    )
 }
 
 /// `fmv.x.d rd, frs1` — move floating-point bits into an integer register.
 pub fn fmv_x_d(rd: Reg, frs1: FReg) -> u32 {
-    r_type(0x53, rd, 0, Reg::new(frs1.index() as u8), Reg::ZERO, 0b1110001)
+    r_type(
+        0x53,
+        rd,
+        0,
+        Reg::new(frs1.index() as u8),
+        Reg::ZERO,
+        0b1110001,
+    )
 }
 
 macro_rules! fp_r_ops {
@@ -447,7 +467,10 @@ mod tests {
     fn round_trip_arith() {
         let w = add(Reg::A0, Reg::A1, Reg::A2);
         let i = decode(w);
-        assert_eq!((i.op, i.rd, i.rs1, i.rs2), (Op::Add, Reg::A0, Reg::A1, Reg::A2));
+        assert_eq!(
+            (i.op, i.rd, i.rs1, i.rs2),
+            (Op::Add, Reg::A0, Reg::A1, Reg::A2)
+        );
     }
 
     #[test]

@@ -150,14 +150,24 @@ pub enum Op {
 impl Op {
     /// Returns `true` if the instruction is a conditional branch.
     pub fn is_branch(self) -> bool {
-        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu)
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu
+        )
     }
 
     /// Returns `true` if the instruction reads memory (loads, LR, AMOs).
     pub fn is_load(self) -> bool {
         matches!(
             self,
-            Op::Lb | Op::Lh | Op::Lw | Op::Ld | Op::Lbu | Op::Lhu | Op::Lwu | Op::Fld
+            Op::Lb
+                | Op::Lh
+                | Op::Lw
+                | Op::Ld
+                | Op::Lbu
+                | Op::Lhu
+                | Op::Lwu
+                | Op::Fld
                 | Op::LrW
                 | Op::LrD
         ) || self.is_amo()
@@ -165,8 +175,10 @@ impl Op {
 
     /// Returns `true` if the instruction writes memory (stores, SC, AMOs).
     pub fn is_store(self) -> bool {
-        matches!(self, Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsd | Op::ScW | Op::ScD)
-            || self.is_amo()
+        matches!(
+            self,
+            Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsd | Op::ScW | Op::ScD
+        ) || self.is_amo()
     }
 
     /// Returns `true` for read-modify-write AMOs (not LR/SC).
@@ -216,7 +228,13 @@ impl Op {
     pub fn is_fp(self) -> bool {
         matches!(
             self,
-            Op::Fld | Op::Fsd | Op::FmvDX | Op::FmvXD | Op::FaddD | Op::FsubD | Op::FmulD
+            Op::Fld
+                | Op::Fsd
+                | Op::FmvDX
+                | Op::FmvXD
+                | Op::FaddD
+                | Op::FsubD
+                | Op::FmulD
                 | Op::FdivD
         )
     }
@@ -226,7 +244,14 @@ impl Op {
         !(self.is_branch()
             || matches!(
                 self,
-                Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsd | Op::Fence | Op::Ecall | Op::Ebreak
+                Op::Sb
+                    | Op::Sh
+                    | Op::Sw
+                    | Op::Sd
+                    | Op::Fsd
+                    | Op::Fence
+                    | Op::Ecall
+                    | Op::Ebreak
                     | Op::Mret
                     | Op::Wfi
                     | Op::Fld
@@ -241,7 +266,10 @@ impl Op {
 
     /// Returns `true` if the op writes a floating-point destination register.
     pub fn writes_fp_rd(self) -> bool {
-        matches!(self, Op::Fld | Op::FmvDX | Op::FaddD | Op::FsubD | Op::FmulD | Op::FdivD)
+        matches!(
+            self,
+            Op::Fld | Op::FmvDX | Op::FaddD | Op::FsubD | Op::FmulD | Op::FdivD
+        )
     }
 }
 

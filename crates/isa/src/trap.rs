@@ -189,11 +189,11 @@ mod tests {
 
     #[test]
     fn trap_mcause() {
+        assert_eq!(Trap::Exception(Exception::IllegalInstr, 0xdead).mcause(), 2);
         assert_eq!(
-            Trap::Exception(Exception::IllegalInstr, 0xdead).mcause(),
-            2
+            Trap::Exception(Exception::IllegalInstr, 0xdead).mtval(),
+            0xdead
         );
-        assert_eq!(Trap::Exception(Exception::IllegalInstr, 0xdead).mtval(), 0xdead);
         assert_eq!(Trap::Interrupt(Interrupt::MachineTimer).mtval(), 0);
     }
 }

@@ -332,8 +332,8 @@ pub fn execute(state: &ArchState, mem: &Memory, insn: &Insn) -> Effect {
             let op = insn.op;
             let addr = rs1;
             let len: u8 = match op {
-                AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW
-                | AmoMinuW | AmoMaxuW => 4,
+                AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW | AmoMinuW
+                | AmoMaxuW => 4,
                 _ => 8,
             };
             if !Memory::in_ram(addr, len as u64) {
@@ -469,9 +469,7 @@ pub fn execute(state: &ArchState, mem: &Memory, insn: &Insn) -> Effect {
             };
             eff.fw = Some((insn.frd(), r.to_bits()));
         }
-        Illegal => {
-            return Effect::trap(Trap::Exception(Exception::IllegalInstr, insn.raw as u64))
-        }
+        Illegal => return Effect::trap(Trap::Exception(Exception::IllegalInstr, insn.raw as u64)),
     }
 
     eff
@@ -673,9 +671,17 @@ mod tests {
         let (mut s, m) = setup();
         s.set_freg(FReg::new(1), 2.5f64.to_bits());
         s.set_freg(FReg::new(2), 0.5f64.to_bits());
-        let e = run(&s, &m, encode::fadd_d(FReg::new(0), FReg::new(1), FReg::new(2)));
+        let e = run(
+            &s,
+            &m,
+            encode::fadd_d(FReg::new(0), FReg::new(1), FReg::new(2)),
+        );
         assert_eq!(e.fw, Some((FReg::new(0), 3.0f64.to_bits())));
-        let e = run(&s, &m, encode::fdiv_d(FReg::new(0), FReg::new(1), FReg::new(2)));
+        let e = run(
+            &s,
+            &m,
+            encode::fdiv_d(FReg::new(0), FReg::new(1), FReg::new(2)),
+        );
         assert_eq!(e.fw, Some((FReg::new(0), 5.0f64.to_bits())));
     }
 

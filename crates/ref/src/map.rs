@@ -27,7 +27,13 @@ mod tests {
 
     #[test]
     fn devices_live_in_the_mmio_hole() {
-        for addr in [CLINT_MSIP, CLINT_MTIMECMP, CLINT_MTIME, UART_DATA, UART_STATUS] {
+        for addr in [
+            CLINT_MSIP,
+            CLINT_MTIMECMP,
+            CLINT_MTIME,
+            UART_DATA,
+            UART_STATUS,
+        ] {
             assert!(Memory::is_mmio(addr), "{addr:#x}");
         }
         assert_eq!(RAM_BASE, Memory::RAM_BASE);

@@ -221,12 +221,14 @@ impl RefModel {
     }
 
     fn write_xreg(&mut self, r: Reg, v: u64) {
-        self.journal.record(JournalEntry::Xreg(r, self.state.xreg(r)));
+        self.journal
+            .record(JournalEntry::Xreg(r, self.state.xreg(r)));
         self.state.set_xreg(r, v);
     }
 
     fn write_freg(&mut self, r: FReg, v: u64) {
-        self.journal.record(JournalEntry::Freg(r, self.state.freg(r)));
+        self.journal
+            .record(JournalEntry::Freg(r, self.state.freg(r)));
         self.state.set_freg(r, v);
     }
 
@@ -293,7 +295,8 @@ mod tests {
     #[test]
     fn exception_enters_trap_handler() {
         let mut m = model_with(&[encode::ecall()]);
-        m.state_mut().set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x100);
+        m.state_mut()
+            .set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x100);
         let out = m.step();
         assert!(matches!(out, StepOutcome::Trapped { .. }));
         assert_eq!(m.state().pc(), Memory::RAM_BASE + 0x100);
@@ -316,7 +319,8 @@ mod tests {
         mem2.load_words(handler, &[encode::mret()]);
         let mut m2 = RefModel::with_pc(mem2, handler);
         m2.state_mut().set_csr(CsrIndex::Mepc, mepc);
-        m2.state_mut().set_csr(CsrIndex::Mstatus, m.state().csr(CsrIndex::Mstatus));
+        m2.state_mut()
+            .set_csr(CsrIndex::Mstatus, m.state().csr(CsrIndex::Mstatus));
         m2.step();
         assert_eq!(m2.state().pc(), mepc);
         assert!(m2.state().csr(CsrIndex::Mstatus) & mstatus::MIE != 0);
@@ -337,7 +341,8 @@ mod tests {
     #[test]
     fn interrupt_entry() {
         let mut m = model_with(&[encode::nop()]);
-        m.state_mut().set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x40);
+        m.state_mut()
+            .set_csr(CsrIndex::Mtvec, Memory::RAM_BASE + 0x40);
         m.raise_interrupt(Interrupt::MachineTimer);
         assert_eq!(m.state().pc(), Memory::RAM_BASE + 0x40);
         assert_eq!(m.state().csr(CsrIndex::Mcause) & 0xff, 7);

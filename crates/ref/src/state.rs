@@ -26,8 +26,7 @@ impl ArchState {
     pub fn new(reset_pc: u64) -> Self {
         let mut csrs = [0u64; CSR_COUNT];
         // RV64, I+M+A+D extensions advertised in misa.
-        csrs[CsrIndex::Misa.dense()] =
-            (2u64 << 62) | (1 << 8) | (1 << 12) | (1 << 0) | (1 << 3);
+        csrs[CsrIndex::Misa.dense()] = (2u64 << 62) | (1 << 8) | (1 << 12) | (1 << 0) | (1 << 3);
         ArchState {
             pc: reset_pc,
             xregs: [0; 32],

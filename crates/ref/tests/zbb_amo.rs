@@ -56,7 +56,10 @@ fn zbb_counts_and_extends() {
         eval2(encode::rev8(rd, rs1), 0x0102_0304_0506_0708, 0),
         0x0807_0605_0403_0201
     );
-    assert_eq!(eval2(encode::orc_b(rd, rs1), 0x0100_0000_0023_0001, 0), 0xff00_0000_00ff_00ff);
+    assert_eq!(
+        eval2(encode::orc_b(rd, rs1), 0x0100_0000_0023_0001, 0),
+        0xff00_0000_00ff_00ff
+    );
 }
 
 #[test]
@@ -104,9 +107,18 @@ fn amo(word: u32, mem_before: u64, rs2: u64, len: usize) -> (u64, u64) {
 #[test]
 fn amo_variants_word_and_double() {
     let (rd, rs1, rs2) = (Reg::A0, Reg::A1, Reg::A2);
-    assert_eq!(amo(encode::amoxor_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b0110));
-    assert_eq!(amo(encode::amoand_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b1000));
-    assert_eq!(amo(encode::amoor_d(rd, rs1, rs2), 0b1100, 0b1010, 8), (0b1100, 0b1110));
+    assert_eq!(
+        amo(encode::amoxor_d(rd, rs1, rs2), 0b1100, 0b1010, 8),
+        (0b1100, 0b0110)
+    );
+    assert_eq!(
+        amo(encode::amoand_d(rd, rs1, rs2), 0b1100, 0b1010, 8),
+        (0b1100, 0b1000)
+    );
+    assert_eq!(
+        amo(encode::amoor_d(rd, rs1, rs2), 0b1100, 0b1010, 8),
+        (0b1100, 0b1110)
+    );
     // Signed min/max on doubles.
     let neg = -5i64 as u64;
     assert_eq!(amo(encode::amomin_d(rd, rs1, rs2), neg, 3, 8), (neg, neg));

@@ -5,13 +5,17 @@
 //! performance counters. [`Counters`] is the shared primitive: a small
 //! ordered map from static names to `u64` values.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An ordered collection of named `u64` counters.
+///
+/// Names are usually static strings; dynamically generated names (e.g.
+/// per-worker counters of a sharded run) are accepted as owned strings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
+    values: BTreeMap<Cow<'static, str>, u64>,
 }
 
 impl Counters {
@@ -22,13 +26,13 @@ impl Counters {
 
     /// Adds `delta` to counter `name` (creating it at zero).
     #[inline]
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.values.entry(name).or_insert(0) += delta;
+    pub fn add(&mut self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.values.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Increments counter `name` by one.
     #[inline]
-    pub fn inc(&mut self, name: &'static str) {
+    pub fn inc(&mut self, name: impl Into<Cow<'static, str>>) {
         self.add(name, 1);
     }
 
@@ -38,19 +42,19 @@ impl Counters {
     }
 
     /// Sets counter `name` to `value`.
-    pub fn set(&mut self, name: &'static str, value: u64) {
-        self.values.insert(name, value);
+    pub fn set(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
+        self.values.insert(name.into(), value);
     }
 
     /// Iterates `(name, value)` in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Merges another counter set into this one (summing).
     pub fn merge(&mut self, other: &Counters) {
         for (k, v) in other.iter() {
-            self.add(k, v);
+            self.add(k.to_owned(), v);
         }
     }
 

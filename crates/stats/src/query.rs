@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn rates() {
         let t = trace();
-        let g = TraceQuery::new(&t).kind(EventKind::InstrCommit).group_by_kind();
+        let g = TraceQuery::new(&t)
+            .kind(EventKind::InstrCommit)
+            .group_by_kind();
         let s = g[&EventKind::InstrCommit];
         assert_eq!(s.first_cycle, 1);
         assert_eq!(s.last_cycle, 2);

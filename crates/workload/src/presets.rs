@@ -94,7 +94,9 @@ impl WorkloadBuilder {
             Preset::Fuzz => g.fuzz_body(self.iterations),
         }
         g.epilogue();
-        let words = g.a.finish().expect("workload generator produced a valid program");
+        let words =
+            g.a.finish()
+                .expect("workload generator produced a valid program");
         Workload {
             name: self.preset.name().to_owned(),
             preset: self.preset,
@@ -407,8 +409,11 @@ impl Gen<'_> {
             1 => {
                 // Set FS/VS dirty in mstatus (never touching MIE).
                 self.a.li(Reg::T0, (0b11 << 13) | (0b11 << 9));
-                self.a
-                    .raw(encode::csrrs(Reg::ZERO, CsrIndex::Mstatus.address(), Reg::T0));
+                self.a.raw(encode::csrrs(
+                    Reg::ZERO,
+                    CsrIndex::Mstatus.address(),
+                    Reg::T0,
+                ));
             }
             2 => {
                 self.a.raw(encode::andi(Reg::T0, r, 0x7f));
@@ -449,8 +454,11 @@ impl Gen<'_> {
         self.a.csrw(CsrIndex::Hedeleg.address(), Reg::T0);
         // Mark the FP and vector units dirty, as executing kernels do.
         self.a.li(Reg::T0, (0b11 << 13) | (0b11 << 9));
-        self.a
-            .raw(encode::csrrs(Reg::ZERO, CsrIndex::Mstatus.address(), Reg::T0));
+        self.a.raw(encode::csrrs(
+            Reg::ZERO,
+            CsrIndex::Mstatus.address(),
+            Reg::T0,
+        ));
     }
 
     fn uart_write_block(&mut self, n: usize) {
@@ -587,7 +595,8 @@ impl Gen<'_> {
         self.a.raw(encode::sd(Reg::T0, Reg::T1, 0));
         self.a.li(Reg::T0, 1 << 7);
         self.a.csrw(CsrIndex::Mie.address(), Reg::T0);
-        self.a.raw(encode::csrrsi(Reg::ZERO, CsrIndex::Mstatus.address(), 8));
+        self.a
+            .raw(encode::csrrsi(Reg::ZERO, CsrIndex::Mstatus.address(), 8));
         self.a.li(Reg::S10, 0x3_ffff);
         self.a.li(Reg::S11, 0x2_0000);
 

@@ -32,7 +32,10 @@ fn main() {
         println!("== {config} ==");
         assert_eq!(report.outcome, RunOutcome::Mismatch, "bug must be caught");
         let failure = report.failure.expect("mismatch carries a report");
-        println!("detected at cycle {} after {} instructions", report.cycles, report.instructions);
+        println!(
+            "detected at cycle {} after {} instructions",
+            report.cycles, report.instructions
+        );
         println!("{failure}");
         match config {
             DiffConfig::BNSD => {

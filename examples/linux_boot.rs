@@ -17,7 +17,14 @@ fn main() {
     for platform in [Platform::palladium(), Platform::fpga()] {
         let mut table = Table::new(
             format!("XiangShan boot on {}", platform.name()),
-            &["Config", "Speed", "Speedup", "Transfers", "Bytes", "Overhead"],
+            &[
+                "Config",
+                "Speed",
+                "Speedup",
+                "Transfers",
+                "Bytes",
+                "Overhead",
+            ],
         );
         let mut base = 0.0;
         let mut transcript = Vec::new();
@@ -30,7 +37,11 @@ fn main() {
                 .build(&workload)
                 .expect("valid setup");
             let report = sim.run();
-            assert_ne!(report.outcome, RunOutcome::Mismatch, "boot must verify cleanly");
+            assert_ne!(
+                report.outcome,
+                RunOutcome::Mismatch,
+                "boot must verify cleanly"
+            );
             if i == 0 {
                 base = report.speed_hz;
             }
@@ -45,11 +56,7 @@ fn main() {
             ]);
         }
         println!("{table}");
-        let shown: String = transcript
-            .iter()
-            .take(48)
-            .map(|b| *b as char)
-            .collect();
+        let shown: String = transcript.iter().take(48).map(|b| *b as char).collect();
         println!("UART transcript (first bytes): {shown:?}\n");
     }
 }

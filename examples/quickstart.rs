@@ -42,12 +42,17 @@ fn main() {
     println!("transfers:         {}", report.invokes);
     println!("bytes transferred: {}", report.bytes);
     if let Some(squash) = report.squash {
-        println!("fusion ratio:      {:.1} commits/record", squash.fusion_ratio());
+        println!(
+            "fusion ratio:      {:.1} commits/record",
+            squash.fusion_ratio()
+        );
     }
     println!(
         "checker: {} events, {} instructions, {} skips, {} interrupts",
-        report.check.events, report.check.instructions, report.check.skips,
-        report.check.interrupts
+        report.check.events, report.check.instructions, report.check.skips, report.check.interrupts
     );
-    println!("\nperformance counters (paper \u{a7}5):\n{}", report.counters());
+    println!(
+        "\nperformance counters (paper \u{a7}5):\n{}",
+        report.counters()
+    );
 }

@@ -58,7 +58,9 @@ fn main() {
         "non-deterministic events: {} ({} bytes); control-flow share: {}\n",
         ndes.len(),
         ndes.total_bytes(),
-        TraceQuery::new(&reloaded).category(Category::ControlFlow).len()
+        TraceQuery::new(&reloaded)
+            .category(Category::ControlFlow)
+            .len()
     );
 
     // --- 3. DUT-decoupled iterative debugging ----------------------------

@@ -89,7 +89,11 @@ fn every_catalog_bug_is_detected_by_baseline() {
     // not change what is detectable).
     for kind in ALL_BUGS {
         let (outcome, precise) = detect(kind, DiffConfig::Z);
-        assert_eq!(outcome, RunOutcome::Mismatch, "{kind:?} escaped the baseline");
+        assert_eq!(
+            outcome,
+            RunOutcome::Mismatch,
+            "{kind:?} escaped the baseline"
+        );
         assert!(precise.is_some(), "{kind:?} baseline mismatch lacks detail");
     }
 }

@@ -48,6 +48,11 @@ fn random_programs_verify_on_every_dut_width() {
             .build(&w)
             .expect("valid setup");
         let report = sim.run();
-        assert_eq!(report.outcome, RunOutcome::GoodTrap, "{name}: {:?}", report.failure);
+        assert_eq!(
+            report.outcome,
+            RunOutcome::GoodTrap,
+            "{name}: {:?}",
+            report.failure
+        );
     }
 }

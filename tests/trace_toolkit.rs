@@ -9,7 +9,10 @@ use difftest_h::stats::{trace, TraceQuery};
 use difftest_h::workload::Workload;
 
 fn record(iterations: u32) -> (Memory, Vec<MonitoredEvent>) {
-    let w = Workload::linux_boot().seed(21).iterations(iterations).build();
+    let w = Workload::linux_boot()
+        .seed(21)
+        .iterations(iterations)
+        .build();
     let mut image = Memory::new();
     image.load_words(Memory::RAM_BASE, w.words());
     let mut dut = Dut::new(DutConfig::xiangshan_default(), &image, Vec::new());

@@ -93,7 +93,11 @@ fn dropped_packet_stalls_instead_of_passing() {
     let (image, mut transfers) = record_transfers();
     transfers.remove(transfers.len() / 2);
     let verdict = check(&image, &transfers);
-    assert_ne!(verdict, Ok(true), "a dropped packet must not verify: {verdict:?}");
+    assert_ne!(
+        verdict,
+        Ok(true),
+        "a dropped packet must not verify: {verdict:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,310 @@
+//! Offline mini benchmark harness exposing the slice of the `criterion`
+//! API this workspace uses: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`Throughput`], `criterion_group!`,
+//! `criterion_main!`, and [`black_box`].
+//!
+//! The container building this repo has no registry access, so the real
+//! crate cannot be fetched. Measurement here is deliberately simple but
+//! honest: each benchmark calibrates a batch size to a minimum timed
+//! window, runs `sample_size` batches, and reports mean and best
+//! time-per-iteration plus derived throughput. There are no HTML reports,
+//! statistical outlier tests, or saved baselines — numbers print to
+//! stdout, which is all the repo's bench targets consume.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness =
+//! false` bench binaries), benchmarks run a single iteration each so the
+//! target doubles as a smoke test without burning CI time.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    min_window: Duration,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. In test mode, shrink to a smoke
+        // run: one sample, no calibration window.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            min_window: Duration::from_millis(25),
+            smoke_test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let min_window = self.min_window;
+        let smoke = self.smoke_test;
+        run_one(id, None, sample_size, min_window, smoke, f);
+        self
+    }
+}
+
+/// A named group sharing one throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by one iteration of each benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.min_window,
+            self.criterion.smoke_test,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) times a routine.
+pub struct Bencher {
+    sample_size: usize,
+    min_window: Duration,
+    smoke_test: bool,
+    /// Mean nanoseconds per iteration over all samples.
+    mean_ns: f64,
+    /// Best (lowest) nanoseconds per iteration across samples.
+    best_ns: f64,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.smoke_test {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            self.best_ns = 0.0;
+            self.measured = true;
+            return;
+        }
+
+        // Calibrate: double the batch size until one batch fills the
+        // minimum window, so short routines are timed over many calls.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.min_window || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 8
+            } else {
+                // Aim straight at the window, with headroom.
+                let scale = self.min_window.as_secs_f64() / elapsed.as_secs_f64();
+                (batch as f64 * scale.max(2.0)).min(1e9) as u64
+            }
+            .max(batch + 1);
+        }
+
+        let mut total_ns = 0.0f64;
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += per_iter;
+            best_ns = best_ns.min(per_iter);
+        }
+        self.mean_ns = total_ns / self.sample_size as f64;
+        self.best_ns = best_ns;
+        self.measured = true;
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    min_window: Duration,
+    smoke_test: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size,
+        min_window,
+        smoke_test,
+        mean_ns: 0.0,
+        best_ns: 0.0,
+        measured: false,
+    };
+    f(&mut b);
+    if !b.measured {
+        println!("{id:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    if smoke_test {
+        println!("{id:<40} ok (smoke test)");
+        return;
+    }
+    let mut line = format!(
+        "{id:<40} {:>12}/iter (best {})",
+        fmt_ns(b.mean_ns),
+        fmt_ns(b.best_ns)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |work: u64| work as f64 / (b.mean_ns / 1e9);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12} elem/s", fmt_rate(per_sec(n))));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12} B/s", fmt_rate(per_sec(n))));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a runnable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        // Force measurement mode regardless of harness args.
+        c.smoke_test = false;
+        c.min_window = Duration::from_micros(200);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0u64..4).map(black_box).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn formats_are_sane() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50 M");
+    }
+}

@@ -1,0 +1,35 @@
+//! The deterministic RNG backing case generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SampleRange, SeedableRng};
+
+/// Deterministic per-test generator: seeded from the fully qualified test
+/// name so each property gets an independent, reproducible stream.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for the test named `name`.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, folded into a fixed session seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ 0xd1ff_7e57_0000_0001),
+        }
+    }
+
+    /// Returns the next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Draws uniformly from `range`.
+    pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.random_range(range)
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace applies `#[derive(Serialize, Deserialize)]` to config
+//! structs as forward-compatible metadata but never serializes anything
+//! (no `serde_json` or other format crate exists in the dependency tree).
+//! The container building this repo has no registry access, so the real
+//! crate cannot be fetched; this shim keeps the same spelling compiling:
+//! the traits are markers with blanket impls and the derives are no-ops.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace uses serde derives purely as forward-compatible metadata
+//! on config structs; nothing serializes at runtime. The matching `serde`
+//! shim provides blanket marker impls, so these derives emit no code.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing; `serde::Serialize` is a blanket-implemented marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing; `serde::Deserialize` is a blanket-implemented marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
