@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci
+.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults
 
 all: build
 
@@ -39,12 +39,18 @@ bench:
 sharded:
 	$(CARGO) bench -p difftest-bench --bench sharded
 
-# What .github/workflows/ci.yml runs: formatting, lints, tier-1 build+test.
+# What .github/workflows/ci.yml runs: formatting, lints, tier-1 build+test,
+# and the lossy-link fault suite.
 ci:
 	$(CARGO) fmt --all -- --check
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 	$(CARGO) build --release
 	$(CARGO) test -q
+	$(CARGO) test -p difftest-core --test fault_link --test fault_runners
+
+# Lossy-link fault suite on its own (property tests + cross-runner grid).
+faults:
+	$(CARGO) test -p difftest-core --test fault_link --test fault_runners
 
 # A.5.1-style quick start: run the co-simulation end to end.
 examples:

@@ -8,7 +8,7 @@
 
 use difftest_bench::{fmt_pct, Table};
 use difftest_core::engine::DiffConfig;
-use difftest_core::{run_sharded, run_threaded, RunOutcome};
+use difftest_core::{run_sharded, run_sharded_faulty, run_threaded, FaultPlan, RunOutcome};
 use difftest_dut::DutConfig;
 use difftest_workload::Workload;
 
@@ -113,6 +113,43 @@ fn main() {
         s.pool,
         fmt_pct(s.pool.hit_rate())
     );
+    // Optional lossy-link mode: DIFFTEST_FAULTS=<per-mille>[:<seed>] runs
+    // the sharded topology once more behind a seeded uniform fault plan
+    // (difftest_core::FaultPlan) and reports what the link layer saw.
+    // The clean rows above already pay the CRC framing cost — its byte
+    // overhead is bounded (<2%) by the fault_link test suite.
+    if let Ok(spec) = std::env::var("DIFFTEST_FAULTS") {
+        let (rate, seed) = match spec.split_once(':') {
+            Some((r, s)) => (r.parse().unwrap_or(20u16), s.parse().unwrap_or(1u64)),
+            None => (spec.parse().unwrap_or(20u16), 1u64),
+        };
+        let plan = FaultPlan::uniform(seed, rate);
+        let f = run_sharded_faulty(
+            dual_core_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            max_cycles,
+            depth,
+            Some(plan),
+        );
+        println!(
+            "\nlossy link (uniform {rate}\u{2030}, seed {seed}): outcome {:?}",
+            f.outcome
+        );
+        if let Some(fs) = f.fault {
+            println!(
+                "  injected: {} drops, {} dups, {} reorders, {} truncations, {} corruptions",
+                fs.dropped, fs.duplicated, fs.reordered, fs.truncated, fs.corrupted
+            );
+        }
+        println!(
+            "  detected: {} typed link errors, {} stale duplicates discarded",
+            f.link.total_detected(),
+            f.link.stale_dropped
+        );
+    }
+
     if !smoke {
         let needed = 3; // 1 producer + 2 workers for a dual-core DUT
         if host_cpus >= needed {

@@ -21,7 +21,9 @@
 //! whether valid or not, producing the >60% bubbles of paper §4.2.1.
 
 use difftest_dut::SlotTable;
-use difftest_event::wire::{CodecError, Reader, Writer};
+use difftest_event::wire::{
+    append_crc_frame, verify_crc_frame, CodecError, Reader, Writer, CRC_TRAILER_BYTES,
+};
 use difftest_event::{Event, EventKind, MonitoredEvent};
 
 use crate::pool::{BufferPool, PooledBuf};
@@ -44,11 +46,13 @@ pub const META_ENTRY_BYTES: usize = 4;
 /// A fully assembled transmission packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
-    /// The encoded packet: `[seq:u32][n_meta:u16][meta…][payload…]`.
+    /// The encoded packet: `[seq:u32][n_meta:u16][meta…][payload…][crc:u32]`.
     ///
     /// The sequence number lets the receiver restore packet order under
     /// the out-of-order delivery non-blocking links can exhibit
-    /// (paper §4.5 "ordered parsing"). The buffer is pooled: once every
+    /// (paper §4.5 "ordered parsing"), and the CRC32 trailer covers
+    /// everything before it so in-flight corruption or truncation is
+    /// *detected* rather than misdecoded. The buffer is pooled: once every
     /// owner is done (typically after the consumer decodes it), it
     /// returns to the packer's [`BufferPool`] for the next packet.
     pub bytes: PooledBuf,
@@ -175,7 +179,7 @@ impl BatchUnit {
     }
 
     fn current_len(&self) -> usize {
-        4 + 2 + self.meta.len() * META_ENTRY_BYTES + self.payload.len()
+        4 + 2 + self.meta.len() * META_ENTRY_BYTES + self.payload.len() + CRC_TRAILER_BYTES
     }
 
     /// Packs one cycle's wire items, emitting any packets that filled.
@@ -203,18 +207,15 @@ impl BatchUnit {
                 self.flush_packet(out);
             }
 
-            let extends_run = matches!(
-                self.meta.last(),
-                Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX
-            );
-            if extends_run {
-                self.meta.last_mut().expect("just matched").count += 1;
-            } else {
-                self.meta.push(MetaEntry {
+            match self.meta.last_mut() {
+                Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX => {
+                    m.count += 1;
+                }
+                _ => self.meta.push(MetaEntry {
                     core,
                     wire_kind: kind,
                     count: 1,
-                });
+                }),
             }
             self.payload.extend_from_slice(&self.body);
             self.items += 1;
@@ -241,6 +242,7 @@ impl BatchUnit {
             w.u16(m.count);
         }
         bytes.extend_from_slice(&self.payload);
+        append_crc_frame(&mut bytes);
 
         self.stats.packets += 1;
         self.stats.bytes += bytes.len() as u64;
@@ -255,6 +257,16 @@ impl BatchUnit {
         self.payload.clear();
         self.items = 0;
     }
+}
+
+/// Best-effort read of a packed frame's sequence number (its first four
+/// little-endian bytes), without CRC verification. Link recovery uses
+/// this to guess which packet a damaged frame was; the value comes from
+/// unverified bytes, so callers must validate it (e.g. by retention-ring
+/// lookup) before acting on it.
+pub fn peek_packet_seq(bytes: &[u8]) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
 }
 
 /// The software-side meta-guided dynamic unpacker (paper §4.2.2), with
@@ -283,6 +295,14 @@ impl Unpacker {
     /// Packets received ahead of a sequence gap, not yet deliverable.
     pub fn buffered_packets(&self) -> usize {
         self.reorder.len()
+    }
+
+    /// The sequence number the unpacker delivers next. When
+    /// [`buffered_packets`](Self::buffered_packets) is non-zero, this is
+    /// the missing packet a recovery layer should request retransmission
+    /// of.
+    pub fn expected_seq(&self) -> u32 {
+        self.expected_seq
     }
 
     /// Decodes one packet back into wire items.
@@ -318,12 +338,18 @@ impl Unpacker {
     /// Returns [`CodecError`] on malformed packets or on a
     /// stale/duplicate sequence number. `out` may hold a partial batch
     /// after an error.
+    ///
+    /// The CRC trailer is verified *before* any state (sequence window,
+    /// diff caches) is touched, so a corrupted or truncated packet is
+    /// rejected without desynchronizing the unpacker: a later clean
+    /// retransmission of the same packet decodes normally.
     pub fn unpack_bytes_into(
         &mut self,
         bytes: &[u8],
         out: &mut Vec<WireItem>,
     ) -> Result<usize, CodecError> {
-        let mut r = Reader::new(bytes);
+        let body = verify_crc_frame(bytes)?;
+        let mut r = Reader::new(body);
         let seq = r.u32()?;
         if seq.wrapping_sub(self.expected_seq) > u32::MAX / 2 {
             // Sequence numerically behind the expectation: a duplicate or
@@ -343,12 +369,12 @@ impl Unpacker {
                     missing: self.expected_seq,
                 });
             }
-            self.reorder.insert(seq, bytes.to_vec());
+            self.reorder.insert(seq, body.to_vec());
             return Ok(0);
         }
 
         let before = out.len();
-        self.decode_body(&bytes[4..], out)?;
+        self.decode_body(&body[4..], out)?;
         self.expected_seq = self.expected_seq.wrapping_add(1);
         while let Some(next) = self.reorder.remove(&self.expected_seq) {
             self.decode_body(&next[4..], out)?;
@@ -543,8 +569,10 @@ mod tests {
         let mut out = Vec::new();
         packer.push_cycle(&items, &mut out);
         packer.flush(&mut out);
-        // Sequence (4B) + u16 meta count + one meta entry + 5 commits.
-        let expected = 4 + 2 + META_ENTRY_BYTES + 5 * EventKind::InstrCommit.encoded_len();
+        // Sequence (4B) + u16 meta count + one meta entry + 5 commits +
+        // CRC trailer.
+        let expected =
+            4 + 2 + META_ENTRY_BYTES + 5 * EventKind::InstrCommit.encoded_len() + CRC_TRAILER_BYTES;
         assert_eq!(out[0].len(), expected);
     }
 

@@ -19,14 +19,26 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_event::wire::CodecError;
 use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
 use difftest_ref::{Memory, RefModel};
 use difftest_workload::Workload;
 
+use crate::batch::peek_packet_seq;
 use crate::checker::{CheckStats, Checker, Mismatch, Verdict};
-use crate::replay::{FailureReport, ReplayBuffer};
+use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
+use crate::pool::PooledBuf;
+use crate::replay::{FailureReport, ReplayBuffer, Retransmission};
 use crate::squash::SquashStats;
 use crate::transport::{AccelUnit, SwUnit, Transfer};
+
+/// Retransmissions a run may issue before a link failure is reported
+/// unrecoverable (bounds the cost a hostile schedule can impose).
+const RECOVERY_BUDGET: u32 = 64;
+
+/// Nested redeliveries a single decode failure may trigger (a
+/// retransmitted packet failing again counts one level deeper).
+const MAX_REDELIVERY_DEPTH: u32 = 4;
 
 /// The optimization configurations of the artifact appendix (`DIFF_CONFIG`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,6 +131,7 @@ pub struct CoSimulationBuilder {
     differencing: bool,
     replay: bool,
     queue_depth: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for CoSimulationBuilder {
@@ -135,6 +148,7 @@ impl Default for CoSimulationBuilder {
             differencing: true,
             replay: true,
             queue_depth: 8,
+            fault_plan: None,
         }
     }
 }
@@ -207,6 +221,16 @@ impl CoSimulationBuilder {
         self
     }
 
+    /// Injects link faults per a seeded schedule (default: clean link).
+    /// With [`DiffConfig::BNSD`] and replay enabled, detected failures
+    /// first attempt bounded recovery by retransmission from the packet
+    /// retention ring; otherwise they surface as
+    /// [`RunOutcome::LinkError`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the co-simulation over a workload image.
     ///
     /// # Errors
@@ -267,11 +291,16 @@ impl CoSimulationBuilder {
             platform: self.platform,
             config: self.config,
             max_cycles: self.max_cycles,
+            faulty: self.fault_plan.map(FaultyLink::new),
             transfers: Vec::new(),
+            staging: Vec::new(),
             events_buf: Vec::new(),
             items_buf: Vec::new(),
             halt: None,
             failure: None,
+            link_stats: LinkStats::default(),
+            link_error: None,
+            recovery_budget: RECOVERY_BUDGET,
         })
     }
 }
@@ -287,6 +316,16 @@ pub enum RunOutcome {
     Mismatch,
     /// The cycle budget was exhausted without a trap.
     MaxCycles,
+    /// The link failed in a way bounded recovery could not mask.
+    LinkError {
+        /// Failure classification.
+        kind: LinkErrorKind,
+        /// Packet sequence involved (the receiver's expected sequence
+        /// at detection; 0 for unsequenced per-event transfers).
+        seq: u32,
+        /// Routing core of the offending transfer.
+        core: u8,
+    },
 }
 
 /// The result of one co-simulation run.
@@ -316,6 +355,14 @@ pub struct RunReport {
     pub squash: Option<SquashStats>,
     /// Checker statistics.
     pub check: CheckStats,
+    /// Link failure detection / recovery counters.
+    pub link: LinkStats,
+    /// Faults the injected link model applied (`None` on a clean link).
+    pub fault: Option<FaultStats>,
+    /// Events evicted from the replay ring before use (the
+    /// `replay.dropped` counter): when non-zero, a localization over an
+    /// old token range may be partial.
+    pub replay_dropped: u64,
 }
 
 impl RunReport {
@@ -357,6 +404,25 @@ impl RunReport {
             c.set("squash.tagged", s.tagged);
             c.set("squash.diffed", s.diffed);
             c.set("squash.nde_breaks", s.nde_breaks);
+        }
+        for kind in LinkErrorKind::ALL {
+            c.set(
+                format!("link.err.{}", kind.counter_name()),
+                self.link.count(kind),
+            );
+        }
+        c.set("link.stale_dropped", self.link.stale_dropped);
+        c.set("link.recovered", self.link.recovered);
+        c.set("link.retransmits", self.link.retransmits);
+        c.set("link.retransmit_bytes", self.link.retransmit_bytes);
+        c.set("replay.dropped", self.replay_dropped);
+        if let Some(f) = self.fault {
+            c.set("fault.delivered", f.delivered);
+            c.set("fault.dropped", f.dropped);
+            c.set("fault.duplicated", f.duplicated);
+            c.set("fault.reordered", f.reordered);
+            c.set("fault.truncated", f.truncated);
+            c.set("fault.corrupted", f.corrupted);
         }
         c
     }
@@ -434,9 +500,10 @@ impl Timing {
             TimingMode::Pipelined => {
                 // Backpressure: a bounded number of transfers in flight.
                 while self.inflight.len() >= self.queue_depth {
-                    let t = self.inflight.pop_front().expect("non-empty");
-                    if t > self.hw {
-                        self.hw = t;
+                    if let Some(t) = self.inflight.pop_front() {
+                        if t > self.hw {
+                            self.hw = t;
+                        }
                     }
                 }
                 // Streaming the payload shares the emulation fabric
@@ -470,11 +537,19 @@ pub struct CoSimulation {
     config: DiffConfig,
     timing: Timing,
     max_cycles: u64,
+    /// The injected link model, when fault injection is enabled.
+    faulty: Option<FaultyLink>,
+    /// Transfers that emerged from the link, awaiting decode.
     transfers: Vec<Transfer>,
+    /// Transfers produced by the accelerator, before crossing the link.
+    staging: Vec<Transfer>,
     events_buf: Vec<difftest_event::MonitoredEvent>,
     items_buf: Vec<crate::wire::WireItem>,
     halt: Option<Verdict>,
     failure: Option<FailureReport>,
+    link_stats: LinkStats,
+    link_error: Option<(LinkErrorKind, u32, u8)>,
+    recovery_budget: u32,
 }
 
 impl CoSimulation {
@@ -514,16 +589,26 @@ impl CoSimulation {
                 }
             }
 
-            self.accel.push_cycle(&self.events_buf, &mut self.transfers);
+            self.accel.push_cycle(&self.events_buf, &mut self.staging);
+            self.route_staged();
             if self.process_transfers(&mut invokes, &mut bytes) {
                 break 'outer;
             }
         }
 
-        // Drain: flush fusion windows and partial packets, then pending.
-        if self.halt.is_none() && self.failure.is_none() {
-            self.accel.flush(&mut self.transfers);
-            if !self.process_transfers(&mut invokes, &mut bytes) {
+        // Drain: flush fusion windows, partial packets and the link's
+        // reorder holds, then pending transfers, then any terminal gaps.
+        if self.halt.is_none() && self.failure.is_none() && self.link_error.is_none() {
+            self.accel.flush(&mut self.staging);
+            self.route_staged();
+            if let Some(link) = &mut self.faulty {
+                link.flush(&mut self.transfers);
+            }
+            let stopped = self.process_transfers(&mut invokes, &mut bytes);
+            if !stopped {
+                self.recover_tail(&mut invokes, &mut bytes);
+            }
+            if self.halt.is_none() && self.failure.is_none() && self.link_error.is_none() {
                 match self.checker.finalize() {
                     Ok(v @ Verdict::Halt { .. }) => self.halt = Some(v),
                     Ok(Verdict::Continue) => {}
@@ -534,6 +619,8 @@ impl CoSimulation {
 
         let outcome = if self.failure.is_some() {
             RunOutcome::Mismatch
+        } else if let Some((kind, seq, core)) = self.link_error {
+            RunOutcome::LinkError { kind, seq, core }
         } else {
             match self.halt {
                 Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
@@ -557,47 +644,205 @@ impl CoSimulation {
             bytes,
             squash: self.accel.squash_stats(),
             check: *self.checker.stats(),
+            link: self.link_stats,
+            fault: self.faulty.as_ref().map(FaultyLink::stats),
+            replay_dropped: self.replay_buffer.as_ref().map_or(0, ReplayBuffer::dropped),
+        }
+    }
+
+    /// Moves accelerator-produced transfers across the (possibly faulty)
+    /// link into the receive queue, retaining pristine packet copies for
+    /// retransmission while fault injection is active.
+    fn route_staged(&mut self) {
+        if self.faulty.is_some() && self.config.batch() {
+            if let Some(rb) = &mut self.replay_buffer {
+                for t in &self.staging {
+                    if let Some(seq) = peek_packet_seq(&t.bytes) {
+                        rb.record_packet(seq, &t.bytes);
+                    }
+                }
+            }
+        }
+        match &mut self.faulty {
+            Some(link) => {
+                for t in self.staging.drain(..) {
+                    link.transmit(t, &mut self.transfers);
+                }
+            }
+            None => self.transfers.append(&mut self.staging),
         }
     }
 
     /// Processes queued transfers; returns `true` when the run must stop.
     fn process_transfers(&mut self, invokes: &mut u64, bytes: &mut u64) -> bool {
         let transfers = std::mem::take(&mut self.transfers);
+        let mut stopped = false;
+        for t in &transfers {
+            if self.process_one(t, invokes, bytes, 0) {
+                stopped = true;
+                break;
+            }
+        }
+        stopped
+    }
+
+    /// Decodes and checks one transfer (possibly a retransmission, at
+    /// `depth` > 0); returns `true` when the run must stop.
+    fn process_one(
+        &mut self,
+        t: &Transfer,
+        invokes: &mut u64,
+        bytes: &mut u64,
+        depth: u32,
+    ) -> bool {
+        *invokes += t.invokes;
+        *bytes += t.bytes.len() as u64;
+
+        let before = *self.checker.stats();
         // Reuse the decode scratch across calls: dropping the transfer at
         // the end of each iteration recycles its payload to the pool, so
         // the steady state allocates neither payload nor item storage.
         let mut items = std::mem::take(&mut self.items_buf);
-        let mut stopped = false;
-        'transfers: for t in &transfers {
-            *invokes += t.invokes;
-            *bytes += t.bytes.len() as u64;
-
-            let before = *self.checker.stats();
-            items.clear();
-            self.sw
-                .decode_into(t, &mut items)
-                .expect("internal wire codec must round-trip");
-            for item in items.drain(..) {
-                match self.checker.process(item) {
-                    Ok(Verdict::Continue) => {}
-                    Ok(v @ Verdict::Halt { .. }) => {
-                        self.halt = Some(v);
-                        self.charge_transfer(t, &before);
-                        stopped = true;
-                        break 'transfers;
-                    }
-                    Err(m) => {
-                        self.charge_transfer(t, &before);
-                        self.on_mismatch(m, invokes, bytes);
-                        stopped = true;
-                        break 'transfers;
+        items.clear();
+        let decode = self.sw.decode_into(t, &mut items);
+        match decode {
+            Ok(_) => {
+                let mut stop = false;
+                let mut mismatch = None;
+                for item in items.drain(..) {
+                    match self.checker.process(item) {
+                        Ok(Verdict::Continue) => {}
+                        Ok(v @ Verdict::Halt { .. }) => {
+                            self.halt = Some(v);
+                            stop = true;
+                            break;
+                        }
+                        Err(m) => {
+                            mismatch = Some(m);
+                            stop = true;
+                            break;
+                        }
                     }
                 }
+                items.clear();
+                self.items_buf = items;
+                self.charge_transfer(t, &before);
+                if let Some(m) = mismatch {
+                    self.on_mismatch(m, invokes, bytes);
+                }
+                stop
             }
-            self.charge_transfer(t, &before);
+            Err(e) => {
+                items.clear();
+                self.items_buf = items;
+                // The damaged bytes crossed the link regardless.
+                self.charge_transfer(t, &before);
+                self.on_decode_error(t, &e, invokes, bytes, depth)
+            }
         }
-        self.items_buf = items;
-        stopped
+    }
+
+    /// Handles a transfer the receiver rejected. Returns `true` when the
+    /// run must stop.
+    fn on_decode_error(
+        &mut self,
+        t: &Transfer,
+        err: &CodecError,
+        invokes: &mut u64,
+        bytes: &mut u64,
+        depth: u32,
+    ) -> bool {
+        let kind = LinkErrorKind::classify(err);
+        self.link_stats.note(kind);
+        if kind == LinkErrorKind::Stale {
+            // A duplicate of an already-delivered packet: dropping it
+            // loses nothing (paper §4.5's window already delivered it).
+            self.link_stats.stale_dropped += 1;
+            return false;
+        }
+        // Identify the packet to re-request: a detected gap names the
+        // missing sequence; for a damaged frame the embedded sequence
+        // field is a best-effort guess from unverified bytes, validated
+        // implicitly by the retention-ring lookup.
+        let seq = match err {
+            CodecError::ReorderOverflow { missing } => Some(*missing),
+            _ => peek_packet_seq(&t.bytes),
+        };
+        if let Some(seq) = seq {
+            if self.try_redeliver(seq, t.core, invokes, bytes, depth) {
+                return self.halt.is_some() || self.failure.is_some() || self.link_error.is_some();
+            }
+        }
+        self.link_error = Some((kind, self.sw.expected_seq().unwrap_or(0), t.core));
+        true
+    }
+
+    /// Attempts to re-deliver packet `seq` from the retention ring,
+    /// charging the retransmission like any other transfer (one invoke
+    /// plus its bytes, Eq. 1). Returns `true` when a pristine copy was
+    /// found and processed.
+    fn try_redeliver(
+        &mut self,
+        seq: u32,
+        core: u8,
+        invokes: &mut u64,
+        bytes: &mut u64,
+        depth: u32,
+    ) -> bool {
+        if depth >= MAX_REDELIVERY_DEPTH || self.recovery_budget == 0 {
+            return false;
+        }
+        let Some(pristine) = self
+            .replay_buffer
+            .as_ref()
+            .and_then(|rb| rb.retransmit_packet(seq))
+            .map(<[u8]>::to_vec)
+        else {
+            return false;
+        };
+        self.recovery_budget -= 1;
+        self.link_stats.retransmits += 1;
+        self.link_stats.retransmit_bytes += pristine.len() as u64;
+        let rt = Transfer {
+            bytes: PooledBuf::detached(pristine),
+            core,
+            invokes: 1,
+            items: 0,
+        };
+        self.process_one(&rt, invokes, bytes, depth + 1);
+        if self.link_error.is_none() {
+            self.link_stats.recovered += 1;
+        }
+        true
+    }
+
+    /// End-of-stream: a receive-side gap (buffered successors waiting, or
+    /// sent packets that never arrived) is now permanent — recover it
+    /// from the retention ring or report it as a [`RunOutcome::LinkError`].
+    fn recover_tail(&mut self, invokes: &mut u64, bytes: &mut u64) {
+        loop {
+            if self.halt.is_some() || self.failure.is_some() || self.link_error.is_some() {
+                return;
+            }
+            let Some(expected) = self.sw.expected_seq() else {
+                // Per-event transfers carry no sequence numbers; drops
+                // are undetectable at this layer.
+                return;
+            };
+            let tail_missing = self
+                .replay_buffer
+                .as_ref()
+                .and_then(ReplayBuffer::next_packet_seq)
+                .is_some_and(|next| expected != next);
+            if self.sw.buffered_packets() == 0 && !tail_missing {
+                return;
+            }
+            self.link_stats.note(LinkErrorKind::Gap);
+            if !self.try_redeliver(expected, 0, invokes, bytes, 0) {
+                self.link_error = Some((LinkErrorKind::Gap, expected, 0));
+                return;
+            }
+        }
     }
 
     fn charge_transfer(&mut self, t: &Transfer, before: &CheckStats) {
@@ -624,6 +869,7 @@ impl CoSimulation {
                 coarse,
                 token_range: (0, 0),
                 replayed_events: 0,
+                partial: false,
             });
             return;
         };
@@ -634,11 +880,12 @@ impl CoSimulation {
                 coarse,
                 token_range: (0, 0),
                 replayed_events: 0,
+                partial: false,
             });
             return;
         };
 
-        let events = rb.retransmit(core, from, to);
+        let Retransmission { events, complete } = rb.retransmit(core, from, to);
         // Charge the retransmission: one request plus the unfused payload.
         let replay_bytes: usize = events.iter().map(|e| 2 + e.encoded_len()).sum();
         *invokes += 1;
@@ -658,6 +905,7 @@ impl CoSimulation {
             precise,
             token_range: (from, to),
             replayed_events: events.len(),
+            partial: !complete,
         });
     }
 }

@@ -47,10 +47,15 @@
 //! ```
 
 #![warn(missing_docs)]
+// A panic in the decode/check path aborts a whole co-simulation; link
+// faults must surface as typed outcomes instead. Non-test code is held
+// to that bar mechanically (tests may still unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod checker;
 pub mod engine;
+pub mod fault;
 pub mod pool;
 pub mod prior;
 pub mod replay;
@@ -65,11 +70,12 @@ pub use checker::{CheckStats, Checker, Mismatch, Verdict};
 pub use engine::{
     BuildError, CoSimulation, CoSimulationBuilder, DiffConfig, RunOutcome, RunReport,
 };
+pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
-pub use replay::{FailureReport, ReplayBuffer};
-pub use sharded::{run_sharded, ShardedReport, WorkerReport};
+pub use replay::{FailureReport, ReplayBuffer, Retransmission};
+pub use sharded::{run_sharded, run_sharded_faulty, ShardedReport, WorkerReport};
 pub use snapshot::{snapshot_debug_run, SnapshotReport};
 pub use squash::{FusedCommit, SquashStats, SquashUnit};
-pub use threaded::{run_threaded, ThreadedReport};
+pub use threaded::{run_threaded, run_threaded_faulty, ThreadedReport};
 pub use transport::{AccelUnit, SwUnit, Transfer};
 pub use wire::{WireItem, WireKind};

@@ -15,12 +15,37 @@ use difftest_event::MonitoredEvent;
 
 use crate::checker::Mismatch;
 
+/// Packets the hardware side retains for link-level retransmission, in
+/// addition to the event ring (which serves mismatch localization).
+const DEFAULT_PACKET_RETENTION: usize = 512;
+
+/// The result of an event-range retransmission request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retransmission {
+    /// The buffered events with tokens in the requested range, in
+    /// arrival order.
+    pub events: Vec<MonitoredEvent>,
+    /// `false` when part of the requested range was already evicted
+    /// from the ring, so `events` silently misses the oldest tokens.
+    pub complete: bool,
+}
+
 /// The hardware-side token-indexed ring of original events.
 #[derive(Debug, Default)]
 pub struct ReplayBuffer {
     ring: VecDeque<MonitoredEvent>,
     capacity: usize,
     dropped: u64,
+    /// Highest token evicted from the ring, per core — lets
+    /// [`retransmit`](Self::retransmit) tell a genuinely empty range
+    /// from one whose events were already overwritten.
+    evicted_watermark: Vec<Option<u64>>,
+    /// Pristine copies of the most recent packets (recorded before the
+    /// link can damage them), indexed by consecutive sequence number.
+    packet_ring: VecDeque<Vec<u8>>,
+    packet_first_seq: u32,
+    packet_capacity: usize,
+    packets_evicted: u64,
 }
 
 impl ReplayBuffer {
@@ -30,16 +55,32 @@ impl ReplayBuffer {
             ring: VecDeque::with_capacity(capacity.min(1 << 16)),
             capacity: capacity.max(1),
             dropped: 0,
+            evicted_watermark: Vec::new(),
+            packet_ring: VecDeque::new(),
+            packet_first_seq: 0,
+            packet_capacity: DEFAULT_PACKET_RETENTION,
+            packets_evicted: 0,
         }
     }
 
     /// Buffers one captured event (before any optimization touches it).
     pub fn push(&mut self, ev: MonitoredEvent) {
         if self.ring.len() == self.capacity {
-            self.ring.pop_front();
+            if let Some(old) = self.ring.pop_front() {
+                self.note_evicted(&old);
+            }
             self.dropped += 1;
         }
         self.ring.push_back(ev);
+    }
+
+    fn note_evicted(&mut self, ev: &MonitoredEvent) {
+        let idx = ev.core as usize;
+        if self.evicted_watermark.len() <= idx {
+            self.evicted_watermark.resize(idx + 1, None);
+        }
+        let slot = &mut self.evicted_watermark[idx];
+        *slot = Some(slot.map_or(ev.token.0, |w| w.max(ev.token.0)));
     }
 
     /// Number of buffered events.
@@ -52,7 +93,8 @@ impl ReplayBuffer {
         self.ring.is_empty()
     }
 
-    /// Events evicted because the ring overflowed.
+    /// Events evicted because the ring overflowed (the `replay.dropped`
+    /// counter).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -60,12 +102,74 @@ impl ReplayBuffer {
     /// Retransmits the buffered events with tokens in `[from, to]`, for one
     /// core, in token order. Tokens also filter out unrelated events that
     /// arrived between the failure and the replay request (paper §4.4).
-    pub fn retransmit(&self, core: u8, from: u64, to: u64) -> Vec<MonitoredEvent> {
-        self.ring
+    /// The result is marked incomplete when the requested range overlaps
+    /// tokens already evicted from the ring — the caller must then treat
+    /// any localization as partial rather than silently trusting a
+    /// truncated replay.
+    pub fn retransmit(&self, core: u8, from: u64, to: u64) -> Retransmission {
+        let events: Vec<MonitoredEvent> = self
+            .ring
             .iter()
             .filter(|e| e.core == core && (from..=to).contains(&e.token.0))
             .cloned()
-            .collect()
+            .collect();
+        let complete = match self.evicted_watermark.get(core as usize).copied().flatten() {
+            // Tokens up to the watermark are gone; if the range starts
+            // at or below it, its oldest events may be missing.
+            Some(watermark) => from > watermark,
+            None => true,
+        };
+        Retransmission { events, complete }
+    }
+
+    /// Retains a pristine copy of an outgoing packet for link-level
+    /// retransmission. Sequence numbers must be consecutive (they are —
+    /// the packer stamps them); a discontinuity resets the ring.
+    pub fn record_packet(&mut self, seq: u32, bytes: &[u8]) {
+        let next = self
+            .packet_first_seq
+            .wrapping_add(self.packet_ring.len() as u32);
+        if self.packet_ring.is_empty() || seq != next {
+            self.packets_evicted += self.packet_ring.len() as u64;
+            self.packet_ring.clear();
+            self.packet_first_seq = seq;
+        }
+        if self.packet_ring.len() == self.packet_capacity {
+            self.packet_ring.pop_front();
+            self.packet_first_seq = self.packet_first_seq.wrapping_add(1);
+            self.packets_evicted += 1;
+        }
+        self.packet_ring.push_back(bytes.to_vec());
+    }
+
+    /// The retained copy of packet `seq`, if it has not been evicted.
+    pub fn retransmit_packet(&self, seq: u32) -> Option<&[u8]> {
+        let offset = seq.wrapping_sub(self.packet_first_seq) as usize;
+        self.packet_ring.get(offset).map(Vec::as_slice)
+    }
+
+    /// The sequence number after the newest retained packet — i.e. how
+    /// far the sender's packet stream has advanced. At end of stream, a
+    /// receiver expecting less than this has lost tail packets.
+    pub fn next_packet_seq(&self) -> Option<u32> {
+        if self.packet_ring.is_empty() {
+            None
+        } else {
+            Some(
+                self.packet_first_seq
+                    .wrapping_add(self.packet_ring.len() as u32),
+            )
+        }
+    }
+
+    /// Packets no longer available for retransmission.
+    pub fn packets_evicted(&self) -> u64 {
+        self.packets_evicted
+    }
+
+    /// Packets currently retained for retransmission.
+    pub fn packets_retained(&self) -> usize {
+        self.packet_ring.len()
     }
 }
 
@@ -82,6 +186,10 @@ pub struct FailureReport {
     pub token_range: (u64, u64),
     /// Number of unfused events reprocessed.
     pub replayed_events: usize,
+    /// `true` when the requested token range overlapped events already
+    /// evicted from the replay ring, so the localization ran on an
+    /// incomplete event set (see `replay.dropped`).
+    pub partial: bool,
 }
 
 impl fmt::Display for FailureReport {
@@ -89,8 +197,15 @@ impl fmt::Display for FailureReport {
         writeln!(f, "co-simulation mismatch (fused stream): {}", self.coarse)?;
         writeln!(
             f,
-            "replayed {} unfused events over tokens [{}, {}]",
-            self.replayed_events, self.token_range.0, self.token_range.1
+            "replayed {} unfused events over tokens [{}, {}]{}",
+            self.replayed_events,
+            self.token_range.0,
+            self.token_range.1,
+            if self.partial {
+                " (PARTIAL: range overlaps evicted events)"
+            } else {
+                ""
+            }
         )?;
         match &self.precise {
             Some(p) => write!(f, "instruction-level localization: {p}"),
@@ -121,7 +236,8 @@ mod tests {
             rb.push(ev((t % 2) as u8, t));
         }
         let got = rb.retransmit(0, 4, 12);
-        let tokens: Vec<u64> = got.iter().map(|e| e.token.0).collect();
+        assert!(got.complete);
+        let tokens: Vec<u64> = got.events.iter().map(|e| e.token.0).collect();
         assert_eq!(tokens, vec![4, 6, 8, 10, 12]);
     }
 
@@ -133,7 +249,41 @@ mod tests {
         }
         assert_eq!(rb.len(), 4);
         assert_eq!(rb.dropped(), 6);
-        assert!(rb.retransmit(0, 0, 5).is_empty());
-        assert_eq!(rb.retransmit(0, 6, 9).len(), 4);
+        assert!(rb.retransmit(0, 0, 5).events.is_empty());
+        assert_eq!(rb.retransmit(0, 6, 9).events.len(), 4);
+    }
+
+    #[test]
+    fn retransmit_marks_evicted_overlap_partial() {
+        let mut rb = ReplayBuffer::new(4);
+        for t in 0..10 {
+            rb.push(ev(0, t));
+        }
+        // Tokens 0..=5 were evicted; any range reaching into them is
+        // partial even though it silently returns fewer events.
+        assert!(!rb.retransmit(0, 0, 9).complete);
+        assert!(!rb.retransmit(0, 5, 9).complete);
+        // A range entirely above the watermark is complete.
+        assert!(rb.retransmit(0, 6, 9).complete);
+        // Eviction on core 0 does not taint core 1 requests.
+        rb.push(ev(1, 100));
+        assert!(rb.retransmit(1, 90, 110).complete);
+    }
+
+    #[test]
+    fn packet_ring_retains_and_evicts() {
+        let mut rb = ReplayBuffer::new(16);
+        for seq in 0..5u32 {
+            rb.record_packet(seq, &[seq as u8; 8]);
+        }
+        assert_eq!(rb.packets_retained(), 5);
+        assert_eq!(rb.retransmit_packet(3), Some(&[3u8; 8][..]));
+        assert_eq!(rb.retransmit_packet(5), None);
+        // A sequence discontinuity defensively resets the ring.
+        rb.record_packet(42, &[9; 4]);
+        assert_eq!(rb.packets_retained(), 1);
+        assert_eq!(rb.packets_evicted(), 5);
+        assert_eq!(rb.retransmit_packet(42), Some(&[9u8; 4][..]));
+        assert_eq!(rb.retransmit_packet(3), None);
     }
 }

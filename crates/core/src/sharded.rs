@@ -24,7 +24,7 @@
 //! - **Backpressure** — each per-core channel is bounded by
 //!   `queue_depth`, the paper's sending-queue model applied per shard.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -37,7 +37,9 @@ use difftest_workload::Workload;
 
 use crate::checker::{Checker, Mismatch, Verdict};
 use crate::engine::{DiffConfig, RunOutcome};
+use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
 use crate::pool::PoolStats;
+use crate::threaded::feed_link;
 use crate::transport::{AccelUnit, SwUnit, Transfer};
 use crate::wire::WireItem;
 
@@ -79,6 +81,11 @@ pub struct ShardedReport {
     pub workers: Vec<WorkerReport>,
     /// Aggregate buffer-pool statistics across the per-core producers.
     pub pool: PoolStats,
+    /// Aggregate link failure counters across workers.
+    pub link: LinkStats,
+    /// Aggregate faults injected across the per-core links (`None` on a
+    /// clean link).
+    pub fault: Option<FaultStats>,
 }
 
 impl ShardedReport {
@@ -105,6 +112,13 @@ impl ShardedReport {
                 w.items_per_sec as u64,
             );
         }
+        for kind in LinkErrorKind::ALL {
+            c.set(
+                format!("link.err.{}", kind.counter_name()),
+                self.link.count(kind),
+            );
+        }
+        c.set("link.stale_dropped", self.link.stale_dropped);
         c
     }
 }
@@ -117,6 +131,8 @@ struct WorkerOutcome {
     wall_s: f64,
     verdict: Option<Verdict>,
     mismatch: Option<Mismatch>,
+    link_error: Option<(LinkErrorKind, u32, u8)>,
+    link: LinkStats,
 }
 
 fn accel_for(config: DiffConfig, cores: usize) -> AccelUnit {
@@ -147,6 +163,38 @@ pub fn run_sharded(
     max_cycles: u64,
     queue_depth: usize,
 ) -> ShardedReport {
+    run_sharded_faulty(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        None,
+    )
+}
+
+/// [`run_sharded`] with an optional fault-injecting link on every
+/// per-core channel. Each shard gets an independent deterministic
+/// [`FaultyLink`] derived from the plan's seed (`seed + core`), so a
+/// multi-core schedule stays reproducible while the shards fail
+/// differently. Like the threaded runner this one has no retention
+/// ring: decode failures and terminal gaps surface as
+/// [`RunOutcome::LinkError`] (stale duplicates are dropped and counted).
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_sharded_faulty(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+) -> ShardedReport {
     assert!(
         config.nonblock(),
         "sharded runner requires a non-blocking configuration"
@@ -155,6 +203,9 @@ pub fn run_sharded(
     image.load_words(Memory::RAM_BASE, workload.words());
     let cores = dut_cfg.cores as usize;
     let stop = Arc::new(AtomicBool::new(false));
+    // Per-core packets produced before fault injection (tail-loss
+    // detection, see `run_threaded_faulty`).
+    let produced: Arc<Vec<AtomicU32>> = Arc::new((0..cores).map(|_| AtomicU32::new(0)).collect());
 
     let mut txs = Vec::with_capacity(cores);
     let mut rxs = Vec::with_capacity(cores);
@@ -170,6 +221,7 @@ pub fn run_sharded(
         let image = image.clone();
         let dut_cfg = dut_cfg.clone();
         let stop = Arc::clone(&stop);
+        let produced = Arc::clone(&produced);
         thread::spawn(move || {
             let mut dut = Dut::new(dut_cfg, &image, bugs);
             let mut accels: Vec<AccelUnit> = (0..cores)
@@ -179,8 +231,21 @@ pub fn run_sharded(
                     a
                 })
                 .collect();
+            // One independent deterministic link per shard: same plan,
+            // per-core seed offset.
+            let mut links: Vec<Option<FaultyLink>> = (0..cores)
+                .map(|k| {
+                    fault.map(|p| {
+                        FaultyLink::new(FaultPlan {
+                            seed: p.seed.wrapping_add(k as u64),
+                            ..p
+                        })
+                    })
+                })
+                .collect();
             let mut events: Vec<MonitoredEvent> = Vec::new();
             let mut transfers = Vec::new();
+            let mut wire = Vec::new();
             'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
                 if stop.load(Ordering::Acquire) {
                     break;
@@ -189,22 +254,42 @@ pub fn run_sharded(
                 dut.tick_into(&mut events);
                 for (k, accel) in accels.iter_mut().enumerate() {
                     accel.push_cycle_for_route_core(&events, &mut transfers);
-                    for t in transfers.drain(..) {
-                        // Blocking send: each bounded channel is one
-                        // shard's sending queue with backpressure.
-                        if txs[k].send(t).is_err() {
-                            break 'run;
-                        }
+                    // Blocking sends inside: each bounded channel is one
+                    // shard's sending queue with backpressure.
+                    let alive = feed_link(
+                        &mut links[k],
+                        &produced[k],
+                        &mut transfers,
+                        &mut wire,
+                        &txs[k],
+                    );
+                    wire.clear();
+                    if !alive {
+                        break 'run;
                     }
                 }
             }
             for (k, accel) in accels.iter_mut().enumerate() {
                 accel.flush(&mut transfers);
-                for t in transfers.drain(..) {
-                    if txs[k].send(t).is_err() {
-                        break;
+                let alive = feed_link(
+                    &mut links[k],
+                    &produced[k],
+                    &mut transfers,
+                    &mut wire,
+                    &txs[k],
+                );
+                if let Some(l) = &mut links[k] {
+                    // Release transfers still held for reordering.
+                    l.flush(&mut wire);
+                    if alive {
+                        for t in wire.drain(..) {
+                            if txs[k].send(t).is_err() {
+                                break;
+                            }
+                        }
                     }
                 }
+                wire.clear();
             }
             let pool =
                 accels
@@ -216,8 +301,23 @@ pub fn run_sharded(
                         returns: a.returns + s.returns,
                         discards: a.discards + s.discards,
                     });
+            let fault_stats = if fault.is_some() {
+                Some(links.into_iter().flatten().map(|l| l.stats()).fold(
+                    FaultStats::default(),
+                    |a, s| FaultStats {
+                        delivered: a.delivered + s.delivered,
+                        dropped: a.dropped + s.dropped,
+                        duplicated: a.duplicated + s.duplicated,
+                        reordered: a.reordered + s.reordered,
+                        truncated: a.truncated + s.truncated,
+                        corrupted: a.corrupted + s.corrupted,
+                    },
+                ))
+            } else {
+                None
+            };
             drop(txs);
-            (dut.cycles(), dut.total_commits(), pool)
+            (dut.cycles(), dut.total_commits(), pool, fault_stats)
         })
     };
 
@@ -227,6 +327,7 @@ pub fn run_sharded(
         .map(|(k, rx)| {
             let image = image.clone();
             let stop = Arc::clone(&stop);
+            let produced = Arc::clone(&produced);
             thread::spawn(move || {
                 let started = Instant::now();
                 let core = k as u8;
@@ -236,10 +337,22 @@ pub fn run_sharded(
                 let mut items = 0u64;
                 let mut verdict = None;
                 let mut mismatch = None;
+                let mut link_stats = LinkStats::default();
+                let mut link_error = None;
                 'recv: for t in rx.iter() {
                     item_buf.clear();
-                    sw.decode_into(&t, &mut item_buf)
-                        .expect("internal wire codec round-trips");
+                    if let Err(e) = sw.decode_into(&t, &mut item_buf) {
+                        let kind = LinkErrorKind::classify(&e);
+                        link_stats.note(kind);
+                        if kind == LinkErrorKind::Stale {
+                            // A duplicate of a delivered packet: harmless.
+                            link_stats.stale_dropped += 1;
+                            continue;
+                        }
+                        link_error = Some((kind, sw.expected_seq().unwrap_or(0), t.core));
+                        stop.store(true, Ordering::Release);
+                        break 'recv;
+                    }
                     for item in item_buf.drain(..) {
                         items += 1;
                         match checker.process(item) {
@@ -257,11 +370,20 @@ pub fn run_sharded(
                         }
                     }
                 }
-                if verdict.is_none() && mismatch.is_none() {
-                    match checker.finalize() {
-                        Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
-                        Ok(Verdict::Continue) => {}
-                        Err(m) => mismatch = Some(m),
+                if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
+                    // The channel closed, so this shard's `produced` is
+                    // final: a packet still awaited was lost in flight.
+                    let sent = produced[k].load(Ordering::Acquire);
+                    let expected = sw.expected_seq().unwrap_or(sent);
+                    if sw.buffered_packets() > 0 || expected != sent {
+                        link_stats.note(LinkErrorKind::Gap);
+                        link_error = Some((LinkErrorKind::Gap, expected, core));
+                    } else {
+                        match checker.finalize() {
+                            Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
+                            Ok(Verdict::Continue) => {}
+                            Err(m) => mismatch = Some(m),
+                        }
                     }
                 }
                 let wall_s = started.elapsed().as_secs_f64();
@@ -272,29 +394,49 @@ pub fn run_sharded(
                     wall_s,
                     verdict,
                     mismatch,
+                    link_error,
+                    link: link_stats,
                 }
             })
         })
         .collect();
 
-    let (cycles, instructions, pool) = producer.join().expect("producer thread");
-    let mut outcomes: Vec<WorkerOutcome> = workers
-        .into_iter()
-        .map(|w| w.join().expect("worker thread"))
-        .collect();
+    let (cycles, instructions, pool, fault_stats) = match producer.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
+    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(cores);
+    for w in workers {
+        match w.join() {
+            Ok(o) => outcomes.push(o),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
     let wall_s = start.elapsed().as_secs_f64();
     outcomes.sort_by_key(|o| o.core);
 
     // First-mismatch semantics across shards: lowest instruction count
-    // wins, core id breaks ties deterministically.
+    // wins, core id breaks ties deterministically. A genuine mismatch
+    // outranks a link error (the stream prefix it was found on was
+    // intact); the lowest-core link error outranks clean verdicts.
     let mismatch = outcomes
         .iter()
         .filter_map(|o| o.mismatch.clone())
         .min_by_key(|m| (m.seq, m.core));
+    let link_error = outcomes.iter().filter_map(|o| o.link_error).next();
     let verdict = outcomes.iter().filter_map(|o| o.verdict).next();
+    let link = outcomes.iter().fold(LinkStats::default(), |mut a, o| {
+        for kind in LinkErrorKind::ALL {
+            a.detected[kind as usize] += o.link.count(kind);
+        }
+        a.stale_dropped += o.link.stale_dropped;
+        a
+    });
 
     let outcome = if mismatch.is_some() {
         RunOutcome::Mismatch
+    } else if let Some((kind, seq, core)) = link_error {
+        RunOutcome::LinkError { kind, seq, core }
     } else {
         match verdict {
             Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
@@ -326,6 +468,8 @@ pub fn run_sharded(
         items_per_sec: items as f64 / wall_s.max(1e-9),
         workers,
         pool,
+        link,
+        fault: fault_stats,
     }
 }
 

@@ -80,7 +80,18 @@ pub fn snapshot_debug_run(
                    transfers: &mut Vec<Transfer>|
      -> Result<Option<Verdict>, Mismatch> {
         for t in transfers.drain(..) {
-            for item in sw.decode(&t).expect("wire codec round-trips") {
+            // The snapshot baseline runs in-process over a perfect link;
+            // a decode failure here means host-side corruption, which
+            // surfaces as a (non-localizable) mismatch on the transfer's
+            // routing core rather than a panic.
+            let items = sw.decode(&t).map_err(|e| Mismatch {
+                core: t.core,
+                seq: 0,
+                check: "wire.decode".into(),
+                expected: "well-formed transfer".into(),
+                actual: e.to_string(),
+            })?;
+            for item in items {
                 match checker.process(item)? {
                     Verdict::Continue => {}
                     v @ Verdict::Halt { .. } => return Ok(Some(v)),

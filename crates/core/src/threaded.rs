@@ -9,7 +9,7 @@
 //! backpressure of the paper's sending/receiving queues. It reports
 //! wall-clock throughput rather than simulated KHz.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -21,6 +21,7 @@ use difftest_workload::Workload;
 
 use crate::checker::{Checker, Mismatch, Verdict};
 use crate::engine::{DiffConfig, RunOutcome};
+use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
 use crate::transport::{AccelUnit, SwUnit, Transfer};
 
 /// Result of a threaded run.
@@ -40,6 +41,40 @@ pub struct ThreadedReport {
     pub wall_s: f64,
     /// Host-side throughput in DUT cycles per wall-clock second.
     pub cycles_per_sec: f64,
+    /// Link failure counters accumulated by the consumer.
+    pub link: LinkStats,
+    /// Faults the injected link model applied (`None` on a clean link).
+    pub fault: Option<FaultStats>,
+}
+
+/// Pushes produced transfers through the (possibly faulty) link and the
+/// bounded channel, counting every packet *produced* so the consumer can
+/// detect tail loss. Returns `false` once the receiver is gone (`wire`
+/// may then still hold unsent transfers — the caller clears it).
+pub(crate) fn feed_link(
+    link: &mut Option<FaultyLink>,
+    produced: &AtomicU32,
+    transfers: &mut Vec<Transfer>,
+    wire: &mut Vec<Transfer>,
+    tx: &channel::Sender<Transfer>,
+) -> bool {
+    produced.fetch_add(transfers.len() as u32, Ordering::AcqRel);
+    match link {
+        Some(l) => {
+            for t in transfers.drain(..) {
+                l.transmit(t, wire);
+            }
+        }
+        None => wire.append(transfers),
+    }
+    for t in wire.drain(..) {
+        // Blocking send: the bounded channel is the paper's sending
+        // queue with backpressure.
+        if tx.send(t).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Runs a co-simulation with the hardware and software sides on separate
@@ -61,6 +96,38 @@ pub fn run_threaded(
     max_cycles: u64,
     queue_depth: usize,
 ) -> ThreadedReport {
+    run_threaded_faulty(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        None,
+    )
+}
+
+/// [`run_threaded`] with an optional fault-injecting link between the
+/// producer and consumer threads (see [`FaultPlan`]). Decode failures
+/// surface as [`RunOutcome::LinkError`] — stale duplicates are dropped
+/// and counted; a gap left at end of stream (lost packet, including a
+/// tail drop the sequence window alone cannot see) is reported as a
+/// [`LinkErrorKind::Gap`]. This runner has no retention ring, so it
+/// reports rather than recovers.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_threaded_faulty(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+) -> ThreadedReport {
     assert!(
         config.nonblock(),
         "threaded runner requires a non-blocking configuration"
@@ -75,6 +142,10 @@ pub fn run_threaded(
     // a second stop reason published while the first is still unread is
     // simply idempotent.
     let stop = Arc::new(AtomicBool::new(false));
+    // Packets produced before fault injection: the consumer compares its
+    // expected sequence against this after the channel closes to detect
+    // drops the reorder window never sees (tail loss).
+    let produced = Arc::new(AtomicU32::new(0));
 
     let start = Instant::now();
 
@@ -82,13 +153,16 @@ pub fn run_threaded(
         let image = image.clone();
         let dut_cfg = dut_cfg.clone();
         let stop = Arc::clone(&stop);
+        let produced = Arc::clone(&produced);
         thread::spawn(move || {
             let mut dut = Dut::new(dut_cfg, &image, bugs);
             let mut accel = match config {
                 DiffConfig::BNSD => AccelUnit::squash_batch(cores, 4096, 32, false),
                 _ => AccelUnit::batch(cores, 4096),
             };
+            let mut link = fault.map(FaultyLink::new);
             let mut transfers = Vec::new();
+            let mut wire = Vec::new();
             let mut events = Vec::new();
             while dut.halted().is_none() && dut.cycles() < max_cycles {
                 if stop.load(Ordering::Acquire) {
@@ -97,70 +171,105 @@ pub fn run_threaded(
                 events.clear();
                 dut.tick_into(&mut events);
                 accel.push_cycle(&events, &mut transfers);
-                for t in transfers.drain(..) {
-                    // Blocking send: the bounded channel is the paper's
-                    // sending queue with backpressure.
-                    if tx.send(t).is_err() {
-                        return (dut.cycles(), dut.total_commits());
-                    }
+                if !feed_link(&mut link, &produced, &mut transfers, &mut wire, &tx) {
+                    return (dut.cycles(), dut.total_commits(), link.map(|l| l.stats()));
                 }
             }
             accel.flush(&mut transfers);
-            for t in transfers.drain(..) {
-                if tx.send(t).is_err() {
-                    break;
+            let receiver_alive = feed_link(&mut link, &produced, &mut transfers, &mut wire, &tx);
+            if let Some(l) = &mut link {
+                // Release transfers still held for reordering.
+                l.flush(&mut wire);
+                if receiver_alive {
+                    for t in wire.drain(..) {
+                        if tx.send(t).is_err() {
+                            break;
+                        }
+                    }
                 }
             }
             drop(tx);
-            (dut.cycles(), dut.total_commits())
+            (dut.cycles(), dut.total_commits(), link.map(|l| l.stats()))
         })
     };
 
-    let consumer = thread::spawn(move || {
-        let mut sw = SwUnit::packed(cores);
-        let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
-        let mut checker = Checker::new(refs, false);
-        let mut item_buf = Vec::new();
-        let mut items = 0u64;
-        let mut verdict = None;
-        let mut mismatch = None;
-        'recv: for t in rx.iter() {
-            item_buf.clear();
-            sw.decode_into(&t, &mut item_buf)
-                .expect("internal wire codec round-trips");
-            for item in item_buf.drain(..) {
-                items += 1;
-                match checker.process(item) {
-                    Ok(Verdict::Continue) => {}
-                    Ok(v @ Verdict::Halt { .. }) => {
-                        verdict = Some(v);
-                        stop.store(true, Ordering::Release);
-                        break 'recv;
+    let consumer = {
+        let produced = Arc::clone(&produced);
+        thread::spawn(move || {
+            let mut sw = SwUnit::packed(cores);
+            let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
+            let mut checker = Checker::new(refs, false);
+            let mut item_buf = Vec::new();
+            let mut items = 0u64;
+            let mut verdict = None;
+            let mut mismatch = None;
+            let mut link_stats = LinkStats::default();
+            let mut link_error = None;
+            'recv: for t in rx.iter() {
+                item_buf.clear();
+                if let Err(e) = sw.decode_into(&t, &mut item_buf) {
+                    let kind = LinkErrorKind::classify(&e);
+                    link_stats.note(kind);
+                    if kind == LinkErrorKind::Stale {
+                        // A duplicate of a delivered packet: harmless.
+                        link_stats.stale_dropped += 1;
+                        continue;
                     }
-                    Err(m) => {
-                        mismatch = Some(m);
-                        stop.store(true, Ordering::Release);
-                        break 'recv;
+                    link_error = Some((kind, sw.expected_seq().unwrap_or(0), t.core));
+                    stop.store(true, Ordering::Release);
+                    break 'recv;
+                }
+                for item in item_buf.drain(..) {
+                    items += 1;
+                    match checker.process(item) {
+                        Ok(Verdict::Continue) => {}
+                        Ok(v @ Verdict::Halt { .. }) => {
+                            verdict = Some(v);
+                            stop.store(true, Ordering::Release);
+                            break 'recv;
+                        }
+                        Err(m) => {
+                            mismatch = Some(m);
+                            stop.store(true, Ordering::Release);
+                            break 'recv;
+                        }
                     }
                 }
             }
-        }
-        if verdict.is_none() && mismatch.is_none() {
-            match checker.finalize() {
-                Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
-                Ok(Verdict::Continue) => {}
-                Err(m) => mismatch = Some(m),
+            if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
+                // The channel closed, so `produced` is final: any packet
+                // the receiver still waits on was lost on the link.
+                let sent = produced.load(Ordering::Acquire);
+                let expected = sw.expected_seq().unwrap_or(sent);
+                if sw.buffered_packets() > 0 || expected != sent {
+                    link_stats.note(LinkErrorKind::Gap);
+                    link_error = Some((LinkErrorKind::Gap, expected, 0));
+                } else {
+                    match checker.finalize() {
+                        Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
+                        Ok(Verdict::Continue) => {}
+                        Err(m) => mismatch = Some(m),
+                    }
+                }
             }
-        }
-        (items, verdict, mismatch)
-    });
+            (items, verdict, mismatch, link_error, link_stats)
+        })
+    };
 
-    let (cycles, instructions) = producer.join().expect("producer thread");
-    let (items, verdict, mismatch) = consumer.join().expect("consumer thread");
+    let (cycles, instructions, fault_stats) = match producer.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
+    let (items, verdict, mismatch, link_error, link_stats) = match consumer.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
     let wall_s = start.elapsed().as_secs_f64();
 
     let outcome = if mismatch.is_some() {
         RunOutcome::Mismatch
+    } else if let Some((kind, seq, core)) = link_error {
+        RunOutcome::LinkError { kind, seq, core }
     } else {
         match verdict {
             Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
@@ -177,6 +286,8 @@ pub fn run_threaded(
         items,
         wall_s,
         cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+        link: link_stats,
+        fault: fault_stats,
     }
 }
 

@@ -12,7 +12,7 @@
 //! [`SwUnit`] is the matching software-side decoder producing
 //! [`WireItem`]s for the checker.
 
-use difftest_event::wire::{CodecError, Reader};
+use difftest_event::wire::{append_crc_frame, verify_crc_frame, CodecError, Reader};
 use difftest_event::{Event, EventKind, MonitoredEvent};
 
 use crate::batch::{BatchUnit, PackStats, Packet, Unpacker, DEFAULT_POOL_SLOTS};
@@ -176,13 +176,18 @@ impl AccelUnit {
             HwMode::PerEvent => {
                 for ev in events {
                     let mut bytes = self.event_pool.acquire();
-                    bytes.reserve(2 + ev.encoded_len());
+                    bytes.reserve(2 + ev.encoded_len() + 4);
                     bytes.push(ev.core);
                     bytes.push(ev.event.kind() as u8);
                     ev.event.encode_into(&mut bytes);
+                    append_crc_frame(&mut bytes);
                     out.push(Transfer {
                         bytes,
-                        core: self.route_core,
+                        // Single-event transfers carry exactly one core's
+                        // event, so the routing core is the event's own —
+                        // stamping the unit-wide route core here would lie
+                        // for multi-core per-event streams.
+                        core: ev.core,
                         invokes: 1,
                         items: 1,
                     });
@@ -274,6 +279,17 @@ impl SwUnit {
         }
     }
 
+    /// Next packet sequence number the receiver expects (packed mode
+    /// only; per-event transfers carry no sequence numbers). Recovery
+    /// paths use this to identify which packet a detected gap is
+    /// waiting on.
+    pub fn expected_seq(&self) -> Option<u32> {
+        match &self.mode {
+            SwMode::PerEvent => None,
+            SwMode::Packed(u) => Some(u.expected_seq()),
+        }
+    }
+
     /// Decodes one transfer into wire items. Out-of-order packets are
     /// buffered and released once the sequence gap fills, so a call may
     /// legitimately return an empty batch (paper §4.5 ordered parsing).
@@ -304,7 +320,8 @@ impl SwUnit {
     ) -> Result<usize, CodecError> {
         match &mut self.mode {
             SwMode::PerEvent => {
-                let mut r = Reader::new(&transfer.bytes);
+                let body = verify_crc_frame(&transfer.bytes)?;
+                let mut r = Reader::new(body);
                 let core = r.u8()?;
                 let kind = EventKind::from_u8(r.u8()?)?;
                 let payload = r.bytes_dyn(kind.encoded_len())?;
@@ -356,6 +373,40 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn per_event_transfers_carry_event_core() {
+        // Regression: per-event mode used to stamp the unit-wide route
+        // core on every transfer, so `Transfer::core` lied for
+        // multi-core Z-config streams.
+        let mut hw = AccelUnit::per_event();
+        hw.set_route_core(7);
+        let events = vec![
+            mev(0, 0, 0x8000_0000),
+            mev(2, 0, 0x8000_0004),
+            mev(1, 1, 0x8000_0008),
+        ];
+        let mut transfers = Vec::new();
+        hw.push_cycle(&events, &mut transfers);
+        let cores: Vec<u8> = transfers.iter().map(|t| t.core).collect();
+        assert_eq!(cores, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn per_event_corruption_detected() {
+        let mut hw = AccelUnit::per_event();
+        let mut sw = SwUnit::per_event();
+        let mut transfers = Vec::new();
+        hw.push_cycle(&[mev(0, 0, 0x8000_0000)], &mut transfers);
+        let mut bad = transfers[0].clone();
+        bad.bytes[3] ^= 0x40;
+        assert!(matches!(
+            sw.decode(&bad),
+            Err(CodecError::CrcMismatch { .. })
+        ));
+        // The pristine transfer still decodes.
+        assert_eq!(sw.decode(&transfers[0]).unwrap().len(), 1);
     }
 
     #[test]

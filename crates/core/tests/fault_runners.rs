@@ -1,0 +1,237 @@
+//! Cross-runner fault acceptance (deterministic): under seeded
+//! drop/duplicate/reorder/truncate/corrupt schedules, every runner —
+//! virtual-time engine, threaded, and sharded — terminates with a typed
+//! [`RunOutcome::LinkError`] or a cleanly recovered verdict, never a
+//! panic and never a phantom mismatch. The engine's BNSD configuration
+//! additionally *recovers*: its packet retention ring retransmits lost
+//! or damaged packets, masking fault schedules the report-only runners
+//! must surface as errors.
+
+use difftest_core::{
+    run_sharded_faulty, run_threaded_faulty, CoSimulation, DiffConfig, FaultPlan, RunOutcome,
+    RunReport,
+};
+use difftest_dut::DutConfig;
+use difftest_platform::Platform;
+use difftest_workload::Workload;
+
+/// The schedule grid: a handful of seeds crossed with per-fault rates
+/// from gentle to hostile (a uniform plan applies its rate to all five
+/// fault kinds, so 40‰ ≈ one fault per five packets).
+const SEEDS: [u64; 3] = [11, 29, 4242];
+const RATES: [u16; 3] = [5, 20, 40];
+
+fn workload() -> Workload {
+    Workload::microbench().seed(3).iterations(60).build()
+}
+
+fn engine_run(config: DiffConfig, plan: Option<FaultPlan>) -> RunReport {
+    let mut builder = CoSimulation::builder()
+        .dut(DutConfig::nutshell())
+        .platform(Platform::palladium())
+        .config(config)
+        .max_cycles(400_000);
+    if let Some(p) = plan {
+        builder = builder.fault_plan(p);
+    }
+    let mut sim = builder.build(&workload()).expect("build");
+    sim.run()
+}
+
+/// A faulted run may end recovered-clean or with a typed link error —
+/// anything else (mismatch, cycle exhaustion) means a fault leaked past
+/// the link layer into the checker.
+fn assert_contained(outcome: RunOutcome, ctx: &str) {
+    assert!(
+        matches!(outcome, RunOutcome::GoodTrap | RunOutcome::LinkError { .. }),
+        "{ctx}: fault must be recovered or typed, got {outcome:?}"
+    );
+}
+
+#[test]
+fn engine_contains_faults_across_the_schedule_grid() {
+    for config in [DiffConfig::B, DiffConfig::BN, DiffConfig::BNSD] {
+        for seed in SEEDS {
+            for rate in RATES {
+                let plan = FaultPlan::uniform(seed, rate);
+                let r = engine_run(config, Some(plan));
+                let ctx = format!("{config:?} seed={seed} rate={rate}‰");
+                assert_contained(r.outcome, &ctx);
+                assert!(
+                    r.failure.is_none(),
+                    "{ctx}: phantom mismatch {:?}",
+                    r.failure
+                );
+                let fault = r.fault.expect("fault stats present when a plan is set");
+                if let RunOutcome::LinkError { .. } = r.outcome {
+                    assert!(
+                        fault.total_faults() > 0,
+                        "{ctx}: link error without an injected fault"
+                    );
+                    assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_bnsd_recovers_via_packet_retransmission() {
+    // Across the grid the BNSD retention ring must mask at least some
+    // schedules end-to-end: faults injected, packets re-sent, clean trap.
+    let mut recovered_runs = 0u32;
+    let mut retransmit_bytes = 0u64;
+    for seed in SEEDS {
+        for rate in RATES {
+            let r = engine_run(DiffConfig::BNSD, Some(FaultPlan::uniform(seed, rate)));
+            if r.outcome == RunOutcome::GoodTrap
+                && r.fault.is_some_and(|f| f.total_faults() > 0)
+                && r.link.recovered > 0
+            {
+                recovered_runs += 1;
+                retransmit_bytes += r.link.retransmit_bytes;
+                // Retransmissions are charged through the LogGP model,
+                // not smuggled: bytes crossed the link twice.
+                assert!(r.link.retransmits >= r.link.recovered);
+            }
+        }
+    }
+    assert!(
+        recovered_runs > 0,
+        "no BNSD run recovered from an injected fault across the grid"
+    );
+    assert!(retransmit_bytes > 0, "recovery re-sent zero bytes");
+}
+
+#[test]
+fn engine_fault_outcomes_replay_from_their_seed() {
+    for rate in RATES {
+        let plan = FaultPlan::uniform(77, rate);
+        let a = engine_run(DiffConfig::BNSD, Some(plan));
+        let b = engine_run(DiffConfig::BNSD, Some(plan));
+        assert_eq!(a.outcome, b.outcome, "rate={rate}‰");
+        assert_eq!(a.link, b.link, "rate={rate}‰");
+        assert_eq!(a.fault, b.fault, "rate={rate}‰");
+    }
+}
+
+#[test]
+fn engine_clean_plan_changes_nothing() {
+    let clean = engine_run(DiffConfig::BNSD, Some(FaultPlan::clean(5)));
+    assert_eq!(clean.outcome, RunOutcome::GoodTrap);
+    assert_eq!(clean.link.total_detected(), 0);
+    assert_eq!(clean.fault.expect("plan set").total_faults(), 0);
+    let bare = engine_run(DiffConfig::BNSD, None);
+    assert_eq!(bare.outcome, RunOutcome::GoodTrap);
+    assert!(bare.fault.is_none());
+    assert_eq!(clean.instructions, bare.instructions);
+}
+
+#[test]
+fn threaded_runner_contains_faults() {
+    let w = workload();
+    for seed in SEEDS {
+        for rate in RATES {
+            let plan = FaultPlan::uniform(seed, rate);
+            let r = run_threaded_faulty(
+                DutConfig::nutshell(),
+                DiffConfig::BNSD,
+                &w,
+                Vec::new(),
+                400_000,
+                8,
+                Some(plan),
+            );
+            let ctx = format!("threaded seed={seed} rate={rate}‰");
+            assert_contained(r.outcome, &ctx);
+            assert!(r.mismatch.is_none(), "{ctx}: phantom mismatch");
+            if let RunOutcome::LinkError { .. } = r.outcome {
+                assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
+                assert!(
+                    r.fault.is_some_and(|f| f.total_faults() > 0),
+                    "{ctx}: link error without an injected fault"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_clean_link_still_passes() {
+    let r = run_threaded_faulty(
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        &workload(),
+        Vec::new(),
+        400_000,
+        8,
+        Some(FaultPlan::clean(1)),
+    );
+    assert_eq!(r.outcome, RunOutcome::GoodTrap);
+    assert_eq!(r.link.total_detected(), 0);
+}
+
+#[test]
+fn sharded_runner_contains_faults() {
+    let w = Workload::linux_boot().seed(9).iterations(120).build();
+    for seed in SEEDS {
+        for rate in RATES {
+            let plan = FaultPlan::uniform(seed, rate);
+            let r = run_sharded_faulty(
+                DutConfig::xiangshan_minimal(),
+                DiffConfig::BNSD,
+                &w,
+                Vec::new(),
+                400_000,
+                8,
+                Some(plan),
+            );
+            let ctx = format!("sharded seed={seed} rate={rate}‰");
+            assert_contained(r.outcome, &ctx);
+            assert!(r.mismatch.is_none(), "{ctx}: phantom mismatch");
+            if let RunOutcome::LinkError { kind, core, .. } = r.outcome {
+                assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
+                assert!(
+                    (core as usize) < DutConfig::xiangshan_minimal().cores as usize,
+                    "{ctx}: {kind} attributed to nonexistent core {core}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_clean_link_still_passes() {
+    let w = Workload::linux_boot().seed(9).iterations(120).build();
+    let r = run_sharded_faulty(
+        DutConfig::xiangshan_minimal(),
+        DiffConfig::BNSD,
+        &w,
+        Vec::new(),
+        400_000,
+        8,
+        Some(FaultPlan::clean(1)),
+    );
+    assert_eq!(r.outcome, RunOutcome::GoodTrap);
+    assert_eq!(r.link.total_detected(), 0);
+}
+
+/// Drop-only schedules are the pure ARQ case: every loss is recoverable
+/// from the retention ring, so the BNSD engine must finish clean while
+/// counting each recovery.
+#[test]
+fn engine_bnsd_masks_pure_packet_loss() {
+    let mut plan = FaultPlan::clean(13);
+    plan.drop_per_mille = 60;
+    let r = engine_run(DiffConfig::BNSD, Some(plan));
+    let dropped = r.fault.expect("plan set").dropped;
+    assert!(dropped > 0, "schedule never dropped a packet");
+    assert_eq!(
+        r.outcome,
+        RunOutcome::GoodTrap,
+        "pure loss must be fully recoverable (dropped={dropped}, link={:?})",
+        r.link
+    );
+    assert!(r.link.recovered > 0);
+    assert_eq!(r.link.recovered, r.link.retransmits);
+}

@@ -35,6 +35,14 @@ pub enum CodecError {
         /// Sequence number the receiver is still waiting for.
         missing: u32,
     },
+    /// The frame's CRC32 trailer did not match its contents: the transfer
+    /// was corrupted (or truncated) in flight.
+    CrcMismatch {
+        /// CRC computed over the received contents.
+        expected: u32,
+        /// CRC carried in the trailer.
+        got: u32,
+    },
     /// A structurally invalid field (e.g. an overlong varint).
     Malformed(&'static str),
 }
@@ -53,6 +61,12 @@ impl fmt::Display for CodecError {
             }
             CodecError::ReorderOverflow { missing } => {
                 write!(f, "reorder buffer overflow: packet {missing} never arrived")
+            }
+            CodecError::CrcMismatch { expected, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: computed {expected:#010x}, trailer {got:#010x}"
+                )
             }
             CodecError::Malformed(what) => write!(f, "malformed field: {what}"),
         }
@@ -198,6 +212,73 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Bytes a CRC32 frame trailer adds to a transfer.
+pub const CRC_TRAILER_BYTES: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends a little-endian CRC32 trailer covering everything currently in
+/// `buf`. The matching check is [`verify_crc_frame`].
+pub fn append_crc_frame(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies and strips the CRC32 trailer of a frame, returning the covered
+/// contents.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEnd`] when the frame is shorter than
+/// the trailer itself and [`CodecError::CrcMismatch`] when the trailer
+/// does not match the contents (corruption or truncation in flight).
+pub fn verify_crc_frame(frame: &[u8]) -> Result<&[u8], CodecError> {
+    let Some(body_len) = frame.len().checked_sub(CRC_TRAILER_BYTES) else {
+        return Err(CodecError::UnexpectedEnd {
+            needed: CRC_TRAILER_BYTES,
+            available: frame.len(),
+        });
+    };
+    let (body, trailer) = frame.split_at(body_len);
+    let mut raw = [0u8; CRC_TRAILER_BYTES];
+    raw.copy_from_slice(trailer);
+    let got = u32::from_le_bytes(raw);
+    let expected = crc32(body);
+    if expected != got {
+        return Err(CodecError::CrcMismatch { expected, got });
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +312,42 @@ mod tests {
         let mut r = Reader::new(&buf);
         r.u16().unwrap();
         assert_eq!(r.finish(), Err(CodecError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_frame_round_trip_and_rejection() {
+        let mut frame = vec![1, 2, 3, 4, 5];
+        append_crc_frame(&mut frame);
+        assert_eq!(frame.len(), 5 + CRC_TRAILER_BYTES);
+        assert_eq!(verify_crc_frame(&frame).unwrap(), &[1, 2, 3, 4, 5]);
+
+        // Any single bit flip — contents or trailer — is detected.
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                matches!(verify_crc_frame(&bad), Err(CodecError::CrcMismatch { .. })),
+                "flip of bit {bit} went undetected"
+            );
+        }
+
+        // Truncation below the trailer is an UnexpectedEnd, above it a
+        // CRC mismatch.
+        assert!(matches!(
+            verify_crc_frame(&frame[..2]),
+            Err(CodecError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            verify_crc_frame(&frame[..frame.len() - 1]),
+            Err(CodecError::CrcMismatch { .. })
+        ));
     }
 
     #[test]
