@@ -4,7 +4,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults
+.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs
 
 all: build
 
@@ -51,6 +51,12 @@ ci:
 # Lossy-link fault suite on its own (property tests + cross-runner grid).
 faults:
 	$(CARGO) test -p difftest-core --test fault_link --test fault_runners
+
+# Observability smoke: short workloads through every runner with
+# DIFFTEST_OBS set; asserts the JSONL parses, carries all seven phases,
+# histogram summaries, and a flight snapshot on the injected failure.
+obs:
+	$(CARGO) run --release --example observability
 
 # A.5.1-style quick start: run the co-simulation end to end.
 examples:

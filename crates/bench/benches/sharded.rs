@@ -113,6 +113,32 @@ fn main() {
         s.pool,
         fmt_pct(s.pool.hit_rate())
     );
+
+    // Observability: where the host wall-time went and how the packets
+    // were shaped (the merged per-worker registry of the best run).
+    println!("\nphase breakdown (sharded, producer + workers merged):");
+    let total = s.metrics.phases.total_ns().max(1);
+    for (phase, nanos) in s.metrics.phases.iter() {
+        println!(
+            "  {:<10} {:>12} ns  {:>5.1}%",
+            phase.name(),
+            nanos,
+            nanos as f64 * 100.0 / total as f64
+        );
+    }
+    println!("packet histograms:");
+    for (name, h) in s.metrics.histograms() {
+        println!(
+            "  {:<14} n={:<8} min={:<6} p50={:<6} p99={:<6} max={:<6} mean={:.1}",
+            name,
+            h.count(),
+            h.min(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.max(),
+            h.mean()
+        );
+    }
     // Optional lossy-link mode: DIFFTEST_FAULTS=<per-mille>[:<seed>] runs
     // the sharded topology once more behind a seeded uniform fault plan
     // (difftest_core::FaultPlan) and reports what the link layer saw.

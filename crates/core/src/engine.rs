@@ -22,6 +22,10 @@ use difftest_dut::{BugSpec, Dut, DutConfig};
 use difftest_event::wire::CodecError;
 use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
 use difftest_ref::{Memory, RefModel};
+use difftest_stats::{
+    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, HistogramId, Metrics,
+    Phase, PhaseTimer,
+};
 use difftest_workload::Workload;
 
 use crate::batch::peek_packet_seq;
@@ -272,11 +276,20 @@ impl CoSimulationBuilder {
         let checker = Checker::new(refs, replay_on);
 
         let gates = self.dut.gates;
+        let mut metrics = Metrics::new();
+        let h_packet_bytes = metrics.register_histogram("packet.bytes");
+        let h_packet_items = metrics.register_histogram("packet.items");
         Ok(CoSimulation {
             dut,
             accel,
             sw,
             checker,
+            metrics,
+            h_packet_bytes,
+            h_packet_items,
+            timer: PhaseTimer::monotonic(),
+            flight: FlightRecorder::default(),
+            last_fused: 0,
             replay_buffer: replay_on.then(|| ReplayBuffer::new(1 << 16)),
             timing: Timing::new(
                 self.platform.cycle_time_s(gates),
@@ -363,6 +376,15 @@ pub struct RunReport {
     /// `replay.dropped` counter): when non-zero, a localization over an
     /// old token range may be partial.
     pub replay_dropped: u64,
+    /// The run's observability registry: counters (mirroring
+    /// [`counters`](Self::counters)), packet histograms, and host-side
+    /// per-phase wall-time attribution. Exported as JSONL when
+    /// `DIFFTEST_OBS=<path>` is set.
+    pub metrics: Metrics,
+    /// Flight-recorder snapshot of the pipeline records around the
+    /// failure; attached on [`RunOutcome::Mismatch`] and
+    /// [`RunOutcome::LinkError`], `None` on clean runs.
+    pub flight: Option<FlightSnapshot>,
 }
 
 impl RunReport {
@@ -532,6 +554,16 @@ pub struct CoSimulation {
     accel: AccelUnit,
     sw: SwUnit,
     checker: Checker,
+    /// Observability registry (histograms registered at build time).
+    metrics: Metrics,
+    h_packet_bytes: HistogramId,
+    h_packet_items: HistogramId,
+    /// Host-side wall-time attribution per pipeline phase.
+    timer: PhaseTimer,
+    /// Free-running ring of structured pipeline records.
+    flight: FlightRecorder,
+    /// Fused-record watermark for per-packet fusion flight records.
+    last_fused: u64,
     replay_buffer: Option<ReplayBuffer>,
     platform: Platform,
     config: DiffConfig,
@@ -579,17 +611,23 @@ impl CoSimulation {
         let mut bytes = 0u64;
 
         'outer: while self.dut.halted().is_none() && self.dut.cycles() < self.max_cycles {
+            let t0 = self.timer.start();
             self.events_buf.clear();
             self.dut.tick_into(&mut self.events_buf);
             self.timing.on_cycle();
+            self.timer.stop(Phase::Tick, t0);
 
+            let t0 = self.timer.start();
             if let Some(rb) = &mut self.replay_buffer {
                 for ev in &self.events_buf {
                     rb.push(ev.clone());
                 }
             }
+            self.timer.stop(Phase::Monitor, t0);
 
+            let t0 = self.timer.start();
             self.accel.push_cycle(&self.events_buf, &mut self.staging);
+            self.timer.stop(Phase::Pack, t0);
             self.route_staged();
             if self.process_transfers(&mut invokes, &mut bytes) {
                 break 'outer;
@@ -599,10 +637,14 @@ impl CoSimulation {
         // Drain: flush fusion windows, partial packets and the link's
         // reorder holds, then pending transfers, then any terminal gaps.
         if self.halt.is_none() && self.failure.is_none() && self.link_error.is_none() {
+            let t0 = self.timer.start();
             self.accel.flush(&mut self.staging);
+            self.timer.stop(Phase::Pack, t0);
             self.route_staged();
             if let Some(link) = &mut self.faulty {
+                let t0 = self.timer.start();
                 link.flush(&mut self.transfers);
+                self.timer.stop(Phase::Transport, t0);
             }
             let stopped = self.process_transfers(&mut invokes, &mut bytes);
             if !stopped {
@@ -631,7 +673,11 @@ impl CoSimulation {
 
         let cycles = self.dut.cycles();
         let sim_time_s = self.timing.total();
-        RunReport {
+        let flight = match outcome {
+            RunOutcome::Mismatch | RunOutcome::LinkError { .. } => Some(self.flight.snapshot()),
+            _ => None,
+        };
+        let mut report = RunReport {
             outcome,
             failure: self.failure.clone(),
             cycles,
@@ -647,13 +693,54 @@ impl CoSimulation {
             link: self.link_stats,
             fault: self.faulty.as_ref().map(FaultyLink::stats),
             replay_dropped: self.replay_buffer.as_ref().map_or(0, ReplayBuffer::dropped),
+            metrics: Metrics::new(),
+            flight,
+        };
+        // Clone the registry into the report (`self` stays runnable) and
+        // complete it with the final phase attribution and run counters.
+        self.metrics.phases = self.timer.times();
+        let mut metrics = self.metrics.clone();
+        metrics.counters.merge(&report.counters());
+        report.metrics = metrics;
+        if let Err(e) = export_to_env("engine", &report.metrics, report.flight.as_ref()) {
+            eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
         }
+        report
     }
 
     /// Moves accelerator-produced transfers across the (possibly faulty)
     /// link into the receive queue, retaining pristine packet copies for
     /// retransmission while fault injection is active.
     fn route_staged(&mut self) {
+        if self.staging.is_empty() {
+            return;
+        }
+        let t0 = self.timer.start();
+        let cycle = self.dut.cycles();
+        // One fusion record per staged batch that advanced the fused
+        // count (not per cycle — the ring holds failure context, not a
+        // full trace).
+        if let Some(s) = self.accel.squash_stats() {
+            if s.fused_records > self.last_fused {
+                self.last_fused = s.fused_records;
+                self.flight.record(FlightRecord {
+                    kind: FlightKind::Fusion,
+                    core: 0,
+                    seq: 0,
+                    cycle,
+                    value: s.fused_records,
+                });
+            }
+        }
+        for t in &self.staging {
+            self.flight.record(FlightRecord {
+                kind: FlightKind::PacketSent,
+                core: t.core,
+                seq: peek_packet_seq(&t.bytes).unwrap_or(0),
+                cycle,
+                value: t.bytes.len() as u64,
+            });
+        }
         if self.faulty.is_some() && self.config.batch() {
             if let Some(rb) = &mut self.replay_buffer {
                 for t in &self.staging {
@@ -671,6 +758,7 @@ impl CoSimulation {
             }
             None => self.transfers.append(&mut self.staging),
         }
+        self.timer.stop(Phase::Transport, t0);
     }
 
     /// Processes queued transfers; returns `true` when the run must stop.
@@ -698,15 +786,30 @@ impl CoSimulation {
         *invokes += t.invokes;
         *bytes += t.bytes.len() as u64;
 
+        let cycle = self.dut.cycles();
+        self.flight.record(FlightRecord {
+            kind: FlightKind::PacketReceived,
+            core: t.core,
+            seq: peek_packet_seq(&t.bytes).unwrap_or(0),
+            cycle,
+            value: t.bytes.len() as u64,
+        });
+        self.metrics
+            .record(self.h_packet_bytes, t.bytes.len() as u64);
+        self.metrics.record(self.h_packet_items, u64::from(t.items));
+
         let before = *self.checker.stats();
         // Reuse the decode scratch across calls: dropping the transfer at
         // the end of each iteration recycles its payload to the pool, so
         // the steady state allocates neither payload nor item storage.
         let mut items = std::mem::take(&mut self.items_buf);
         items.clear();
+        let t0 = self.timer.start();
         let decode = self.sw.decode_into(t, &mut items);
+        self.timer.stop(Phase::Unpack, t0);
         match decode {
             Ok(_) => {
+                let t0 = self.timer.start();
                 let mut stop = false;
                 let mut mismatch = None;
                 for item in items.drain(..) {
@@ -726,6 +829,16 @@ impl CoSimulation {
                 }
                 items.clear();
                 self.items_buf = items;
+                self.timer.stop(Phase::Check, t0);
+                if let Some(Verdict::Halt { good, .. }) = &self.halt {
+                    self.flight.record(FlightRecord {
+                        kind: FlightKind::Verdict,
+                        core: t.core,
+                        seq: 0,
+                        cycle,
+                        value: u64::from(*good),
+                    });
+                }
                 self.charge_transfer(t, &before);
                 if let Some(m) = mismatch {
                     self.on_mismatch(m, invokes, bytes);
@@ -773,7 +886,15 @@ impl CoSimulation {
                 return self.halt.is_some() || self.failure.is_some() || self.link_error.is_some();
             }
         }
-        self.link_error = Some((kind, self.sw.expected_seq().unwrap_or(0), t.core));
+        let seq = self.sw.expected_seq().unwrap_or(0);
+        self.flight.record(FlightRecord {
+            kind: FlightKind::LinkError,
+            core: t.core,
+            seq,
+            cycle: self.dut.cycles(),
+            value: kind as u64,
+        });
+        self.link_error = Some((kind, seq, t.core));
         true
     }
 
@@ -792,17 +913,26 @@ impl CoSimulation {
         if depth >= MAX_REDELIVERY_DEPTH || self.recovery_budget == 0 {
             return false;
         }
-        let Some(pristine) = self
+        let t0 = self.timer.start();
+        let pristine = self
             .replay_buffer
             .as_ref()
             .and_then(|rb| rb.retransmit_packet(seq))
-            .map(<[u8]>::to_vec)
-        else {
+            .map(<[u8]>::to_vec);
+        self.timer.stop(Phase::Arq, t0);
+        let Some(pristine) = pristine else {
             return false;
         };
         self.recovery_budget -= 1;
         self.link_stats.retransmits += 1;
         self.link_stats.retransmit_bytes += pristine.len() as u64;
+        self.flight.record(FlightRecord {
+            kind: FlightKind::Retransmit,
+            core,
+            seq,
+            cycle: self.dut.cycles(),
+            value: pristine.len() as u64,
+        });
         let rt = Transfer {
             bytes: PooledBuf::detached(pristine),
             core,
@@ -839,6 +969,13 @@ impl CoSimulation {
             }
             self.link_stats.note(LinkErrorKind::Gap);
             if !self.try_redeliver(expected, 0, invokes, bytes, 0) {
+                self.flight.record(FlightRecord {
+                    kind: FlightKind::LinkError,
+                    core: 0,
+                    seq: expected,
+                    cycle: self.dut.cycles(),
+                    value: LinkErrorKind::Gap as u64,
+                });
                 self.link_error = Some((LinkErrorKind::Gap, expected, 0));
                 return;
             }
@@ -862,6 +999,13 @@ impl CoSimulation {
     /// Replay flow (paper §4.4): revert, retransmit, reprocess.
     fn on_mismatch(&mut self, coarse: Mismatch, invokes: &mut u64, bytes: &mut u64) {
         let core = coarse.core;
+        self.flight.record(FlightRecord {
+            kind: FlightKind::Mismatch,
+            core,
+            seq: 0,
+            cycle: self.dut.cycles(),
+            value: coarse.seq,
+        });
         let Some(rb) = &self.replay_buffer else {
             // Unfused configurations: the mismatch is already precise.
             self.failure = Some(FailureReport {
@@ -874,6 +1018,7 @@ impl CoSimulation {
             return;
         };
 
+        let t0 = self.timer.start();
         let Some((from, to)) = self.checker.revert_for_replay(core) else {
             self.failure = Some(FailureReport {
                 precise: Some(coarse.clone()),
@@ -892,6 +1037,7 @@ impl CoSimulation {
         *bytes += replay_bytes as u64;
         let before = *self.checker.stats();
         let precise = self.checker.replay_unfused(core, &events);
+        self.timer.stop(Phase::Arq, t0);
         let after = self.checker.stats();
         let host = self.platform.host();
         let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s

@@ -33,8 +33,13 @@ use crossbeam::channel;
 use difftest_dut::{BugSpec, Dut, DutConfig};
 use difftest_event::MonitoredEvent;
 use difftest_ref::{Memory, RefModel};
+use difftest_stats::{
+    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
+    PhaseTimer,
+};
 use difftest_workload::Workload;
 
+use crate::batch::peek_packet_seq;
 use crate::checker::{Checker, Mismatch, Verdict};
 use crate::engine::{DiffConfig, RunOutcome};
 use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
@@ -86,6 +91,14 @@ pub struct ShardedReport {
     /// Aggregate faults injected across the per-core links (`None` on a
     /// clean link).
     pub fault: Option<FaultStats>,
+    /// The run's observability registry: producer phase timing plus every
+    /// worker's metrics, merged deterministically in core order. Exported
+    /// as JSONL when `DIFFTEST_OBS=<path>` is set.
+    pub metrics: Metrics,
+    /// Flight-recorder snapshot (producer records, then the failing
+    /// worker's records) attached on [`RunOutcome::Mismatch`] and
+    /// [`RunOutcome::LinkError`], `None` on clean runs.
+    pub flight: Option<FlightSnapshot>,
 }
 
 impl ShardedReport {
@@ -133,6 +146,8 @@ struct WorkerOutcome {
     mismatch: Option<Mismatch>,
     link_error: Option<(LinkErrorKind, u32, u8)>,
     link: LinkStats,
+    metrics: Metrics,
+    flight: FlightSnapshot,
 }
 
 fn accel_for(config: DiffConfig, cores: usize) -> AccelUnit {
@@ -246,23 +261,46 @@ pub fn run_sharded_faulty(
             let mut events: Vec<MonitoredEvent> = Vec::new();
             let mut transfers = Vec::new();
             let mut wire = Vec::new();
+            let mut timer = PhaseTimer::monotonic();
+            let mut rec = FlightRecorder::default();
+            let mut last_fused: Vec<u64> = vec![0; cores];
             'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
+                let t0 = timer.start();
                 events.clear();
                 dut.tick_into(&mut events);
+                timer.stop(Phase::Tick, t0);
                 for (k, accel) in accels.iter_mut().enumerate() {
+                    let t0 = timer.start();
                     accel.push_cycle_for_route_core(&events, &mut transfers);
+                    timer.stop(Phase::Pack, t0);
+                    if let Some(s) = accel.squash_stats() {
+                        if s.fused_records > last_fused[k] && !transfers.is_empty() {
+                            last_fused[k] = s.fused_records;
+                            rec.record(FlightRecord {
+                                kind: FlightKind::Fusion,
+                                core: k as u8,
+                                seq: 0,
+                                cycle: dut.cycles(),
+                                value: s.fused_records,
+                            });
+                        }
+                    }
                     // Blocking sends inside: each bounded channel is one
                     // shard's sending queue with backpressure.
+                    let t0 = timer.start();
                     let alive = feed_link(
                         &mut links[k],
                         &produced[k],
                         &mut transfers,
                         &mut wire,
                         &txs[k],
+                        &mut rec,
+                        dut.cycles(),
                     );
+                    timer.stop(Phase::Transport, t0);
                     wire.clear();
                     if !alive {
                         break 'run;
@@ -270,13 +308,18 @@ pub fn run_sharded_faulty(
                 }
             }
             for (k, accel) in accels.iter_mut().enumerate() {
+                let t0 = timer.start();
                 accel.flush(&mut transfers);
+                timer.stop(Phase::Pack, t0);
+                let t0 = timer.start();
                 let alive = feed_link(
                     &mut links[k],
                     &produced[k],
                     &mut transfers,
                     &mut wire,
                     &txs[k],
+                    &mut rec,
+                    dut.cycles(),
                 );
                 if let Some(l) = &mut links[k] {
                     // Release transfers still held for reordering.
@@ -289,6 +332,7 @@ pub fn run_sharded_faulty(
                         }
                     }
                 }
+                timer.stop(Phase::Transport, t0);
                 wire.clear();
             }
             let pool =
@@ -317,7 +361,14 @@ pub fn run_sharded_faulty(
                 None
             };
             drop(txs);
-            (dut.cycles(), dut.total_commits(), pool, fault_stats)
+            (
+                dut.cycles(),
+                dut.total_commits(),
+                pool,
+                fault_stats,
+                timer.times(),
+                rec.snapshot(),
+            )
         })
     };
 
@@ -339,9 +390,29 @@ pub fn run_sharded_faulty(
                 let mut mismatch = None;
                 let mut link_stats = LinkStats::default();
                 let mut link_error = None;
+                let mut metrics = Metrics::new();
+                let h_bytes = metrics.register_histogram("packet.bytes");
+                let h_items = metrics.register_histogram("packet.items");
+                let mut timer = PhaseTimer::monotonic();
+                let mut rec = FlightRecorder::default();
                 'recv: for t in rx.iter() {
+                    let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
+                    rec.record(FlightRecord {
+                        kind: FlightKind::PacketReceived,
+                        core: t.core,
+                        seq,
+                        cycle: 0,
+                        value: t.bytes.len() as u64,
+                    });
+                    metrics.record(h_bytes, t.bytes.len() as u64);
+                    metrics.record(h_items, u64::from(t.items));
+                    metrics.counters.inc("obs.transfers");
+                    metrics.counters.add("obs.bytes", t.bytes.len() as u64);
                     item_buf.clear();
-                    if let Err(e) = sw.decode_into(&t, &mut item_buf) {
+                    let t0 = timer.start();
+                    let decode = sw.decode_into(&t, &mut item_buf);
+                    timer.stop(Phase::Unpack, t0);
+                    if let Err(e) = decode {
                         let kind = LinkErrorKind::classify(&e);
                         link_stats.note(kind);
                         if kind == LinkErrorKind::Stale {
@@ -349,25 +420,52 @@ pub fn run_sharded_faulty(
                             link_stats.stale_dropped += 1;
                             continue;
                         }
-                        link_error = Some((kind, sw.expected_seq().unwrap_or(0), t.core));
+                        let expected = sw.expected_seq().unwrap_or(0);
+                        rec.record(FlightRecord {
+                            kind: FlightKind::LinkError,
+                            core: t.core,
+                            seq: expected,
+                            cycle: 0,
+                            value: kind as u64,
+                        });
+                        link_error = Some((kind, expected, t.core));
                         stop.store(true, Ordering::Release);
                         break 'recv;
                     }
+                    let t0 = timer.start();
                     for item in item_buf.drain(..) {
                         items += 1;
                         match checker.process(item) {
                             Ok(Verdict::Continue) => {}
-                            Ok(v @ Verdict::Halt { .. }) => {
+                            Ok(v @ Verdict::Halt { good, .. }) => {
+                                rec.record(FlightRecord {
+                                    kind: FlightKind::Verdict,
+                                    core,
+                                    seq,
+                                    cycle: 0,
+                                    value: u64::from(good),
+                                });
                                 verdict = Some(v);
                                 stop.store(true, Ordering::Release);
-                                break 'recv;
+                                break;
                             }
                             Err(m) => {
+                                rec.record(FlightRecord {
+                                    kind: FlightKind::Mismatch,
+                                    core: m.core,
+                                    seq,
+                                    cycle: 0,
+                                    value: m.seq,
+                                });
                                 mismatch = Some(m);
                                 stop.store(true, Ordering::Release);
-                                break 'recv;
+                                break;
                             }
                         }
+                    }
+                    timer.stop(Phase::Check, t0);
+                    if verdict.is_some() || mismatch.is_some() {
+                        break 'recv;
                     }
                 }
                 if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
@@ -377,15 +475,27 @@ pub fn run_sharded_faulty(
                     let expected = sw.expected_seq().unwrap_or(sent);
                     if sw.buffered_packets() > 0 || expected != sent {
                         link_stats.note(LinkErrorKind::Gap);
+                        rec.record(FlightRecord {
+                            kind: FlightKind::LinkError,
+                            core,
+                            seq: expected,
+                            cycle: 0,
+                            value: LinkErrorKind::Gap as u64,
+                        });
                         link_error = Some((LinkErrorKind::Gap, expected, core));
                     } else {
-                        match checker.finalize() {
+                        let t0 = timer.start();
+                        let fin = checker.finalize();
+                        timer.stop(Phase::Check, t0);
+                        match fin {
                             Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
                             Ok(Verdict::Continue) => {}
                             Err(m) => mismatch = Some(m),
                         }
                     }
                 }
+                metrics.counters.add("obs.items", items);
+                metrics.phases.merge(&timer.times());
                 let wall_s = started.elapsed().as_secs_f64();
                 WorkerOutcome {
                     core,
@@ -396,15 +506,18 @@ pub fn run_sharded_faulty(
                     mismatch,
                     link_error,
                     link: link_stats,
+                    metrics,
+                    flight: rec.snapshot(),
                 }
             })
         })
         .collect();
 
-    let (cycles, instructions, pool, fault_stats) = match producer.join() {
-        Ok(v) => v,
-        Err(panic) => std::panic::resume_unwind(panic),
-    };
+    let (cycles, instructions, pool, fault_stats, producer_times, producer_flight) =
+        match producer.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
     let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(cores);
     for w in workers {
         match w.join() {
@@ -446,6 +559,46 @@ pub fn run_sharded_faulty(
     };
 
     let items: u64 = outcomes.iter().map(|o| o.items).sum();
+
+    // Deterministic aggregation: producer phases first, then every
+    // worker's registry in core order (outcomes are already sorted), so
+    // the merged metrics are independent of worker scheduling.
+    let mut metrics = Metrics::new();
+    metrics.phases.merge(&producer_times);
+    for o in &outcomes {
+        metrics.merge(&o.metrics);
+    }
+    metrics.counters.set("hw.cycles", cycles);
+    metrics.counters.set("hw.instructions", instructions);
+
+    // Attach producer context plus the failing worker's view; the worker
+    // whose verdict decided the outcome wins (first-mismatch semantics).
+    let flight = match outcome {
+        RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
+            let failing_core = mismatch
+                .as_ref()
+                .map(|m| m.core)
+                .or(link_error.map(|(_, _, core)| core));
+            let mut snap = producer_flight;
+            if let Some(o) = outcomes
+                .iter()
+                .find(|o| Some(o.core) == failing_core)
+                .or_else(|| {
+                    outcomes
+                        .iter()
+                        .find(|o| o.mismatch.is_some() || o.link_error.is_some())
+                })
+            {
+                snap.append(&o.flight);
+            }
+            Some(snap)
+        }
+        _ => None,
+    };
+    if let Err(e) = export_to_env("sharded", &metrics, flight.as_ref()) {
+        eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
+    }
+
     let workers = outcomes
         .into_iter()
         .map(|o| WorkerReport {
@@ -470,6 +623,8 @@ pub fn run_sharded_faulty(
         pool,
         link,
         fault: fault_stats,
+        metrics,
+        flight,
     }
 }
 

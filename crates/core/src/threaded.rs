@@ -17,8 +17,13 @@ use std::time::Instant;
 use crossbeam::channel;
 use difftest_dut::{BugSpec, Dut, DutConfig};
 use difftest_ref::{Memory, RefModel};
+use difftest_stats::{
+    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
+    PhaseTimer,
+};
 use difftest_workload::Workload;
 
+use crate::batch::peek_packet_seq;
 use crate::checker::{Checker, Mismatch, Verdict};
 use crate::engine::{DiffConfig, RunOutcome};
 use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
@@ -45,6 +50,14 @@ pub struct ThreadedReport {
     pub link: LinkStats,
     /// Faults the injected link model applied (`None` on a clean link).
     pub fault: Option<FaultStats>,
+    /// The run's observability registry: producer + consumer phase
+    /// timing, packet histograms and `obs.*` counters. Exported as JSONL
+    /// when `DIFFTEST_OBS=<path>` is set.
+    pub metrics: Metrics,
+    /// Flight-recorder snapshot (producer records, then consumer
+    /// records) attached on [`RunOutcome::Mismatch`] and
+    /// [`RunOutcome::LinkError`], `None` on clean runs.
+    pub flight: Option<FlightSnapshot>,
 }
 
 /// Pushes produced transfers through the (possibly faulty) link and the
@@ -57,8 +70,19 @@ pub(crate) fn feed_link(
     transfers: &mut Vec<Transfer>,
     wire: &mut Vec<Transfer>,
     tx: &channel::Sender<Transfer>,
+    rec: &mut FlightRecorder,
+    cycle: u64,
 ) -> bool {
     produced.fetch_add(transfers.len() as u32, Ordering::AcqRel);
+    for t in transfers.iter() {
+        rec.record(FlightRecord {
+            kind: FlightKind::PacketSent,
+            core: t.core,
+            seq: peek_packet_seq(&t.bytes).unwrap_or(0),
+            cycle,
+            value: t.bytes.len() as u64,
+        });
+    }
     match link {
         Some(l) => {
             for t in transfers.drain(..) {
@@ -161,6 +185,9 @@ pub fn run_threaded_faulty(
                 _ => AccelUnit::batch(cores, 4096),
             };
             let mut link = fault.map(FaultyLink::new);
+            let mut timer = PhaseTimer::monotonic();
+            let mut rec = FlightRecorder::default();
+            let mut last_fused = 0u64;
             let mut transfers = Vec::new();
             let mut wire = Vec::new();
             let mut events = Vec::new();
@@ -168,15 +195,59 @@ pub fn run_threaded_faulty(
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
+                let t0 = timer.start();
                 events.clear();
                 dut.tick_into(&mut events);
+                timer.stop(Phase::Tick, t0);
+                let t0 = timer.start();
                 accel.push_cycle(&events, &mut transfers);
-                if !feed_link(&mut link, &produced, &mut transfers, &mut wire, &tx) {
-                    return (dut.cycles(), dut.total_commits(), link.map(|l| l.stats()));
+                timer.stop(Phase::Pack, t0);
+                if let Some(s) = accel.squash_stats() {
+                    if s.fused_records > last_fused && !transfers.is_empty() {
+                        last_fused = s.fused_records;
+                        rec.record(FlightRecord {
+                            kind: FlightKind::Fusion,
+                            core: 0,
+                            seq: 0,
+                            cycle: dut.cycles(),
+                            value: s.fused_records,
+                        });
+                    }
+                }
+                let t0 = timer.start();
+                let alive = feed_link(
+                    &mut link,
+                    &produced,
+                    &mut transfers,
+                    &mut wire,
+                    &tx,
+                    &mut rec,
+                    dut.cycles(),
+                );
+                timer.stop(Phase::Transport, t0);
+                if !alive {
+                    return (
+                        dut.cycles(),
+                        dut.total_commits(),
+                        link.map(|l| l.stats()),
+                        timer.times(),
+                        rec.snapshot(),
+                    );
                 }
             }
+            let t0 = timer.start();
             accel.flush(&mut transfers);
-            let receiver_alive = feed_link(&mut link, &produced, &mut transfers, &mut wire, &tx);
+            timer.stop(Phase::Pack, t0);
+            let t0 = timer.start();
+            let receiver_alive = feed_link(
+                &mut link,
+                &produced,
+                &mut transfers,
+                &mut wire,
+                &tx,
+                &mut rec,
+                dut.cycles(),
+            );
             if let Some(l) = &mut link {
                 // Release transfers still held for reordering.
                 l.flush(&mut wire);
@@ -188,8 +259,15 @@ pub fn run_threaded_faulty(
                     }
                 }
             }
+            timer.stop(Phase::Transport, t0);
             drop(tx);
-            (dut.cycles(), dut.total_commits(), link.map(|l| l.stats()))
+            (
+                dut.cycles(),
+                dut.total_commits(),
+                link.map(|l| l.stats()),
+                timer.times(),
+                rec.snapshot(),
+            )
         })
     };
 
@@ -199,6 +277,11 @@ pub fn run_threaded_faulty(
             let mut sw = SwUnit::packed(cores);
             let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
             let mut checker = Checker::new(refs, false);
+            let mut metrics = Metrics::new();
+            let h_bytes = metrics.register_histogram("packet.bytes");
+            let h_items = metrics.register_histogram("packet.items");
+            let mut timer = PhaseTimer::monotonic();
+            let mut rec = FlightRecorder::default();
             let mut item_buf = Vec::new();
             let mut items = 0u64;
             let mut verdict = None;
@@ -206,8 +289,23 @@ pub fn run_threaded_faulty(
             let mut link_stats = LinkStats::default();
             let mut link_error = None;
             'recv: for t in rx.iter() {
+                let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
+                rec.record(FlightRecord {
+                    kind: FlightKind::PacketReceived,
+                    core: t.core,
+                    seq,
+                    cycle: 0,
+                    value: t.bytes.len() as u64,
+                });
+                metrics.record(h_bytes, t.bytes.len() as u64);
+                metrics.record(h_items, u64::from(t.items));
+                metrics.counters.inc("obs.transfers");
+                metrics.counters.add("obs.bytes", t.bytes.len() as u64);
                 item_buf.clear();
-                if let Err(e) = sw.decode_into(&t, &mut item_buf) {
+                let t0 = timer.start();
+                let decode = sw.decode_into(&t, &mut item_buf);
+                timer.stop(Phase::Unpack, t0);
+                if let Err(e) = decode {
                     let kind = LinkErrorKind::classify(&e);
                     link_stats.note(kind);
                     if kind == LinkErrorKind::Stale {
@@ -215,25 +313,52 @@ pub fn run_threaded_faulty(
                         link_stats.stale_dropped += 1;
                         continue;
                     }
-                    link_error = Some((kind, sw.expected_seq().unwrap_or(0), t.core));
+                    let expected = sw.expected_seq().unwrap_or(0);
+                    rec.record(FlightRecord {
+                        kind: FlightKind::LinkError,
+                        core: t.core,
+                        seq: expected,
+                        cycle: 0,
+                        value: kind as u64,
+                    });
+                    link_error = Some((kind, expected, t.core));
                     stop.store(true, Ordering::Release);
                     break 'recv;
                 }
+                let t0 = timer.start();
                 for item in item_buf.drain(..) {
                     items += 1;
                     match checker.process(item) {
                         Ok(Verdict::Continue) => {}
-                        Ok(v @ Verdict::Halt { .. }) => {
+                        Ok(v @ Verdict::Halt { good, .. }) => {
+                            rec.record(FlightRecord {
+                                kind: FlightKind::Verdict,
+                                core: t.core,
+                                seq,
+                                cycle: 0,
+                                value: u64::from(good),
+                            });
                             verdict = Some(v);
                             stop.store(true, Ordering::Release);
-                            break 'recv;
+                            break;
                         }
                         Err(m) => {
+                            rec.record(FlightRecord {
+                                kind: FlightKind::Mismatch,
+                                core: m.core,
+                                seq,
+                                cycle: 0,
+                                value: m.seq,
+                            });
                             mismatch = Some(m);
                             stop.store(true, Ordering::Release);
-                            break 'recv;
+                            break;
                         }
                     }
+                }
+                timer.stop(Phase::Check, t0);
+                if verdict.is_some() || mismatch.is_some() {
+                    break 'recv;
                 }
             }
             if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
@@ -243,27 +368,49 @@ pub fn run_threaded_faulty(
                 let expected = sw.expected_seq().unwrap_or(sent);
                 if sw.buffered_packets() > 0 || expected != sent {
                     link_stats.note(LinkErrorKind::Gap);
+                    rec.record(FlightRecord {
+                        kind: FlightKind::LinkError,
+                        core: 0,
+                        seq: expected,
+                        cycle: 0,
+                        value: LinkErrorKind::Gap as u64,
+                    });
                     link_error = Some((LinkErrorKind::Gap, expected, 0));
                 } else {
-                    match checker.finalize() {
+                    let t0 = timer.start();
+                    let fin = checker.finalize();
+                    timer.stop(Phase::Check, t0);
+                    match fin {
                         Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
                         Ok(Verdict::Continue) => {}
                         Err(m) => mismatch = Some(m),
                     }
                 }
             }
-            (items, verdict, mismatch, link_error, link_stats)
+            metrics.counters.add("obs.items", items);
+            metrics.phases.merge(&timer.times());
+            (
+                items,
+                verdict,
+                mismatch,
+                link_error,
+                link_stats,
+                metrics,
+                rec.snapshot(),
+            )
         })
     };
 
-    let (cycles, instructions, fault_stats) = match producer.join() {
+    let (cycles, instructions, fault_stats, producer_times, producer_flight) = match producer.join()
+    {
         Ok(v) => v,
         Err(panic) => std::panic::resume_unwind(panic),
     };
-    let (items, verdict, mismatch, link_error, link_stats) = match consumer.join() {
-        Ok(v) => v,
-        Err(panic) => std::panic::resume_unwind(panic),
-    };
+    let (items, verdict, mismatch, link_error, link_stats, mut metrics, consumer_flight) =
+        match consumer.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
     let wall_s = start.elapsed().as_secs_f64();
 
     let outcome = if mismatch.is_some() {
@@ -278,6 +425,23 @@ pub fn run_threaded_faulty(
         }
     };
 
+    metrics.phases.merge(&producer_times);
+    metrics.counters.set("hw.cycles", cycles);
+    metrics.counters.set("hw.instructions", instructions);
+    let flight = match outcome {
+        RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
+            // Producer-side context (sends, fusion) first, then the
+            // failing consumer's view of arrivals and the verdict.
+            let mut snap = producer_flight;
+            snap.append(&consumer_flight);
+            Some(snap)
+        }
+        _ => None,
+    };
+    if let Err(e) = export_to_env("threaded", &metrics, flight.as_ref()) {
+        eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
+    }
+
     ThreadedReport {
         outcome,
         mismatch,
@@ -288,6 +452,8 @@ pub fn run_threaded_faulty(
         cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
         link: link_stats,
         fault: fault_stats,
+        metrics,
+        flight,
     }
 }
 

@@ -13,6 +13,7 @@ use difftest_core::{
 };
 use difftest_dut::DutConfig;
 use difftest_platform::Platform;
+use difftest_stats::{FlightKind, FlightSnapshot};
 use difftest_workload::Workload;
 
 /// The schedule grid: a handful of seeds crossed with per-fault rates
@@ -48,6 +49,22 @@ fn assert_contained(outcome: RunOutcome, ctx: &str) {
     );
 }
 
+/// On a typed link error the attached flight snapshot must hold the
+/// failing sequence's link-error record with at least one transport
+/// record (send/receive/retransmit) before it — the minimum context a
+/// post-mortem needs.
+fn assert_flight_diagnosable(flight: Option<&FlightSnapshot>, seq: u32, ctx: &str) {
+    let snap = flight.unwrap_or_else(|| panic!("{ctx}: link error without a flight snapshot"));
+    let pos = snap
+        .find(FlightKind::LinkError, seq)
+        .unwrap_or_else(|| panic!("{ctx}: snapshot missing link_error record for seq {seq}"));
+    assert!(
+        snap.records[..pos].iter().any(|r| r.kind.is_transport()),
+        "{ctx}: no transport record precedes the link error (pos {pos} of {})",
+        snap.records.len()
+    );
+}
+
 #[test]
 fn engine_contains_faults_across_the_schedule_grid() {
     for config in [DiffConfig::B, DiffConfig::BN, DiffConfig::BNSD] {
@@ -63,12 +80,15 @@ fn engine_contains_faults_across_the_schedule_grid() {
                     r.failure
                 );
                 let fault = r.fault.expect("fault stats present when a plan is set");
-                if let RunOutcome::LinkError { .. } = r.outcome {
+                if let RunOutcome::LinkError { seq, .. } = r.outcome {
                     assert!(
                         fault.total_faults() > 0,
                         "{ctx}: link error without an injected fault"
                     );
                     assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
+                    assert_flight_diagnosable(r.flight.as_ref(), seq, &ctx);
+                } else {
+                    assert!(r.flight.is_none(), "{ctx}: clean run carries a snapshot");
                 }
             }
         }
@@ -145,12 +165,15 @@ fn threaded_runner_contains_faults() {
             let ctx = format!("threaded seed={seed} rate={rate}‰");
             assert_contained(r.outcome, &ctx);
             assert!(r.mismatch.is_none(), "{ctx}: phantom mismatch");
-            if let RunOutcome::LinkError { .. } = r.outcome {
+            if let RunOutcome::LinkError { seq, .. } = r.outcome {
                 assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
                 assert!(
                     r.fault.is_some_and(|f| f.total_faults() > 0),
                     "{ctx}: link error without an injected fault"
                 );
+                assert_flight_diagnosable(r.flight.as_ref(), seq, &ctx);
+            } else {
+                assert!(r.flight.is_none(), "{ctx}: clean run carries a snapshot");
             }
         }
     }
@@ -189,12 +212,15 @@ fn sharded_runner_contains_faults() {
             let ctx = format!("sharded seed={seed} rate={rate}‰");
             assert_contained(r.outcome, &ctx);
             assert!(r.mismatch.is_none(), "{ctx}: phantom mismatch");
-            if let RunOutcome::LinkError { kind, core, .. } = r.outcome {
+            if let RunOutcome::LinkError { kind, seq, core } = r.outcome {
                 assert!(r.link.total_detected() > 0, "{ctx}: untyped link error");
                 assert!(
                     (core as usize) < DutConfig::xiangshan_minimal().cores as usize,
                     "{ctx}: {kind} attributed to nonexistent core {core}"
                 );
+                assert_flight_diagnosable(r.flight.as_ref(), seq, &ctx);
+            } else {
+                assert!(r.flight.is_none(), "{ctx}: clean run carries a snapshot");
             }
         }
     }

@@ -49,7 +49,90 @@ proptest! {
         prop_assert_eq!(s.outcome, t.outcome);
         // Single core: arrival order is identical, so the first failing
         // check must be byte-for-byte the same mismatch.
-        prop_assert_eq!(s.mismatch, t.mismatch);
+        prop_assert_eq!(s.mismatch.clone(), t.mismatch.clone());
+        // Every checker mismatch carries a flight-recorder snapshot with
+        // the mismatch record in it.
+        if let Some(m) = &t.mismatch {
+            let tf = t.flight.as_ref().expect("threaded mismatch without flight snapshot");
+            let sf = s.flight.as_ref().expect("sharded mismatch without flight snapshot");
+            for (name, snap) in [("threaded", tf), ("sharded", sf)] {
+                let hit = snap.records.iter().any(|r| {
+                    r.kind == difftest_stats::FlightKind::Mismatch && r.value == m.seq
+                });
+                prop_assert!(hit, "{} snapshot missing the mismatch record", name);
+            }
+        } else {
+            prop_assert!(t.flight.is_none() && s.flight.is_none());
+        }
+    }
+
+    #[test]
+    fn metrics_are_deterministic_across_workers(seed in 0u64..1_000) {
+        // Cross-worker metrics determinism: N workers merged in core
+        // order must reproduce exactly what the single-consumer runner
+        // measured on the same stream — histogram for histogram.
+        let w = Workload::microbench().seed(seed).iterations(40).build();
+        let t = run_threaded(
+            DutConfig::nutshell(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        let s = run_sharded(
+            DutConfig::nutshell(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        // Single core: both runners pack the identical packet stream, so
+        // the merged histograms must match the threaded ones bucket for
+        // bucket (phase timings are wall-clock and naturally differ).
+        prop_assert_eq!(
+            s.metrics.histogram("packet.bytes"), t.metrics.histogram("packet.bytes"),
+            "merged packet.bytes histogram diverged from the threaded runner"
+        );
+        prop_assert_eq!(
+            s.metrics.histogram("packet.items"), t.metrics.histogram("packet.items")
+        );
+        for key in ["obs.transfers", "obs.items", "obs.bytes"] {
+            prop_assert_eq!(s.metrics.counters.get(key), t.metrics.counters.get(key), "{}", key);
+        }
+        // And a re-run with the same seed reproduces the merged registry
+        // exactly: worker scheduling must not leak into the aggregation.
+        let s2 = run_sharded(
+            DutConfig::nutshell(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        prop_assert_eq!(
+            s.metrics.histogram("packet.bytes"), s2.metrics.histogram("packet.bytes")
+        );
+        for key in ["obs.transfers", "obs.items", "obs.bytes"] {
+            prop_assert_eq!(s.metrics.counters.get(key), s2.metrics.counters.get(key), "{}", key);
+        }
+    }
+
+    #[test]
+    fn dual_core_item_totals_are_deterministic(seed in 0u64..1_000) {
+        // Multi-core: the threaded runner packs all cores into one
+        // AccelUnit while the sharded one packs per core, so packet
+        // boundaries (and their histograms) legitimately differ — but
+        // the checked item volume is schedule-independent.
+        let w = Workload::microbench().seed(seed).iterations(40).build();
+        let t = run_threaded(
+            dual_core_minimal(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        let s = run_sharded(
+            dual_core_minimal(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        prop_assert_eq!(s.outcome, RunOutcome::GoodTrap);
+        prop_assert_eq!(
+            s.metrics.counters.get("obs.items"),
+            t.metrics.counters.get("obs.items"),
+            "clean dual-core runs must check the same item volume"
+        );
+        let s2 = run_sharded(
+            dual_core_minimal(), DiffConfig::BNSD, &w, Vec::new(), 500_000, 8,
+        );
+        prop_assert_eq!(
+            s.metrics.histogram("packet.bytes"), s2.metrics.histogram("packet.bytes"),
+            "sharded re-run must merge to the identical histogram"
+        );
+        prop_assert_eq!(
+            s.metrics.counters.get("obs.bytes"), s2.metrics.counters.get("obs.bytes")
+        );
     }
 
     #[test]

@@ -51,10 +51,18 @@ impl Counters {
         self.values.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
-    /// Merges another counter set into this one (summing).
+    /// Merges another counter set into this one (summing). Hot in
+    /// sharded aggregation, so keys are not re-allocated: an existing
+    /// counter is bumped in place, and a new key clones the source
+    /// `Cow` — a static borrow stays a static borrow.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in other.iter() {
-            self.add(k.to_owned(), v);
+        for (k, v) in &other.values {
+            match self.values.get_mut(k) {
+                Some(slot) => *slot += v,
+                None => {
+                    self.values.insert(k.clone(), *v);
+                }
+            }
         }
     }
 
@@ -107,6 +115,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get("x"), 3);
         assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn merge_preserves_borrowed_keys() {
+        let mut a = Counters::new();
+        a.add("static.key", 1);
+        let mut b = Counters::new();
+        b.add("static.key", 2);
+        b.add("other.static", 3);
+        b.add(format!("worker{}.items", 0), 4);
+        a.merge(&b);
+        assert_eq!(a.get("static.key"), 3);
+        assert_eq!(a.get("other.static"), 3);
+        assert_eq!(a.get("worker0.items"), 4);
+        // Keys sourced from `&'static str` must stay borrowed through
+        // the merge; only genuinely dynamic names own their storage.
+        for key in a.values.keys() {
+            match key {
+                Cow::Borrowed(_) => assert_ne!(key.as_ref(), "worker0.items"),
+                Cow::Owned(_) => assert_eq!(key.as_ref(), "worker0.items"),
+            }
+        }
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //!
 //! - [`Counters`]: hardware- and software-side performance counters
 //!   (transmission counts, data volume, fusion ratios, packet utilization),
+//! - [`Metrics`]: the observability registry — counters plus log-bucketed
+//!   [`Histogram`]s, gauges and per-[`Phase`] wall-time attribution,
+//!   merged deterministically across sharded workers and exported as
+//!   JSONL (`DIFFTEST_OBS=<path>`),
+//! - [`FlightRecorder`]: a bounded free-running ring of structured
+//!   pipeline records, snapshotted into failure reports for post-mortem
+//!   debugging without re-running the DUT,
 //! - [`Table`] and the `fmt_*` helpers: the plain-text renderer every
 //!   benchmark harness uses to print paper-shaped tables,
-//! - [`trace`]: DUT-trace dump/reload for DUT-decoupled iterative
-//!   debugging of the verification logic,
+//! - [`trace`]: DUT-trace dump/reload (streaming via
+//!   [`trace::TraceReader`]) for DUT-decoupled iterative debugging of
+//!   the verification logic,
 //! - [`TraceQuery`]: typed filter/group/aggregate analysis over reloaded
 //!   traces (the substitution for the paper's SQL backend — see
 //!   `DESIGN.md` §1).
@@ -26,10 +34,19 @@
 #![warn(missing_docs)]
 
 mod counter;
+mod histogram;
+mod metrics;
 mod query;
+mod recorder;
 mod table;
 pub mod trace;
 
 pub use counter::Counters;
+pub use histogram::Histogram;
+pub use metrics::{
+    export_to_env, Clock, FakeClock, HistogramId, Metrics, MonotonicClock, Phase, PhaseTimer,
+    PhaseTimes, OBS_ENV,
+};
 pub use query::{GroupStats, TraceQuery};
+pub use recorder::{FlightKind, FlightRecord, FlightRecorder, FlightSnapshot};
 pub use table::{fmt_hz, fmt_pct, fmt_ratio, Table};

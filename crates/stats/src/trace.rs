@@ -72,32 +72,121 @@ pub fn dump<W: Write>(mut w: W, events: &[MonitoredEvent]) -> Result<(), TraceEr
     Ok(())
 }
 
-/// Reads an entire trace back into memory.
-pub fn reload<R: Read>(mut r: R) -> Result<Vec<MonitoredEvent>, TraceError> {
-    let mut bytes = Vec::new();
-    r.read_to_end(&mut bytes)?;
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return Err(TraceError::BadMagic);
+/// Bytes of the fixed record header: `core:u8 cycle:u64 order:u64
+/// token:u64 kind:u8`.
+const RECORD_HEADER: usize = 1 + 8 + 8 + 8 + 1;
+
+/// Fills `buf` from `r`, tolerating short reads. Returns how many bytes
+/// were read — less than `buf.len()` only at end of stream.
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    let mut out = Vec::new();
-    let mut rd = Reader::new(&bytes[MAGIC.len()..]);
-    while rd.remaining() > 0 {
+    Ok(filled)
+}
+
+/// A streaming trace reader: decodes one [`MonitoredEvent`] at a time
+/// from any [`Read`], holding only a single record in memory. Large
+/// traces can be filtered or aggregated without ever materializing the
+/// whole event vector ([`reload`] is now a thin `collect` over this).
+pub struct TraceReader<R: Read> {
+    r: R,
+    payload: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace stream, consuming and checking the magic prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] when the stream does not start with a
+    /// complete trace magic; [`TraceError::Io`] on read failure.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; MAGIC.len()];
+        let n = read_fully(&mut r, &mut magic)?;
+        if n < magic.len() || &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        Ok(TraceReader {
+            r,
+            payload: Vec::new(),
+            done: false,
+        })
+    }
+
+    fn read_record(&mut self) -> Result<Option<MonitoredEvent>, TraceError> {
+        let mut header = [0u8; RECORD_HEADER];
+        let n = read_fully(&mut self.r, &mut header)?;
+        if n == 0 {
+            return Ok(None); // clean end of stream at a record boundary
+        }
+        if n < header.len() {
+            return Err(CodecError::UnexpectedEnd {
+                needed: header.len(),
+                available: n,
+            }
+            .into());
+        }
+        let mut rd = Reader::new(&header);
         let core = rd.u8()?;
         let cycle = rd.u64()?;
         let order = rd.u64()?;
         let token = rd.u64()?;
         let kind = EventKind::from_u8(rd.u8()?)?;
-        let payload = rd.bytes_dyn(kind.encoded_len())?;
-        let event = Event::decode(kind, payload)?;
-        out.push(MonitoredEvent {
+        let len = kind.encoded_len();
+        self.payload.resize(len, 0);
+        let got = read_fully(&mut self.r, &mut self.payload)?;
+        if got < len {
+            return Err(CodecError::UnexpectedEnd {
+                needed: len,
+                available: got,
+            }
+            .into());
+        }
+        let event = Event::decode(kind, &self.payload)?;
+        Ok(Some(MonitoredEvent {
             core,
             cycle,
             order: OrderTag(order),
             token: Token(token),
             event,
-        });
+        }))
     }
-    Ok(out)
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<MonitoredEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                // An error is terminal: the stream offset is unreliable.
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Reads an entire trace back into memory (a `collect` over
+/// [`TraceReader`]; use the reader directly to stream large traces).
+pub fn reload<R: Read>(r: R) -> Result<Vec<MonitoredEvent>, TraceError> {
+    TraceReader::new(r)?.collect()
 }
 
 #[cfg(test)]
@@ -164,5 +253,37 @@ mod tests {
         let mut buf = Vec::new();
         dump(&mut buf, &[]).unwrap();
         assert!(reload(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_reader_matches_reload() {
+        let events = sample();
+        let mut buf = Vec::new();
+        dump(&mut buf, &events).unwrap();
+        let streamed: Vec<MonitoredEvent> = TraceReader::new(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, events);
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_error() {
+        let mut buf = Vec::new();
+        dump(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut rd = TraceReader::new(&buf[..]).unwrap();
+        // First record is intact, the second is truncated mid-payload.
+        assert!(rd.next().unwrap().is_ok());
+        assert!(matches!(rd.next(), Some(Err(TraceError::Codec(_)))));
+        assert!(rd.next().is_none(), "errors are terminal");
+    }
+
+    #[test]
+    fn streaming_reader_rejects_short_magic() {
+        assert!(matches!(
+            TraceReader::new(&b"DTH"[..]).err(),
+            Some(TraceError::BadMagic)
+        ));
     }
 }

@@ -1,0 +1,143 @@
+//! Observability smoke: run every runner with `DIFFTEST_OBS` set and
+//! validate the exported JSONL — all seven phases present, packet
+//! histograms populated, and a flight-recorder snapshot attached to the
+//! fault-injected failure.
+//!
+//! ```text
+//! DIFFTEST_OBS=metrics.jsonl cargo run --release --example observability
+//! ```
+//!
+//! Without `DIFFTEST_OBS` the example exports to a temporary file under
+//! the target directory so `make obs` is self-contained.
+
+use std::collections::BTreeSet;
+
+use difftest_h::core::{
+    run_sharded_faulty, run_threaded, CoSimulation, DiffConfig, FaultPlan, RunOutcome,
+};
+use difftest_h::dut::DutConfig;
+use difftest_h::platform::Platform;
+use difftest_h::stats::{Phase, OBS_ENV};
+use difftest_h::workload::Workload;
+
+fn main() {
+    let path = match std::env::var_os(OBS_ENV) {
+        Some(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => {
+            let p = std::env::temp_dir().join("difftest-obs-smoke.jsonl");
+            std::env::set_var(OBS_ENV, &p);
+            p
+        }
+    };
+    // Start from a clean export: the runners append.
+    let _ = std::fs::remove_file(&path);
+    println!("exporting observability JSONL to {}\n", path.display());
+
+    let w = Workload::microbench().seed(11).iterations(60).build();
+
+    // 1. Virtual-time engine, BNSD: clean run, no snapshot expected.
+    let mut sim = CoSimulation::builder()
+        .dut(DutConfig::nutshell())
+        .platform(Platform::palladium())
+        .config(DiffConfig::BNSD)
+        .max_cycles(400_000)
+        .build(&w)
+        .expect("valid setup");
+    let engine = sim.run();
+    assert_eq!(engine.outcome, RunOutcome::GoodTrap);
+    assert!(
+        engine.flight.is_none(),
+        "clean run must not attach a snapshot"
+    );
+    println!(
+        "engine:   {:?}, packet.bytes p50 {}",
+        engine.outcome,
+        engine
+            .metrics
+            .histogram("packet.bytes")
+            .map_or(0, |h| h.percentile(50.0))
+    );
+
+    // 2. Threaded runner: clean run, wall-clock phase attribution.
+    let t = run_threaded(
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        &w,
+        Vec::new(),
+        400_000,
+        8,
+    );
+    assert_eq!(t.outcome, RunOutcome::GoodTrap);
+    println!(
+        "threaded: {:?}, check phase {} ns",
+        t.outcome,
+        t.metrics.phases.get(Phase::Check)
+    );
+
+    // 3. Sharded runner behind a hostile link: a typed failure with a
+    //    flight snapshot (seed/rate chosen so the grid reliably faults).
+    let s = run_sharded_faulty(
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        &w,
+        Vec::new(),
+        400_000,
+        8,
+        Some(FaultPlan::uniform(4242, 40)),
+    );
+    println!("sharded (lossy link): {:?}", s.outcome);
+    if let RunOutcome::LinkError { .. } = s.outcome {
+        let snap = s
+            .flight
+            .as_ref()
+            .expect("link error must attach a snapshot");
+        assert!(!snap.records.is_empty(), "snapshot must carry records");
+    }
+
+    // Validate the export: parse every line, collect phases per runner.
+    let text = std::fs::read_to_string(&path).expect("export file written");
+    let mut phases: BTreeSet<String> = BTreeSet::new();
+    let mut runs = 0usize;
+    let mut histograms = 0usize;
+    let mut flight_snapshots = 0usize;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        if line.contains("\"type\":\"run\"") {
+            runs += 1;
+        } else if line.contains("\"type\":\"histogram\"") {
+            histograms += 1;
+        } else if line.contains("\"type\":\"flight_snapshot\"") {
+            flight_snapshots += 1;
+        } else if let Some(rest) = line.split("\"type\":\"phase\",\"name\":\"").nth(1) {
+            if let Some(name) = rest.split('"').next() {
+                phases.insert(name.to_owned());
+            }
+        }
+    }
+    assert_eq!(runs, 3, "three runners must have exported");
+    for phase in Phase::ALL {
+        assert!(
+            phases.contains(phase.name()),
+            "phase {phase} missing from export (got {phases:?})"
+        );
+    }
+    assert!(histograms >= 2, "packet histograms missing from export");
+    if matches!(s.outcome, RunOutcome::LinkError { .. }) {
+        assert!(
+            flight_snapshots >= 1,
+            "link error exported without a flight snapshot"
+        );
+    }
+    println!(
+        "\nexport OK: {} lines, {} runs, {} histogram summaries, all {} phases, \
+         {} flight snapshot(s)",
+        text.lines().count(),
+        runs,
+        histograms,
+        Phase::COUNT,
+        flight_snapshots
+    );
+}
