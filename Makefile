@@ -4,7 +4,8 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs
+.PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
+	bench-record bench-smoke bench-compare
 
 all: build
 
@@ -35,6 +36,22 @@ ablations:
 # The bench crate is not a default workspace member; opt in with -p.
 bench:
 	$(CARGO) bench -p difftest-bench
+
+# End-to-end hot-path throughput baseline: full-length runs of every
+# runner × config × fault scenario, written to BENCH_hotpath.json at the
+# repo root (the committed `baseline` section is preserved; only
+# `current` is refreshed). See DESIGN.md §11.
+bench-record:
+	$(CARGO) bench -p difftest-bench --bench hotpath -- --record BENCH_hotpath.json
+
+# Short hotpath run for CI: exercises all scenarios, records nothing.
+bench-smoke:
+	$(CARGO) bench -p difftest-bench --bench hotpath -- --test
+
+# Fails when events/sec regresses >10% against the committed artifact
+# (tolerance via DIFFTEST_BENCH_TOL).
+bench-compare:
+	scripts/bench_compare
 
 sharded:
 	$(CARGO) bench -p difftest-bench --bench sharded

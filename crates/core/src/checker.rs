@@ -273,27 +273,38 @@ impl CoreChecker {
                     stats.exceptions += 1;
                 }
             }
+            // The state-dump loops below compare first and only render the
+            // check name on failure — an eager `format!` per register would
+            // put 32+ heap allocations on the hot path of every dump event.
             Event::ArchIntRegState(s) => {
                 for (i, (got, want)) in s.regs.iter().zip(refm.state().xregs()).enumerate() {
-                    self.ensure(got == want, format!("xreg x{i}"), *want, *got)?;
+                    if got != want {
+                        self.ensure(false, format!("xreg x{i}"), *want, *got)?;
+                    }
                 }
             }
             Event::ArchFpRegState(s) => {
                 for (i, (got, want)) in s.regs.iter().zip(refm.state().fregs()).enumerate() {
-                    self.ensure(got == want, format!("freg f{i}"), *want, *got)?;
+                    if got != want {
+                        self.ensure(false, format!("freg f{i}"), *want, *got)?;
+                    }
                 }
             }
             Event::CsrState(s) => {
                 for (i, (got, want)) in s.csrs.iter().zip(refm.state().csrs()).enumerate() {
-                    let name = CsrIndex::from_dense(i).map(|c| c.name()).unwrap_or("?");
-                    self.ensure(got == want, format!("csr {name}"), *want, *got)?;
+                    if got != want {
+                        let name = CsrIndex::from_dense(i).map(|c| c.name()).unwrap_or("?");
+                        self.ensure(false, format!("csr {name}"), *want, *got)?;
+                    }
                 }
             }
             Event::ArchVecRegState(s) => {
                 // Vector state is architecturally zero in this model on both
                 // sides; any non-zero reading is a monitor/datapath fault.
                 for (i, got) in s.regs.iter().enumerate() {
-                    self.ensure(*got == 0, format!("vreg half {i}"), 0u64, *got)?;
+                    if *got != 0 {
+                        self.ensure(false, format!("vreg half {i}"), 0u64, *got)?;
+                    }
                 }
             }
             Event::VecCsrState(s) => {
@@ -346,21 +357,15 @@ impl CoreChecker {
             }
             Event::IntWriteback(w) => {
                 let want = refm.state().xreg(difftest_isa::Reg::new(w.idx));
-                self.ensure(
-                    w.data == want,
-                    format!("int writeback x{}", w.idx),
-                    want,
-                    w.data,
-                )?;
+                if w.data != want {
+                    self.ensure(false, format!("int writeback x{}", w.idx), want, w.data)?;
+                }
             }
             Event::FpWriteback(w) => {
                 let want = refm.state().freg(difftest_isa::FReg::new(w.idx));
-                self.ensure(
-                    w.data == want,
-                    format!("fp writeback f{}", w.idx),
-                    want,
-                    w.data,
-                )?;
+                if w.data != want {
+                    self.ensure(false, format!("fp writeback f{}", w.idx), want, w.data)?;
+                }
             }
             Event::LoadEvent(l) => {
                 if l.is_mmio != 0 {
@@ -430,10 +435,12 @@ impl CoreChecker {
                     if s.mask & (1 << b) != 0 {
                         let want = self.refm.mem().read_u8(s.addr + b);
                         let got = s.data[b as usize];
-                        self.ensure(got == want, format!("sbuffer byte {b}"), want, got)?;
-                    } else {
+                        if got != want {
+                            self.ensure(false, format!("sbuffer byte {b}"), want, got)?;
+                        }
+                    } else if s.data[b as usize] != 0 {
                         self.ensure(
-                            s.data[b as usize] == 0,
+                            false,
                             format!("sbuffer bubble {b}"),
                             0u8,
                             s.data[b as usize],
@@ -445,7 +452,9 @@ impl CoreChecker {
                 let line = r.addr & !63;
                 for (i, beat) in r.data.iter().enumerate() {
                     let want = self.refm.mem().read(line + 8 * i as u64, 8);
-                    self.ensure(*beat == want, format!("refill beat {i}"), want, *beat)?;
+                    if *beat != want {
+                        self.ensure(false, format!("refill beat {i}"), want, *beat)?;
+                    }
                 }
             }
             Event::L1TlbEvent(t) => {
@@ -458,12 +467,9 @@ impl CoreChecker {
             Event::L2TlbEvent(t) => {
                 if t.valid != 0 {
                     for (i, p) in t.ppns.iter().enumerate() {
-                        self.ensure(
-                            *p == t.vpn + i as u64,
-                            format!("l2tlb ppn {i}"),
-                            t.vpn + i as u64,
-                            *p,
-                        )?;
+                        if *p != t.vpn + i as u64 {
+                            self.ensure(false, format!("l2tlb ppn {i}"), t.vpn + i as u64, *p)?;
+                        }
                     }
                 }
             }
@@ -679,8 +685,15 @@ impl CoreChecker {
         )?;
 
         for _ in 0..f.count {
-            if let Some(v) = self.drain_pending(self.seq, true, stats)? {
-                return Ok(Some(v));
+            // Order-tagged events are the exception, not the rule: the
+            // common window has nothing pending, and `pending` can only
+            // shrink while this loop runs (`accept_tagged` is the only
+            // grower), so one emptiness check hoists both per-instruction
+            // BTreeMap probes out of the batch-stepping path.
+            if !self.pending.is_empty() {
+                if let Some(v) = self.drain_pending(self.seq, true, stats)? {
+                    return Ok(Some(v));
+                }
             }
             match self.refm.step() {
                 StepOutcome::Retired { effect, .. } => self.last_effect = Some(effect),
@@ -694,8 +707,10 @@ impl CoreChecker {
             }
             stats.instructions += 1;
             self.seq += 1;
-            if let Some(v) = self.drain_pending(self.seq - 1, false, stats)? {
-                return Ok(Some(v));
+            if !self.pending.is_empty() {
+                if let Some(v) = self.drain_pending(self.seq - 1, false, stats)? {
+                    return Ok(Some(v));
+                }
             }
         }
 
@@ -709,17 +724,39 @@ impl CoreChecker {
         }
         for (r, v) in &f.int_writes {
             let want = self.refm.state().xreg(difftest_isa::Reg::new(*r));
-            self.ensure(want == *v, format!("fused write x{r}"), want, *v)?;
+            if want != *v {
+                self.ensure(false, format!("fused write x{r}"), want, *v)?;
+            }
         }
         for (r, v) in &f.fp_writes {
             let want = self.refm.state().freg(difftest_isa::FReg::new(*r));
-            self.ensure(want == *v, format!("fused write f{r}"), want, *v)?;
+            if want != *v {
+                self.ensure(false, format!("fused write f{r}"), want, *v)?;
+            }
         }
 
         if self.replay_support {
             self.refm.prune_checkpoints(2);
         }
         Ok(None)
+    }
+
+    /// Checks one plain (unfused, untagged) event by reference. Shared by
+    /// [`Checker::process`] and the replay path, which re-checks monitored
+    /// events it does not own.
+    fn process_plain(
+        &mut self,
+        event: &Event,
+        stats: &mut CheckStats,
+    ) -> Result<Verdict, Mismatch> {
+        match event {
+            Event::InstrCommit(c) => {
+                self.check_commit(c, stats)?;
+                Ok(Verdict::Continue)
+            }
+            Event::TrapEvent(t) => self.check_trap(t, stats),
+            other => Ok(self.check_event(other, stats)?.unwrap_or(Verdict::Continue)),
+        }
     }
 }
 
@@ -795,21 +832,23 @@ impl Checker {
         &self.stats
     }
 
-    /// Clones the per-core REF states and progress for an external snapshot
+    /// Borrows the per-core REF states and progress for an external snapshot
     /// (the prior-work debugging strategy compared in `crate::snapshot`).
+    /// Callers that need the state beyond the borrow clone at the call
+    /// site; the checker itself never copies a `RefModel`.
     ///
     /// # Panics
     ///
     /// Panics if order-tagged items are still pending — snapshots must be
     /// taken at quiesced points (flush the acceleration unit and process
     /// everything first).
-    pub fn snapshot_refs(&self) -> Vec<(RefModel, u64)> {
+    pub fn snapshot_refs(&self) -> Vec<(&RefModel, u64)> {
         assert_eq!(
             self.pending_items(),
             0,
             "snapshot requires a quiesced checker"
         );
-        self.cores.iter().map(|c| (c.refm.clone(), c.seq)).collect()
+        self.cores.iter().map(|c| (&c.refm, c.seq)).collect()
     }
 
     /// Rebuilds a checker from snapshotted REF states and progress.
@@ -864,16 +903,7 @@ impl Checker {
         };
         let stats = &mut self.stats;
         match item {
-            WireItem::Plain { event, .. } => match event {
-                Event::InstrCommit(c) => {
-                    core.check_commit(&c, stats)?;
-                    Ok(Verdict::Continue)
-                }
-                Event::TrapEvent(t) => core.check_trap(&t, stats),
-                other => Ok(core
-                    .check_event(&other, stats)?
-                    .unwrap_or(Verdict::Continue)),
-            },
+            WireItem::Plain { event, .. } => core.process_plain(&event, stats),
             WireItem::Tagged {
                 tag, token, event, ..
             }
@@ -937,14 +967,14 @@ impl Checker {
     /// Reprocesses retransmitted, unfused events in plain mode after a
     /// revert, returning the precise mismatch if one reproduces.
     pub fn replay_unfused(&mut self, core: u8, events: &[MonitoredEvent]) -> Option<Mismatch> {
+        let idx = (core as usize).wrapping_sub(self.core_base as usize);
+        let stats = &mut self.stats;
+        let c = self.cores.get_mut(idx)?;
         for ev in events.iter().filter(|e| e.core == core) {
-            let item = WireItem::Plain {
-                core,
-                event: ev.event.clone(),
-            };
-            match self.process(item) {
-                Ok(_) => {}
-                Err(m) => return Some(m),
+            // Monitored events are borrowed from the replay window, not
+            // re-owned: the checker only ever reads them.
+            if let Err(m) = c.process_plain(&ev.event, stats) {
+                return Some(m);
             }
         }
         None

@@ -23,8 +23,8 @@ use difftest_event::wire::CodecError;
 use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
 use difftest_ref::{Memory, RefModel};
 use difftest_stats::{
-    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, HistogramId, Metrics,
-    Phase, PhaseTimer,
+    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, GaugeId, HistogramId,
+    Metrics, Phase, PhaseTimer,
 };
 use difftest_workload::Workload;
 
@@ -279,6 +279,8 @@ impl CoSimulationBuilder {
         let mut metrics = Metrics::new();
         let h_packet_bytes = metrics.register_histogram("packet.bytes");
         let h_packet_items = metrics.register_histogram("packet.items");
+        let g_pending_max = metrics.register_gauge("checker.pending.max");
+        let g_reorder_max = metrics.register_gauge("reorder.buffered.max");
         Ok(CoSimulation {
             dut,
             accel,
@@ -287,6 +289,8 @@ impl CoSimulationBuilder {
             metrics,
             h_packet_bytes,
             h_packet_items,
+            g_pending_max,
+            g_reorder_max,
             timer: PhaseTimer::monotonic(),
             flight: FlightRecorder::default(),
             last_fused: 0,
@@ -558,6 +562,8 @@ pub struct CoSimulation {
     metrics: Metrics,
     h_packet_bytes: HistogramId,
     h_packet_items: HistogramId,
+    g_pending_max: GaugeId,
+    g_reorder_max: GaugeId,
     /// Host-side wall-time attribution per pipeline phase.
     timer: PhaseTimer,
     /// Free-running ring of structured pipeline records.
@@ -830,6 +836,12 @@ impl CoSimulation {
                 items.clear();
                 self.items_buf = items;
                 self.timer.stop(Phase::Check, t0);
+                // High-water marks by GaugeId handle: an indexed store per
+                // transfer, not per event, and no name lookup either way.
+                self.metrics
+                    .set_max(self.g_pending_max, self.checker.pending_items() as u64);
+                self.metrics
+                    .set_max(self.g_reorder_max, self.sw.buffered_packets() as u64);
                 if let Some(Verdict::Halt { good, .. }) = &self.halt {
                     self.flight.record(FlightRecord {
                         kind: FlightKind::Verdict,

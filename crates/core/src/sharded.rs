@@ -393,6 +393,8 @@ pub fn run_sharded_faulty(
                 let mut metrics = Metrics::new();
                 let h_bytes = metrics.register_histogram("packet.bytes");
                 let h_items = metrics.register_histogram("packet.items");
+                let g_reorder = metrics.register_gauge("reorder.buffered.max");
+                let g_pending = metrics.register_gauge("checker.pending.max");
                 let mut timer = PhaseTimer::monotonic();
                 let mut rec = FlightRecorder::default();
                 'recv: for t in rx.iter() {
@@ -464,6 +466,10 @@ pub fn run_sharded_faulty(
                         }
                     }
                     timer.stop(Phase::Check, t0);
+                    // Per-shard occupancy high-water marks; the merged
+                    // report keeps the max across shards.
+                    metrics.set_max(g_reorder, sw.buffered_packets() as u64);
+                    metrics.set_max(g_pending, checker.pending_items() as u64);
                     if verdict.is_some() || mismatch.is_some() {
                         break 'recv;
                     }

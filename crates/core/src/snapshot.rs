@@ -129,7 +129,14 @@ pub fn snapshot_debug_run(
                     break 'run;
                 }
             }
-            snapshot = Some((dut.clone(), checker.snapshot_refs()));
+            // `snapshot_refs` hands out borrows; the snapshot strategy is
+            // the one place that genuinely pays for owned copies.
+            let refs: Vec<_> = checker
+                .snapshot_refs()
+                .into_iter()
+                .map(|(r, s)| (r.clone(), s))
+                .collect();
+            snapshot = Some((dut.clone(), refs));
             snapshots_taken += 1;
             snapshot_bytes = dut.snapshot_footprint();
         }

@@ -138,6 +138,9 @@ impl WireKind {
 pub struct DiffCache {
     last: Vec<Option<Vec<u8>>>, // indexed core * COUNT + kind
     cores: usize,
+    // Encode-side scratch for the current payload; swapped with the cache
+    // slot after differencing, so steady-state encoding allocates nothing.
+    scratch: Vec<u8>,
 }
 
 impl DiffCache {
@@ -146,12 +149,19 @@ impl DiffCache {
         DiffCache {
             last: vec![None; cores * EventKind::COUNT],
             cores,
+            scratch: Vec::new(),
         }
     }
 
-    fn slot(&mut self, core: u8, kind: EventKind) -> &mut Option<Vec<u8>> {
+    #[inline]
+    fn slot_index(&self, core: u8, kind: EventKind) -> usize {
         debug_assert!((core as usize) < self.cores);
-        &mut self.last[core as usize * EventKind::COUNT + kind as usize]
+        core as usize * EventKind::COUNT + kind as usize
+    }
+
+    fn slot(&mut self, core: u8, kind: EventKind) -> &mut Option<Vec<u8>> {
+        let idx = self.slot_index(core, kind);
+        &mut self.last[idx]
     }
 
     /// Encodes `event` as a difference against the cached previous payload,
@@ -159,34 +169,35 @@ impl DiffCache {
     /// (zero means the event is byte-identical to the previous one and need
     /// not be transmitted at all).
     pub fn encode(&mut self, core: u8, event: &Event, out: &mut Vec<u8>) -> usize {
-        let mut cur = Vec::with_capacity(event.encoded_len());
-        event.encode_into(&mut cur);
+        let idx = self.slot_index(core, event.kind());
+        let cur = &mut self.scratch;
+        cur.clear();
+        event.encode_into(cur);
         let words = cur.len().div_ceil(8);
         let bitmap_bytes = words.div_ceil(8);
-        let prev = self.slot(core, event.kind());
+        let prev = &mut self.last[idx];
 
         let start = out.len();
         out.resize(start + bitmap_bytes, 0);
-        let mut changed_words = Vec::new();
+        let mut changed = 0usize;
         for w in 0..words {
             let lo = w * 8;
             let hi = (lo + 8).min(cur.len());
-            let changed = match prev.as_deref() {
-                Some(p) => p[lo..hi] != cur[lo..hi],
-                None => true,
-            };
-            if changed {
+            let same = matches!(prev.as_deref(), Some(p) if p[lo..hi] == cur[lo..hi]);
+            if !same {
                 out[start + w / 8] |= 1 << (w % 8);
                 let mut word = [0u8; 8];
                 word[..hi - lo].copy_from_slice(&cur[lo..hi]);
-                changed_words.push(word);
+                out.extend_from_slice(&word);
+                changed += 1;
             }
         }
-        let changed = changed_words.len();
-        for w in changed_words {
-            out.extend_from_slice(&w);
+        // The slot takes the current payload; its old buffer becomes the
+        // next call's scratch.
+        match prev {
+            Some(p) => std::mem::swap(p, cur),
+            None => *prev = Some(std::mem::take(cur)),
         }
-        *prev = Some(cur);
         changed
     }
 
@@ -206,7 +217,10 @@ impl DiffCache {
         let len = kind.encoded_len();
         let words = len.div_ceil(8);
         let bitmap_bytes = words.div_ceil(8);
-        let bitmap = r.bytes_dyn(bitmap_bytes)?.to_vec();
+        // Borrowed straight from the packet buffer — `bytes_dyn` hands out
+        // `&'a [u8]` tied to the buffer, not the reader, so later reads
+        // don't conflict and nothing is copied.
+        let bitmap = r.bytes_dyn(bitmap_bytes)?;
 
         let mut cur = match self.slot(core, kind).take() {
             Some(p) => p,

@@ -87,6 +87,11 @@ impl Journal {
         self.entries.len()
     }
 
+    /// The recorded entries, oldest first (tests compare whole journals).
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
     /// Returns `true` when no entries are recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

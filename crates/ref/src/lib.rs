@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+mod icache;
 mod journal;
 pub mod map;
 mod mem;
 mod model;
 mod state;
 
+pub use icache::{DecodeCache, DecodeCacheStats};
 pub use journal::{Journal, JournalEntry};
 pub use mem::Memory;
 pub use model::{RefModel, StepOutcome};

@@ -2,10 +2,11 @@
 
 use difftest_isa::csr::{mstatus, CsrIndex};
 use difftest_isa::trap::{Interrupt, Trap};
-use difftest_isa::{decode, FReg, Insn, Reg};
+use difftest_isa::{decode, FReg, Insn, Op, Reg};
 use serde::{Deserialize, Serialize};
 
 use crate::exec::{execute, Effect};
+use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::journal::{Journal, JournalEntry};
 use crate::{ArchState, Memory};
 
@@ -61,6 +62,7 @@ pub struct RefModel {
     mem: Memory,
     journal: Journal,
     pending_skip: Option<u64>,
+    icache: DecodeCache,
 }
 
 impl RefModel {
@@ -77,7 +79,20 @@ impl RefModel {
             mem,
             journal: Journal::new(),
             pending_skip: None,
+            icache: DecodeCache::default(),
         }
+    }
+
+    /// Enables or disables the pre-decoded instruction cache (on by
+    /// default). Disabling is used by the coherence proptests to run an
+    /// uncached twin of the model.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.icache.set_enabled(enabled);
+    }
+
+    /// Decode-cache hit/miss/invalidation counters.
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.icache.stats()
     }
 
     /// The architectural state.
@@ -115,6 +130,9 @@ impl RefModel {
     /// Returns `false` if no checkpoint exists.
     pub fn revert(&mut self) -> bool {
         self.pending_skip = None;
+        // Compensation entries can restore old code bytes without going
+        // through the store path, so the decode cache starts over.
+        self.icache.flush();
         self.journal.revert_into(&mut self.state, &mut self.mem)
     }
 
@@ -138,7 +156,17 @@ impl RefModel {
     /// Executes (or skips) one instruction.
     pub fn step(&mut self) -> StepOutcome {
         let pc = self.state.pc();
-        let insn = decode(self.mem.fetch(pc));
+        // The raw word is fetched unconditionally and is part of the cache
+        // key, so a hit is bit-identical to decoding by construction.
+        let raw = self.mem.fetch(pc);
+        let insn = match self.icache.lookup(pc, raw) {
+            Some(insn) => insn,
+            None => {
+                let insn = decode(raw);
+                self.icache.insert(pc, raw, insn);
+                insn
+            }
+        };
 
         if let Some(value) = self.pending_skip.take() {
             // MMIO skip: force the destination, advance, retire.
@@ -161,6 +189,12 @@ impl RefModel {
 
         self.apply(&effect);
         self.bump_instret();
+        // `fence`/`fence.i` is the architectural point where prior stores
+        // become visible to instruction fetch; SFENCE.VMA currently decodes
+        // to Illegal and traps above, so this one arm covers the flush set.
+        if insn.op == Op::Fence {
+            self.icache.flush();
+        }
         StepOutcome::Retired { pc, insn, effect }
     }
 
@@ -241,6 +275,7 @@ impl RefModel {
         let old = self.mem.read(addr, len as usize);
         self.journal.record(JournalEntry::Mem { addr, len, old });
         self.mem.write(addr, len as usize, value);
+        self.icache.invalidate_store(addr, len as u64);
     }
 
     fn bump_instret(&mut self) {

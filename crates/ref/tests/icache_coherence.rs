@@ -1,0 +1,195 @@
+//! Coherence properties of the REF pre-decoded instruction cache.
+//!
+//! Execution with the decode cache enabled must be bit-identical to
+//! execution with it disabled: same per-step outcomes, same final
+//! architectural state, same compensation journal. The tests drive the
+//! hard cases directly — self-modifying code patching instructions both
+//! ahead of and behind the program counter, with and without `fence` —
+//! and then sweep every workload preset for the steady-state case.
+
+use difftest_isa::{encode, Reg};
+use difftest_ref::{Memory, RefModel};
+use difftest_workload::Workload;
+use proptest::prelude::*;
+
+/// Byte offset of the patch pool from the code base.
+const POOL_OFF: i64 = 0x1000;
+
+/// Instruction words a mutator may copy over code. All are safe
+/// straight-line single words, so a patched program stays patchable.
+fn patch_pool() -> Vec<u32> {
+    vec![
+        encode::addi(Reg::A0, Reg::A0, 7),
+        encode::addi(Reg::A3, Reg::A0, 1),
+        encode::xor(Reg::A4, Reg::A4, Reg::A0),
+        encode::nop(),
+    ]
+}
+
+/// Loads `words` at the RAM base plus the patch pool, then steps a
+/// cache-enabled and a cache-disabled [`RefModel`] in lockstep for
+/// `steps`, asserting outcome, state, and journal equivalence.
+fn lockstep(words: &[u32], steps: usize) -> RefModel {
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, words);
+    mem.load_words(Memory::RAM_BASE + POOL_OFF as u64, &patch_pool());
+    let mut cached = RefModel::new(mem.clone());
+    let mut plain = RefModel::new(mem);
+    plain.set_decode_cache_enabled(false);
+    cached.set_journal_enabled(true);
+    plain.set_journal_enabled(true);
+    for i in 0..steps {
+        let a = cached.step();
+        let b = plain.step();
+        assert_eq!(a, b, "step {i} diverged (cached vs uncached)");
+    }
+    assert_eq!(cached.state(), plain.state(), "final state diverged");
+    assert_eq!(
+        cached.journal().entries(),
+        plain.journal().entries(),
+        "journals diverged"
+    );
+    cached
+}
+
+/// Emits the five-word prelude: `a1` = code base, `a2` = pool base.
+fn prelude(words: &mut Vec<u32>) {
+    words.push(encode::addi(Reg::A1, Reg::ZERO, 1));
+    words.push(encode::slli(Reg::A1, Reg::A1, 31)); // 0x8000_0000
+    words.push(encode::addi(Reg::A2, Reg::ZERO, 1));
+    words.push(encode::slli(Reg::A2, Reg::A2, 12)); // POOL_OFF
+    words.push(encode::add(Reg::A2, Reg::A1, Reg::A2));
+}
+
+/// One generated program slot: either a plain ALU op, or a mutator that
+/// copies `pool[pool_idx]` over the first word of a later slot
+/// (`target_sel` picks which), optionally followed by a `fence`.
+type Action = (bool, u8, u8, bool);
+
+/// Builds a straight-line self-modifying program from `actions`.
+///
+/// Mutators always patch *later* slots, so the overwrite is
+/// architecturally visible even on a strict implementation; a patched
+/// mutator degenerates into further (still safe) straight-line code.
+fn self_modifying(actions: &[Action]) -> Vec<u32> {
+    let slot_words =
+        |&(is_mut, _, _, fencei): &Action| if is_mut { 2 + usize::from(fencei) } else { 1 };
+    // Layout pass: word offset of each slot after the 5-word prelude.
+    let mut offsets = Vec::with_capacity(actions.len());
+    let mut off = 5usize;
+    for a in actions {
+        offsets.push(off);
+        off += slot_words(a);
+    }
+
+    let mut words = Vec::with_capacity(off + 1);
+    prelude(&mut words);
+    for (i, &(is_mut, pool_idx, target_sel, fencei)) in actions.iter().enumerate() {
+        let later = actions.len() - i - 1;
+        if is_mut && later > 0 {
+            let target = i + 1 + (target_sel as usize) % later;
+            let pool = i64::from(pool_idx % 4) * 4;
+            words.push(encode::lw(Reg::T0, Reg::A2, pool));
+            words.push(encode::sw(Reg::T0, Reg::A1, (offsets[target] * 4) as i64));
+            if fencei {
+                words.push(encode::fence());
+            }
+        } else {
+            words.push(encode::addi(Reg::A0, Reg::A0, i64::from(pool_idx % 64)));
+            for _ in 1..slot_words(&(is_mut, pool_idx, target_sel, fencei)) {
+                words.push(encode::nop());
+            }
+        }
+    }
+    words.push(encode::ebreak());
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cached and uncached execution agree step-for-step on randomly
+    /// generated self-modifying programs, `fence` or no `fence`.
+    #[test]
+    fn self_modifying_programs_are_cache_transparent(
+        actions in proptest::collection::vec(any::<Action>(), 1..40),
+    ) {
+        let words = self_modifying(&actions);
+        // Straight-line: every word executes at most once; a couple of
+        // extra steps land in the deterministic post-ebreak trap loop,
+        // which must also agree.
+        let m = lockstep(&words, words.len() + 2);
+        let stats = m.decode_cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, (words.len() + 2) as u64);
+    }
+}
+
+/// A loop that patches an instruction it already executed (and cached):
+/// iteration 1 runs `addi a0, a0, 1` then overwrites it with
+/// `addi a0, a0, 7` from the pool; iteration 2 must see the new word.
+/// This is the case raw-revalidation alone would *also* catch, but here
+/// we additionally assert the eager store-invalidation fired.
+#[test]
+fn store_to_cached_line_takes_effect_on_reexecution() {
+    for fencei in [false, true] {
+        let mut words = Vec::new();
+        prelude(&mut words);
+        words.push(encode::addi(Reg::A5, Reg::ZERO, 2)); // loop counter
+        let loop_top = words.len(); // patchable slot index
+        words.push(encode::addi(Reg::A0, Reg::A0, 1)); // L: patched below
+        words.push(encode::lw(Reg::T0, Reg::A2, 0)); // pool[0] = addi a0,a0,7
+        words.push(encode::sw(Reg::T0, Reg::A1, (loop_top * 4) as i64));
+        if fencei {
+            words.push(encode::fence());
+        }
+        words.push(encode::addi(Reg::A5, Reg::A5, -1));
+        let delta = (loop_top as i64 - words.len() as i64) * 4;
+        words.push(encode::bne(Reg::A5, Reg::ZERO, delta));
+        words.push(encode::ebreak());
+
+        let body = 5 + usize::from(fencei);
+        let steps = 6 + 2 * body; // prelude + two iterations, ebreak unexecuted
+        let m = lockstep(&words, steps);
+        assert_eq!(
+            m.state().xreg(Reg::A0),
+            8,
+            "iteration 2 must execute the patched instruction (fence={fencei})"
+        );
+        let stats = m.decode_cache_stats();
+        if fencei {
+            // The per-iteration fence wipes the whole cache before any
+            // line can be re-executed, so no hits — only flushes.
+            assert!(stats.flushes >= 2, "each fence flushes");
+        } else {
+            assert!(stats.hits > 0, "the loop must actually hit the cache");
+            assert!(
+                stats.store_invalidations >= 2,
+                "each patching store invalidates the cached line"
+            );
+        }
+    }
+}
+
+/// Every workload preset runs identically with the cache on and off, and
+/// the cache earns its keep (more hits than misses) on looping presets.
+#[test]
+fn workload_presets_are_cache_transparent() {
+    let presets = [
+        Workload::linux_boot(),
+        Workload::microbench(),
+        Workload::spec_like(),
+        Workload::mmio_heavy(),
+        Workload::trap_heavy(),
+        Workload::fuzz(),
+    ];
+    for builder in presets {
+        let w = builder.seed(11).iterations(40).build();
+        let m = lockstep(w.words(), 12_000);
+        let stats = m.decode_cache_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "{}: expected a hot decode cache, got {stats:?}",
+            w.name()
+        );
+    }
+}

@@ -44,8 +44,8 @@ pub mod trace;
 pub use counter::Counters;
 pub use histogram::Histogram;
 pub use metrics::{
-    export_to_env, Clock, FakeClock, HistogramId, Metrics, MonotonicClock, Phase, PhaseTimer,
-    PhaseTimes, OBS_ENV,
+    export_to_env, Clock, FakeClock, GaugeId, HistogramId, Metrics, MonotonicClock, Phase,
+    PhaseTimer, PhaseTimes, OBS_ENV,
 };
 pub use query::{GroupStats, TraceQuery};
 pub use recorder::{FlightKind, FlightRecord, FlightRecorder, FlightSnapshot};

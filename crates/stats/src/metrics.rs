@@ -13,7 +13,6 @@
 //! via [`export_to_env`].
 
 use std::borrow::Cow;
-use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::Path;
 use std::time::Instant;
@@ -232,6 +231,13 @@ impl<C: Clock> PhaseTimer<C> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
+/// Stable handle to a registered gauge. Like [`HistogramId`], updating
+/// through the handle is an indexed store — no name comparison or map
+/// probe per update, which matters for gauges refreshed inside runner
+/// hot loops (queue depths, pool occupancy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
 /// The registry a runner carries: counters + gauges + histograms +
 /// phase attribution, merged deterministically across sharded workers
 /// and exported as JSONL.
@@ -243,7 +249,8 @@ pub struct Metrics {
     pub counters: crate::Counters,
     /// Phase wall-time attribution.
     pub phases: PhaseTimes,
-    gauges: BTreeMap<Cow<'static, str>, u64>,
+    gauge_names: Vec<Cow<'static, str>>,
+    gauge_vals: Vec<u64>,
     hist_names: Vec<Cow<'static, str>>,
     hists: Vec<Histogram>,
 }
@@ -289,14 +296,55 @@ impl Metrics {
             .zip(self.hists.iter())
     }
 
-    /// Sets gauge `name` to its latest value.
+    /// Registers (or finds) the gauge `name`, returning its handle.
+    /// A fresh gauge starts at zero.
+    pub fn register_gauge(&mut self, name: impl Into<Cow<'static, str>>) -> GaugeId {
+        let name = name.into();
+        if let Some(i) = self.gauge_names.iter().position(|n| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauge_names.push(name);
+        self.gauge_vals.push(0);
+        GaugeId(self.gauge_vals.len() - 1)
+    }
+
+    /// Sets a registered gauge to its latest value — O(1), no lookup.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: u64) {
+        self.gauge_vals[id.0] = value;
+    }
+
+    /// Raises a registered gauge to `value` if it is larger (a running
+    /// high-water mark) — O(1), no lookup.
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, value: u64) {
+        let slot = &mut self.gauge_vals[id.0];
+        *slot = (*slot).max(value);
+    }
+
+    /// Sets gauge `name` to its latest value, registering it first if
+    /// needed. Convenience for cold paths; hot loops should hold a
+    /// [`GaugeId`] and call [`set`](Self::set).
     pub fn set_gauge(&mut self, name: impl Into<Cow<'static, str>>, value: u64) {
-        self.gauges.insert(name.into(), value);
+        let id = self.register_gauge(name);
+        self.set(id, value);
     }
 
     /// Reads gauge `name` (zero if never set).
     pub fn gauge(&self, name: &str) -> u64 {
-        self.gauges.get(name).copied().unwrap_or(0)
+        self.gauge_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.gauge_vals[i])
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.gauge_names
+            .iter()
+            .map(Cow::as_ref)
+            .zip(self.gauge_vals.iter().copied())
     }
 
     /// Merges another registry into this one. Deterministic regardless
@@ -306,9 +354,14 @@ impl Metrics {
     pub fn merge(&mut self, other: &Metrics) {
         self.counters.merge(&other.counters);
         self.phases.merge(&other.phases);
-        for (name, value) in &other.gauges {
-            let slot = self.gauges.entry(name.clone()).or_insert(0);
-            *slot = (*slot).max(*value);
+        for (name, value) in other.gauge_names.iter().zip(other.gauge_vals.iter()) {
+            match self.gauge_names.iter().position(|n| n == name) {
+                Some(i) => self.gauge_vals[i] = self.gauge_vals[i].max(*value),
+                None => {
+                    self.gauge_names.push(name.clone());
+                    self.gauge_vals.push(*value);
+                }
+            }
         }
         for (name, hist) in other.hist_names.iter().zip(other.hists.iter()) {
             match self.hist_names.iter().position(|n| n == name) {
@@ -336,7 +389,7 @@ impl Metrics {
                 escape_json(name)
             ));
         }
-        for (name, value) in &self.gauges {
+        for (name, value) in self.gauges() {
             out.push_str(&format!(
                 "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}\n",
                 escape_json(name)
@@ -443,6 +496,29 @@ mod tests {
         m.record(b, 200);
         assert_eq!(m.histogram("packet.bytes").map(Histogram::count), Some(2));
         assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn gauge_registration_is_idempotent_and_handles_update() {
+        let mut m = Metrics::new();
+        let a = m.register_gauge("queue.depth");
+        let b = m.register_gauge("queue.depth");
+        assert_eq!(a, b);
+        assert_eq!(m.gauge("queue.depth"), 0, "fresh gauges read zero");
+        m.set(a, 7);
+        m.set(b, 3);
+        assert_eq!(m.gauge("queue.depth"), 3, "set is last-write-wins");
+        m.set_max(a, 9);
+        m.set_max(a, 5);
+        assert_eq!(
+            m.gauge("queue.depth"),
+            9,
+            "set_max keeps the high-water mark"
+        );
+        m.set_gauge("queue.depth", 1);
+        assert_eq!(m.gauge("queue.depth"), 1, "name path aliases the handle");
+        assert_eq!(m.gauge("missing"), 0);
+        assert_eq!(m.gauges().count(), 1);
     }
 
     #[test]
