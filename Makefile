@@ -5,7 +5,7 @@
 CARGO ?= cargo
 
 .PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
-	bench-record bench-smoke bench-compare
+	bench-record bench-smoke bench-compare socket seam
 
 all: build
 
@@ -56,18 +56,38 @@ bench-compare:
 sharded:
 	$(CARGO) bench -p difftest-bench --bench sharded
 
-# What .github/workflows/ci.yml runs: formatting, lints, tier-1 build+test,
-# and the lossy-link fault suite.
-ci:
+# What .github/workflows/ci.yml runs: formatting, lints, the runner-seam
+# check, tier-1 build+test, and the lossy-link fault suite.
+ci: seam
 	$(CARGO) fmt --all -- --check
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(CARGO) test -p difftest-core --test fault_link --test fault_runners
 
+# Runner modules build on the shared session/link/consume layer only —
+# one runner reaching into another's internals is the coupling this
+# refactor removed, so it fails CI if it ever comes back.
+RUNNER_SRCS = crates/core/src/engine.rs crates/core/src/threaded.rs \
+	crates/core/src/sharded.rs crates/core/src/socket.rs
+seam:
+	@if grep -nE 'use crate::(engine|threaded|sharded|socket)(::|;| )' $(RUNNER_SRCS); then \
+		echo "runner seam violated: runners must build on session/link/consume only"; \
+		exit 1; \
+	else \
+		echo "runner seam clean: no runner imports another runner's internals"; \
+	fi
+
 # Lossy-link fault suite on its own (property tests + cross-runner grid).
 faults:
 	$(CARGO) test -p difftest-core --test fault_link --test fault_runners
+
+# Process-separated socket runner smoke: the harness-free end-to-end
+# suite (engine equivalence, fault grid, kill-the-consumer) plus the
+# in-process cross-runner equivalence proptests.
+socket:
+	$(CARGO) test --release --test socket_runner
+	$(CARGO) test --release -p difftest-core --test runner_equivalence
 
 # Observability smoke: short workloads through every runner with
 # DIFFTEST_OBS set; asserts the JSONL parses, carries all seven phases,
@@ -82,6 +102,7 @@ examples:
 	$(CARGO) run --release --example bug_hunt
 	$(CARGO) run --release --example tuning
 	$(CARGO) run --release --example threaded
+	$(CARGO) run --release --example socket
 
 # Regenerate the committed reference outputs.
 reference: 

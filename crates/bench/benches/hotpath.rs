@@ -14,10 +14,10 @@
 //!   --record <path>      full run; refresh the `current` section of the
 //!                        artifact, preserving its committed `baseline`
 //!                        (first recording writes baseline = current)
-//!   --compare <path>     full run of the engine scenarios; fail when
-//!                        events_per_sec regresses more than
-//!                        DIFFTEST_BENCH_TOL percent (default 10) vs the
-//!                        artifact's `current` section
+//!   --compare <path>     full run of the gated (engine + socket)
+//!                        scenarios; fail when events_per_sec regresses
+//!                        more than DIFFTEST_BENCH_TOL percent (default
+//!                        10) vs the artifact's `current` section
 
 use std::time::Instant;
 
@@ -26,7 +26,7 @@ use difftest_bench::record::{
 };
 use difftest_bench::Table;
 use difftest_core::engine::DiffConfig;
-use difftest_core::{run_sharded_faulty, run_threaded_faulty, CoSimulation, FaultPlan, RunOutcome};
+use difftest_core::{run_runner, CoSimulation, FaultPlan, RunOutcome, RunnerKind};
 use difftest_dut::DutConfig;
 use difftest_platform::Platform;
 use difftest_stats::{Metrics, Phase};
@@ -92,50 +92,42 @@ fn run_engine(config: DiffConfig, faulty: bool, cycles: u64, w: &Workload) -> Sc
     s.finish()
 }
 
-fn run_runner(sharded: bool, faulty: bool, cycles: u64, w: &Workload) -> ScenarioStats {
+/// Every wall-clock substrate through the one dispatch entry point: the
+/// reports share [`RunCommon`](difftest_core::RunCommon), so the bench
+/// reads the same fields whichever runner produced them.
+fn run_parallel(kind: RunnerKind, faulty: bool, cycles: u64, w: &Workload) -> ScenarioStats {
     let plan = faulty.then(|| FaultPlan::uniform(FAULT_SEED, FAULT_PER_MILLE));
-    let dut = DutConfig::xiangshan_default();
-    let (outcome, items, instructions, dut_cycles, wall_ns, metrics) = if sharded {
-        let r = run_sharded_faulty(
-            dut,
-            DiffConfig::BNSD,
-            w,
-            Vec::new(),
-            cycles,
-            QUEUE_DEPTH,
-            plan,
-        );
-        let ns = (r.wall_s * 1e9) as u64;
-        (r.outcome, r.items, r.instructions, r.cycles, ns, r.metrics)
-    } else {
-        let r = run_threaded_faulty(
-            dut,
-            DiffConfig::BNSD,
-            w,
-            Vec::new(),
-            cycles,
-            QUEUE_DEPTH,
-            plan,
-        );
-        let ns = (r.wall_s * 1e9) as u64;
-        (r.outcome, r.items, r.instructions, r.cycles, ns, r.metrics)
-    };
-    assert!(
-        ok_outcome(&outcome, faulty),
-        "runner bench run diverged: {outcome:?}"
+    let r = run_runner(
+        kind,
+        DutConfig::xiangshan_default(),
+        DiffConfig::BNSD,
+        w,
+        Vec::new(),
+        cycles,
+        QUEUE_DEPTH,
+        plan,
     );
+    assert!(
+        ok_outcome(&r.outcome, faulty),
+        "{kind} bench run diverged: {:?}",
+        r.outcome
+    );
+    let (wall_s, _) = r.wall().expect("parallel runners measure wall time");
     let mut s = ScenarioStats {
-        events: items,
-        instructions,
-        cycles: dut_cycles,
-        wall_ns,
+        events: r.items,
+        instructions: r.instructions,
+        cycles: r.cycles,
+        wall_ns: (wall_s * 1e9) as u64,
         ..Default::default()
     };
-    phase_stats(&metrics, &mut s);
+    phase_stats(&r.metrics, &mut s);
     s.finish()
 }
 
-/// `(name, engine_only, closure)` for every scenario of the artifact.
+/// `(name, gated, closure)` for every scenario of the artifact. Gated
+/// scenarios (the engine's, whose virtual-time runs are steady enough
+/// to gate on, plus the socket clean run the CI smoke watches) are the
+/// ones `--compare` measures and enforces.
 type Runner = Box<dyn Fn(u64, &Workload) -> ScenarioStats>;
 
 fn scenarios() -> Vec<(&'static str, bool, Runner)> {
@@ -163,31 +155,41 @@ fn scenarios() -> Vec<(&'static str, bool, Runner)> {
         (
             "threaded/squash/clean",
             false,
-            Box::new(|c, w| run_runner(false, false, c, w)),
+            Box::new(|c, w| run_parallel(RunnerKind::Threaded, false, c, w)),
         ),
         (
             "threaded/squash/faults",
             false,
-            Box::new(|c, w| run_runner(false, true, c, w)),
+            Box::new(|c, w| run_parallel(RunnerKind::Threaded, true, c, w)),
         ),
         (
             "sharded/squash/clean",
             false,
-            Box::new(|c, w| run_runner(true, false, c, w)),
+            Box::new(|c, w| run_parallel(RunnerKind::Sharded, false, c, w)),
         ),
         (
             "sharded/squash/faults",
             false,
-            Box::new(|c, w| run_runner(true, true, c, w)),
+            Box::new(|c, w| run_parallel(RunnerKind::Sharded, true, c, w)),
+        ),
+        (
+            "socket/squash/clean",
+            true,
+            Box::new(|c, w| run_parallel(RunnerKind::Socket, false, c, w)),
+        ),
+        (
+            "socket/squash/faults",
+            false,
+            Box::new(|c, w| run_parallel(RunnerKind::Socket, true, c, w)),
         ),
     ]
 }
 
-fn measure(cycles: u64, reps: usize, engine_only: bool) -> Vec<(String, ScenarioStats)> {
+fn measure(cycles: u64, reps: usize, gated_only: bool) -> Vec<(String, ScenarioStats)> {
     let w = workload();
     let mut out = Vec::new();
-    for (name, is_engine, f) in scenarios() {
-        if engine_only && !is_engine {
+    for (name, gated, f) in scenarios() {
+        if gated_only && !gated {
             continue;
         }
         // Best-of-N wall time damps scheduler noise.
@@ -332,6 +334,9 @@ fn resolve(path: &str) -> String {
 }
 
 fn main() {
+    // MUST be first: the socket scenarios re-execute this binary as
+    // their consumer process, which diverges here.
+    difftest_core::child_entry();
     let args: Vec<String> = std::env::args().collect();
     let flag = |f: &str| args.iter().position(|a| a == f);
     if let Some(i) = flag("--record") {

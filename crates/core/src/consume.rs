@@ -1,0 +1,659 @@
+//! The receive-side state machine every runner drives: CRC verify →
+//! unpack → check → bounded ARQ recovery.
+//!
+//! Before this module, each runner carried a private copy of the same
+//! loop. [`Consumer`] is the single implementation: feed it transfers
+//! with [`ingest`](Consumer::ingest), close the stream with
+//! [`finish_stream`](Consumer::finish_stream), and read the verdict.
+//! Transport differences stay outside — a runner only decides *where*
+//! this state machine executes (in-line, on a thread, in another
+//! process) and what [`ChargeObserver`] accounts each transfer (the
+//! engine's LogGP virtual-time model; nothing for wall-clock runners).
+//!
+//! Recovery is opt-in: with a retention ring
+//! ([`with_retention`](Consumer::with_retention)), decode failures and
+//! terminal gaps first attempt redelivery of the pristine packet,
+//! bounded by [`RECOVERY_BUDGET`] and [`MAX_REDELIVERY_DEPTH`]; without
+//! one (threaded/sharded/socket), they surface directly as typed
+//! [`RunOutcome::LinkError`](crate::RunOutcome::LinkError) material.
+
+use difftest_event::wire::CodecError;
+use difftest_stats::{
+    FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, GaugeId, HistogramId, Metrics, Phase,
+    PhaseTimer,
+};
+
+use crate::batch::peek_packet_seq;
+use crate::checker::{CheckStats, Checker, Mismatch, Verdict};
+use crate::fault::{LinkErrorKind, LinkStats};
+use crate::link::LinkSource;
+use crate::pool::PooledBuf;
+use crate::replay::ReplayBuffer;
+use crate::transport::{SwUnit, Transfer};
+use crate::wire::WireItem;
+
+/// Retransmissions a run may issue before a link failure is reported
+/// unrecoverable (bounds the cost a hostile schedule can impose).
+pub const RECOVERY_BUDGET: u32 = 64;
+
+/// Nested redeliveries a single decode failure may trigger (a
+/// retransmitted packet failing again counts one level deeper).
+pub const MAX_REDELIVERY_DEPTH: u32 = 4;
+
+/// What one [`Consumer::ingest`] call decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Keep feeding transfers.
+    Continue,
+    /// The stream is decided — a halting trap was verified, a mismatch
+    /// was detected, or the link failed unrecoverably. Stop feeding and
+    /// read the verdict accessors.
+    Stop,
+}
+
+/// Per-transfer accounting hook. The engine implements this to charge
+/// LogGP virtual time (startup + transmission + software cost derived
+/// from the checker-stats delta); wall-clock runners use [`NoCharge`].
+pub trait ChargeObserver {
+    /// Called once per transfer that crossed the link — after its items
+    /// were checked, or after its decode failed (the damaged bytes
+    /// crossed regardless). `before`/`after` bracket the checker stats.
+    fn transfer_done(&mut self, t: &Transfer, before: &CheckStats, after: &CheckStats);
+}
+
+/// The no-op observer for runners that measure wall-clock time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCharge;
+
+impl ChargeObserver for NoCharge {
+    fn transfer_done(&mut self, _t: &Transfer, _before: &CheckStats, _after: &CheckStats) {}
+}
+
+/// What a finished [`Consumer`] hands back to its runner.
+#[derive(Debug)]
+pub struct ConsumerOutput {
+    /// Wire items checked.
+    pub items: u64,
+    /// Halting-trap verdict, if one was verified.
+    pub verdict: Option<Verdict>,
+    /// First detected mismatch, if any.
+    pub mismatch: Option<Mismatch>,
+    /// Unrecovered link failure, if any: `(kind, expected seq, core)`.
+    pub link_error: Option<(LinkErrorKind, u32, u8)>,
+    /// Link failure / recovery counters.
+    pub link: LinkStats,
+    /// The consumer's metrics (histograms, gauges, `obs.*` counters and
+    /// its phase attribution).
+    pub metrics: Metrics,
+    /// Flight records, oldest first.
+    pub flight: FlightSnapshot,
+}
+
+/// The shared receive-side pipeline: decoder, checker, observability
+/// and (optionally) the ARQ retention ring.
+#[derive(Debug)]
+pub struct Consumer {
+    sw: SwUnit,
+    checker: Checker,
+    metrics: Metrics,
+    h_bytes: HistogramId,
+    h_items: HistogramId,
+    g_reorder: GaugeId,
+    g_pending: GaugeId,
+    timer: PhaseTimer,
+    flight: FlightRecorder,
+    item_buf: Vec<WireItem>,
+    items: u64,
+    obs_transfers: u64,
+    obs_bytes: u64,
+    verdict: Option<Verdict>,
+    mismatch: Option<Mismatch>,
+    link_error: Option<(LinkErrorKind, u32, u8)>,
+    link: LinkStats,
+    retention: Option<ReplayBuffer>,
+    recovery_budget: u32,
+    home_core: u8,
+}
+
+impl Consumer {
+    /// Builds the pipeline over a decoder and checker. Metrics
+    /// (histograms `packet.bytes`/`packet.items`, gauges
+    /// `reorder.buffered.max`/`checker.pending.max`), the phase timer
+    /// and the flight ring are wired here — the setup every runner
+    /// previously duplicated.
+    pub fn new(sw: SwUnit, checker: Checker) -> Self {
+        let mut metrics = Metrics::new();
+        let h_bytes = metrics.register_histogram("packet.bytes");
+        let h_items = metrics.register_histogram("packet.items");
+        let g_reorder = metrics.register_gauge("reorder.buffered.max");
+        let g_pending = metrics.register_gauge("checker.pending.max");
+        Consumer {
+            sw,
+            checker,
+            metrics,
+            h_bytes,
+            h_items,
+            g_reorder,
+            g_pending,
+            timer: PhaseTimer::monotonic(),
+            flight: FlightRecorder::default(),
+            item_buf: Vec::new(),
+            items: 0,
+            obs_transfers: 0,
+            obs_bytes: 0,
+            verdict: None,
+            mismatch: None,
+            link_error: None,
+            link: LinkStats::default(),
+            retention: None,
+            recovery_budget: RECOVERY_BUDGET,
+            home_core: 0,
+        }
+    }
+
+    /// Attaches a packet/event retention ring of `capacity` entries,
+    /// enabling bounded ARQ recovery (and §4.4 replay for the engine).
+    pub fn with_retention(mut self, capacity: usize) -> Self {
+        self.retention = Some(ReplayBuffer::new(capacity));
+        self
+    }
+
+    /// Sets the core terminal gaps are attributed to (sharded workers
+    /// pass their shard's core; defaults to 0).
+    pub fn with_home_core(mut self, core: u8) -> Self {
+        self.home_core = core;
+        self
+    }
+
+    /// Feeds one delivered transfer through decode → check → recover.
+    /// `cycle` stamps flight records (0 on consumers without a cycle
+    /// view); `obs` accounts the transfer once its fate is known.
+    pub fn ingest<O: ChargeObserver>(&mut self, t: &Transfer, cycle: u64, obs: &mut O) -> Step {
+        self.ingest_at(t, cycle, 0, obs)
+    }
+
+    fn ingest_at(
+        &mut self,
+        t: &Transfer,
+        cycle: u64,
+        depth: u32,
+        obs: &mut dyn ChargeObserver,
+    ) -> Step {
+        let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
+        self.flight.record(FlightRecord {
+            kind: FlightKind::PacketReceived,
+            core: t.core,
+            seq,
+            cycle,
+            value: t.bytes.len() as u64,
+        });
+        self.metrics.record(self.h_bytes, t.bytes.len() as u64);
+        self.metrics.record(self.h_items, u64::from(t.items));
+        self.obs_transfers += 1;
+        self.obs_bytes += t.bytes.len() as u64;
+
+        let before = *self.checker.stats();
+        // Reuse the decode scratch across calls: dropping the transfer
+        // afterwards recycles its payload to the pool, so the steady
+        // state allocates neither payload nor item storage.
+        let mut items = std::mem::take(&mut self.item_buf);
+        items.clear();
+        let t0 = self.timer.start();
+        let decode = self.sw.decode_into(t, &mut items);
+        self.timer.stop(Phase::Unpack, t0);
+        match decode {
+            Ok(_) => {
+                let t0 = self.timer.start();
+                let mut stop = false;
+                for item in items.drain(..) {
+                    self.items += 1;
+                    match self.checker.process(item) {
+                        Ok(Verdict::Continue) => {}
+                        Ok(v @ Verdict::Halt { good, .. }) => {
+                            self.flight.record(FlightRecord {
+                                kind: FlightKind::Verdict,
+                                core: t.core,
+                                seq,
+                                cycle,
+                                value: u64::from(good),
+                            });
+                            self.verdict = Some(v);
+                            stop = true;
+                            break;
+                        }
+                        Err(m) => {
+                            self.flight.record(FlightRecord {
+                                kind: FlightKind::Mismatch,
+                                core: m.core,
+                                seq,
+                                cycle,
+                                value: m.seq,
+                            });
+                            self.mismatch = Some(m);
+                            stop = true;
+                            break;
+                        }
+                    }
+                }
+                items.clear();
+                self.item_buf = items;
+                self.timer.stop(Phase::Check, t0);
+                // Occupancy high-water marks by handle: an indexed store
+                // per transfer, no name lookup.
+                self.metrics
+                    .set_max(self.g_reorder, self.sw.buffered_packets() as u64);
+                self.metrics
+                    .set_max(self.g_pending, self.checker.pending_items() as u64);
+                obs.transfer_done(t, &before, self.checker.stats());
+                if stop {
+                    Step::Stop
+                } else {
+                    Step::Continue
+                }
+            }
+            Err(e) => {
+                items.clear();
+                self.item_buf = items;
+                // The damaged bytes crossed the link regardless.
+                obs.transfer_done(t, &before, &before);
+                self.on_decode_error(t, &e, cycle, depth, obs)
+            }
+        }
+    }
+
+    /// Handles a transfer the decoder rejected: count it, drop stale
+    /// duplicates, attempt ARQ redelivery, or fail the link.
+    fn on_decode_error(
+        &mut self,
+        t: &Transfer,
+        err: &CodecError,
+        cycle: u64,
+        depth: u32,
+        obs: &mut dyn ChargeObserver,
+    ) -> Step {
+        let kind = LinkErrorKind::classify(err);
+        self.link.note(kind);
+        if kind == LinkErrorKind::Stale {
+            // A duplicate of an already-delivered packet: dropping it
+            // loses nothing (paper §4.5's window already delivered it).
+            self.link.stale_dropped += 1;
+            return Step::Continue;
+        }
+        // Identify the packet to re-request: a detected gap names the
+        // missing sequence; for a damaged frame the embedded sequence
+        // field is a best-effort guess from unverified bytes, validated
+        // implicitly by the retention-ring lookup.
+        let seq = match err {
+            CodecError::ReorderOverflow { missing } => Some(*missing),
+            _ => peek_packet_seq(&t.bytes),
+        };
+        if let Some(seq) = seq {
+            if self.redeliver(seq, t.core, cycle, depth, obs) {
+                return if self.stopped() {
+                    Step::Stop
+                } else {
+                    Step::Continue
+                };
+            }
+        }
+        self.fail_link(kind, t.core, cycle);
+        Step::Stop
+    }
+
+    /// Attempts to re-deliver packet `seq` from the retention ring; the
+    /// redelivered transfer runs the full pipeline one level deeper
+    /// (and is charged through `obs` like any other transfer). Returns
+    /// `true` when a pristine copy was found and processed.
+    fn redeliver(
+        &mut self,
+        seq: u32,
+        core: u8,
+        cycle: u64,
+        depth: u32,
+        obs: &mut dyn ChargeObserver,
+    ) -> bool {
+        if depth >= MAX_REDELIVERY_DEPTH || self.recovery_budget == 0 {
+            return false;
+        }
+        let t0 = self.timer.start();
+        let pristine = self
+            .retention
+            .as_ref()
+            .and_then(|rb| rb.retransmit_packet(seq))
+            .map(<[u8]>::to_vec);
+        self.timer.stop(Phase::Arq, t0);
+        let Some(pristine) = pristine else {
+            return false;
+        };
+        self.recovery_budget -= 1;
+        self.link.retransmits += 1;
+        self.link.retransmit_bytes += pristine.len() as u64;
+        self.flight.record(FlightRecord {
+            kind: FlightKind::Retransmit,
+            core,
+            seq,
+            cycle,
+            value: pristine.len() as u64,
+        });
+        let rt = Transfer {
+            bytes: PooledBuf::detached(pristine),
+            core,
+            invokes: 1,
+            items: 0,
+        };
+        self.ingest_at(&rt, cycle, depth + 1, obs);
+        if self.link_error.is_none() {
+            self.link.recovered += 1;
+        }
+        true
+    }
+
+    /// Raises a typed link failure at the receiver's expected sequence.
+    fn fail_link(&mut self, kind: LinkErrorKind, core: u8, cycle: u64) {
+        let expected = self.sw.expected_seq().unwrap_or(0);
+        self.flight.record(FlightRecord {
+            kind: FlightKind::LinkError,
+            core,
+            seq: expected,
+            cycle,
+            value: kind as u64,
+        });
+        self.link_error = Some((kind, expected, core));
+    }
+
+    /// Closes the stream: any receive-side gap is now permanent —
+    /// buffered successors still waiting, or (`produced` known) sent
+    /// packets that never arrived. Gaps are recovered from the
+    /// retention ring where possible, otherwise reported; an intact
+    /// stream runs the checker's finalize.
+    pub fn finish_stream<O: ChargeObserver>(
+        &mut self,
+        produced: Option<u32>,
+        cycle: u64,
+        obs: &mut O,
+    ) {
+        loop {
+            if self.stopped() {
+                return;
+            }
+            let Some(expected) = self.sw.expected_seq() else {
+                // Per-event transfers carry no sequence numbers; drops
+                // are undetectable at this layer.
+                self.finalize_checker(cycle);
+                return;
+            };
+            let tail_missing = produced.is_some_and(|sent| expected != sent);
+            if self.sw.buffered_packets() == 0 && !tail_missing {
+                self.finalize_checker(cycle);
+                return;
+            }
+            self.link.note(LinkErrorKind::Gap);
+            if !self.redeliver(expected, self.home_core, cycle, 0, obs) {
+                self.fail_link(LinkErrorKind::Gap, self.home_core, cycle);
+                return;
+            }
+        }
+    }
+
+    fn finalize_checker(&mut self, cycle: u64) {
+        let t0 = self.timer.start();
+        let fin = self.checker.finalize();
+        self.timer.stop(Phase::Check, t0);
+        match fin {
+            Ok(v @ Verdict::Halt { good, .. }) => {
+                self.flight.record(FlightRecord {
+                    kind: FlightKind::Verdict,
+                    core: self.home_core,
+                    seq: 0,
+                    cycle,
+                    value: u64::from(good),
+                });
+                self.verdict = Some(v);
+            }
+            Ok(Verdict::Continue) => {}
+            Err(m) => {
+                self.flight.record(FlightRecord {
+                    kind: FlightKind::Mismatch,
+                    core: m.core,
+                    seq: 0,
+                    cycle,
+                    value: m.seq,
+                });
+                self.mismatch = Some(m);
+            }
+        }
+    }
+
+    /// Whether the stream is decided (verdict, mismatch or link error).
+    pub fn stopped(&self) -> bool {
+        self.verdict.is_some() || self.mismatch.is_some() || self.link_error.is_some()
+    }
+
+    /// The verified halting trap, if any.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.verdict
+    }
+
+    /// The first detected mismatch, if any.
+    pub fn mismatch(&self) -> Option<&Mismatch> {
+        self.mismatch.as_ref()
+    }
+
+    /// The unrecovered link failure, if any.
+    pub fn link_error(&self) -> Option<(LinkErrorKind, u32, u8)> {
+        self.link_error
+    }
+
+    /// Wire items checked so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Link failure / recovery counters so far.
+    pub fn link_stats(&self) -> LinkStats {
+        self.link
+    }
+
+    /// The checker (statistics, per-core progress).
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// The retention ring, when recovery is enabled (the engine records
+    /// pristine packets and monitored events into it).
+    pub fn retention_mut(&mut self) -> Option<&mut ReplayBuffer> {
+        self.retention.as_mut()
+    }
+
+    /// Events evicted from the retention ring before use.
+    pub fn retention_dropped(&self) -> u64 {
+        self.retention.as_ref().map_or(0, ReplayBuffer::dropped)
+    }
+
+    /// The flight ring (producer phases of single-threaded runners
+    /// record into the same ring to keep records chronological).
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// The phase timer (shared with producer phases in single-threaded
+    /// runners).
+    pub fn timer_mut(&mut self) -> &mut PhaseTimer {
+        &mut self.timer
+    }
+
+    /// Disjoint borrows for the engine's §4.4 replay flow: the checker
+    /// (revert + replay), the retention ring (unfused retransmission)
+    /// and the timer (Arq attribution) in one call.
+    pub fn replay_parts(&mut self) -> (&mut Checker, Option<&mut ReplayBuffer>, &mut PhaseTimer) {
+        (&mut self.checker, self.retention.as_mut(), &mut self.timer)
+    }
+
+    /// Snapshot of the flight ring.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        self.flight.snapshot()
+    }
+
+    /// The consumer's metrics with its deferred counters
+    /// (`obs.transfers`/`obs.bytes`/`obs.items`) and phase attribution
+    /// folded in. Non-consuming: the engine stays runnable.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        m.counters.set("obs.transfers", self.obs_transfers);
+        m.counters.set("obs.bytes", self.obs_bytes);
+        m.counters.set("obs.items", self.items);
+        m.phases = self.timer.times();
+        m
+    }
+
+    /// Tears the consumer down into its runner-facing output.
+    pub fn finish(self) -> ConsumerOutput {
+        let metrics = self.metrics_snapshot();
+        ConsumerOutput {
+            items: self.items,
+            verdict: self.verdict,
+            mismatch: self.mismatch,
+            link_error: self.link_error,
+            link: self.link,
+            metrics,
+            flight: self.flight.snapshot(),
+        }
+    }
+}
+
+/// Drives a consumer from a [`LinkSource`] until the stream ends or is
+/// decided — the shared receive loop of the threaded, sharded and
+/// socket runners. `on_stop` fires when the consumer decides the stream
+/// early (runners broadcast their stop signal there). Returns whether
+/// the source was exhausted (`false` = stopped early).
+pub fn drive<S: LinkSource>(
+    source: &mut S,
+    consumer: &mut Consumer,
+    mut on_stop: impl FnMut(),
+) -> bool {
+    while let Some(t) = source.recv() {
+        if consumer.ingest(&t, 0, &mut NoCharge) == Step::Stop {
+            on_stop();
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{DiffConfig, Session};
+    use difftest_dut::DutConfig;
+    use difftest_workload::Workload;
+
+    /// Small workload + small packets: several sequenced transfers, yet
+    /// few enough that none fall out of the packet-retention ring.
+    fn session() -> Session {
+        let w = Workload::microbench().seed(3).iterations(5).build();
+        Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BN,
+            &w,
+            Vec::new(),
+            200_000,
+            8,
+            None,
+        )
+        .with_packet_bytes(1024)
+    }
+
+    /// Runs the producer side to completion, collecting every packet.
+    fn produce(session: &Session) -> Vec<Transfer> {
+        let mut dut = session.dut();
+        let mut accel = session.accel();
+        let mut transfers = Vec::new();
+        let mut events = Vec::new();
+        while dut.halted().is_none() && dut.cycles() < session.max_cycles() {
+            events.clear();
+            dut.tick_into(&mut events);
+            accel.push_cycle(&events, &mut transfers);
+        }
+        accel.flush(&mut transfers);
+        transfers
+    }
+
+    #[test]
+    fn tail_loss_is_reported_as_gap() {
+        // Deliver everything but the last packet: the consumer must
+        // flag the missing tail once the produced count says more.
+        let s = session();
+        let transfers = produce(&s);
+        assert!(transfers.len() >= 3, "need several packets");
+        let produced = transfers.len() as u32;
+        let mut c = s.consumer();
+        for t in &transfers[..transfers.len() - 1] {
+            if c.ingest(t, 0, &mut NoCharge) == Step::Stop {
+                break;
+            }
+        }
+        if !c.stopped() {
+            c.finish_stream(Some(produced), 0, &mut NoCharge);
+        }
+        let out = c.finish();
+        match out.link_error {
+            Some((LinkErrorKind::Gap, seq, _)) => assert_eq!(seq, produced - 1),
+            other => panic!("expected tail gap, got {other:?} ({:?})", out.mismatch),
+        }
+        assert!(out.link.count(LinkErrorKind::Gap) > 0);
+        assert!(
+            out.flight
+                .find(FlightKind::LinkError, produced - 1)
+                .is_some(),
+            "gap must leave a flight record"
+        );
+    }
+
+    #[test]
+    fn redelivery_recovers_a_dropped_packet() {
+        let s = session();
+        let transfers = produce(&s);
+        assert!(transfers.len() >= 3);
+        let mut c = s.consumer().with_retention(1 << 12);
+        // Retain pristine copies like the engine's send path does.
+        if let Some(rb) = c.retention_mut() {
+            for t in &transfers {
+                if let Some(seq) = peek_packet_seq(&t.bytes) {
+                    rb.record_packet(seq, &t.bytes);
+                }
+            }
+        }
+        let produced = transfers.len() as u32;
+        // Drop packet 1 in flight.
+        for (i, t) in transfers.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            if c.ingest(t, 0, &mut NoCharge) == Step::Stop {
+                break;
+            }
+        }
+        if !c.stopped() {
+            c.finish_stream(Some(produced), 0, &mut NoCharge);
+        }
+        let out = c.finish();
+        assert_eq!(out.link_error, None, "{:?}", out.link);
+        assert!(out.link.retransmits >= 1);
+        assert!(out.link.recovered >= 1);
+        assert!(out.mismatch.is_none(), "{:?}", out.mismatch);
+    }
+
+    #[test]
+    fn stale_duplicates_are_dropped_silently() {
+        let s = session();
+        let transfers = produce(&s);
+        assert!(transfers.len() >= 2);
+        let mut c = s.consumer();
+        assert_eq!(c.ingest(&transfers[0], 0, &mut NoCharge), Step::Continue);
+        // The same packet again: stale, dropped, not fatal.
+        assert_eq!(c.ingest(&transfers[0], 0, &mut NoCharge), Step::Continue);
+        let out = c.finish();
+        assert_eq!(out.link.stale_dropped, 1);
+        assert_eq!(out.link_error, None);
+    }
+}

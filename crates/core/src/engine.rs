@@ -13,90 +13,31 @@
 //!
 //! Real bytes flow through real pack/fuse/parse code; only *time* is
 //! virtual, so every reported speedup derives from genuinely reduced
-//! invocations, bytes and checks.
+//! invocations, bytes and checks. The receive side is the shared
+//! [`Consumer`] pipeline; the engine contributes its virtual link
+//! ([`QueueSink`] drained in-line) and a [`ChargeObserver`] that prices
+//! every transfer on the LogGP timeline.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 use difftest_dut::{BugSpec, Dut, DutConfig};
-use difftest_event::wire::CodecError;
 use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
-use difftest_ref::{Memory, RefModel};
-use difftest_stats::{
-    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, GaugeId, HistogramId,
-    Metrics, Phase, PhaseTimer,
-};
+use difftest_stats::{export_to_env, Metrics, Phase};
 use difftest_workload::Workload;
 
 use crate::batch::peek_packet_seq;
-use crate::checker::{CheckStats, Checker, Mismatch, Verdict};
-use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
-use crate::pool::PooledBuf;
-use crate::replay::{FailureReport, ReplayBuffer, Retransmission};
+use crate::checker::{CheckStats, Mismatch, Verdict};
+use crate::consume::{ChargeObserver, Consumer, Step};
+use crate::fault::{FaultPlan, LinkErrorKind};
+use crate::link::{FusionWatch, QueueSink, SendLink};
+use crate::replay::{FailureReport, Retransmission};
+use crate::session::{RunCommon, Session};
 use crate::squash::SquashStats;
-use crate::transport::{AccelUnit, SwUnit, Transfer};
+use crate::transport::{AccelUnit, Transfer};
 
-/// Retransmissions a run may issue before a link failure is reported
-/// unrecoverable (bounds the cost a hostile schedule can impose).
-const RECOVERY_BUDGET: u32 = 64;
-
-/// Nested redeliveries a single decode failure may trigger (a
-/// retransmitted packet failing again counts one level deeper).
-const MAX_REDELIVERY_DEPTH: u32 = 4;
-
-/// The optimization configurations of the artifact appendix (`DIFF_CONFIG`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DiffConfig {
-    /// Baseline: per-event blocking transfers.
-    Z,
-    /// +Batch: tight packing, still blocking.
-    B,
-    /// +Batch +NonBlock: packed, non-blocking transfers.
-    BN,
-    /// +Batch +NonBlock +Squash(+Differencing): the full DiffTest-H.
-    BNSD,
-}
-
-impl DiffConfig {
-    /// All configurations in Table 5 order.
-    pub const ALL: [DiffConfig; 4] = [
-        DiffConfig::Z,
-        DiffConfig::B,
-        DiffConfig::BN,
-        DiffConfig::BNSD,
-    ];
-
-    /// Tight packing enabled.
-    pub fn batch(self) -> bool {
-        self != DiffConfig::Z
-    }
-
-    /// Non-blocking transmission enabled.
-    pub fn nonblock(self) -> bool {
-        matches!(self, DiffConfig::BN | DiffConfig::BNSD)
-    }
-
-    /// Fusion + differencing enabled.
-    pub fn squash(self) -> bool {
-        self == DiffConfig::BNSD
-    }
-
-    /// Table 5 row label.
-    pub fn label(self) -> &'static str {
-        match self {
-            DiffConfig::Z => "Baseline",
-            DiffConfig::B => "+Batch",
-            DiffConfig::BN => "+NonBlock",
-            DiffConfig::BNSD => "+Squash",
-        }
-    }
-}
-
-impl fmt::Display for DiffConfig {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use crate::session::{DiffConfig, RunOutcome};
 
 /// Build-time validation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,50 +192,37 @@ impl CoSimulationBuilder {
             return Err(BuildError::ZeroWindow);
         }
 
-        let mut image = Memory::new();
-        image.load_words(Memory::RAM_BASE, workload.words());
-        let cores = self.dut.cores as usize;
-        let dut = Dut::new(self.dut.clone(), &image, self.bugs.clone());
+        let session = Session::new(
+            self.dut.clone(),
+            self.config,
+            workload,
+            self.bugs,
+            self.max_cycles,
+            self.queue_depth,
+            self.fault_plan,
+        )
+        .with_packet_bytes(self.packet_bytes)
+        .with_fusion_window(self.fusion_window)
+        .with_order_coupled(self.order_coupled)
+        .with_differencing(self.differencing);
 
-        let accel = match self.config {
-            DiffConfig::Z => AccelUnit::per_event(),
-            DiffConfig::B | DiffConfig::BN => AccelUnit::batch(cores, self.packet_bytes),
-            DiffConfig::BNSD => AccelUnit::squash_batch_with(
-                cores,
-                self.packet_bytes,
-                self.fusion_window,
-                self.order_coupled,
-                self.differencing,
-            ),
-        };
-        let sw = match self.config {
-            DiffConfig::Z => SwUnit::per_event(),
-            _ => SwUnit::packed(cores),
-        };
         let replay_on = self.replay && self.config.squash();
-        let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
-        let checker = Checker::new(refs, replay_on);
-
+        let dut = session.dut();
+        let accel = session.accel();
+        let consumer = if replay_on {
+            session.consumer_with_retention(true, 1 << 16)
+        } else {
+            session.consumer()
+        };
+        let link = session.send_link(QueueSink::default());
         let gates = self.dut.gates;
-        let mut metrics = Metrics::new();
-        let h_packet_bytes = metrics.register_histogram("packet.bytes");
-        let h_packet_items = metrics.register_histogram("packet.items");
-        let g_pending_max = metrics.register_gauge("checker.pending.max");
-        let g_reorder_max = metrics.register_gauge("reorder.buffered.max");
+
         Ok(CoSimulation {
             dut,
             accel,
-            sw,
-            checker,
-            metrics,
-            h_packet_bytes,
-            h_packet_items,
-            g_pending_max,
-            g_reorder_max,
-            timer: PhaseTimer::monotonic(),
-            flight: FlightRecorder::default(),
-            last_fused: 0,
-            replay_buffer: replay_on.then(|| ReplayBuffer::new(1 << 16)),
+            consumer,
+            fusion: FusionWatch::default(),
+            link,
             timing: Timing::new(
                 self.platform.cycle_time_s(gates),
                 self.platform.step_sync_s(),
@@ -308,54 +236,22 @@ impl CoSimulationBuilder {
             platform: self.platform,
             config: self.config,
             max_cycles: self.max_cycles,
-            faulty: self.fault_plan.map(FaultyLink::new),
-            transfers: Vec::new(),
             staging: Vec::new(),
             events_buf: Vec::new(),
-            items_buf: Vec::new(),
-            halt: None,
             failure: None,
-            link_stats: LinkStats::default(),
-            link_error: None,
-            recovery_budget: RECOVERY_BUDGET,
         })
     }
 }
 
-/// Why a run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunOutcome {
-    /// The workload reached its good trap and every check passed.
-    GoodTrap,
-    /// The workload signalled failure.
-    BadTrap,
-    /// A DUT/REF divergence was detected.
-    Mismatch,
-    /// The cycle budget was exhausted without a trap.
-    MaxCycles,
-    /// The link failed in a way bounded recovery could not mask.
-    LinkError {
-        /// Failure classification.
-        kind: LinkErrorKind,
-        /// Packet sequence involved (the receiver's expected sequence
-        /// at detection; 0 for unsequenced per-event transfers).
-        seq: u32,
-        /// Routing core of the offending transfer.
-        core: u8,
-    },
-}
-
-/// The result of one co-simulation run.
+/// The result of one co-simulation run: the shared [`RunCommon`] core
+/// plus the engine's virtual-time extensions.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Why the run ended.
-    pub outcome: RunOutcome,
+    /// The report core shared by every runner (verdict, volume, link
+    /// health, observability).
+    pub common: RunCommon,
     /// Failure details when `outcome == Mismatch`.
     pub failure: Option<FailureReport>,
-    /// DUT cycles simulated.
-    pub cycles: u64,
-    /// Instructions committed (all cores).
-    pub instructions: u64,
     /// Simulated wall-clock seconds (virtual time).
     pub sim_time_s: f64,
     /// Achieved co-simulation speed in Hz (cycles / simulated second).
@@ -372,23 +268,24 @@ pub struct RunReport {
     pub squash: Option<SquashStats>,
     /// Checker statistics.
     pub check: CheckStats,
-    /// Link failure detection / recovery counters.
-    pub link: LinkStats,
-    /// Faults the injected link model applied (`None` on a clean link).
-    pub fault: Option<FaultStats>,
     /// Events evicted from the replay ring before use (the
     /// `replay.dropped` counter): when non-zero, a localization over an
     /// old token range may be partial.
     pub replay_dropped: u64,
-    /// The run's observability registry: counters (mirroring
-    /// [`counters`](Self::counters)), packet histograms, and host-side
-    /// per-phase wall-time attribution. Exported as JSONL when
-    /// `DIFFTEST_OBS=<path>` is set.
-    pub metrics: Metrics,
-    /// Flight-recorder snapshot of the pipeline records around the
-    /// failure; attached on [`RunOutcome::Mismatch`] and
-    /// [`RunOutcome::LinkError`], `None` on clean runs.
-    pub flight: Option<FlightSnapshot>,
+}
+
+impl Deref for RunReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for RunReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        &mut self.common
+    }
 }
 
 impl RunReport {
@@ -551,43 +448,53 @@ impl Timing {
     }
 }
 
+/// The engine's [`ChargeObserver`]: prices each transfer that crossed
+/// the link on the LogGP timeline (Eq. 1) and tallies the run's invoke
+/// and byte volume. The software cost derives from the checker-stats
+/// delta the transfer caused — real work, virtually priced.
+struct LogGpCharge<'a> {
+    timing: &'a mut Timing,
+    platform: &'a Platform,
+    invokes: &'a mut u64,
+    bytes: &'a mut u64,
+}
+
+impl ChargeObserver for LogGpCharge<'_> {
+    fn transfer_done(&mut self, t: &Transfer, before: &CheckStats, after: &CheckStats) {
+        *self.invokes += t.invokes;
+        *self.bytes += t.bytes.len() as u64;
+        let host = self.platform.host();
+        let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
+            + (after.instructions - before.instructions) as f64 * host.ref_step_s
+            + t.bytes.len() as f64 * host.event_per_byte_s;
+        self.timing.on_transfer(
+            self.platform.link(),
+            t.invokes,
+            t.bytes.len() as u64,
+            sw_cost,
+        );
+    }
+}
+
 /// A runnable co-simulation.
 #[derive(Debug)]
 pub struct CoSimulation {
     dut: Dut,
     accel: AccelUnit,
-    sw: SwUnit,
-    checker: Checker,
-    /// Observability registry (histograms registered at build time).
-    metrics: Metrics,
-    h_packet_bytes: HistogramId,
-    h_packet_items: HistogramId,
-    g_pending_max: GaugeId,
-    g_reorder_max: GaugeId,
-    /// Host-side wall-time attribution per pipeline phase.
-    timer: PhaseTimer,
-    /// Free-running ring of structured pipeline records.
-    flight: FlightRecorder,
-    /// Fused-record watermark for per-packet fusion flight records.
-    last_fused: u64,
-    replay_buffer: Option<ReplayBuffer>,
+    /// The shared receive-side pipeline (decode, check, ARQ recovery,
+    /// observability) — the engine drives it in-line on one timeline.
+    consumer: Consumer,
+    fusion: FusionWatch,
+    /// The virtual link: the shared send path over an in-memory queue.
+    link: SendLink<QueueSink>,
     platform: Platform,
     config: DiffConfig,
     timing: Timing,
     max_cycles: u64,
-    /// The injected link model, when fault injection is enabled.
-    faulty: Option<FaultyLink>,
-    /// Transfers that emerged from the link, awaiting decode.
-    transfers: Vec<Transfer>,
     /// Transfers produced by the accelerator, before crossing the link.
     staging: Vec<Transfer>,
     events_buf: Vec<difftest_event::MonitoredEvent>,
-    items_buf: Vec<crate::wire::WireItem>,
-    halt: Option<Verdict>,
     failure: Option<FailureReport>,
-    link_stats: LinkStats,
-    link_error: Option<(LinkErrorKind, u32, u8)>,
-    recovery_budget: u32,
 }
 
 impl CoSimulation {
@@ -607,8 +514,8 @@ impl CoSimulation {
     }
 
     /// The ISA checker (statistics, per-core progress).
-    pub fn checker(&self) -> &Checker {
-        &self.checker
+    pub fn checker(&self) -> &crate::checker::Checker {
+        self.consumer.checker()
     }
 
     /// Runs to completion (trap, mismatch or cycle budget) and reports.
@@ -616,61 +523,65 @@ impl CoSimulation {
         let mut invokes = 0u64;
         let mut bytes = 0u64;
 
-        'outer: while self.dut.halted().is_none() && self.dut.cycles() < self.max_cycles {
-            let t0 = self.timer.start();
+        while self.dut.halted().is_none() && self.dut.cycles() < self.max_cycles {
+            let t0 = self.consumer.timer_mut().start();
             self.events_buf.clear();
             self.dut.tick_into(&mut self.events_buf);
             self.timing.on_cycle();
-            self.timer.stop(Phase::Tick, t0);
+            self.consumer.timer_mut().stop(Phase::Tick, t0);
 
-            let t0 = self.timer.start();
-            if let Some(rb) = &mut self.replay_buffer {
+            let t0 = self.consumer.timer_mut().start();
+            if let Some(rb) = self.consumer.retention_mut() {
                 for ev in &self.events_buf {
                     rb.push(ev.clone());
                 }
             }
-            self.timer.stop(Phase::Monitor, t0);
+            self.consumer.timer_mut().stop(Phase::Monitor, t0);
 
-            let t0 = self.timer.start();
+            let t0 = self.consumer.timer_mut().start();
             self.accel.push_cycle(&self.events_buf, &mut self.staging);
-            self.timer.stop(Phase::Pack, t0);
+            self.consumer.timer_mut().stop(Phase::Pack, t0);
             self.route_staged();
-            if self.process_transfers(&mut invokes, &mut bytes) {
-                break 'outer;
+            if self.process_queued(&mut invokes, &mut bytes) {
+                break;
             }
         }
 
         // Drain: flush fusion windows, partial packets and the link's
         // reorder holds, then pending transfers, then any terminal gaps.
-        if self.halt.is_none() && self.failure.is_none() && self.link_error.is_none() {
-            let t0 = self.timer.start();
+        if !self.consumer.stopped() {
+            let t0 = self.consumer.timer_mut().start();
             self.accel.flush(&mut self.staging);
-            self.timer.stop(Phase::Pack, t0);
+            self.consumer.timer_mut().stop(Phase::Pack, t0);
             self.route_staged();
-            if let Some(link) = &mut self.faulty {
-                let t0 = self.timer.start();
-                link.flush(&mut self.transfers);
-                self.timer.stop(Phase::Transport, t0);
-            }
-            let stopped = self.process_transfers(&mut invokes, &mut bytes);
+            let t0 = self.consumer.timer_mut().start();
+            self.link.finish();
+            self.consumer.timer_mut().stop(Phase::Transport, t0);
+            let stopped = self.process_queued(&mut invokes, &mut bytes);
             if !stopped {
-                self.recover_tail(&mut invokes, &mut bytes);
+                let cycle = self.dut.cycles();
+                let produced = self.link.produced();
+                let mut obs = LogGpCharge {
+                    timing: &mut self.timing,
+                    platform: &self.platform,
+                    invokes: &mut invokes,
+                    bytes: &mut bytes,
+                };
+                self.consumer.finish_stream(Some(produced), cycle, &mut obs);
             }
-            if self.halt.is_none() && self.failure.is_none() && self.link_error.is_none() {
-                match self.checker.finalize() {
-                    Ok(v @ Verdict::Halt { .. }) => self.halt = Some(v),
-                    Ok(Verdict::Continue) => {}
-                    Err(m) => self.on_mismatch(m, &mut invokes, &mut bytes),
-                }
+        }
+        if self.failure.is_none() {
+            if let Some(m) = self.consumer.mismatch().cloned() {
+                self.on_mismatch(m, &mut invokes, &mut bytes);
             }
         }
 
         let outcome = if self.failure.is_some() {
             RunOutcome::Mismatch
-        } else if let Some((kind, seq, core)) = self.link_error {
+        } else if let Some((kind, seq, core)) = self.consumer.link_error() {
             RunOutcome::LinkError { kind, seq, core }
         } else {
-            match self.halt {
+            match self.consumer.verdict() {
                 Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
                 Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
                 _ => RunOutcome::MaxCycles,
@@ -680,14 +591,24 @@ impl CoSimulation {
         let cycles = self.dut.cycles();
         let sim_time_s = self.timing.total();
         let flight = match outcome {
-            RunOutcome::Mismatch | RunOutcome::LinkError { .. } => Some(self.flight.snapshot()),
+            RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
+                Some(self.consumer.flight_snapshot())
+            }
             _ => None,
         };
         let mut report = RunReport {
-            outcome,
+            common: RunCommon {
+                outcome,
+                mismatch: self.failure.as_ref().map(|f| f.coarse.clone()),
+                cycles,
+                instructions: self.dut.total_commits(),
+                items: self.consumer.items(),
+                link: self.consumer.link_stats(),
+                fault: self.link.fault_stats(),
+                metrics: Metrics::new(),
+                flight,
+            },
             failure: self.failure.clone(),
-            cycles,
-            instructions: self.dut.total_commits(),
             sim_time_s,
             speed_hz: cycles as f64 / sim_time_s.max(1e-12),
             dut_only_hz: self.platform.dut_only_hz(self.dut.config().gates),
@@ -695,19 +616,14 @@ impl CoSimulation {
             invokes,
             bytes,
             squash: self.accel.squash_stats(),
-            check: *self.checker.stats(),
-            link: self.link_stats,
-            fault: self.faulty.as_ref().map(FaultyLink::stats),
-            replay_dropped: self.replay_buffer.as_ref().map_or(0, ReplayBuffer::dropped),
-            metrics: Metrics::new(),
-            flight,
+            check: *self.consumer.checker().stats(),
+            replay_dropped: self.consumer.retention_dropped(),
         };
-        // Clone the registry into the report (`self` stays runnable) and
-        // complete it with the final phase attribution and run counters.
-        self.metrics.phases = self.timer.times();
-        let mut metrics = self.metrics.clone();
+        // Snapshot the registry into the report (`self` stays runnable)
+        // and complete it with the run counters.
+        let mut metrics = self.consumer.metrics_snapshot();
         metrics.counters.merge(&report.counters());
-        report.metrics = metrics;
+        report.common.metrics = metrics;
         if let Err(e) = export_to_env("engine", &report.metrics, report.flight.as_ref()) {
             eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
         }
@@ -721,34 +637,12 @@ impl CoSimulation {
         if self.staging.is_empty() {
             return;
         }
-        let t0 = self.timer.start();
         let cycle = self.dut.cycles();
-        // One fusion record per staged batch that advanced the fused
-        // count (not per cycle — the ring holds failure context, not a
-        // full trace).
-        if let Some(s) = self.accel.squash_stats() {
-            if s.fused_records > self.last_fused {
-                self.last_fused = s.fused_records;
-                self.flight.record(FlightRecord {
-                    kind: FlightKind::Fusion,
-                    core: 0,
-                    seq: 0,
-                    cycle,
-                    value: s.fused_records,
-                });
-            }
-        }
-        for t in &self.staging {
-            self.flight.record(FlightRecord {
-                kind: FlightKind::PacketSent,
-                core: t.core,
-                seq: peek_packet_seq(&t.bytes).unwrap_or(0),
-                cycle,
-                value: t.bytes.len() as u64,
-            });
-        }
-        if self.faulty.is_some() && self.config.batch() {
-            if let Some(rb) = &mut self.replay_buffer {
+        let t0 = self.consumer.timer_mut().start();
+        self.fusion
+            .observe(&self.accel, true, 0, cycle, self.consumer.flight_mut());
+        if self.link.is_faulty() && self.config.batch() {
+            if let Some(rb) = self.consumer.retention_mut() {
                 for t in &self.staging {
                     if let Some(seq) = peek_packet_seq(&t.bytes) {
                         rb.record_packet(seq, &t.bytes);
@@ -756,269 +650,36 @@ impl CoSimulation {
                 }
             }
         }
-        match &mut self.faulty {
-            Some(link) => {
-                for t in self.staging.drain(..) {
-                    link.transmit(t, &mut self.transfers);
-                }
-            }
-            None => self.transfers.append(&mut self.staging),
-        }
-        self.timer.stop(Phase::Transport, t0);
+        self.link
+            .feed(&mut self.staging, self.consumer.flight_mut(), cycle);
+        self.consumer.timer_mut().stop(Phase::Transport, t0);
     }
 
-    /// Processes queued transfers; returns `true` when the run must stop.
-    fn process_transfers(&mut self, invokes: &mut u64, bytes: &mut u64) -> bool {
-        let transfers = std::mem::take(&mut self.transfers);
-        let mut stopped = false;
-        for t in &transfers {
-            if self.process_one(t, invokes, bytes, 0) {
-                stopped = true;
-                break;
-            }
-        }
-        stopped
-    }
-
-    /// Decodes and checks one transfer (possibly a retransmission, at
-    /// `depth` > 0); returns `true` when the run must stop.
-    fn process_one(
-        &mut self,
-        t: &Transfer,
-        invokes: &mut u64,
-        bytes: &mut u64,
-        depth: u32,
-    ) -> bool {
-        *invokes += t.invokes;
-        *bytes += t.bytes.len() as u64;
-
+    /// Feeds queued transfers through the shared pipeline; returns `true`
+    /// when the run must stop.
+    fn process_queued(&mut self, invokes: &mut u64, bytes: &mut u64) -> bool {
+        let transfers = std::mem::take(&mut self.link.sink_mut().queue);
         let cycle = self.dut.cycles();
-        self.flight.record(FlightRecord {
-            kind: FlightKind::PacketReceived,
-            core: t.core,
-            seq: peek_packet_seq(&t.bytes).unwrap_or(0),
-            cycle,
-            value: t.bytes.len() as u64,
-        });
-        self.metrics
-            .record(self.h_packet_bytes, t.bytes.len() as u64);
-        self.metrics.record(self.h_packet_items, u64::from(t.items));
-
-        let before = *self.checker.stats();
-        // Reuse the decode scratch across calls: dropping the transfer at
-        // the end of each iteration recycles its payload to the pool, so
-        // the steady state allocates neither payload nor item storage.
-        let mut items = std::mem::take(&mut self.items_buf);
-        items.clear();
-        let t0 = self.timer.start();
-        let decode = self.sw.decode_into(t, &mut items);
-        self.timer.stop(Phase::Unpack, t0);
-        match decode {
-            Ok(_) => {
-                let t0 = self.timer.start();
-                let mut stop = false;
-                let mut mismatch = None;
-                for item in items.drain(..) {
-                    match self.checker.process(item) {
-                        Ok(Verdict::Continue) => {}
-                        Ok(v @ Verdict::Halt { .. }) => {
-                            self.halt = Some(v);
-                            stop = true;
-                            break;
-                        }
-                        Err(m) => {
-                            mismatch = Some(m);
-                            stop = true;
-                            break;
-                        }
-                    }
-                }
-                items.clear();
-                self.items_buf = items;
-                self.timer.stop(Phase::Check, t0);
-                // High-water marks by GaugeId handle: an indexed store per
-                // transfer, not per event, and no name lookup either way.
-                self.metrics
-                    .set_max(self.g_pending_max, self.checker.pending_items() as u64);
-                self.metrics
-                    .set_max(self.g_reorder_max, self.sw.buffered_packets() as u64);
-                if let Some(Verdict::Halt { good, .. }) = &self.halt {
-                    self.flight.record(FlightRecord {
-                        kind: FlightKind::Verdict,
-                        core: t.core,
-                        seq: 0,
-                        cycle,
-                        value: u64::from(*good),
-                    });
-                }
-                self.charge_transfer(t, &before);
-                if let Some(m) = mismatch {
-                    self.on_mismatch(m, invokes, bytes);
-                }
-                stop
-            }
-            Err(e) => {
-                items.clear();
-                self.items_buf = items;
-                // The damaged bytes crossed the link regardless.
-                self.charge_transfer(t, &before);
-                self.on_decode_error(t, &e, invokes, bytes, depth)
-            }
-        }
-    }
-
-    /// Handles a transfer the receiver rejected. Returns `true` when the
-    /// run must stop.
-    fn on_decode_error(
-        &mut self,
-        t: &Transfer,
-        err: &CodecError,
-        invokes: &mut u64,
-        bytes: &mut u64,
-        depth: u32,
-    ) -> bool {
-        let kind = LinkErrorKind::classify(err);
-        self.link_stats.note(kind);
-        if kind == LinkErrorKind::Stale {
-            // A duplicate of an already-delivered packet: dropping it
-            // loses nothing (paper §4.5's window already delivered it).
-            self.link_stats.stale_dropped += 1;
-            return false;
-        }
-        // Identify the packet to re-request: a detected gap names the
-        // missing sequence; for a damaged frame the embedded sequence
-        // field is a best-effort guess from unverified bytes, validated
-        // implicitly by the retention-ring lookup.
-        let seq = match err {
-            CodecError::ReorderOverflow { missing } => Some(*missing),
-            _ => peek_packet_seq(&t.bytes),
-        };
-        if let Some(seq) = seq {
-            if self.try_redeliver(seq, t.core, invokes, bytes, depth) {
-                return self.halt.is_some() || self.failure.is_some() || self.link_error.is_some();
-            }
-        }
-        let seq = self.sw.expected_seq().unwrap_or(0);
-        self.flight.record(FlightRecord {
-            kind: FlightKind::LinkError,
-            core: t.core,
-            seq,
-            cycle: self.dut.cycles(),
-            value: kind as u64,
-        });
-        self.link_error = Some((kind, seq, t.core));
-        true
-    }
-
-    /// Attempts to re-deliver packet `seq` from the retention ring,
-    /// charging the retransmission like any other transfer (one invoke
-    /// plus its bytes, Eq. 1). Returns `true` when a pristine copy was
-    /// found and processed.
-    fn try_redeliver(
-        &mut self,
-        seq: u32,
-        core: u8,
-        invokes: &mut u64,
-        bytes: &mut u64,
-        depth: u32,
-    ) -> bool {
-        if depth >= MAX_REDELIVERY_DEPTH || self.recovery_budget == 0 {
-            return false;
-        }
-        let t0 = self.timer.start();
-        let pristine = self
-            .replay_buffer
-            .as_ref()
-            .and_then(|rb| rb.retransmit_packet(seq))
-            .map(<[u8]>::to_vec);
-        self.timer.stop(Phase::Arq, t0);
-        let Some(pristine) = pristine else {
-            return false;
-        };
-        self.recovery_budget -= 1;
-        self.link_stats.retransmits += 1;
-        self.link_stats.retransmit_bytes += pristine.len() as u64;
-        self.flight.record(FlightRecord {
-            kind: FlightKind::Retransmit,
-            core,
-            seq,
-            cycle: self.dut.cycles(),
-            value: pristine.len() as u64,
-        });
-        let rt = Transfer {
-            bytes: PooledBuf::detached(pristine),
-            core,
-            invokes: 1,
-            items: 0,
-        };
-        self.process_one(&rt, invokes, bytes, depth + 1);
-        if self.link_error.is_none() {
-            self.link_stats.recovered += 1;
-        }
-        true
-    }
-
-    /// End-of-stream: a receive-side gap (buffered successors waiting, or
-    /// sent packets that never arrived) is now permanent — recover it
-    /// from the retention ring or report it as a [`RunOutcome::LinkError`].
-    fn recover_tail(&mut self, invokes: &mut u64, bytes: &mut u64) {
-        loop {
-            if self.halt.is_some() || self.failure.is_some() || self.link_error.is_some() {
-                return;
-            }
-            let Some(expected) = self.sw.expected_seq() else {
-                // Per-event transfers carry no sequence numbers; drops
-                // are undetectable at this layer.
-                return;
+        for t in &transfers {
+            let mut obs = LogGpCharge {
+                timing: &mut self.timing,
+                platform: &self.platform,
+                invokes: &mut *invokes,
+                bytes: &mut *bytes,
             };
-            let tail_missing = self
-                .replay_buffer
-                .as_ref()
-                .and_then(ReplayBuffer::next_packet_seq)
-                .is_some_and(|next| expected != next);
-            if self.sw.buffered_packets() == 0 && !tail_missing {
-                return;
-            }
-            self.link_stats.note(LinkErrorKind::Gap);
-            if !self.try_redeliver(expected, 0, invokes, bytes, 0) {
-                self.flight.record(FlightRecord {
-                    kind: FlightKind::LinkError,
-                    core: 0,
-                    seq: expected,
-                    cycle: self.dut.cycles(),
-                    value: LinkErrorKind::Gap as u64,
-                });
-                self.link_error = Some((LinkErrorKind::Gap, expected, 0));
-                return;
+            if self.consumer.ingest(t, cycle, &mut obs) == Step::Stop {
+                return true;
             }
         }
+        false
     }
 
-    fn charge_transfer(&mut self, t: &Transfer, before: &CheckStats) {
-        let after = self.checker.stats();
-        let host = self.platform.host();
-        let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
-            + (after.instructions - before.instructions) as f64 * host.ref_step_s
-            + t.bytes.len() as f64 * host.event_per_byte_s;
-        self.timing.on_transfer(
-            self.platform.link(),
-            t.invokes,
-            t.bytes.len() as u64,
-            sw_cost,
-        );
-    }
-
-    /// Replay flow (paper §4.4): revert, retransmit, reprocess.
+    /// Replay flow (paper §4.4): revert, retransmit, reprocess. The
+    /// consumer already recorded the `Mismatch` flight at detection.
     fn on_mismatch(&mut self, coarse: Mismatch, invokes: &mut u64, bytes: &mut u64) {
         let core = coarse.core;
-        self.flight.record(FlightRecord {
-            kind: FlightKind::Mismatch,
-            core,
-            seq: 0,
-            cycle: self.dut.cycles(),
-            value: coarse.seq,
-        });
-        let Some(rb) = &self.replay_buffer else {
+        let (checker, retention, timer) = self.consumer.replay_parts();
+        let Some(rb) = retention else {
             // Unfused configurations: the mismatch is already precise.
             self.failure = Some(FailureReport {
                 precise: Some(coarse.clone()),
@@ -1030,8 +691,8 @@ impl CoSimulation {
             return;
         };
 
-        let t0 = self.timer.start();
-        let Some((from, to)) = self.checker.revert_for_replay(core) else {
+        let t0 = timer.start();
+        let Some((from, to)) = checker.revert_for_replay(core) else {
             self.failure = Some(FailureReport {
                 precise: Some(coarse.clone()),
                 coarse,
@@ -1047,10 +708,10 @@ impl CoSimulation {
         let replay_bytes: usize = events.iter().map(|e| 2 + e.encoded_len()).sum();
         *invokes += 1;
         *bytes += replay_bytes as u64;
-        let before = *self.checker.stats();
-        let precise = self.checker.replay_unfused(core, &events);
-        self.timer.stop(Phase::Arq, t0);
-        let after = self.checker.stats();
+        let before = *checker.stats();
+        let precise = checker.replay_unfused(core, &events);
+        timer.stop(Phase::Arq, t0);
+        let after = *checker.stats();
         let host = self.platform.host();
         let sw_cost = (after.events - before.events) as f64 * host.event_fixed_s
             + (after.instructions - before.instructions) as f64 * host.ref_step_s

@@ -25,6 +25,18 @@
 //! - [`prior`]: models of IBI-check, SBS-check and Fromajo for the
 //!   Table 7 comparison.
 //!
+//! The runners share one transport-agnostic pipeline:
+//!
+//! - [`session`]: the shared setup layer ([`Session`]) plus the
+//!   [`RunnerKind`]/[`run_runner`] dispatch entry point,
+//! - [`link`]: the [`LinkSink`]/[`LinkSource`] transport seam and the
+//!   shared fault-injecting send path ([`SendLink`]),
+//! - [`consume`]: the receive-side state machine ([`Consumer`]: CRC
+//!   verify → unpack → check → bounded ARQ recovery) every runner
+//!   drives,
+//! - [`socket`]: the fourth runner — producer and consumer in separate
+//!   OS processes over a Unix-domain socket.
+//!
 //! # Quick start
 //!
 //! ```
@@ -54,27 +66,43 @@
 
 pub mod batch;
 pub mod checker;
+pub mod consume;
 pub mod engine;
 pub mod fault;
+pub mod link;
 pub mod pool;
 pub mod prior;
 pub mod replay;
+pub mod session;
 pub mod sharded;
 pub mod snapshot;
+pub mod socket;
 pub mod squash;
 pub mod threaded;
 pub mod transport;
 pub mod wire;
 
 pub use checker::{CheckStats, Checker, Mismatch, Verdict};
-pub use engine::{
-    BuildError, CoSimulation, CoSimulationBuilder, DiffConfig, RunOutcome, RunReport,
+pub use consume::{
+    drive, ChargeObserver, Consumer, ConsumerOutput, NoCharge, Step, MAX_REDELIVERY_DEPTH,
+    RECOVERY_BUDGET,
 };
+pub use engine::{BuildError, CoSimulation, CoSimulationBuilder, RunReport};
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
+pub use link::{
+    ChannelSink, ChannelSource, FusionWatch, LinkSink, LinkSource, QueueSink, SendLink,
+};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use replay::{FailureReport, ReplayBuffer, Retransmission};
+pub use session::{
+    run_runner, DiffConfig, RunCommon, RunOutcome, RunnerKind, RunnerReport, Session,
+};
 pub use sharded::{run_sharded, run_sharded_faulty, ShardedReport, WorkerReport};
 pub use snapshot::{snapshot_debug_run, SnapshotReport};
+pub use socket::{
+    child_entry, run_socket, run_socket_faulty, run_socket_tuned, SocketReport, SocketTuning,
+    KILLED_EXIT,
+};
 pub use squash::{FusedCommit, SquashStats, SquashUnit};
 pub use threaded::{run_threaded, run_threaded_faulty, ThreadedReport};
 pub use transport::{AccelUnit, SwUnit, Transfer};

@@ -1,0 +1,311 @@
+//! Transport seams: every runner's link is a [`LinkSink`] on the
+//! producer side and a [`LinkSource`] on the consumer side.
+//!
+//! The paper's architecture keeps the verification pipeline
+//! transport-agnostic: the same pack → transmit → unpack → check flow
+//! runs whether the link is a virtual LogGP model, a bounded in-process
+//! channel, or a real socket. These two single-method traits are that
+//! seam. [`SendLink`] wraps any sink in the shared send path — the
+//! produced-packet accounting, flight records and fault injection that
+//! every runner previously hand-rolled (`feed_link` and its private
+//! copies) — so a runner's transport is just an adapter:
+//!
+//! | runner | sink | source |
+//! |---|---|---|
+//! | engine | [`QueueSink`] (virtual link) | drained in-line |
+//! | threaded | [`ChannelSink`] | [`ChannelSource`] |
+//! | sharded | [`ChannelSink`] per core | [`ChannelSource`] per core |
+//! | socket | `StreamSink` (Unix socket) | `StreamSource` |
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel;
+use difftest_stats::{FlightKind, FlightRecord, FlightRecorder};
+
+use crate::batch::peek_packet_seq;
+use crate::fault::{FaultStats, FaultyLink};
+use crate::transport::{AccelUnit, Transfer};
+
+/// The producer side of a link: accepts transfers for delivery.
+pub trait LinkSink {
+    /// Offers one transfer to the link. Returns `false` once the
+    /// receiver is gone (disconnected channel, broken pipe); the caller
+    /// stops producing.
+    fn send(&mut self, t: Transfer) -> bool;
+}
+
+/// The consumer side of a link: yields delivered transfers.
+pub trait LinkSource {
+    /// Receives the next transfer, blocking while the link is open.
+    /// `None` means end of stream (producer closed the link).
+    fn recv(&mut self) -> Option<Transfer>;
+}
+
+/// The engine's virtual link: transfers queue in memory, and the LogGP
+/// [`Timing`](crate::engine) model charges their wire time. Always
+/// accepts (the bounded in-flight queue is modelled in virtual time,
+/// not here).
+#[derive(Debug, Default)]
+pub struct QueueSink {
+    /// Delivered transfers awaiting in-line consumption.
+    pub queue: Vec<Transfer>,
+}
+
+impl LinkSink for QueueSink {
+    fn send(&mut self, t: Transfer) -> bool {
+        self.queue.push(t);
+        true
+    }
+}
+
+/// Producer end of a bounded crossbeam channel (threaded/sharded
+/// runners). A blocking send models the paper's sending queue with
+/// backpressure.
+pub struct ChannelSink(pub channel::Sender<Transfer>);
+
+impl fmt::Debug for ChannelSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelSink").finish_non_exhaustive()
+    }
+}
+
+impl LinkSink for ChannelSink {
+    fn send(&mut self, t: Transfer) -> bool {
+        self.0.send(t).is_ok()
+    }
+}
+
+/// Consumer end of a bounded crossbeam channel.
+pub struct ChannelSource(pub channel::Receiver<Transfer>);
+
+impl fmt::Debug for ChannelSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelSource").finish_non_exhaustive()
+    }
+}
+
+impl LinkSource for ChannelSource {
+    fn recv(&mut self) -> Option<Transfer> {
+        self.0.recv().ok()
+    }
+}
+
+/// The shared send path in front of any [`LinkSink`]: counts every
+/// packet *produced* (pre-fault, so the consumer can detect tail loss),
+/// records `PacketSent` flight records, and perturbs the stream through
+/// the optional [`FaultyLink`].
+#[derive(Debug)]
+pub struct SendLink<S: LinkSink> {
+    sink: S,
+    fault: Option<FaultyLink>,
+    /// Packets offered to the link, counted before fault injection.
+    produced: Arc<AtomicU32>,
+    /// Scratch for what emerges on the far side of the fault model.
+    wire: Vec<Transfer>,
+}
+
+impl<S: LinkSink> SendLink<S> {
+    /// Wraps `sink`, injecting faults through `fault` when present.
+    pub fn new(sink: S, fault: Option<FaultyLink>) -> Self {
+        SendLink {
+            sink,
+            fault,
+            produced: Arc::new(AtomicU32::new(0)),
+            wire: Vec::new(),
+        }
+    }
+
+    /// Pushes produced transfers through the (possibly faulty) link into
+    /// the sink, draining `transfers`. Returns `false` once the receiver
+    /// is gone; undelivered transfers are discarded.
+    pub fn feed(
+        &mut self,
+        transfers: &mut Vec<Transfer>,
+        rec: &mut FlightRecorder,
+        cycle: u64,
+    ) -> bool {
+        self.produced
+            .fetch_add(transfers.len() as u32, Ordering::AcqRel);
+        for t in transfers.iter() {
+            rec.record(FlightRecord {
+                kind: FlightKind::PacketSent,
+                core: t.core,
+                seq: peek_packet_seq(&t.bytes).unwrap_or(0),
+                cycle,
+                value: t.bytes.len() as u64,
+            });
+        }
+        match &mut self.fault {
+            Some(l) => {
+                for t in transfers.drain(..) {
+                    l.transmit(t, &mut self.wire);
+                }
+            }
+            None => self.wire.append(transfers),
+        }
+        self.drain_wire()
+    }
+
+    /// End of stream: releases transfers the fault model still holds for
+    /// reordering and delivers them. Returns `false` when the receiver
+    /// is gone.
+    pub fn finish(&mut self) -> bool {
+        if let Some(l) = &mut self.fault {
+            l.flush(&mut self.wire);
+        }
+        self.drain_wire()
+    }
+
+    fn drain_wire(&mut self) -> bool {
+        let mut ok = true;
+        for t in self.wire.drain(..) {
+            if ok && !self.sink.send(t) {
+                // Receiver gone: drop the rest of this batch.
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// Shared handle to the produced-packet counter (tail-loss
+    /// detection on the consumer side).
+    pub fn produced_handle(&self) -> Arc<AtomicU32> {
+        Arc::clone(&self.produced)
+    }
+
+    /// Packets produced so far (pre-fault).
+    pub fn produced(&self) -> u32 {
+        self.produced.load(Ordering::Acquire)
+    }
+
+    /// Whether this link injects faults.
+    pub fn is_faulty(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The fault model, when injection is enabled.
+    pub fn fault_link(&self) -> Option<&FaultyLink> {
+        self.fault.as_ref()
+    }
+
+    /// Counters of faults injected so far (`None` on a clean link).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(FaultyLink::stats)
+    }
+
+    /// The wrapped sink (the engine drains its [`QueueSink`] through
+    /// this).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+}
+
+/// Watches an [`AccelUnit`]'s fused-record watermark and emits one
+/// `Fusion` flight record per batch that advanced it (not per cycle —
+/// the ring holds failure context, not a full trace).
+#[derive(Debug, Default)]
+pub struct FusionWatch {
+    last: u64,
+}
+
+impl FusionWatch {
+    /// Records a fusion watermark advance, if any. `have_transfers`
+    /// gates the record to batches that actually produced output, and
+    /// `core` labels the record (the producing shard, 0 unsharded).
+    pub fn observe(
+        &mut self,
+        accel: &AccelUnit,
+        have_transfers: bool,
+        core: u8,
+        cycle: u64,
+        rec: &mut FlightRecorder,
+    ) {
+        if !have_transfers {
+            return;
+        }
+        if let Some(s) = accel.squash_stats() {
+            if s.fused_records > self.last {
+                self.last = s.fused_records;
+                rec.record(FlightRecord {
+                    kind: FlightKind::Fusion,
+                    core,
+                    seq: 0,
+                    cycle,
+                    value: s.fused_records,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::pool::PooledBuf;
+
+    fn transfer(tag: u8) -> Transfer {
+        Transfer {
+            bytes: PooledBuf::detached(vec![tag; 16]),
+            core: 0,
+            invokes: 1,
+            items: 1,
+        }
+    }
+
+    #[test]
+    fn clean_send_link_counts_and_delivers() {
+        let mut link = SendLink::new(QueueSink::default(), None);
+        let mut rec = FlightRecorder::default();
+        let mut batch = vec![transfer(1), transfer(2)];
+        assert!(link.feed(&mut batch, &mut rec, 7));
+        assert!(batch.is_empty());
+        assert_eq!(link.produced(), 2);
+        assert_eq!(link.sink_mut().queue.len(), 2);
+        assert_eq!(rec.len(), 2, "one PacketSent record per transfer");
+        assert!(link.finish());
+    }
+
+    #[test]
+    fn faulty_send_link_counts_pre_fault() {
+        // An all-drop plan: everything is produced, nothing delivered.
+        let mut plan = FaultPlan::clean(3);
+        plan.drop_per_mille = 1000;
+        let mut link = SendLink::new(QueueSink::default(), Some(FaultyLink::new(plan)));
+        let mut rec = FlightRecorder::default();
+        let mut batch = vec![transfer(1), transfer(2), transfer(3)];
+        assert!(link.feed(&mut batch, &mut rec, 0));
+        assert!(link.finish());
+        assert_eq!(link.produced(), 3, "produced counts before the fault");
+        assert_eq!(link.sink_mut().queue.len(), 0);
+        assert_eq!(link.fault_stats().map(|s| s.dropped), Some(3));
+    }
+
+    #[test]
+    fn finish_releases_reorder_holds() {
+        let mut plan = FaultPlan::clean(5);
+        plan.reorder_per_mille = 1000;
+        plan.reorder_depth = 100;
+        let mut link = SendLink::new(QueueSink::default(), Some(FaultyLink::new(plan)));
+        let mut rec = FlightRecorder::default();
+        let mut batch = vec![transfer(1)];
+        assert!(link.feed(&mut batch, &mut rec, 0));
+        assert_eq!(link.sink_mut().queue.len(), 0, "held for reordering");
+        assert!(link.finish());
+        assert_eq!(link.sink_mut().queue.len(), 1, "released at end of stream");
+    }
+
+    #[test]
+    fn channel_adapters_round_trip_and_close() {
+        let (tx, rx) = channel::bounded::<Transfer>(4);
+        let mut sink = ChannelSink(tx);
+        let mut source = ChannelSource(rx);
+        assert!(sink.send(transfer(9)));
+        let got = source.recv().unwrap();
+        assert_eq!(got.bytes[0], 9);
+        drop(sink);
+        assert!(source.recv().is_none(), "closed channel ends the stream");
+    }
+}

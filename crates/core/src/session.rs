@@ -1,0 +1,653 @@
+//! The shared session layer: one place that owns the setup every runner
+//! needs, so the transport substrates stay thin.
+//!
+//! The paper's architecture is a single receive-side pipeline (unpack →
+//! fuse-resolve → check → recover) behind interchangeable transports.
+//! [`Session`] captures everything that pipeline needs before a single
+//! byte moves — the workload image, per-core reference models, the
+//! acceleration unit matching a [`DiffConfig`], the fault schedule — and
+//! hands each runner pre-wired components:
+//!
+//! - [`Session::dut`] / [`Session::accel`] build the producer side,
+//! - [`Session::send_link`] wraps any [`LinkSink`](crate::link::LinkSink)
+//!   in the shared fault-injection / flight-recording send path,
+//! - [`Session::consumer`] builds the receive-side state machine
+//!   ([`Consumer`](crate::consume::Consumer)) that performs the actual
+//!   CRC verify → unpack → check → recover loop.
+//!
+//! Runners ([`crate::engine`], [`crate::threaded`], [`crate::sharded`],
+//! [`crate::socket`]) differ only in *where* those components run —
+//! one virtual timeline, two threads, N+1 threads, or two processes —
+//! and in what they report on top of the shared [`RunCommon`] core.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use difftest_dut::{BugSpec, Dut, DutConfig};
+use difftest_ref::{Memory, RefModel};
+use difftest_stats::{FlightSnapshot, Metrics};
+use difftest_workload::Workload;
+
+use crate::checker::{Checker, Mismatch};
+use crate::consume::Consumer;
+use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
+use crate::link::{LinkSink, SendLink};
+use crate::transport::{AccelUnit, SwUnit};
+
+/// The optimization configurations of the artifact appendix (`DIFF_CONFIG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiffConfig {
+    /// Baseline: per-event blocking transfers.
+    Z,
+    /// +Batch: tight packing, still blocking.
+    B,
+    /// +Batch +NonBlock: packed, non-blocking transfers.
+    BN,
+    /// +Batch +NonBlock +Squash(+Differencing): the full DiffTest-H.
+    BNSD,
+}
+
+impl DiffConfig {
+    /// All configurations in Table 5 order.
+    pub const ALL: [DiffConfig; 4] = [
+        DiffConfig::Z,
+        DiffConfig::B,
+        DiffConfig::BN,
+        DiffConfig::BNSD,
+    ];
+
+    /// Tight packing enabled.
+    pub fn batch(self) -> bool {
+        self != DiffConfig::Z
+    }
+
+    /// Non-blocking transmission enabled.
+    pub fn nonblock(self) -> bool {
+        matches!(self, DiffConfig::BN | DiffConfig::BNSD)
+    }
+
+    /// Fusion + differencing enabled.
+    pub fn squash(self) -> bool {
+        self == DiffConfig::BNSD
+    }
+
+    /// Table 5 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffConfig::Z => "Baseline",
+            DiffConfig::B => "+Batch",
+            DiffConfig::BN => "+NonBlock",
+            DiffConfig::BNSD => "+Squash",
+        }
+    }
+
+    /// Stable single-byte encoding for cross-process handshakes.
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            DiffConfig::Z => 0,
+            DiffConfig::B => 1,
+            DiffConfig::BN => 2,
+            DiffConfig::BNSD => 3,
+        }
+    }
+
+    /// Inverse of [`to_wire`](Self::to_wire).
+    pub(crate) fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(DiffConfig::Z),
+            1 => Some(DiffConfig::B),
+            2 => Some(DiffConfig::BN),
+            3 => Some(DiffConfig::BNSD),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DiffConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The workload reached its good trap and every check passed.
+    GoodTrap,
+    /// The workload signalled failure.
+    BadTrap,
+    /// A DUT/REF divergence was detected.
+    Mismatch,
+    /// The cycle budget was exhausted without a trap.
+    MaxCycles,
+    /// The link failed in a way bounded recovery could not mask.
+    LinkError {
+        /// Failure classification.
+        kind: LinkErrorKind,
+        /// Packet sequence involved (the receiver's expected sequence
+        /// at detection; 0 for unsequenced per-event transfers).
+        seq: u32,
+        /// Routing core of the offending transfer.
+        core: u8,
+    },
+}
+
+/// The report core every runner shares: verdict, volume, link health and
+/// observability. Runner-specific reports ([`RunReport`](crate::RunReport),
+/// [`ThreadedReport`](crate::ThreadedReport), …) embed one and `Deref` to
+/// it, so `report.outcome` reads the same across all four runners.
+#[derive(Debug, Clone)]
+pub struct RunCommon {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// The first detected divergence, if any (for the engine this is the
+    /// coarse checker mismatch; the localized one lives in its
+    /// [`FailureReport`](crate::FailureReport)).
+    pub mismatch: Option<Mismatch>,
+    /// DUT cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed by the DUT.
+    pub instructions: u64,
+    /// Wire items checked.
+    pub items: u64,
+    /// Link failure counters accumulated by the receive side.
+    pub link: LinkStats,
+    /// Faults the injected link model applied (`None` on a clean link).
+    pub fault: Option<FaultStats>,
+    /// The run's observability registry (counters, histograms, phase
+    /// times). Exported as JSONL when `DIFFTEST_OBS=<path>` is set.
+    pub metrics: Metrics,
+    /// Flight-recorder snapshot attached on [`RunOutcome::Mismatch`] and
+    /// [`RunOutcome::LinkError`], `None` on clean runs.
+    pub flight: Option<FlightSnapshot>,
+}
+
+/// One co-simulation session: the transport-independent setup shared by
+/// every runner. Cloneable and `Send`, so threaded runners can move one
+/// copy into each thread and build their components locally.
+#[derive(Debug, Clone)]
+pub struct Session {
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    image: Memory,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+    packet_bytes: usize,
+    fusion_window: u32,
+    order_coupled: bool,
+    differencing: bool,
+}
+
+impl Session {
+    /// Creates a session over a workload with the default pipeline
+    /// tuning (4 KiB packets, 32-commit fusion window, order-decoupled,
+    /// differencing on) — what every runner other than the fully
+    /// configurable engine uses.
+    pub fn new(
+        dut_cfg: DutConfig,
+        config: DiffConfig,
+        workload: &Workload,
+        bugs: Vec<BugSpec>,
+        max_cycles: u64,
+        queue_depth: usize,
+        fault: Option<FaultPlan>,
+    ) -> Session {
+        let mut image = Memory::new();
+        image.load_words(Memory::RAM_BASE, workload.words());
+        Session::from_image(dut_cfg, config, image, bugs, max_cycles, queue_depth, fault)
+    }
+
+    /// Creates a session over an already-loaded memory image. This is
+    /// the entry point for receive-only processes (the socket consumer)
+    /// that get the image over the wire instead of from a [`Workload`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_image(
+        dut_cfg: DutConfig,
+        config: DiffConfig,
+        image: Memory,
+        bugs: Vec<BugSpec>,
+        max_cycles: u64,
+        queue_depth: usize,
+        fault: Option<FaultPlan>,
+    ) -> Session {
+        Session {
+            dut_cfg,
+            config,
+            image,
+            bugs,
+            max_cycles,
+            queue_depth: queue_depth.max(1),
+            fault,
+            packet_bytes: 4096,
+            fusion_window: 32,
+            order_coupled: false,
+            differencing: true,
+        }
+    }
+
+    /// Overrides the transmission packet capacity in bytes.
+    pub fn with_packet_bytes(mut self, bytes: usize) -> Self {
+        self.packet_bytes = bytes;
+        self
+    }
+
+    /// Overrides the fusion window in commits.
+    pub fn with_fusion_window(mut self, commits: u32) -> Self {
+        self.fusion_window = commits;
+        self
+    }
+
+    /// Uses the order-coupled fusion baseline of prior work.
+    pub fn with_order_coupled(mut self, coupled: bool) -> Self {
+        self.order_coupled = coupled;
+        self
+    }
+
+    /// Enables or disables differencing within Squash.
+    pub fn with_differencing(mut self, on: bool) -> Self {
+        self.differencing = on;
+        self
+    }
+
+    /// The selected optimization configuration.
+    pub fn config(&self) -> DiffConfig {
+        self.config
+    }
+
+    /// The DUT configuration.
+    pub fn dut_cfg(&self) -> &DutConfig {
+        &self.dut_cfg
+    }
+
+    /// Number of DUT cores (= reference models = shards).
+    pub fn cores(&self) -> usize {
+        self.dut_cfg.cores as usize
+    }
+
+    /// The simulated-cycle budget.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// The bounded in-flight queue depth (per shard where sharded).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The fault schedule, when injection is enabled.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// The loaded workload memory image.
+    pub fn image(&self) -> &Memory {
+        &self.image
+    }
+
+    /// Asserts the configuration suits a genuinely parallel runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is blocking (`Z`/`B`): those
+    /// semantics would serialize producer and consumer anyway.
+    pub fn require_nonblock(&self, runner: &str) {
+        assert!(
+            self.config.nonblock(),
+            "{runner} runner requires a non-blocking configuration"
+        );
+    }
+
+    /// Builds the design under test (with the session's injected bugs).
+    pub fn dut(&self) -> Dut {
+        Dut::new(self.dut_cfg.clone(), &self.image, self.bugs.clone())
+    }
+
+    /// Builds the hardware-side acceleration unit for this
+    /// configuration, packing all cores into one stream.
+    pub fn accel(&self) -> AccelUnit {
+        self.accel_inner(self.cores())
+    }
+
+    /// Builds a per-core acceleration unit that filters and routes one
+    /// core's events (sharded producers run one per core).
+    pub fn accel_for_core(&self, core: u8) -> AccelUnit {
+        let mut a = self.accel_inner(self.cores());
+        a.set_route_core(core);
+        a
+    }
+
+    fn accel_inner(&self, cores: usize) -> AccelUnit {
+        match self.config {
+            DiffConfig::Z => AccelUnit::per_event(),
+            DiffConfig::B | DiffConfig::BN => AccelUnit::batch(cores, self.packet_bytes),
+            DiffConfig::BNSD => AccelUnit::squash_batch_with(
+                cores,
+                self.packet_bytes,
+                self.fusion_window,
+                self.order_coupled,
+                self.differencing,
+            ),
+        }
+    }
+
+    /// Builds the software-side decoder matching [`accel`](Self::accel).
+    pub fn sw_unit(&self) -> SwUnit {
+        match self.config {
+            DiffConfig::Z => SwUnit::per_event(),
+            _ => SwUnit::packed(self.cores()),
+        }
+    }
+
+    /// Builds the multi-core checker (one [`RefModel`] per core).
+    /// `replay` enables compensation logging for instruction-level
+    /// replay after fusion (paper §4.4).
+    pub fn checker(&self, replay: bool) -> Checker {
+        let refs: Vec<RefModel> = (0..self.cores())
+            .map(|_| RefModel::new(self.image.clone()))
+            .collect();
+        Checker::new(refs, replay)
+    }
+
+    /// Builds a single-core checker for shard `core`.
+    pub fn checker_for_core(&self, core: u8) -> Checker {
+        Checker::single(core, RefModel::new(self.image.clone()), false)
+    }
+
+    /// Builds the receive-side pipeline ([`Consumer`]) for a
+    /// single-consumer runner: full-width decoder and checker, no
+    /// retention ring (report-only link-error handling).
+    pub fn consumer(&self) -> Consumer {
+        Consumer::new(self.sw_unit(), self.checker(false))
+    }
+
+    /// Builds the receive-side pipeline for shard `core`: the decoder
+    /// still tracks the shared sequence space, the checker owns just
+    /// this core's reference model, and tail gaps are attributed to the
+    /// shard.
+    pub fn consumer_for_core(&self, core: u8) -> Consumer {
+        Consumer::new(self.sw_unit(), self.checker_for_core(core)).with_home_core(core)
+    }
+
+    /// Builds the engine's receive-side pipeline: checker compensation
+    /// logging per `replay`, plus a packet/event retention ring of
+    /// `ring` entries enabling bounded ARQ recovery and §4.4 replay.
+    pub fn consumer_with_retention(&self, replay: bool, ring: usize) -> Consumer {
+        Consumer::new(self.sw_unit(), self.checker(replay)).with_retention(ring)
+    }
+
+    /// Wraps a transport sink in the shared send path (fault injection
+    /// per the session's plan, produced-packet accounting, flight
+    /// records).
+    pub fn send_link<S: LinkSink>(&self, sink: S) -> SendLink<S> {
+        SendLink::new(sink, self.fault.map(FaultyLink::new))
+    }
+
+    /// Per-shard variant of [`send_link`](Self::send_link): each shard
+    /// gets an independent deterministic link derived from the plan's
+    /// seed (`seed + core`), so a multi-core schedule stays reproducible
+    /// while the shards fail differently.
+    pub fn send_link_for_core<S: LinkSink>(&self, core: u8, sink: S) -> SendLink<S> {
+        let link = self.fault.map(|p| {
+            FaultyLink::new(FaultPlan {
+                seed: p.seed.wrapping_add(core as u64),
+                ..p
+            })
+        });
+        SendLink::new(sink, link)
+    }
+}
+
+/// Which transport substrate runs the shared pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunnerKind {
+    /// Virtual-time LogGP engine (one timeline, simulated speed).
+    Engine,
+    /// Producer + single consumer on OS threads (wall-clock).
+    Threaded,
+    /// Producer + one consumer thread per DUT core (wall-clock).
+    Sharded,
+    /// Producer and consumer in separate OS processes over a
+    /// Unix-domain socket (wall-clock, real bytes across a real
+    /// process boundary). The hosting binary must call
+    /// [`crate::socket::child_entry`] first thing in `main`.
+    Socket,
+}
+
+impl RunnerKind {
+    /// All runners, in the order the runner matrix documents them.
+    pub const ALL: [RunnerKind; 4] = [
+        RunnerKind::Engine,
+        RunnerKind::Threaded,
+        RunnerKind::Sharded,
+        RunnerKind::Socket,
+    ];
+
+    /// Stable lowercase name (matrix rows, bench scenario labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunnerKind::Engine => "engine",
+            RunnerKind::Threaded => "threaded",
+            RunnerKind::Sharded => "sharded",
+            RunnerKind::Socket => "socket",
+        }
+    }
+}
+
+impl fmt::Display for RunnerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// The report of [`run_runner`]: the runner's own report, `Deref`ing to
+/// the shared [`RunCommon`] so dispatch call sites can read
+/// `report.outcome` / `report.items` without matching.
+// One report exists per co-simulation run, never in bulk — the size
+// skew between variants costs nothing, while boxing would put an
+// indirection in every `Deref` read.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunnerReport {
+    /// Engine report (virtual-time speeds, LogGP overhead breakdown).
+    Engine(crate::engine::RunReport),
+    /// Threaded report (wall-clock throughput).
+    Threaded(crate::threaded::ThreadedReport),
+    /// Sharded report (per-worker throughput, pool stats).
+    Sharded(crate::sharded::ShardedReport),
+    /// Socket report (cross-process wall-clock throughput).
+    Socket(crate::socket::SocketReport),
+}
+
+impl Deref for RunnerReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        match self {
+            RunnerReport::Engine(r) => r,
+            RunnerReport::Threaded(r) => r,
+            RunnerReport::Sharded(r) => r,
+            RunnerReport::Socket(r) => r,
+        }
+    }
+}
+
+impl DerefMut for RunnerReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        match self {
+            RunnerReport::Engine(r) => r,
+            RunnerReport::Threaded(r) => r,
+            RunnerReport::Sharded(r) => r,
+            RunnerReport::Socket(r) => r,
+        }
+    }
+}
+
+impl RunnerReport {
+    /// Which substrate produced this report.
+    pub fn kind(&self) -> RunnerKind {
+        match self {
+            RunnerReport::Engine(_) => RunnerKind::Engine,
+            RunnerReport::Threaded(_) => RunnerKind::Threaded,
+            RunnerReport::Sharded(_) => RunnerKind::Sharded,
+            RunnerReport::Socket(_) => RunnerKind::Socket,
+        }
+    }
+
+    /// Host wall-clock seconds and DUT cycles per wall-clock second, for
+    /// the runners that measure real time (`None` for the virtual-time
+    /// engine, whose speeds are simulated — see
+    /// [`RunReport`](crate::engine::RunReport)).
+    pub fn wall(&self) -> Option<(f64, f64)> {
+        match self {
+            RunnerReport::Engine(_) => None,
+            RunnerReport::Threaded(r) => Some((r.wall_s, r.cycles_per_sec)),
+            RunnerReport::Sharded(r) => Some((r.wall_s, r.cycles_per_sec)),
+            RunnerReport::Socket(r) => Some((r.wall_s, r.cycles_per_sec)),
+        }
+    }
+}
+
+/// Runs one co-simulation on the chosen transport substrate — the
+/// single dispatch entry point the examples use. All four runners drive
+/// the identical session components, so the verdict is
+/// substrate-independent; only the throughput story differs.
+///
+/// # Panics
+///
+/// Panics when `kind` is a parallel runner and `config` is blocking
+/// (`Z`/`B`), mirroring the underlying runners.
+#[allow(clippy::too_many_arguments)]
+pub fn run_runner(
+    kind: RunnerKind,
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+) -> RunnerReport {
+    match kind {
+        RunnerKind::Engine => {
+            let mut builder = crate::engine::CoSimulation::builder()
+                .dut(dut_cfg)
+                .config(config)
+                .bugs(bugs)
+                .max_cycles(max_cycles)
+                .queue_depth(queue_depth);
+            if let Some(plan) = fault {
+                builder = builder.fault_plan(plan);
+            }
+            let mut sim = match builder.build(workload) {
+                Ok(sim) => sim,
+                Err(e) => unreachable!("default engine tuning is always valid: {e}"),
+            };
+            RunnerReport::Engine(sim.run())
+        }
+        RunnerKind::Threaded => RunnerReport::Threaded(crate::threaded::run_threaded_faulty(
+            dut_cfg,
+            config,
+            workload,
+            bugs,
+            max_cycles,
+            queue_depth,
+            fault,
+        )),
+        RunnerKind::Sharded => RunnerReport::Sharded(crate::sharded::run_sharded_faulty(
+            dut_cfg,
+            config,
+            workload,
+            bugs,
+            max_cycles,
+            queue_depth,
+            fault,
+        )),
+        RunnerKind::Socket => RunnerReport::Socket(crate::socket::run_socket_faulty(
+            dut_cfg,
+            config,
+            workload,
+            bugs,
+            max_cycles,
+            queue_depth,
+            fault,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_builds_matching_components() {
+        let w = Workload::microbench().seed(1).iterations(5).build();
+        let s = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            None,
+        );
+        assert_eq!(s.cores(), 1);
+        assert!(s.accel().squash_stats().is_some());
+        assert!(s.sw_unit().expected_seq().is_some());
+        let plain = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::Z,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            None,
+        );
+        assert!(plain.accel().squash_stats().is_none());
+        assert!(plain.sw_unit().expected_seq().is_none());
+    }
+
+    #[test]
+    fn per_core_links_derive_distinct_seeds() {
+        let w = Workload::microbench().seed(1).iterations(5).build();
+        let s = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            Some(FaultPlan::uniform(7, 10)),
+        );
+        let l0 = s.send_link_for_core(0, crate::link::QueueSink::default());
+        let l1 = s.send_link_for_core(1, crate::link::QueueSink::default());
+        let seed = |l: &SendLink<crate::link::QueueSink>| l.fault_link().map(|f| f.plan().seed);
+        assert_eq!(seed(&l0), Some(7));
+        assert_eq!(seed(&l1), Some(8));
+    }
+
+    #[test]
+    fn diff_config_wire_round_trips() {
+        for c in DiffConfig::ALL {
+            assert_eq!(DiffConfig::from_wire(c.to_wire()), Some(c));
+        }
+        assert_eq!(DiffConfig::from_wire(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-blocking")]
+    fn require_nonblock_rejects_blocking_configs() {
+        let w = Workload::microbench().seed(1).iterations(5).build();
+        Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::Z,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            None,
+        )
+        .require_nonblock("test");
+    }
+}

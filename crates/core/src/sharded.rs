@@ -5,12 +5,13 @@
 //! with a single software consumer; for multi-core DUTs that consumer is
 //! the bottleneck because every core's reference model steps on one host
 //! thread. This module shards the software side by core: the producer runs
-//! the DUT and one [`AccelUnit`] *per core*, stamping each [`Transfer`]
-//! with its core id, and routes it over a dedicated bounded channel to
-//! that core's worker — O(1) routing, no demultiplexing on the consumer
-//! side. Each worker owns a [`SwUnit`] and a single-core
-//! [`Checker`](crate::Checker) ([`Checker::single`]), so the per-core
-//! reference models step concurrently on separate host threads.
+//! the DUT and one [`AccelUnit`] *per core*, stamping each
+//! [`Transfer`](crate::transport::Transfer) with its core id, and routes
+//! it over a dedicated bounded channel to that core's worker — O(1)
+//! routing, no demultiplexing on the consumer side. Each worker drives
+//! its own shared [`Consumer`](crate::consume::Consumer) pipeline over a
+//! single-core checker, so the per-core reference models step
+//! concurrently on separate host threads.
 //!
 //! Coordination:
 //!
@@ -23,30 +24,28 @@
 //!   single in-order consumer would have hit first.
 //! - **Backpressure** — each per-core channel is bounded by
 //!   `queue_depth`, the paper's sending-queue model applied per shard.
+//
+// Seam rule: runner modules build on `session`/`link`/`consume` only —
+// never on another runner's internals (enforced by `make ci`'s grep).
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 use crossbeam::channel;
-use difftest_dut::{BugSpec, Dut, DutConfig};
-use difftest_event::MonitoredEvent;
-use difftest_ref::{Memory, RefModel};
-use difftest_stats::{
-    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
-    PhaseTimer,
-};
+use difftest_dut::{BugSpec, DutConfig};
+use difftest_stats::{export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer};
 use difftest_workload::Workload;
 
-use crate::batch::peek_packet_seq;
-use crate::checker::{Checker, Mismatch, Verdict};
-use crate::engine::{DiffConfig, RunOutcome};
-use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
+use crate::checker::{Mismatch, Verdict};
+use crate::consume::{drive, NoCharge};
+use crate::fault::{FaultPlan, FaultStats, LinkErrorKind, LinkStats};
+use crate::link::{ChannelSink, ChannelSource, FusionWatch, SendLink};
 use crate::pool::PoolStats;
-use crate::threaded::feed_link;
-use crate::transport::{AccelUnit, SwUnit, Transfer};
-use crate::wire::WireItem;
+use crate::session::{DiffConfig, RunCommon, RunOutcome, Session};
+use crate::transport::AccelUnit;
 
 /// Per-worker (per-core) statistics of a sharded run.
 #[derive(Debug, Clone)]
@@ -63,19 +62,15 @@ pub struct WorkerReport {
     pub items_per_sec: f64,
 }
 
-/// Result of a sharded run.
+/// Result of a sharded run: the shared [`RunCommon`] core plus per-worker
+/// wall-clock throughput.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
-    /// Why the run ended.
-    pub outcome: RunOutcome,
-    /// The winning mismatch (lowest instruction count), if any.
-    pub mismatch: Option<Mismatch>,
-    /// DUT cycles simulated.
-    pub cycles: u64,
-    /// Instructions committed by the DUT.
-    pub instructions: u64,
-    /// Wire items checked across all workers.
-    pub items: u64,
+    /// The report core shared by every runner (verdict, volume, link
+    /// health, observability). The mismatch is the winning one across
+    /// shards (first-mismatch semantics); link counters aggregate all
+    /// workers.
+    pub common: RunCommon,
     /// Host wall-clock seconds for the whole run.
     pub wall_s: f64,
     /// Host-side throughput in DUT cycles per wall-clock second.
@@ -86,19 +81,20 @@ pub struct ShardedReport {
     pub workers: Vec<WorkerReport>,
     /// Aggregate buffer-pool statistics across the per-core producers.
     pub pool: PoolStats,
-    /// Aggregate link failure counters across workers.
-    pub link: LinkStats,
-    /// Aggregate faults injected across the per-core links (`None` on a
-    /// clean link).
-    pub fault: Option<FaultStats>,
-    /// The run's observability registry: producer phase timing plus every
-    /// worker's metrics, merged deterministically in core order. Exported
-    /// as JSONL when `DIFFTEST_OBS=<path>` is set.
-    pub metrics: Metrics,
-    /// Flight-recorder snapshot (producer records, then the failing
-    /// worker's records) attached on [`RunOutcome::Mismatch`] and
-    /// [`RunOutcome::LinkError`], `None` on clean runs.
-    pub flight: Option<FlightSnapshot>,
+}
+
+impl Deref for ShardedReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for ShardedReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        &mut self.common
+    }
 }
 
 impl ShardedReport {
@@ -150,13 +146,6 @@ struct WorkerOutcome {
     flight: FlightSnapshot,
 }
 
-fn accel_for(config: DiffConfig, cores: usize) -> AccelUnit {
-    match config {
-        DiffConfig::BNSD => AccelUnit::squash_batch(cores, 4096, 32, false),
-        _ => AccelUnit::batch(cores, 4096),
-    }
-}
-
 /// Runs a co-simulation with one checker worker per DUT core.
 ///
 /// The producer thread runs the DUT and one acceleration unit per core;
@@ -191,10 +180,10 @@ pub fn run_sharded(
 
 /// [`run_sharded`] with an optional fault-injecting link on every
 /// per-core channel. Each shard gets an independent deterministic
-/// [`FaultyLink`] derived from the plan's seed (`seed + core`), so a
-/// multi-core schedule stays reproducible while the shards fail
-/// differently. Like the threaded runner this one has no retention
-/// ring: decode failures and terminal gaps surface as
+/// [`crate::fault::FaultyLink`] derived from the plan's seed
+/// (`seed + core`), so a multi-core schedule stays reproducible while the
+/// shards fail differently. Like the threaded runner this one has no
+/// retention ring: decode failures and terminal gaps surface as
 /// [`RunOutcome::LinkError`] (stale duplicates are dropped and counted).
 ///
 /// # Panics
@@ -210,60 +199,46 @@ pub fn run_sharded_faulty(
     queue_depth: usize,
     fault: Option<FaultPlan>,
 ) -> ShardedReport {
-    assert!(
-        config.nonblock(),
-        "sharded runner requires a non-blocking configuration"
+    let session = Session::new(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
     );
-    let mut image = Memory::new();
-    image.load_words(Memory::RAM_BASE, workload.words());
-    let cores = dut_cfg.cores as usize;
+    session.require_nonblock("sharded");
+    let cores = session.cores();
     let stop = Arc::new(AtomicBool::new(false));
-    // Per-core packets produced before fault injection (tail-loss
-    // detection, see `run_threaded_faulty`).
-    let produced: Arc<Vec<AtomicU32>> = Arc::new((0..cores).map(|_| AtomicU32::new(0)).collect());
 
-    let mut txs = Vec::with_capacity(cores);
+    let mut links: Vec<SendLink<ChannelSink>> = Vec::with_capacity(cores);
     let mut rxs = Vec::with_capacity(cores);
-    for _ in 0..cores {
-        let (tx, rx) = channel::bounded::<Transfer>(queue_depth.max(1));
-        txs.push(tx);
+    for k in 0..cores {
+        let (tx, rx) = channel::bounded(session.queue_depth());
+        // One independent deterministic link per shard (seed + core),
+        // counting this shard's produced packets for tail-loss detection.
+        links.push(session.send_link_for_core(k as u8, ChannelSink(tx)));
         rxs.push(rx);
     }
+    let produced_handles: Vec<_> = links.iter().map(SendLink::produced_handle).collect();
 
     let start = Instant::now();
 
     let producer = {
-        let image = image.clone();
-        let dut_cfg = dut_cfg.clone();
+        let session = session.clone();
         let stop = Arc::clone(&stop);
-        let produced = Arc::clone(&produced);
         thread::spawn(move || {
-            let mut dut = Dut::new(dut_cfg, &image, bugs);
+            let mut dut = session.dut();
             let mut accels: Vec<AccelUnit> = (0..cores)
-                .map(|k| {
-                    let mut a = accel_for(config, cores);
-                    a.set_route_core(k as u8);
-                    a
-                })
+                .map(|k| session.accel_for_core(k as u8))
                 .collect();
-            // One independent deterministic link per shard: same plan,
-            // per-core seed offset.
-            let mut links: Vec<Option<FaultyLink>> = (0..cores)
-                .map(|k| {
-                    fault.map(|p| {
-                        FaultyLink::new(FaultPlan {
-                            seed: p.seed.wrapping_add(k as u64),
-                            ..p
-                        })
-                    })
-                })
-                .collect();
-            let mut events: Vec<MonitoredEvent> = Vec::new();
+            let mut fusions: Vec<FusionWatch> =
+                (0..cores).map(|_| FusionWatch::default()).collect();
+            let mut events = Vec::new();
             let mut transfers = Vec::new();
-            let mut wire = Vec::new();
             let mut timer = PhaseTimer::monotonic();
             let mut rec = FlightRecorder::default();
-            let mut last_fused: Vec<u64> = vec![0; cores];
             'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
                 if stop.load(Ordering::Acquire) {
                     break;
@@ -276,32 +251,18 @@ pub fn run_sharded_faulty(
                     let t0 = timer.start();
                     accel.push_cycle_for_route_core(&events, &mut transfers);
                     timer.stop(Phase::Pack, t0);
-                    if let Some(s) = accel.squash_stats() {
-                        if s.fused_records > last_fused[k] && !transfers.is_empty() {
-                            last_fused[k] = s.fused_records;
-                            rec.record(FlightRecord {
-                                kind: FlightKind::Fusion,
-                                core: k as u8,
-                                seq: 0,
-                                cycle: dut.cycles(),
-                                value: s.fused_records,
-                            });
-                        }
-                    }
+                    fusions[k].observe(
+                        accel,
+                        !transfers.is_empty(),
+                        k as u8,
+                        dut.cycles(),
+                        &mut rec,
+                    );
                     // Blocking sends inside: each bounded channel is one
                     // shard's sending queue with backpressure.
                     let t0 = timer.start();
-                    let alive = feed_link(
-                        &mut links[k],
-                        &produced[k],
-                        &mut transfers,
-                        &mut wire,
-                        &txs[k],
-                        &mut rec,
-                        dut.cycles(),
-                    );
+                    let alive = links[k].feed(&mut transfers, &mut rec, dut.cycles());
                     timer.stop(Phase::Transport, t0);
-                    wire.clear();
                     if !alive {
                         break 'run;
                     }
@@ -312,28 +273,11 @@ pub fn run_sharded_faulty(
                 accel.flush(&mut transfers);
                 timer.stop(Phase::Pack, t0);
                 let t0 = timer.start();
-                let alive = feed_link(
-                    &mut links[k],
-                    &produced[k],
-                    &mut transfers,
-                    &mut wire,
-                    &txs[k],
-                    &mut rec,
-                    dut.cycles(),
-                );
-                if let Some(l) = &mut links[k] {
+                if links[k].feed(&mut transfers, &mut rec, dut.cycles()) {
                     // Release transfers still held for reordering.
-                    l.flush(&mut wire);
-                    if alive {
-                        for t in wire.drain(..) {
-                            if txs[k].send(t).is_err() {
-                                break;
-                            }
-                        }
-                    }
+                    links[k].finish();
                 }
                 timer.stop(Phase::Transport, t0);
-                wire.clear();
             }
             let pool =
                 accels
@@ -345,8 +289,8 @@ pub fn run_sharded_faulty(
                         returns: a.returns + s.returns,
                         discards: a.discards + s.discards,
                     });
-            let fault_stats = if fault.is_some() {
-                Some(links.into_iter().flatten().map(|l| l.stats()).fold(
+            let fault_stats = if session.fault_plan().is_some() {
+                Some(links.iter().filter_map(SendLink::fault_stats).fold(
                     FaultStats::default(),
                     |a, s| FaultStats {
                         delivered: a.delivered + s.delivered,
@@ -360,7 +304,7 @@ pub fn run_sharded_faulty(
             } else {
                 None
             };
-            drop(txs);
+            drop(links); // closes every channel: end of stream
             (
                 dut.cycles(),
                 dut.total_commits(),
@@ -376,144 +320,36 @@ pub fn run_sharded_faulty(
         .into_iter()
         .enumerate()
         .map(|(k, rx)| {
-            let image = image.clone();
+            let session = session.clone();
             let stop = Arc::clone(&stop);
-            let produced = Arc::clone(&produced);
+            let produced = Arc::clone(&produced_handles[k]);
             thread::spawn(move || {
                 let started = Instant::now();
                 let core = k as u8;
-                let mut sw = SwUnit::packed(cores);
-                let mut checker = Checker::single(core, RefModel::new(image), false);
-                let mut item_buf: Vec<WireItem> = Vec::new();
-                let mut items = 0u64;
-                let mut verdict = None;
-                let mut mismatch = None;
-                let mut link_stats = LinkStats::default();
-                let mut link_error = None;
-                let mut metrics = Metrics::new();
-                let h_bytes = metrics.register_histogram("packet.bytes");
-                let h_items = metrics.register_histogram("packet.items");
-                let g_reorder = metrics.register_gauge("reorder.buffered.max");
-                let g_pending = metrics.register_gauge("checker.pending.max");
-                let mut timer = PhaseTimer::monotonic();
-                let mut rec = FlightRecorder::default();
-                'recv: for t in rx.iter() {
-                    let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
-                    rec.record(FlightRecord {
-                        kind: FlightKind::PacketReceived,
-                        core: t.core,
-                        seq,
-                        cycle: 0,
-                        value: t.bytes.len() as u64,
-                    });
-                    metrics.record(h_bytes, t.bytes.len() as u64);
-                    metrics.record(h_items, u64::from(t.items));
-                    metrics.counters.inc("obs.transfers");
-                    metrics.counters.add("obs.bytes", t.bytes.len() as u64);
-                    item_buf.clear();
-                    let t0 = timer.start();
-                    let decode = sw.decode_into(&t, &mut item_buf);
-                    timer.stop(Phase::Unpack, t0);
-                    if let Err(e) = decode {
-                        let kind = LinkErrorKind::classify(&e);
-                        link_stats.note(kind);
-                        if kind == LinkErrorKind::Stale {
-                            // A duplicate of a delivered packet: harmless.
-                            link_stats.stale_dropped += 1;
-                            continue;
-                        }
-                        let expected = sw.expected_seq().unwrap_or(0);
-                        rec.record(FlightRecord {
-                            kind: FlightKind::LinkError,
-                            core: t.core,
-                            seq: expected,
-                            cycle: 0,
-                            value: kind as u64,
-                        });
-                        link_error = Some((kind, expected, t.core));
-                        stop.store(true, Ordering::Release);
-                        break 'recv;
-                    }
-                    let t0 = timer.start();
-                    for item in item_buf.drain(..) {
-                        items += 1;
-                        match checker.process(item) {
-                            Ok(Verdict::Continue) => {}
-                            Ok(v @ Verdict::Halt { good, .. }) => {
-                                rec.record(FlightRecord {
-                                    kind: FlightKind::Verdict,
-                                    core,
-                                    seq,
-                                    cycle: 0,
-                                    value: u64::from(good),
-                                });
-                                verdict = Some(v);
-                                stop.store(true, Ordering::Release);
-                                break;
-                            }
-                            Err(m) => {
-                                rec.record(FlightRecord {
-                                    kind: FlightKind::Mismatch,
-                                    core: m.core,
-                                    seq,
-                                    cycle: 0,
-                                    value: m.seq,
-                                });
-                                mismatch = Some(m);
-                                stop.store(true, Ordering::Release);
-                                break;
-                            }
-                        }
-                    }
-                    timer.stop(Phase::Check, t0);
-                    // Per-shard occupancy high-water marks; the merged
-                    // report keeps the max across shards.
-                    metrics.set_max(g_reorder, sw.buffered_packets() as u64);
-                    metrics.set_max(g_pending, checker.pending_items() as u64);
-                    if verdict.is_some() || mismatch.is_some() {
-                        break 'recv;
-                    }
-                }
-                if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
+                let mut source = ChannelSource(rx);
+                let mut consumer = session.consumer_for_core(core);
+                let exhausted = drive(&mut source, &mut consumer, || {
+                    stop.store(true, Ordering::Release);
+                });
+                if exhausted {
                     // The channel closed, so this shard's `produced` is
                     // final: a packet still awaited was lost in flight.
-                    let sent = produced[k].load(Ordering::Acquire);
-                    let expected = sw.expected_seq().unwrap_or(sent);
-                    if sw.buffered_packets() > 0 || expected != sent {
-                        link_stats.note(LinkErrorKind::Gap);
-                        rec.record(FlightRecord {
-                            kind: FlightKind::LinkError,
-                            core,
-                            seq: expected,
-                            cycle: 0,
-                            value: LinkErrorKind::Gap as u64,
-                        });
-                        link_error = Some((LinkErrorKind::Gap, expected, core));
-                    } else {
-                        let t0 = timer.start();
-                        let fin = checker.finalize();
-                        timer.stop(Phase::Check, t0);
-                        match fin {
-                            Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
-                            Ok(Verdict::Continue) => {}
-                            Err(m) => mismatch = Some(m),
-                        }
-                    }
+                    let sent = produced.load(Ordering::Acquire);
+                    consumer.finish_stream(Some(sent), 0, &mut NoCharge);
                 }
-                metrics.counters.add("obs.items", items);
-                metrics.phases.merge(&timer.times());
-                let wall_s = started.elapsed().as_secs_f64();
+                let instructions = consumer.checker().seq(core);
+                let out = consumer.finish();
                 WorkerOutcome {
                     core,
-                    items,
-                    instructions: checker.seq(core),
-                    wall_s,
-                    verdict,
-                    mismatch,
-                    link_error,
-                    link: link_stats,
-                    metrics,
-                    flight: rec.snapshot(),
+                    items: out.items,
+                    instructions,
+                    wall_s: started.elapsed().as_secs_f64(),
+                    verdict: out.verdict,
+                    mismatch: out.mismatch,
+                    link_error: out.link_error,
+                    link: out.link,
+                    metrics: out.metrics,
+                    flight: out.flight,
                 }
             })
         })
@@ -617,20 +453,22 @@ pub fn run_sharded_faulty(
         .collect();
 
     ShardedReport {
-        outcome,
-        mismatch,
-        cycles,
-        instructions,
-        items,
+        common: RunCommon {
+            outcome,
+            mismatch,
+            cycles,
+            instructions,
+            items,
+            link,
+            fault: fault_stats,
+            metrics,
+            flight,
+        },
         wall_s,
         cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
         items_per_sec: items as f64 / wall_s.max(1e-9),
         workers,
         pool,
-        link,
-        fault: fault_stats,
-        metrics,
-        flight,
     }
 }
 

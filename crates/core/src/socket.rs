@@ -1,0 +1,1062 @@
+//! The process-separated runner: producer and consumer in different OS
+//! processes exchanging the existing CRC-framed wire format over a
+//! Unix-domain socket.
+//!
+//! The other runners share an address space, so "transport" is a queue
+//! or channel of [`Transfer`]s. Here the packet bytes genuinely leave
+//! the process: the producer re-executes the current binary as a
+//! consumer process (the host binary must call [`child_entry`] first
+//! thing in `main`), streams length-prefixed frames over the socket,
+//! and reads back a serialized verdict. Both sides are the same shared
+//! pipeline — [`Session`] components on the producer,
+//! [`Consumer`](crate::consume::Consumer) driven by [`drive`] on the
+//! consumer — so verdicts are identical to the in-process runners.
+//!
+//! Failure semantics: consumer-process death mid-run (EPIPE on the
+//! frame stream, EOF or a short read on the result blob) surfaces as a
+//! typed [`RunOutcome::LinkError`] with [`LinkErrorKind::Gap`], never a
+//! panic. [`SocketTuning::kill_consumer_after`] exists to test exactly
+//! that path.
+//!
+//! One observability deviation: packet-size histograms
+//! (`packet.bytes`/`packet.items`) are recorded producer-side here
+//! (pre-fault), because histograms are not part of the serialized
+//! result; counters, gauges, phase times and flight records cross the
+//! socket and match the in-process runners.
+//
+// Seam rule: runner modules build on `session`/`link`/`consume` only —
+// never on another runner's internals (enforced by `make ci`'s grep).
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::Shutdown;
+use std::ops::{Deref, DerefMut};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use difftest_dut::{BugSpec, DutConfig};
+use difftest_ref::Memory;
+use difftest_stats::{
+    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
+    PhaseTimer, PhaseTimes,
+};
+use difftest_workload::Workload;
+
+use crate::checker::{Mismatch, Verdict};
+use crate::consume::{drive, ConsumerOutput, NoCharge};
+use crate::fault::{FaultPlan, LinkErrorKind, LinkStats};
+use crate::link::{FusionWatch, LinkSink, LinkSource};
+use crate::pool::PooledBuf;
+use crate::session::{DiffConfig, RunCommon, RunOutcome, Session};
+use crate::transport::Transfer;
+
+/// Environment variable marking a process as a spawned socket consumer.
+const ROLE_ENV: &str = "DIFFTEST_SOCKET_ROLE";
+/// Environment variable carrying the socket path to the consumer.
+const PATH_ENV: &str = "DIFFTEST_SOCKET_PATH";
+
+const HANDSHAKE_MAGIC: [u8; 4] = *b"DTH1";
+const RESULT_MAGIC: [u8; 4] = *b"DTHR";
+const FRAME_TRANSFER: u8 = 0;
+const FRAME_END: u8 = 1;
+/// Upper bound on any length-prefixed field (frames, strings); a larger
+/// prefix means a desynchronized or hostile stream.
+const MAX_FRAME_BYTES: usize = 1 << 24;
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+const CHILD_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Exit code of a consumer killed by [`SocketTuning::kill_consumer_after`].
+pub const KILLED_EXIT: i32 = 86;
+
+/// Test/diagnostic knobs for the socket runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocketTuning {
+    /// When `Some(n)` with `n >= 1`, the consumer process exits abruptly
+    /// (no result blob, no socket teardown) right after delivering its
+    /// `n`-th transfer frame — simulating consumer death mid-run so
+    /// tests can exercise the producer's typed
+    /// [`RunOutcome::LinkError`] path. `None` (or `Some(0)`) disables
+    /// the kill.
+    pub kill_consumer_after: Option<u32>,
+}
+
+/// Result of a socket run: the shared [`RunCommon`] core plus
+/// wall-clock throughput and the consumer process's exit status.
+#[derive(Debug, Clone)]
+pub struct SocketReport {
+    /// The report core shared by every runner (verdict, volume, link
+    /// health, observability).
+    pub common: RunCommon,
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+    /// Host-side throughput in DUT cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Consumer process exit code (`None` if it had to be killed or
+    /// never ran).
+    pub consumer_exit: Option<i32>,
+}
+
+impl Deref for SocketReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for SocketReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        &mut self.common
+    }
+}
+
+/// Hands the process over to the socket consumer when the environment
+/// marks it as one, and returns immediately otherwise. Every binary
+/// that may host the socket runner (examples, benches, harness-free
+/// tests) must call this first thing in `main`: the runner re-executes
+/// the current binary to obtain its consumer process, and this is where
+/// that process diverges from the host's own `main`. Never returns in a
+/// consumer process.
+pub fn child_entry() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("consumer") {
+        return;
+    }
+    std::process::exit(consumer_main());
+}
+
+/// Runs a co-simulation with the producer in this process and the
+/// shared receive-side pipeline in a separate consumer process, joined
+/// by a Unix-domain socket carrying the CRC-framed wire format.
+///
+/// Only meaningful for non-blocking configurations ([`DiffConfig::BN`] /
+/// [`DiffConfig::BNSD`]), like the other parallel runners.
+///
+/// # Panics
+///
+/// Panics when `config` is blocking (`Z`/`B`); never on link or
+/// process failures — those surface as [`RunOutcome::LinkError`].
+pub fn run_socket(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+) -> SocketReport {
+    run_socket_faulty(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        None,
+    )
+}
+
+/// [`run_socket`] with an optional fault-injecting link (applied on the
+/// producer side, before the bytes enter the socket). This runner has
+/// no retention ring, so decode failures are reported, not recovered —
+/// the same report-only semantics as the threaded and sharded runners.
+///
+/// # Panics
+///
+/// Panics when `config` is blocking (`Z`/`B`).
+pub fn run_socket_faulty(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+) -> SocketReport {
+    run_socket_tuned(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
+        SocketTuning::default(),
+    )
+}
+
+/// [`run_socket_faulty`] with explicit [`SocketTuning`] (tests use it
+/// to kill the consumer process mid-run).
+///
+/// # Panics
+///
+/// Panics when `config` is blocking (`Z`/`B`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_socket_tuned(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+    tuning: SocketTuning,
+) -> SocketReport {
+    let session = Session::new(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
+    );
+    session.require_nonblock("socket");
+    let start = Instant::now();
+    // Anti-fork-bomb guard: a consumer process must never spawn another
+    // generation of consumers, even if a test calls the runner from one.
+    if std::env::var_os(ROLE_ENV).is_some() {
+        return setup_failure_report(start, LinkErrorKind::Malformed, None);
+    }
+    match run_producer(&session, workload.words(), tuning, start) {
+        Ok(report) => report,
+        Err(fail) => setup_failure_report(start, fail.kind, fail.consumer_exit),
+    }
+}
+
+/// A failure before the DUT ever ran (bind/spawn/accept/handshake):
+/// there is nothing to report beyond the typed link error.
+struct SetupFail {
+    kind: LinkErrorKind,
+    consumer_exit: Option<i32>,
+}
+
+impl SetupFail {
+    fn new(kind: LinkErrorKind) -> Self {
+        SetupFail {
+            kind,
+            consumer_exit: None,
+        }
+    }
+}
+
+fn setup_failure_report(
+    start: Instant,
+    kind: LinkErrorKind,
+    consumer_exit: Option<i32>,
+) -> SocketReport {
+    let mut link = LinkStats::default();
+    link.note(kind);
+    SocketReport {
+        common: RunCommon {
+            outcome: RunOutcome::LinkError {
+                kind,
+                seq: 0,
+                core: 0,
+            },
+            mismatch: None,
+            cycles: 0,
+            instructions: 0,
+            items: 0,
+            link,
+            fault: None,
+            metrics: Metrics::new(),
+            flight: None,
+        },
+        wall_s: start.elapsed().as_secs_f64(),
+        cycles_per_sec: 0.0,
+        consumer_exit,
+    }
+}
+
+/// Owns the spawned consumer and the socket file; `Drop` reaps both so
+/// every early-return path cleans up.
+struct ChildGuard {
+    child: Child,
+    path: PathBuf,
+}
+
+impl ChildGuard {
+    /// Waits for the consumer to exit (bounded), killing it on timeout.
+    fn wait_exit(&mut self) -> Option<i32> {
+        let deadline = Instant::now() + CHILD_WAIT_TIMEOUT;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return status.code(),
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Ok(None) = self.child.try_wait() {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Distinguishes concurrent runs (and runs within one process) sharing
+/// a temp directory.
+static PATH_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path() -> PathBuf {
+    let salt = PATH_SALT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("difftest-{}-{salt}.sock", std::process::id()))
+}
+
+fn run_producer(
+    session: &Session,
+    words: &[u32],
+    tuning: SocketTuning,
+    start: Instant,
+) -> Result<SocketReport, SetupFail> {
+    let path = socket_path();
+    let _ = std::fs::remove_file(&path);
+    let listener =
+        UnixListener::bind(&path).map_err(|_| SetupFail::new(LinkErrorKind::Malformed))?;
+    if listener.set_nonblocking(true).is_err() {
+        let _ = std::fs::remove_file(&path);
+        return Err(SetupFail::new(LinkErrorKind::Malformed));
+    }
+    let exe = std::env::current_exe().map_err(|_| {
+        let _ = std::fs::remove_file(&path);
+        SetupFail::new(LinkErrorKind::Malformed)
+    })?;
+    let child = Command::new(exe)
+        .env(ROLE_ENV, "consumer")
+        .env(PATH_ENV, &path)
+        .spawn()
+        .map_err(|_| {
+            let _ = std::fs::remove_file(&path);
+            SetupFail::new(LinkErrorKind::Gap)
+        })?;
+    let mut guard = ChildGuard { child, path };
+
+    // Accept with a deadline: a consumer that never connects (crashed on
+    // startup) must not hang the run.
+    let accept_from = Instant::now();
+    let stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if accept_from.elapsed() > ACCEPT_TIMEOUT {
+                    return Err(SetupFail {
+                        kind: LinkErrorKind::Gap,
+                        consumer_exit: guard.wait_exit(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                return Err(SetupFail {
+                    kind: LinkErrorKind::Gap,
+                    consumer_exit: guard.wait_exit(),
+                });
+            }
+        }
+    };
+    // The accepted stream must block: frame writes are the runner's
+    // backpressure, the socket buffer its bounded queue.
+    if stream.set_nonblocking(false).is_err() {
+        return Err(SetupFail::new(LinkErrorKind::Malformed));
+    }
+    let writer = stream
+        .try_clone()
+        .map_err(|_| SetupFail::new(LinkErrorKind::Malformed))?;
+    let mut sink = StreamSink {
+        w: BufWriter::new(writer),
+    };
+    if write_handshake(&mut sink.w, session, tuning, words).is_err() {
+        return Err(SetupFail {
+            kind: LinkErrorKind::Gap,
+            consumer_exit: guard.wait_exit(),
+        });
+    }
+
+    // From here on the run always produces a real report: the DUT side
+    // executes locally even if the consumer dies (that becomes a typed
+    // link error, not a setup failure).
+    let mut dut = session.dut();
+    let mut accel = session.accel();
+    let mut fusion = FusionWatch::default();
+    let mut timer = PhaseTimer::monotonic();
+    let mut rec = FlightRecorder::default();
+    let mut metrics = Metrics::new();
+    let h_bytes = metrics.register_histogram("packet.bytes");
+    let h_items = metrics.register_histogram("packet.items");
+    let mut link = session.send_link(sink);
+    let mut transfers = Vec::new();
+    let mut events = Vec::new();
+    let max_cycles = session.max_cycles();
+    let mut alive = true;
+    while alive && dut.halted().is_none() && dut.cycles() < max_cycles {
+        let t0 = timer.start();
+        events.clear();
+        dut.tick_into(&mut events);
+        timer.stop(Phase::Tick, t0);
+        let t0 = timer.start();
+        accel.push_cycle(&events, &mut transfers);
+        timer.stop(Phase::Pack, t0);
+        fusion.observe(&accel, !transfers.is_empty(), 0, dut.cycles(), &mut rec);
+        for t in &transfers {
+            metrics.record(h_bytes, t.bytes.len() as u64);
+            metrics.record(h_items, u64::from(t.items));
+        }
+        let t0 = timer.start();
+        alive = link.feed(&mut transfers, &mut rec, dut.cycles());
+        timer.stop(Phase::Transport, t0);
+    }
+    let t0 = timer.start();
+    accel.flush(&mut transfers);
+    timer.stop(Phase::Pack, t0);
+    for t in &transfers {
+        metrics.record(h_bytes, t.bytes.len() as u64);
+        metrics.record(h_items, u64::from(t.items));
+    }
+    let t0 = timer.start();
+    if link.feed(&mut transfers, &mut rec, dut.cycles()) {
+        // Release transfers still held for reordering.
+        link.finish();
+    }
+    timer.stop(Phase::Transport, t0);
+
+    let produced = link.produced();
+    let fault_stats = link.fault_stats();
+    // End-of-stream frame carrying the pre-fault produced count (the
+    // consumer's tail-loss reference), then half-close so EOF is
+    // unambiguous even if the end frame itself was lost to EPIPE.
+    let w = &mut link.sink_mut().w;
+    let _ = write_end_frame(w, produced).and_then(|()| w.flush());
+    let _ = stream.shutdown(Shutdown::Write);
+
+    // Read the verdict back. Whatever went wrong on the way here (EPIPE
+    // mid-stream included), the consumer may still have decided the run
+    // and written its result before exiting — so always try.
+    let result = read_result(&mut BufReader::new(&stream));
+    let consumer_exit = guard.wait_exit();
+
+    let cycles = dut.cycles();
+    let instructions = dut.total_commits();
+    let wall_s = start.elapsed().as_secs_f64();
+    let report = match result {
+        Ok(res) => {
+            let outcome = if res.mismatch.is_some() {
+                RunOutcome::Mismatch
+            } else if let Some((kind, seq, core)) = res.link_error {
+                RunOutcome::LinkError { kind, seq, core }
+            } else {
+                match res.verdict {
+                    Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+                    Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+                    _ => RunOutcome::MaxCycles,
+                }
+            };
+            metrics.phases = timer.times();
+            metrics.phases.merge(&res.phases);
+            metrics.counters.set("hw.cycles", cycles);
+            metrics.counters.set("hw.instructions", instructions);
+            metrics.counters.set("obs.transfers", res.obs_transfers);
+            metrics.counters.set("obs.bytes", res.obs_bytes);
+            metrics.counters.set("obs.items", res.items);
+            metrics.set_gauge("reorder.buffered.max", res.g_reorder);
+            metrics.set_gauge("checker.pending.max", res.g_pending);
+            let flight = match outcome {
+                RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
+                    // Producer-side context (sends, fusion) first, then
+                    // the consumer process's view of arrivals and the
+                    // verdict — same ordering as the threaded runner.
+                    let mut snap = rec.snapshot();
+                    snap.append(&res.flight);
+                    Some(snap)
+                }
+                _ => None,
+            };
+            SocketReport {
+                common: RunCommon {
+                    outcome,
+                    mismatch: res.mismatch,
+                    cycles,
+                    instructions,
+                    items: res.items,
+                    link: res.link,
+                    fault: fault_stats,
+                    metrics,
+                    flight,
+                },
+                wall_s,
+                cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+                consumer_exit,
+            }
+        }
+        Err(_) => {
+            // The consumer process died without a verdict: everything it
+            // had not acknowledged is gone. Typed link error, attributed
+            // to the produced count (the last sequence we know left).
+            let kind = LinkErrorKind::Gap;
+            let mut link_stats = LinkStats::default();
+            link_stats.note(kind);
+            rec.record(FlightRecord {
+                kind: FlightKind::LinkError,
+                core: 0,
+                seq: produced,
+                cycle: cycles,
+                value: kind as u64,
+            });
+            metrics.phases = timer.times();
+            metrics.counters.set("hw.cycles", cycles);
+            metrics.counters.set("hw.instructions", instructions);
+            SocketReport {
+                common: RunCommon {
+                    outcome: RunOutcome::LinkError {
+                        kind,
+                        seq: produced,
+                        core: 0,
+                    },
+                    mismatch: None,
+                    cycles,
+                    instructions,
+                    items: 0,
+                    link: link_stats,
+                    fault: fault_stats,
+                    metrics,
+                    flight: Some(rec.snapshot()),
+                },
+                wall_s,
+                cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+                consumer_exit,
+            }
+        }
+    };
+    if let Err(e) = export_to_env(
+        "socket",
+        &report.common.metrics,
+        report.common.flight.as_ref(),
+    ) {
+        eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
+    }
+    Ok(report)
+}
+
+/// The consumer process: connect back, read the handshake, drive the
+/// shared pipeline off the socket, serialize the verdict. Exit codes
+/// are diagnostics only (the producer treats any missing/short result
+/// blob as a link error).
+fn consumer_main() -> i32 {
+    let Some(path) = std::env::var_os(PATH_ENV) else {
+        return 2;
+    };
+    let Ok(stream) = UnixStream::connect(&path) else {
+        return 3;
+    };
+    let Ok(stop_handle) = stream.try_clone() else {
+        return 3;
+    };
+    let mut reader = BufReader::new(stream);
+    let Some(hs) = read_handshake(&mut reader) else {
+        return 4;
+    };
+    let mut dut_cfg = DutConfig::nutshell();
+    dut_cfg.cores = hs.cores;
+    let mut image = Memory::new();
+    image.load_words(Memory::RAM_BASE, &hs.words);
+    // The consumer only needs what the receive side uses: core count
+    // and the memory image the reference models boot from. Bugs, cycle
+    // budget and fault plans live producer-side.
+    let session = Session::from_image(dut_cfg, hs.config, image, Vec::new(), 0, 1, None);
+    let mut consumer = session.consumer();
+    let mut source = StreamSource {
+        r: reader,
+        produced: None,
+        delivered: 0,
+        kill_after: hs.kill_after,
+    };
+    let exhausted = drive(&mut source, &mut consumer, || {
+        // Early stop (mismatch/trap decided the run): half-close the
+        // read side so the producer's blocked frame writes fail with
+        // EPIPE instead of stuffing a dead pipe.
+        let _ = stop_handle.shutdown(Shutdown::Read);
+    });
+    if exhausted && !consumer.stopped() {
+        // EOF: the produced count from the end frame (when it arrived)
+        // exposes tail loss the sequence window cannot see.
+        consumer.finish_stream(source.produced, 0, &mut NoCharge);
+    }
+    let out = consumer.finish();
+    let mut w = BufWriter::new(stop_handle);
+    if write_result(&mut w, &out).and_then(|()| w.flush()).is_err() {
+        return 5;
+    }
+    0
+}
+
+/// Producer-side frame writer behind the shared send path: a failed
+/// write means the consumer is gone, which [`SendLink`] reports to the
+/// producer loop exactly like a closed channel.
+struct StreamSink {
+    w: BufWriter<UnixStream>,
+}
+
+impl LinkSink for StreamSink {
+    fn send(&mut self, t: Transfer) -> bool {
+        write_transfer_frame(&mut self.w, &t).is_ok()
+    }
+}
+
+/// Consumer-side frame reader: yields transfers until the end frame,
+/// EOF, or a malformed frame (the shared pipeline then judges what the
+/// truncation means).
+struct StreamSource {
+    r: BufReader<UnixStream>,
+    /// Pre-fault produced count from the end frame, once seen.
+    produced: Option<u32>,
+    delivered: u32,
+    kill_after: u32,
+}
+
+impl LinkSource for StreamSource {
+    fn recv(&mut self) -> Option<Transfer> {
+        match r_u8(&mut self.r).ok()? {
+            FRAME_TRANSFER => {
+                let core = r_u8(&mut self.r).ok()?;
+                let items = r_u32(&mut self.r).ok()?;
+                let len = r_u32(&mut self.r).ok()? as usize;
+                if len > MAX_FRAME_BYTES {
+                    return None;
+                }
+                let mut bytes = vec![0u8; len];
+                self.r.read_exact(&mut bytes).ok()?;
+                self.delivered += 1;
+                if self.kill_after != 0 && self.delivered >= self.kill_after {
+                    // Tuning knob: die abruptly mid-stream, exercising
+                    // the producer's EPIPE/short-result handling.
+                    std::process::exit(KILLED_EXIT);
+                }
+                Some(Transfer {
+                    bytes: PooledBuf::detached(bytes),
+                    core,
+                    invokes: 1,
+                    items,
+                })
+            }
+            FRAME_END => {
+                self.produced = r_u32(&mut self.r).ok();
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// What the producer tells the consumer before any frame flows.
+struct Handshake {
+    config: DiffConfig,
+    cores: u32,
+    kill_after: u32,
+    words: Vec<u32>,
+}
+
+fn write_handshake<W: Write>(
+    w: &mut W,
+    session: &Session,
+    tuning: SocketTuning,
+    words: &[u32],
+) -> io::Result<()> {
+    w.write_all(&HANDSHAKE_MAGIC)?;
+    w_u8(w, session.config().to_wire())?;
+    w_u32(w, session.dut_cfg().cores)?;
+    w_u32(w, tuning.kill_consumer_after.unwrap_or(0))?;
+    w_u32(w, words.len() as u32)?;
+    for &word in words {
+        w_u32(w, word)?;
+    }
+    Ok(())
+}
+
+fn read_handshake<R: Read>(r: &mut R) -> Option<Handshake> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).ok()?;
+    if magic != HANDSHAKE_MAGIC {
+        return None;
+    }
+    let config = DiffConfig::from_wire(r_u8(r).ok()?)?;
+    let cores = r_u32(r).ok()?;
+    if cores == 0 || cores > 1024 {
+        return None;
+    }
+    let kill_after = r_u32(r).ok()?;
+    let len = r_u32(r).ok()? as usize;
+    if len > (Memory::RAM_SIZE / 4) as usize {
+        return None;
+    }
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        words.push(r_u32(r).ok()?);
+    }
+    Some(Handshake {
+        config,
+        cores,
+        kill_after,
+        words,
+    })
+}
+
+fn write_transfer_frame<W: Write>(w: &mut W, t: &Transfer) -> io::Result<()> {
+    w_u8(w, FRAME_TRANSFER)?;
+    w_u8(w, t.core)?;
+    w_u32(w, t.items)?;
+    w_u32(w, t.bytes.len() as u32)?;
+    w.write_all(&t.bytes)
+}
+
+fn write_end_frame<W: Write>(w: &mut W, produced: u32) -> io::Result<()> {
+    w_u8(w, FRAME_END)?;
+    w_u32(w, produced)
+}
+
+/// The consumer's serialized verdict, as the producer reconstructs it.
+struct ConsumerResult {
+    verdict: Option<Verdict>,
+    mismatch: Option<Mismatch>,
+    link_error: Option<(LinkErrorKind, u32, u8)>,
+    items: u64,
+    link: LinkStats,
+    phases: PhaseTimes,
+    obs_transfers: u64,
+    obs_bytes: u64,
+    g_reorder: u64,
+    g_pending: u64,
+    flight: FlightSnapshot,
+}
+
+fn write_result<W: Write>(w: &mut W, out: &ConsumerOutput) -> io::Result<()> {
+    w.write_all(&RESULT_MAGIC)?;
+    match out.verdict {
+        Some(Verdict::Halt { core, good, pc }) => {
+            w_u8(w, 1)?;
+            w_u8(w, core)?;
+            w_u8(w, u8::from(good))?;
+            w_u64(w, pc)?;
+        }
+        // `Continue` and `None` both mean "no verified halt".
+        _ => w_u8(w, 0)?,
+    }
+    match &out.mismatch {
+        Some(m) => {
+            w_u8(w, 1)?;
+            w_u8(w, m.core)?;
+            w_u64(w, m.seq)?;
+            w_str(w, &m.check)?;
+            w_str(w, &m.expected)?;
+            w_str(w, &m.actual)?;
+        }
+        None => w_u8(w, 0)?,
+    }
+    match out.link_error {
+        Some((kind, seq, core)) => {
+            w_u8(w, 1)?;
+            w_u8(w, kind as u8)?;
+            w_u32(w, seq)?;
+            w_u8(w, core)?;
+        }
+        None => w_u8(w, 0)?,
+    }
+    w_u64(w, out.items)?;
+    for d in out.link.detected {
+        w_u64(w, d)?;
+    }
+    w_u64(w, out.link.stale_dropped)?;
+    w_u64(w, out.link.recovered)?;
+    w_u64(w, out.link.retransmits)?;
+    w_u64(w, out.link.retransmit_bytes)?;
+    for (_, nanos) in out.metrics.phases.iter() {
+        w_u64(w, nanos)?;
+    }
+    w_u64(w, out.metrics.counters.get("obs.transfers"))?;
+    w_u64(w, out.metrics.counters.get("obs.bytes"))?;
+    w_u64(w, out.metrics.gauge("reorder.buffered.max"))?;
+    w_u64(w, out.metrics.gauge("checker.pending.max"))?;
+    w_u32(w, out.flight.records.len() as u32)?;
+    for r in &out.flight.records {
+        w_u8(w, flight_kind_wire(r.kind))?;
+        w_u8(w, r.core)?;
+        w_u32(w, r.seq)?;
+        w_u64(w, r.cycle)?;
+        w_u64(w, r.value)?;
+    }
+    w_u64(w, out.flight.evicted)
+}
+
+fn read_result<R: Read>(r: &mut R) -> io::Result<ConsumerResult> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != RESULT_MAGIC {
+        return Err(bad("result magic"));
+    }
+    let verdict = match r_u8(r)? {
+        0 => None,
+        _ => {
+            let core = r_u8(r)?;
+            let good = r_u8(r)? != 0;
+            let pc = r_u64(r)?;
+            Some(Verdict::Halt { core, good, pc })
+        }
+    };
+    let mismatch = match r_u8(r)? {
+        0 => None,
+        _ => Some(Mismatch {
+            core: r_u8(r)?,
+            seq: r_u64(r)?,
+            check: r_str(r)?,
+            expected: r_str(r)?,
+            actual: r_str(r)?,
+        }),
+    };
+    let link_error = match r_u8(r)? {
+        0 => None,
+        _ => {
+            let kind = link_error_kind_from_wire(r_u8(r)?)?;
+            let seq = r_u32(r)?;
+            let core = r_u8(r)?;
+            Some((kind, seq, core))
+        }
+    };
+    let items = r_u64(r)?;
+    let mut link = LinkStats::default();
+    for slot in &mut link.detected {
+        *slot = r_u64(r)?;
+    }
+    link.stale_dropped = r_u64(r)?;
+    link.recovered = r_u64(r)?;
+    link.retransmits = r_u64(r)?;
+    link.retransmit_bytes = r_u64(r)?;
+    let mut phases = PhaseTimes::default();
+    for p in Phase::ALL {
+        phases.add(p, r_u64(r)?);
+    }
+    let obs_transfers = r_u64(r)?;
+    let obs_bytes = r_u64(r)?;
+    let g_reorder = r_u64(r)?;
+    let g_pending = r_u64(r)?;
+    let n = r_u32(r)? as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(bad("flight count"));
+    }
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(FlightRecord {
+            kind: flight_kind_from_wire(r_u8(r)?)?,
+            core: r_u8(r)?,
+            seq: r_u32(r)?,
+            cycle: r_u64(r)?,
+            value: r_u64(r)?,
+        });
+    }
+    let evicted = r_u64(r)?;
+    Ok(ConsumerResult {
+        verdict,
+        mismatch,
+        link_error,
+        items,
+        link,
+        phases,
+        obs_transfers,
+        obs_bytes,
+        g_reorder,
+        g_pending,
+        flight: FlightSnapshot { records, evicted },
+    })
+}
+
+fn flight_kind_wire(k: FlightKind) -> u8 {
+    match k {
+        FlightKind::PacketSent => 0,
+        FlightKind::PacketReceived => 1,
+        FlightKind::Fusion => 2,
+        FlightKind::Retransmit => 3,
+        FlightKind::LinkError => 4,
+        FlightKind::Mismatch => 5,
+        FlightKind::Verdict => 6,
+    }
+}
+
+fn flight_kind_from_wire(b: u8) -> io::Result<FlightKind> {
+    match b {
+        0 => Ok(FlightKind::PacketSent),
+        1 => Ok(FlightKind::PacketReceived),
+        2 => Ok(FlightKind::Fusion),
+        3 => Ok(FlightKind::Retransmit),
+        4 => Ok(FlightKind::LinkError),
+        5 => Ok(FlightKind::Mismatch),
+        6 => Ok(FlightKind::Verdict),
+        _ => Err(bad("flight kind")),
+    }
+}
+
+fn link_error_kind_from_wire(b: u8) -> io::Result<LinkErrorKind> {
+    LinkErrorKind::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or_else(|| bad("link error kind"))
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("socket wire: bad {what}"),
+    )
+}
+
+fn w_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = r_u32(r)? as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad("string length"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("string utf-8"))
+}
+
+// Process-spawning tests cannot live here: the default test harness's
+// `main` would never reach `child_entry`, so a spawned consumer would
+// re-run the test suite instead of consuming. The end-to-end coverage
+// lives in the harness-free `tests/socket_runner.rs` integration test.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+    use crate::transport::SwUnit;
+    use difftest_ref::RefModel;
+
+    #[test]
+    fn result_blob_round_trips() {
+        let image = Memory::new();
+        let consumer = crate::consume::Consumer::new(
+            SwUnit::packed(1),
+            Checker::new(vec![RefModel::new(image)], false),
+        );
+        let mut out = consumer.finish();
+        out.items = 42;
+        out.mismatch = Some(Mismatch {
+            core: 1,
+            seq: 7,
+            check: "pc".into(),
+            expected: "0x80000000".into(),
+            actual: "0x80000004".into(),
+        });
+        out.link_error = Some((LinkErrorKind::Gap, 9, 1));
+        out.link.note(LinkErrorKind::Gap);
+        out.flight.records.push(FlightRecord {
+            kind: FlightKind::Mismatch,
+            core: 1,
+            seq: 9,
+            cycle: 1234,
+            value: 7,
+        });
+        let mut blob = Vec::new();
+        write_result(&mut blob, &out).unwrap();
+        let res = read_result(&mut blob.as_slice()).unwrap();
+        assert_eq!(res.items, 42);
+        let m = res.mismatch.unwrap();
+        assert_eq!((m.core, m.seq), (1, 7));
+        assert_eq!(m.actual, "0x80000004");
+        assert_eq!(res.link_error, Some((LinkErrorKind::Gap, 9, 1)));
+        assert_eq!(res.link.count(LinkErrorKind::Gap), 1);
+        assert_eq!(res.flight.records.len(), 1);
+        assert_eq!(res.flight.records[0].kind, FlightKind::Mismatch);
+        assert_eq!(res.flight.records[0].cycle, 1234);
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let w = Workload::microbench().seed(3).iterations(5).build();
+        let session = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            None,
+        );
+        let mut blob = Vec::new();
+        write_handshake(
+            &mut blob,
+            &session,
+            SocketTuning {
+                kill_consumer_after: Some(5),
+            },
+            w.words(),
+        )
+        .unwrap();
+        let hs = read_handshake(&mut blob.as_slice()).unwrap();
+        assert_eq!(hs.config, DiffConfig::BNSD);
+        assert_eq!(hs.cores, session.dut_cfg().cores);
+        assert_eq!(hs.kill_after, 5);
+        assert_eq!(hs.words, w.words());
+    }
+
+    #[test]
+    fn flight_kinds_survive_the_wire() {
+        for k in [
+            FlightKind::PacketSent,
+            FlightKind::PacketReceived,
+            FlightKind::Fusion,
+            FlightKind::Retransmit,
+            FlightKind::LinkError,
+            FlightKind::Mismatch,
+            FlightKind::Verdict,
+        ] {
+            assert_eq!(flight_kind_from_wire(flight_kind_wire(k)).unwrap(), k);
+        }
+        assert!(flight_kind_from_wire(7).is_err());
+        for k in LinkErrorKind::ALL {
+            assert_eq!(link_error_kind_from_wire(k as u8).unwrap(), k);
+        }
+        assert!(link_error_kind_from_wire(5).is_err());
+    }
+}

@@ -4,101 +4,56 @@
 //! The engine in [`crate::engine`] *models* non-blocking transmission
 //! (paper §4.5) with overlapped virtual timelines. This module demonstrates
 //! the same architecture with OS threads: a producer thread runs the DUT
-//! and the acceleration unit, a consumer thread runs the decoder and the
-//! ISA checker, and a bounded channel between them provides the
+//! and the acceleration unit, a consumer thread runs the shared
+//! [`Consumer`](crate::consume::Consumer) pipeline, and a bounded channel
+//! between them ([`ChannelSink`]/[`ChannelSource`]) provides the
 //! backpressure of the paper's sending/receiving queues. It reports
 //! wall-clock throughput rather than simulated KHz.
+//
+// Seam rule: runner modules build on `session`/`link`/`consume` only —
+// never on another runner's internals (enforced by `make ci`'s grep).
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 use crossbeam::channel;
-use difftest_dut::{BugSpec, Dut, DutConfig};
-use difftest_ref::{Memory, RefModel};
-use difftest_stats::{
-    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
-    PhaseTimer,
-};
+use difftest_dut::{BugSpec, DutConfig};
+use difftest_stats::{export_to_env, FlightRecorder, Phase, PhaseTimer};
 use difftest_workload::Workload;
 
-use crate::batch::peek_packet_seq;
-use crate::checker::{Checker, Mismatch, Verdict};
-use crate::engine::{DiffConfig, RunOutcome};
-use crate::fault::{FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
-use crate::transport::{AccelUnit, SwUnit, Transfer};
+use crate::consume::{drive, NoCharge};
+use crate::fault::FaultPlan;
+use crate::link::{ChannelSink, ChannelSource, FusionWatch};
+use crate::session::{DiffConfig, RunCommon, RunOutcome, Session};
 
-/// Result of a threaded run.
+/// Result of a threaded run: the shared [`RunCommon`] core plus
+/// wall-clock throughput.
 #[derive(Debug, Clone)]
 pub struct ThreadedReport {
-    /// Why the run ended.
-    pub outcome: RunOutcome,
-    /// The mismatch, if one was detected.
-    pub mismatch: Option<Mismatch>,
-    /// DUT cycles simulated.
-    pub cycles: u64,
-    /// Instructions committed.
-    pub instructions: u64,
-    /// Wire items checked.
-    pub items: u64,
+    /// The report core shared by every runner (verdict, volume, link
+    /// health, observability).
+    pub common: RunCommon,
     /// Host wall-clock seconds.
     pub wall_s: f64,
     /// Host-side throughput in DUT cycles per wall-clock second.
     pub cycles_per_sec: f64,
-    /// Link failure counters accumulated by the consumer.
-    pub link: LinkStats,
-    /// Faults the injected link model applied (`None` on a clean link).
-    pub fault: Option<FaultStats>,
-    /// The run's observability registry: producer + consumer phase
-    /// timing, packet histograms and `obs.*` counters. Exported as JSONL
-    /// when `DIFFTEST_OBS=<path>` is set.
-    pub metrics: Metrics,
-    /// Flight-recorder snapshot (producer records, then consumer
-    /// records) attached on [`RunOutcome::Mismatch`] and
-    /// [`RunOutcome::LinkError`], `None` on clean runs.
-    pub flight: Option<FlightSnapshot>,
 }
 
-/// Pushes produced transfers through the (possibly faulty) link and the
-/// bounded channel, counting every packet *produced* so the consumer can
-/// detect tail loss. Returns `false` once the receiver is gone (`wire`
-/// may then still hold unsent transfers — the caller clears it).
-pub(crate) fn feed_link(
-    link: &mut Option<FaultyLink>,
-    produced: &AtomicU32,
-    transfers: &mut Vec<Transfer>,
-    wire: &mut Vec<Transfer>,
-    tx: &channel::Sender<Transfer>,
-    rec: &mut FlightRecorder,
-    cycle: u64,
-) -> bool {
-    produced.fetch_add(transfers.len() as u32, Ordering::AcqRel);
-    for t in transfers.iter() {
-        rec.record(FlightRecord {
-            kind: FlightKind::PacketSent,
-            core: t.core,
-            seq: peek_packet_seq(&t.bytes).unwrap_or(0),
-            cycle,
-            value: t.bytes.len() as u64,
-        });
+impl Deref for ThreadedReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        &self.common
     }
-    match link {
-        Some(l) => {
-            for t in transfers.drain(..) {
-                l.transmit(t, wire);
-            }
-        }
-        None => wire.append(transfers),
+}
+
+impl DerefMut for ThreadedReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        &mut self.common
     }
-    for t in wire.drain(..) {
-        // Blocking send: the bounded channel is the paper's sending
-        // queue with backpressure.
-        if tx.send(t).is_err() {
-            return false;
-        }
-    }
-    true
 }
 
 /// Runs a co-simulation with the hardware and software sides on separate
@@ -136,8 +91,8 @@ pub fn run_threaded(
 /// surface as [`RunOutcome::LinkError`] — stale duplicates are dropped
 /// and counted; a gap left at end of stream (lost packet, including a
 /// tail drop the sequence window alone cannot see) is reported as a
-/// [`LinkErrorKind::Gap`]. This runner has no retention ring, so it
-/// reports rather than recovers.
+/// [`crate::fault::LinkErrorKind::Gap`]. This runner has no retention
+/// ring, so it reports rather than recovers.
 ///
 /// # Panics
 ///
@@ -152,44 +107,42 @@ pub fn run_threaded_faulty(
     queue_depth: usize,
     fault: Option<FaultPlan>,
 ) -> ThreadedReport {
-    assert!(
-        config.nonblock(),
-        "threaded runner requires a non-blocking configuration"
+    let session = Session::new(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
     );
-    let mut image = Memory::new();
-    image.load_words(Memory::RAM_BASE, workload.words());
-    let cores = dut_cfg.cores as usize;
+    session.require_nonblock("threaded");
 
-    let (tx, rx) = channel::bounded::<Transfer>(queue_depth.max(1));
+    let (tx, rx) = channel::bounded(session.queue_depth());
     // Consumer -> producer stop signal (mismatch or trap seen early). An
     // atomic flag cannot race or fill up the way a 1-slot channel could:
     // a second stop reason published while the first is still unread is
     // simply idempotent.
     let stop = Arc::new(AtomicBool::new(false));
-    // Packets produced before fault injection: the consumer compares its
-    // expected sequence against this after the channel closes to detect
-    // drops the reorder window never sees (tail loss).
-    let produced = Arc::new(AtomicU32::new(0));
+    // The shared send path counts packets produced before fault
+    // injection; the consumer compares its expected sequence against
+    // this after the channel closes to detect drops the reorder window
+    // never sees (tail loss).
+    let mut link = session.send_link(ChannelSink(tx));
+    let produced = link.produced_handle();
 
     let start = Instant::now();
 
     let producer = {
-        let image = image.clone();
-        let dut_cfg = dut_cfg.clone();
+        let session = session.clone();
         let stop = Arc::clone(&stop);
-        let produced = Arc::clone(&produced);
         thread::spawn(move || {
-            let mut dut = Dut::new(dut_cfg, &image, bugs);
-            let mut accel = match config {
-                DiffConfig::BNSD => AccelUnit::squash_batch(cores, 4096, 32, false),
-                _ => AccelUnit::batch(cores, 4096),
-            };
-            let mut link = fault.map(FaultyLink::new);
+            let mut dut = session.dut();
+            let mut accel = session.accel();
+            let mut fusion = FusionWatch::default();
             let mut timer = PhaseTimer::monotonic();
             let mut rec = FlightRecorder::default();
-            let mut last_fused = 0u64;
             let mut transfers = Vec::new();
-            let mut wire = Vec::new();
             let mut events = Vec::new();
             while dut.halted().is_none() && dut.cycles() < max_cycles {
                 if stop.load(Ordering::Acquire) {
@@ -202,69 +155,30 @@ pub fn run_threaded_faulty(
                 let t0 = timer.start();
                 accel.push_cycle(&events, &mut transfers);
                 timer.stop(Phase::Pack, t0);
-                if let Some(s) = accel.squash_stats() {
-                    if s.fused_records > last_fused && !transfers.is_empty() {
-                        last_fused = s.fused_records;
-                        rec.record(FlightRecord {
-                            kind: FlightKind::Fusion,
-                            core: 0,
-                            seq: 0,
-                            cycle: dut.cycles(),
-                            value: s.fused_records,
-                        });
-                    }
-                }
+                fusion.observe(&accel, !transfers.is_empty(), 0, dut.cycles(), &mut rec);
                 let t0 = timer.start();
-                let alive = feed_link(
-                    &mut link,
-                    &produced,
-                    &mut transfers,
-                    &mut wire,
-                    &tx,
-                    &mut rec,
-                    dut.cycles(),
-                );
+                let alive = link.feed(&mut transfers, &mut rec, dut.cycles());
                 timer.stop(Phase::Transport, t0);
                 if !alive {
-                    return (
-                        dut.cycles(),
-                        dut.total_commits(),
-                        link.map(|l| l.stats()),
-                        timer.times(),
-                        rec.snapshot(),
-                    );
+                    // Receiver gone: it already decided the run.
+                    break;
                 }
             }
             let t0 = timer.start();
             accel.flush(&mut transfers);
             timer.stop(Phase::Pack, t0);
             let t0 = timer.start();
-            let receiver_alive = feed_link(
-                &mut link,
-                &produced,
-                &mut transfers,
-                &mut wire,
-                &tx,
-                &mut rec,
-                dut.cycles(),
-            );
-            if let Some(l) = &mut link {
+            if link.feed(&mut transfers, &mut rec, dut.cycles()) {
                 // Release transfers still held for reordering.
-                l.flush(&mut wire);
-                if receiver_alive {
-                    for t in wire.drain(..) {
-                        if tx.send(t).is_err() {
-                            break;
-                        }
-                    }
-                }
+                link.finish();
             }
             timer.stop(Phase::Transport, t0);
-            drop(tx);
+            let fault_stats = link.fault_stats();
+            drop(link); // closes the channel: end of stream
             (
                 dut.cycles(),
                 dut.total_commits(),
-                link.map(|l| l.stats()),
+                fault_stats,
                 timer.times(),
                 rec.snapshot(),
             )
@@ -272,138 +186,21 @@ pub fn run_threaded_faulty(
     };
 
     let consumer = {
-        let produced = Arc::clone(&produced);
+        let session = session.clone();
+        let stop = Arc::clone(&stop);
         thread::spawn(move || {
-            let mut sw = SwUnit::packed(cores);
-            let refs: Vec<RefModel> = (0..cores).map(|_| RefModel::new(image.clone())).collect();
-            let mut checker = Checker::new(refs, false);
-            let mut metrics = Metrics::new();
-            let h_bytes = metrics.register_histogram("packet.bytes");
-            let h_items = metrics.register_histogram("packet.items");
-            let g_reorder = metrics.register_gauge("reorder.buffered.max");
-            let g_pending = metrics.register_gauge("checker.pending.max");
-            let mut timer = PhaseTimer::monotonic();
-            let mut rec = FlightRecorder::default();
-            let mut item_buf = Vec::new();
-            let mut items = 0u64;
-            let mut verdict = None;
-            let mut mismatch = None;
-            let mut link_stats = LinkStats::default();
-            let mut link_error = None;
-            'recv: for t in rx.iter() {
-                let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
-                rec.record(FlightRecord {
-                    kind: FlightKind::PacketReceived,
-                    core: t.core,
-                    seq,
-                    cycle: 0,
-                    value: t.bytes.len() as u64,
-                });
-                metrics.record(h_bytes, t.bytes.len() as u64);
-                metrics.record(h_items, u64::from(t.items));
-                metrics.counters.inc("obs.transfers");
-                metrics.counters.add("obs.bytes", t.bytes.len() as u64);
-                item_buf.clear();
-                let t0 = timer.start();
-                let decode = sw.decode_into(&t, &mut item_buf);
-                timer.stop(Phase::Unpack, t0);
-                if let Err(e) = decode {
-                    let kind = LinkErrorKind::classify(&e);
-                    link_stats.note(kind);
-                    if kind == LinkErrorKind::Stale {
-                        // A duplicate of a delivered packet: harmless.
-                        link_stats.stale_dropped += 1;
-                        continue;
-                    }
-                    let expected = sw.expected_seq().unwrap_or(0);
-                    rec.record(FlightRecord {
-                        kind: FlightKind::LinkError,
-                        core: t.core,
-                        seq: expected,
-                        cycle: 0,
-                        value: kind as u64,
-                    });
-                    link_error = Some((kind, expected, t.core));
-                    stop.store(true, Ordering::Release);
-                    break 'recv;
-                }
-                let t0 = timer.start();
-                for item in item_buf.drain(..) {
-                    items += 1;
-                    match checker.process(item) {
-                        Ok(Verdict::Continue) => {}
-                        Ok(v @ Verdict::Halt { good, .. }) => {
-                            rec.record(FlightRecord {
-                                kind: FlightKind::Verdict,
-                                core: t.core,
-                                seq,
-                                cycle: 0,
-                                value: u64::from(good),
-                            });
-                            verdict = Some(v);
-                            stop.store(true, Ordering::Release);
-                            break;
-                        }
-                        Err(m) => {
-                            rec.record(FlightRecord {
-                                kind: FlightKind::Mismatch,
-                                core: m.core,
-                                seq,
-                                cycle: 0,
-                                value: m.seq,
-                            });
-                            mismatch = Some(m);
-                            stop.store(true, Ordering::Release);
-                            break;
-                        }
-                    }
-                }
-                timer.stop(Phase::Check, t0);
-                // Occupancy high-water marks via GaugeId handles — one
-                // indexed store per transfer, no name lookup.
-                metrics.set_max(g_reorder, sw.buffered_packets() as u64);
-                metrics.set_max(g_pending, checker.pending_items() as u64);
-                if verdict.is_some() || mismatch.is_some() {
-                    break 'recv;
-                }
-            }
-            if verdict.is_none() && mismatch.is_none() && link_error.is_none() {
+            let mut source = ChannelSource(rx);
+            let mut consumer = session.consumer();
+            let exhausted = drive(&mut source, &mut consumer, || {
+                stop.store(true, Ordering::Release);
+            });
+            if exhausted {
                 // The channel closed, so `produced` is final: any packet
                 // the receiver still waits on was lost on the link.
                 let sent = produced.load(Ordering::Acquire);
-                let expected = sw.expected_seq().unwrap_or(sent);
-                if sw.buffered_packets() > 0 || expected != sent {
-                    link_stats.note(LinkErrorKind::Gap);
-                    rec.record(FlightRecord {
-                        kind: FlightKind::LinkError,
-                        core: 0,
-                        seq: expected,
-                        cycle: 0,
-                        value: LinkErrorKind::Gap as u64,
-                    });
-                    link_error = Some((LinkErrorKind::Gap, expected, 0));
-                } else {
-                    let t0 = timer.start();
-                    let fin = checker.finalize();
-                    timer.stop(Phase::Check, t0);
-                    match fin {
-                        Ok(v @ Verdict::Halt { .. }) => verdict = Some(v),
-                        Ok(Verdict::Continue) => {}
-                        Err(m) => mismatch = Some(m),
-                    }
-                }
+                consumer.finish_stream(Some(sent), 0, &mut NoCharge);
             }
-            metrics.counters.add("obs.items", items);
-            metrics.phases.merge(&timer.times());
-            (
-                items,
-                verdict,
-                mismatch,
-                link_error,
-                link_stats,
-                metrics,
-                rec.snapshot(),
-            )
+            consumer.finish()
         })
     };
 
@@ -412,25 +209,25 @@ pub fn run_threaded_faulty(
         Ok(v) => v,
         Err(panic) => std::panic::resume_unwind(panic),
     };
-    let (items, verdict, mismatch, link_error, link_stats, mut metrics, consumer_flight) =
-        match consumer.join() {
-            Ok(v) => v,
-            Err(panic) => std::panic::resume_unwind(panic),
-        };
+    let out = match consumer.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
     let wall_s = start.elapsed().as_secs_f64();
 
-    let outcome = if mismatch.is_some() {
+    let outcome = if out.mismatch.is_some() {
         RunOutcome::Mismatch
-    } else if let Some((kind, seq, core)) = link_error {
+    } else if let Some((kind, seq, core)) = out.link_error {
         RunOutcome::LinkError { kind, seq, core }
     } else {
-        match verdict {
-            Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
-            Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+        match out.verdict {
+            Some(crate::checker::Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+            Some(crate::checker::Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
             _ => RunOutcome::MaxCycles,
         }
     };
 
+    let mut metrics = out.metrics;
     metrics.phases.merge(&producer_times);
     metrics.counters.set("hw.cycles", cycles);
     metrics.counters.set("hw.instructions", instructions);
@@ -439,7 +236,7 @@ pub fn run_threaded_faulty(
             // Producer-side context (sends, fusion) first, then the
             // failing consumer's view of arrivals and the verdict.
             let mut snap = producer_flight;
-            snap.append(&consumer_flight);
+            snap.append(&out.flight);
             Some(snap)
         }
         _ => None,
@@ -449,17 +246,19 @@ pub fn run_threaded_faulty(
     }
 
     ThreadedReport {
-        outcome,
-        mismatch,
-        cycles,
-        instructions,
-        items,
+        common: RunCommon {
+            outcome,
+            mismatch: out.mismatch,
+            cycles,
+            instructions,
+            items: out.items,
+            link: out.link,
+            fault: fault_stats,
+            metrics,
+            flight,
+        },
         wall_s,
         cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
-        link: link_stats,
-        fault: fault_stats,
-        metrics,
-        flight,
     }
 }
 

@@ -1,0 +1,108 @@
+//! Property tests: every in-process runner is observationally equivalent
+//! through the [`run_runner`] dispatch — the engine, threaded and
+//! sharded substrates drive the identical session pipeline, so verdicts,
+//! mismatch identity and typed link errors must be
+//! substrate-independent across workload seeds, bug-injection points
+//! and fault schedules.
+//!
+//! The socket runner's leg of the same equivalence lives in the
+//! harness-free `tests/socket_runner.rs` of the umbrella crate: it
+//! re-executes the current binary as its consumer process, which the
+//! default libtest harness (whose `main` never reaches `child_entry`)
+//! cannot host.
+
+use difftest_core::{run_runner, DiffConfig, FaultPlan, RunOutcome, RunnerKind, RunnerReport};
+use difftest_dut::{BugKind, BugSpec, DutConfig};
+use difftest_workload::Workload;
+use proptest::prelude::*;
+
+/// The three in-process substrates, dispatched through the one entry
+/// point the examples use.
+const KINDS: [RunnerKind; 3] = [
+    RunnerKind::Engine,
+    RunnerKind::Threaded,
+    RunnerKind::Sharded,
+];
+
+fn run(
+    kind: RunnerKind,
+    config: DiffConfig,
+    w: &Workload,
+    bugs: Vec<BugSpec>,
+    fault: Option<FaultPlan>,
+) -> RunnerReport {
+    run_runner(
+        kind,
+        DutConfig::nutshell(),
+        config,
+        w,
+        bugs,
+        500_000,
+        8,
+        fault,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn runners_agree_on_clean_runs(seed in 0u64..1_000) {
+        let w = Workload::microbench().seed(seed).iterations(40).build();
+        let engine = run(RunnerKind::Engine, DiffConfig::BNSD, &w, Vec::new(), None);
+        prop_assert_eq!(engine.outcome, RunOutcome::GoodTrap);
+        for kind in [RunnerKind::Threaded, RunnerKind::Sharded] {
+            let r = run(kind, DiffConfig::BNSD, &w, Vec::new(), None);
+            prop_assert_eq!(r.outcome, engine.outcome, "{:?}", kind);
+            prop_assert_eq!(r.items, engine.items, "{:?}: same stream, same items", kind);
+            prop_assert_eq!(r.instructions, engine.instructions, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn runners_agree_on_mismatch_identity(
+        seed in 0u64..1_000,
+        bug_cycle in 1_000u64..6_000,
+    ) {
+        let w = Workload::linux_boot().seed(seed).iterations(300).build();
+        let bugs = vec![BugSpec::new(BugKind::RegWriteCorruption, bug_cycle)];
+        let engine = run(RunnerKind::Engine, DiffConfig::BNSD, &w, bugs.clone(), None);
+        for kind in [RunnerKind::Threaded, RunnerKind::Sharded] {
+            let r = run(kind, DiffConfig::BNSD, &w, bugs.clone(), None);
+            prop_assert_eq!(r.outcome, engine.outcome, "{:?}", kind);
+            // Single core: arrival order is identical, so the first
+            // failing check is byte-for-byte the same mismatch on every
+            // substrate.
+            prop_assert_eq!(
+                r.mismatch.clone(), engine.mismatch.clone(),
+                "{:?}: mismatch identity", kind
+            );
+        }
+    }
+
+    #[test]
+    fn runners_agree_on_typed_fault_outcomes(
+        seed in 0u64..1_000,
+        rate in 5u16..40,
+    ) {
+        // BN is report-only on every substrate (no retention ring), so
+        // the same seeded fault schedule over the same packet stream
+        // must yield the identical typed outcome — recovered-clean or
+        // the same link error at the same sequence.
+        let w = Workload::microbench().seed(seed).iterations(60).build();
+        let plan = Some(FaultPlan::uniform(seed ^ 0x9e37, rate));
+        let engine = run(RunnerKind::Engine, DiffConfig::BN, &w, Vec::new(), plan);
+        prop_assert!(
+            matches!(engine.outcome, RunOutcome::GoodTrap | RunOutcome::LinkError { .. }),
+            "engine: fault must be recovered or typed, got {:?}", engine.outcome
+        );
+        for kind in KINDS {
+            let r = run(kind, DiffConfig::BN, &w, Vec::new(), plan);
+            prop_assert_eq!(r.outcome, engine.outcome, "{:?}", kind);
+            prop_assert!(r.mismatch.is_none(), "{:?}: phantom mismatch", kind);
+            if let RunOutcome::LinkError { .. } = r.outcome {
+                prop_assert!(r.link.total_detected() > 0, "{:?}: untyped link error", kind);
+            }
+        }
+    }
+}

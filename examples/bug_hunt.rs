@@ -31,11 +31,11 @@ fn main() {
 
         println!("== {config} ==");
         assert_eq!(report.outcome, RunOutcome::Mismatch, "bug must be caught");
-        let failure = report.failure.expect("mismatch carries a report");
         println!(
             "detected at cycle {} after {} instructions",
             report.cycles, report.instructions
         );
+        let failure = report.failure.expect("mismatch carries a report");
         println!("{failure}");
         match config {
             DiffConfig::BNSD => {

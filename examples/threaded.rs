@@ -1,43 +1,60 @@
-//! Hardware/software parallelism with real OS threads (paper §4.5).
+//! Hardware/software parallelism on real OS substrates (paper §4.5).
 //!
-//! The producer thread runs the DUT and the acceleration unit; the
-//! consumer thread unpacks and checks; a bounded channel between them is
-//! the sending queue with backpressure. Compares wall-clock throughput of
-//! the Batch-only and full-Squash pipelines.
+//! The producer runs the DUT and the acceleration unit; the consumer
+//! unpacks and checks; a bounded link between them is the sending queue
+//! with backpressure. All wall-clock runners are one [`run_runner`]
+//! dispatch away from each other — same pipeline, different substrate:
+//! two threads (threaded), one consumer thread per core (sharded), or a
+//! separate consumer process on a Unix socket (socket).
 //!
 //! ```text
 //! cargo run --release --example threaded
 //! ```
 
-use difftest_h::core::{run_threaded, DiffConfig, RunOutcome};
+use difftest_h::core::{run_runner, DiffConfig, RunOutcome, RunnerKind};
 use difftest_h::dut::DutConfig;
 use difftest_h::workload::Workload;
 
 fn main() {
+    // MUST be first: the socket runner re-executes this binary as its
+    // consumer process, which diverges here.
+    difftest_h::core::child_entry();
+
     let workload = Workload::linux_boot().seed(17).iterations(2_000).build();
 
     for config in [DiffConfig::BN, DiffConfig::BNSD] {
-        let report = run_threaded(
-            DutConfig::xiangshan_default(),
-            config,
-            &workload,
-            Vec::new(),
-            400_000,
-            8,
-        );
-        assert_eq!(report.outcome, RunOutcome::GoodTrap);
-        println!(
-            "{config:10}  {} cycles, {} instructions, {} items checked \
-             in {:.2}s  ->  {:.0} Kcycles/s host throughput",
-            report.cycles,
-            report.instructions,
-            report.items,
-            report.wall_s,
-            report.cycles_per_sec / 1e3,
-        );
+        for kind in [
+            RunnerKind::Threaded,
+            RunnerKind::Sharded,
+            RunnerKind::Socket,
+        ] {
+            let report = run_runner(
+                kind,
+                DutConfig::xiangshan_default(),
+                config,
+                &workload,
+                Vec::new(),
+                400_000,
+                8,
+                None,
+            );
+            assert_eq!(report.outcome, RunOutcome::GoodTrap);
+            let (wall_s, cycles_per_sec) = report.wall().expect("wall-clock runner");
+            println!(
+                "{config:10} {kind:10} {} cycles, {} instructions, {} items checked \
+                 in {wall_s:.2}s  ->  {:.0} Kcycles/s host throughput",
+                report.cycles,
+                report.instructions,
+                report.items,
+                cycles_per_sec / 1e3,
+            );
+        }
+        println!();
     }
     println!(
-        "\nSquash hands the checker far fewer items for the same cycles — \
-         the software-side win that non-blocking transmission then overlaps."
+        "Squash hands the checker far fewer items for the same cycles — \
+         the software-side win that non-blocking transmission then overlaps. \
+         The socket runner pays real IPC for its isolation: a dead consumer \
+         is a typed link error, never a wedged address space."
     );
 }
