@@ -89,6 +89,13 @@ socket:
 	$(CARGO) test --release --test socket_runner
 	$(CARGO) test --release -p difftest-core --test runner_equivalence
 
+# Block-cache coherence suite: lockstep proptests of the basic-block
+# compiled REF tier against the block-disabled interpreter oracle —
+# self-modifying code, fences, reverts, traps, skips, and all six
+# workload presets — plus the per-insn decode-cache coherence suite.
+blocks:
+	$(CARGO) test --release -p difftest-ref --test block_coherence --test icache_coherence
+
 # Observability smoke: short workloads through every runner with
 # DIFFTEST_OBS set; asserts the JSONL parses, carries all seven phases,
 # histogram summaries, and a flight snapshot on the injected failure.

@@ -48,6 +48,23 @@ fn workload() -> Workload {
         .build()
 }
 
+/// The REF execution-cache counters every scenario surfaces (see
+/// DESIGN.md §10/§13): the block trace-cache tier and the per-insn
+/// decode-cache tier, including their invalidation traffic.
+const CACHE_KEYS: [&str; 11] = [
+    "block.hits",
+    "block.misses",
+    "block.store_invalidations",
+    "block.flushes",
+    "block.early_exits",
+    "block.completed",
+    "block.uop_steps",
+    "decode.hits",
+    "decode.misses",
+    "decode.store_invalidations",
+    "decode.flushes",
+];
+
 fn phase_stats(metrics: &Metrics, s: &mut ScenarioStats) {
     s.unpack_ns = metrics.phases.get(Phase::Unpack);
     s.check_ns = metrics.phases.get(Phase::Check);
@@ -55,6 +72,10 @@ fn phase_stats(metrics: &Metrics, s: &mut ScenarioStats) {
         .phases
         .iter()
         .map(|(p, ns)| (p.name(), ns))
+        .collect();
+    s.caches = CACHE_KEYS
+        .iter()
+        .map(|&k| (k, metrics.counters.get(k)))
         .collect();
 }
 
@@ -124,6 +145,68 @@ fn run_parallel(kind: RunnerKind, faulty: bool, cycles: u64, w: &Workload) -> Sc
     s.finish()
 }
 
+/// Raw REF stepping microbench: the same workload image stepped directly
+/// through `RefModel` with block-compiled execution on or off — the
+/// `ref/blocks/{on,off}` pair isolates the block cache's win from the
+/// rest of the pipeline. The model runs as the checker runs it: journal
+/// enabled (replay support), checkpointing and pruning on a fused-window
+/// cadence. All wall time is REF stepping, so it is attributed to the
+/// check phase and `uc_events_per_sec` is meaningful.
+fn run_ref_steps(blocks_on: bool, cycles: u64, w: &Workload) -> ScenarioStats {
+    use difftest_ref::{Memory, RefModel};
+    // A cycle budget feeds the 6-wide DUT multiple commits per cycle;
+    // step a comparable instruction count through the bare REF.
+    let steps = (cycles as usize) * 8;
+    const WINDOW: usize = 1024;
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, w.words());
+    let mut m = RefModel::new(mem);
+    m.set_block_mode(blocks_on);
+    m.set_journal_enabled(true);
+    let start = Instant::now();
+    for i in 0..steps {
+        if i % WINDOW == 0 {
+            m.checkpoint();
+            m.prune_checkpoints(2);
+        }
+        m.step();
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let blocks = m.block_cache_stats();
+    let decode = m.decode_cache_stats();
+    let mut s = ScenarioStats {
+        events: steps as u64,
+        instructions: m.state().instret(),
+        cycles,
+        wall_ns,
+        check_ns: wall_ns,
+        ..Default::default()
+    };
+    s.phases = Phase::ALL.iter().map(|p| (p.name(), 0)).collect();
+    s.phases[Phase::Check as usize].1 = wall_ns;
+    s.caches = CACHE_KEYS
+        .iter()
+        .map(|&k| {
+            let v = match k {
+                "block.hits" => blocks.hits,
+                "block.misses" => blocks.misses,
+                "block.store_invalidations" => blocks.store_invalidations,
+                "block.flushes" => blocks.flushes,
+                "block.early_exits" => blocks.early_exits,
+                "block.completed" => blocks.completed,
+                "block.uop_steps" => blocks.uop_steps,
+                "decode.hits" => decode.hits,
+                "decode.misses" => decode.misses,
+                "decode.store_invalidations" => decode.store_invalidations,
+                "decode.flushes" => decode.flushes,
+                _ => unreachable!(),
+            };
+            (k, v)
+        })
+        .collect();
+    s.finish()
+}
+
 /// `(name, gated, closure)` for every scenario of the artifact. Gated
 /// scenarios (the engine's, whose virtual-time runs are steady enough
 /// to gate on, plus the socket clean run the CI smoke watches) are the
@@ -182,6 +265,16 @@ fn scenarios() -> Vec<(&'static str, bool, Runner)> {
             false,
             Box::new(|c, w| run_parallel(RunnerKind::Socket, true, c, w)),
         ),
+        (
+            "ref/blocks/on",
+            true,
+            Box::new(|c, w| run_ref_steps(true, c, w)),
+        ),
+        (
+            "ref/blocks/off",
+            false,
+            Box::new(|c, w| run_ref_steps(false, c, w)),
+        ),
     ]
 }
 
@@ -192,11 +285,15 @@ fn measure(cycles: u64, reps: usize, gated_only: bool) -> Vec<(String, ScenarioS
         if gated_only && !gated {
             continue;
         }
-        // Best-of-N wall time damps scheduler noise.
+        // Best-of-N damps scheduler noise. Select on the unpack+check
+        // phase time (the figure-of-merit denominator) rather than total
+        // wall: engine wall is dominated by DUT tick simulation, so the
+        // best-wall rep is not necessarily the best hot-path rep.
         let mut best: Option<ScenarioStats> = None;
         for _ in 0..reps {
             let s = f(cycles, &w);
-            if best.as_ref().is_none_or(|b| s.wall_ns < b.wall_ns) {
+            let key = |x: &ScenarioStats| (x.unpack_ns + x.check_ns, x.wall_ns);
+            if best.as_ref().is_none_or(|b| key(&s) < key(b)) {
                 best = Some(s);
             }
         }
@@ -251,7 +348,7 @@ fn meta() -> Vec<(&'static str, String)> {
 }
 
 fn record(path: &str) {
-    let results = measure(FULL_CYCLES, 3, false);
+    let results = measure(FULL_CYCLES, 5, false);
     print_table(&results);
     let current = render_section(&results);
     let baseline = match std::fs::read_to_string(path) {
@@ -286,7 +383,7 @@ fn compare(path: &str) {
         eprintln!("bench_compare: {path} has no `current` section");
         std::process::exit(2);
     });
-    let results = measure(FULL_CYCLES, 3, true);
+    let results = measure(FULL_CYCLES, 5, true);
     print_table(&results);
     let mut failed = false;
     for (name, s) in &results {

@@ -34,6 +34,9 @@ pub struct ScenarioStats {
     pub uc_events_per_sec: f64,
     /// All seven phases, `(name, ns)` in fixed phase order.
     pub phases: Vec<(&'static str, u64)>,
+    /// REF execution-cache counters (`block.*` trace-cache and
+    /// `decode.*` per-insn tiers), `(name, value)` in export order.
+    pub caches: Vec<(&'static str, u64)>,
 }
 
 impl ScenarioStats {
@@ -75,6 +78,12 @@ fn render_scenario(out: &mut String, indent: &str, s: &ScenarioStats) {
     for (i, (name, ns)) in s.phases.iter().enumerate() {
         let comma = if i + 1 == s.phases.len() { "" } else { "," };
         let _ = writeln!(out, "{indent}    \"{name}\": {ns}{comma}");
+    }
+    let _ = writeln!(out, "{indent}  }},");
+    let _ = writeln!(out, "{indent}  \"caches\": {{");
+    for (i, (name, v)) in s.caches.iter().enumerate() {
+        let comma = if i + 1 == s.caches.len() { "" } else { "," };
+        let _ = writeln!(out, "{indent}    \"{name}\": {v}{comma}");
     }
     let _ = writeln!(out, "{indent}  }}");
     let _ = write!(out, "{indent}}}");
@@ -196,6 +205,7 @@ mod tests {
             unpack_ns: 250_000_000,
             check_ns: 250_000_000,
             phases: vec![("tick", 1), ("check", 250_000_000)],
+            caches: vec![("block.hits", 800), ("decode.misses", 3)],
             ..Default::default()
         }
         .finish()
@@ -225,6 +235,8 @@ mod tests {
         assert_eq!(extract_num(sc, "events"), Some(1000.0));
         assert_eq!(extract_num(sc, "events_per_sec"), Some(500.0));
         assert_eq!(extract_num(sc, "uc_events_per_sec"), Some(2000.0));
+        assert_eq!(extract_num(sc, "block.hits"), Some(800.0));
+        assert_eq!(extract_num(sc, "decode.misses"), Some(3.0));
         // The baseline section survives re-rendering untouched.
         let base = extract_object(&doc, "baseline").expect("baseline section");
         let doc2 = render_artifact(&[], base, cur);

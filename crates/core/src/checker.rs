@@ -20,7 +20,7 @@ use difftest_event::{commit_flags, Event, EventKind, InstrCommit, MonitoredEvent
 use difftest_isa::csr::CsrIndex;
 use difftest_isa::trap::Interrupt;
 use difftest_ref::exec::Effect;
-use difftest_ref::{RefModel, StepOutcome};
+use difftest_ref::{BlockCacheStats, DecodeCacheStats, RefModel, StepOutcome, MAX_BLOCK_LEN};
 
 use crate::squash::FusedCommit;
 use crate::wire::WireItem;
@@ -830,6 +830,31 @@ impl Checker {
     /// Aggregate statistics.
     pub fn stats(&self) -> &CheckStats {
         &self.stats
+    }
+
+    /// Aggregated REF instruction-cache counters across all cores: the
+    /// block trace cache and the per-insn decode cache. Feeds the
+    /// `block.*` / `decode.*` observability counters.
+    pub fn ref_cache_stats(&self) -> (BlockCacheStats, DecodeCacheStats) {
+        let mut blocks = BlockCacheStats::default();
+        let mut decode = DecodeCacheStats::default();
+        for c in &self.cores {
+            blocks.merge(&c.refm.block_cache_stats());
+            decode.merge(&c.refm.decode_cache_stats());
+        }
+        (blocks, decode)
+    }
+
+    /// Aggregated built-block length distribution across all cores,
+    /// indexed by length in micro-ops.
+    pub fn ref_block_len_counts(&self) -> [u64; MAX_BLOCK_LEN + 1] {
+        let mut counts = [0u64; MAX_BLOCK_LEN + 1];
+        for c in &self.cores {
+            for (acc, n) in counts.iter_mut().zip(c.refm.block_len_counts()) {
+                *acc += n;
+            }
+        }
+        counts
     }
 
     /// Borrows the per-core REF states and progress for an external snapshot

@@ -495,13 +495,36 @@ impl Consumer {
     }
 
     /// The consumer's metrics with its deferred counters
-    /// (`obs.transfers`/`obs.bytes`/`obs.items`) and phase attribution
-    /// folded in. Non-consuming: the engine stays runnable.
+    /// (`obs.transfers`/`obs.bytes`/`obs.items`), the REF execution-cache
+    /// counters (`block.*`/`decode.*` plus the `block.len` build-length
+    /// histogram) and phase attribution folded in. Non-consuming: the
+    /// engine stays runnable.
     pub fn metrics_snapshot(&self) -> Metrics {
         let mut m = self.metrics.clone();
         m.counters.set("obs.transfers", self.obs_transfers);
         m.counters.set("obs.bytes", self.obs_bytes);
         m.counters.set("obs.items", self.items);
+        let (blocks, decode) = self.checker.ref_cache_stats();
+        m.counters.set("block.hits", blocks.hits);
+        m.counters.set("block.misses", blocks.misses);
+        m.counters
+            .set("block.store_invalidations", blocks.store_invalidations);
+        m.counters.set("block.flushes", blocks.flushes);
+        m.counters.set("block.early_exits", blocks.early_exits);
+        m.counters.set("block.completed", blocks.completed);
+        m.counters.set("block.uop_steps", blocks.uop_steps);
+        m.counters.set("decode.hits", decode.hits);
+        m.counters.set("decode.misses", decode.misses);
+        m.counters
+            .set("decode.store_invalidations", decode.store_invalidations);
+        m.counters.set("decode.flushes", decode.flushes);
+        // Built-block lengths arrive pre-bucketed from the REF; replayed
+        // into the snapshot (not the live registry) so repeated snapshots
+        // never double-count.
+        let lens = m.register_histogram("block.len");
+        for (len, &n) in self.checker.ref_block_len_counts().iter().enumerate() {
+            m.record_n(lens, len as u64, n);
+        }
         m.phases = self.timer.times();
         m
     }
@@ -641,6 +664,35 @@ mod tests {
         assert!(out.link.retransmits >= 1);
         assert!(out.link.recovered >= 1);
         assert!(out.mismatch.is_none(), "{:?}", out.mismatch);
+    }
+
+    #[test]
+    fn snapshot_exports_ref_cache_counters() {
+        let s = session();
+        let transfers = produce(&s);
+        let mut c = s.consumer();
+        for t in &transfers {
+            if c.ingest(t, 0, &mut NoCharge) == Step::Stop {
+                break;
+            }
+        }
+        let m = c.metrics_snapshot();
+        let hits = m.counters.get("block.hits");
+        let misses = m.counters.get("block.misses");
+        assert!(hits > 0, "block cache never hit: {misses} misses");
+        assert!(hits > misses, "microbench loops should be block-hot");
+        assert!(m.counters.get("block.uop_steps") > hits);
+        // With blocks on, the per-insn decode cache only sees spill
+        // traffic, but its counters must still export.
+        let lens = m.histogram("block.len").expect("block.len registered");
+        assert_eq!(lens.count(), misses, "one length sample per build");
+        assert!(lens.max() >= 1);
+        // A second snapshot must not double-count the replayed histogram.
+        let again = c.metrics_snapshot();
+        assert_eq!(
+            again.histogram("block.len").map(|h| h.count()),
+            Some(misses)
+        );
     }
 
     #[test]

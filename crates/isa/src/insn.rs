@@ -224,6 +224,15 @@ impl Op {
         self.is_branch() || matches!(self, Op::Jal | Op::Jalr | Op::Mret | Op::Ecall | Op::Ebreak)
     }
 
+    /// Returns `true` if the op terminates a basic block for trace caching:
+    /// anything that can redirect control flow (including trapping ops),
+    /// CSR accesses and `wfi` (system-state interaction is kept out of
+    /// straight-line replay), `fence` (it flushes the trace cache itself),
+    /// and undecodable words.
+    pub fn ends_block(self) -> bool {
+        self.is_control_flow() || self.is_csr() || matches!(self, Op::Fence | Op::Wfi | Op::Illegal)
+    }
+
     /// Returns `true` for the floating-point slice.
     pub fn is_fp(self) -> bool {
         matches!(

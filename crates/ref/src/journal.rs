@@ -82,6 +82,13 @@ impl Journal {
         self.checkpoints.len()
     }
 
+    /// Returns `true` if a [`revert_into`](Self::revert_into) would have a
+    /// checkpoint to consume. Callers use this to skip revert side effects
+    /// (cache flushes) when a revert is a guaranteed no-op.
+    pub fn has_checkpoint(&self) -> bool {
+        !self.checkpoints.is_empty()
+    }
+
     /// Number of recorded entries (for stats and tests).
     pub fn len(&self) -> usize {
         self.entries.len()

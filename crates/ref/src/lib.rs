@@ -39,7 +39,7 @@ mod mem;
 mod model;
 mod state;
 
-pub use icache::{DecodeCache, DecodeCacheStats};
+pub use icache::{BlockCache, BlockCacheStats, DecodeCache, DecodeCacheStats, Uop, MAX_BLOCK_LEN};
 pub use journal::{Journal, JournalEntry};
 pub use mem::Memory;
 pub use model::{RefModel, StepOutcome};

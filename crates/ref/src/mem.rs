@@ -117,6 +117,28 @@ impl Memory {
         self.read(addr, 4) as u32
     }
 
+    /// Borrows `len` bytes at `addr` when the whole range lies inside a
+    /// single resident page; `None` if the page is absent or the range
+    /// straddles a page boundary. The block cache uses this to fingerprint
+    /// a block's code bytes in one pass without copying.
+    #[inline]
+    pub fn page_slice(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + len > PAGE_SIZE {
+            return None;
+        }
+        self.pages
+            .get(&(addr >> PAGE_BITS))
+            .map(|p| &p[off..off + len])
+    }
+
+    /// Bytes remaining in `addr`'s backing page, from `addr` to the page
+    /// end. Block builds use this to stop before a page boundary.
+    #[inline]
+    pub fn page_remaining(addr: u64) -> usize {
+        PAGE_SIZE - ((addr as usize) & (PAGE_SIZE - 1))
+    }
+
     /// Loads a program image of 32-bit words starting at `base`.
     pub fn load_words(&mut self, base: u64, words: &[u32]) {
         for (i, w) in words.iter().enumerate() {

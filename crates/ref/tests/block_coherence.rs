@@ -1,0 +1,325 @@
+//! Coherence properties of basic-block compiled REF execution.
+//!
+//! Block mode must be bit-identical to the block-disabled interpreter:
+//! same per-step outcomes, same final architectural state, same
+//! compensation journal. The hard cases are driven directly — stores that
+//! overwrite the *middle* of the block currently being executed, `fence`
+//! inside a loop body, journal reverts landing mid-block, and MMIO skip
+//! synchronization — and then every workload preset is swept for the
+//! steady state.
+
+use difftest_isa::{encode, Reg};
+use difftest_ref::{Memory, RefModel, StepOutcome};
+use difftest_workload::Workload;
+use proptest::prelude::*;
+
+/// Byte offset of the patch pool from the code base.
+const POOL_OFF: i64 = 0x1000;
+
+/// Instruction words a mutator may copy over code (all safe straight-line
+/// single words, so a patched program stays patchable).
+fn patch_pool() -> Vec<u32> {
+    vec![
+        encode::addi(Reg::A0, Reg::A0, 7),
+        encode::addi(Reg::A3, Reg::A0, 1),
+        encode::xor(Reg::A4, Reg::A4, Reg::A0),
+        encode::nop(),
+    ]
+}
+
+/// Emits the five-word prelude: `a1` = code base, `a2` = pool base.
+fn prelude(words: &mut Vec<u32>) {
+    words.push(encode::addi(Reg::A1, Reg::ZERO, 1));
+    words.push(encode::slli(Reg::A1, Reg::A1, 31)); // 0x8000_0000
+    words.push(encode::addi(Reg::A2, Reg::ZERO, 1));
+    words.push(encode::slli(Reg::A2, Reg::A2, 12)); // POOL_OFF
+    words.push(encode::add(Reg::A2, Reg::A1, Reg::A2));
+}
+
+/// Builds a block-mode model and a fully uncached interpreter oracle over
+/// the same image and steps them in lockstep, asserting outcome, state,
+/// and journal equivalence. Returns the block-mode model for stats.
+fn lockstep(words: &[u32], steps: usize) -> RefModel {
+    let (blocked, _) = lockstep_with(words, steps, |_, _, _| {});
+    blocked
+}
+
+/// Lockstep with a per-step hook called *before* each step pair; the hook
+/// may arm NDE synchronization (skips, interrupts) on both models.
+fn lockstep_with(
+    words: &[u32],
+    steps: usize,
+    mut before: impl FnMut(usize, &mut RefModel, &mut RefModel),
+) -> (RefModel, RefModel) {
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, words);
+    mem.load_words(Memory::RAM_BASE + POOL_OFF as u64, &patch_pool());
+    let mut blocked = RefModel::new(mem.clone());
+    let mut plain = RefModel::new(mem);
+    // The oracle: no block cache, no decode cache — pure interpreter.
+    plain.set_block_mode(false);
+    plain.set_decode_cache_enabled(false);
+    blocked.set_journal_enabled(true);
+    plain.set_journal_enabled(true);
+    for i in 0..steps {
+        before(i, &mut blocked, &mut plain);
+        let a = blocked.step();
+        let b = plain.step();
+        assert_eq!(a, b, "step {i} diverged (blocks vs interpreter)");
+    }
+    assert_eq!(blocked.state(), plain.state(), "final state diverged");
+    assert_eq!(
+        blocked.journal().entries(),
+        plain.journal().entries(),
+        "journals diverged"
+    );
+    (blocked, plain)
+}
+
+/// One generated program slot: either a plain ALU op, or a mutator that
+/// copies `pool[pool_idx]` over the first word of a later slot
+/// (`target_sel` picks which), optionally followed by a `fence`.
+type Action = (bool, u8, u8, bool);
+
+/// Builds a straight-line self-modifying program from `actions`. Because
+/// the whole program is one fall-through run, mutators routinely patch
+/// instructions *inside the block currently being executed* — the exact
+/// case eager invalidation plus cursor validation must catch.
+fn self_modifying(actions: &[Action]) -> Vec<u32> {
+    let slot_words =
+        |&(is_mut, _, _, fencei): &Action| if is_mut { 2 + usize::from(fencei) } else { 1 };
+    let mut offsets = Vec::with_capacity(actions.len());
+    let mut off = 5usize;
+    for a in actions {
+        offsets.push(off);
+        off += slot_words(a);
+    }
+
+    let mut words = Vec::with_capacity(off + 1);
+    prelude(&mut words);
+    for (i, &(is_mut, pool_idx, target_sel, fencei)) in actions.iter().enumerate() {
+        let later = actions.len() - i - 1;
+        if is_mut && later > 0 {
+            let target = i + 1 + (target_sel as usize) % later;
+            let pool = i64::from(pool_idx % 4) * 4;
+            words.push(encode::lw(Reg::T0, Reg::A2, pool));
+            words.push(encode::sw(Reg::T0, Reg::A1, (offsets[target] * 4) as i64));
+            if fencei {
+                words.push(encode::fence());
+            }
+        } else {
+            words.push(encode::addi(Reg::A0, Reg::A0, i64::from(pool_idx % 64)));
+            for _ in 1..slot_words(&(is_mut, pool_idx, target_sel, fencei)) {
+                words.push(encode::nop());
+            }
+        }
+    }
+    words.push(encode::ebreak());
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Block-mode and interpreter execution agree step-for-step on
+    /// randomly generated self-modifying programs, `fence` or no `fence`.
+    #[test]
+    fn self_modifying_programs_are_block_transparent(
+        actions in proptest::collection::vec(any::<Action>(), 1..40),
+    ) {
+        let words = self_modifying(&actions);
+        // Straight-line: every word executes at most once; a couple of
+        // extra steps land in the deterministic post-ebreak trap loop,
+        // which must also agree.
+        lockstep(&words, words.len() + 2);
+    }
+}
+
+/// A store that patches an instruction *later in the very block the cursor
+/// is inside*, before that instruction executes. Strict (eager) coherence
+/// requires the patched word to execute; the block must be dropped and the
+/// cursor must exit early mid-run.
+#[test]
+fn store_into_middle_of_executing_block() {
+    let mut words = Vec::new();
+    prelude(&mut words);
+    words.push(encode::lw(Reg::T0, Reg::A2, 0)); // pool[0] = addi a0,a0,7
+    let patched = words.len() + 2; // the second addi below
+    words.push(encode::sw(Reg::T0, Reg::A1, (patched * 4) as i64));
+    words.push(encode::addi(Reg::A0, Reg::A0, 1));
+    words.push(encode::addi(Reg::A0, Reg::A0, 1)); // overwritten in flight
+    words.push(encode::ebreak());
+
+    // The whole program is one straight-line block; run it to the ebreak.
+    let m = lockstep(&words, words.len());
+    assert_eq!(
+        m.state().xreg(Reg::A0),
+        8,
+        "patched instruction must execute (1 + 7)"
+    );
+    let s = m.block_cache_stats();
+    assert!(
+        s.store_invalidations >= 1,
+        "the in-flight patch must drop the block: {s:?}"
+    );
+    assert!(
+        s.early_exits >= 1,
+        "the cursor must exit mid-block after invalidation: {s:?}"
+    );
+}
+
+/// A loop whose body contains `fence`: every iteration flushes the block
+/// cache, and a patching store before the fence still takes effect on the
+/// next iteration.
+#[test]
+fn fence_inside_loop_flushes_every_iteration() {
+    let mut words = Vec::new();
+    prelude(&mut words);
+    words.push(encode::addi(Reg::A5, Reg::ZERO, 4)); // loop counter
+    let loop_top = words.len();
+    words.push(encode::addi(Reg::A0, Reg::A0, 1)); // patched after iter 1
+    words.push(encode::lw(Reg::T0, Reg::A2, 0)); // pool[0] = addi a0,a0,7
+    words.push(encode::sw(Reg::T0, Reg::A1, (loop_top * 4) as i64));
+    words.push(encode::fence());
+    words.push(encode::addi(Reg::A5, Reg::A5, -1));
+    let delta = (loop_top as i64 - words.len() as i64) * 4;
+    words.push(encode::bne(Reg::A5, Reg::ZERO, delta));
+    words.push(encode::ebreak());
+
+    let body = 6;
+    let steps = 6 + 4 * body; // prelude + counter + four iterations
+    let m = lockstep(&words, steps);
+    assert_eq!(
+        m.state().xreg(Reg::A0),
+        1 + 3 * 7,
+        "iterations 2..4 execute the patched word"
+    );
+    let s = m.block_cache_stats();
+    assert!(s.flushes >= 4, "each fence flushes the block cache: {s:?}");
+}
+
+/// A journal revert landing mid-block: the cursor must not survive, and
+/// re-execution after the revert is deterministic and lockstep-identical.
+#[test]
+fn revert_mid_block_reexecutes_identically() {
+    let mut words = Vec::new();
+    for i in 0..8 {
+        words.push(encode::addi(Reg::A0, Reg::A0, i + 1));
+    }
+    words.push(encode::ebreak());
+
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, &words);
+    let mut blocked = RefModel::new(mem.clone());
+    let mut plain = RefModel::new(mem);
+    plain.set_block_mode(false);
+    plain.set_decode_cache_enabled(false);
+    blocked.set_journal_enabled(true);
+    plain.set_journal_enabled(true);
+
+    blocked.checkpoint();
+    plain.checkpoint();
+    // Stop mid-block: the 8-op run is one block, we step 4.
+    for _ in 0..4 {
+        assert_eq!(blocked.step(), plain.step());
+    }
+    assert!(blocked.revert());
+    assert!(plain.revert());
+    assert_eq!(blocked.state(), plain.state(), "revert diverged");
+    assert!(
+        blocked.block_cache_stats().flushes >= 1,
+        "revert must flush the block cache"
+    );
+    // Re-execution from the reverted state is deterministic.
+    for i in 0..8 {
+        assert_eq!(blocked.step(), plain.step(), "post-revert step {i}");
+    }
+    assert_eq!(blocked.state(), plain.state());
+    assert_eq!(blocked.state().xreg(Reg::A0), (1..=8).sum::<u64>());
+}
+
+/// MMIO skip synchronization mid-block: the armed skip forces the
+/// destination on both models and the block cursor exits early rather
+/// than coasting through the non-deterministic point.
+#[test]
+fn skip_sync_mid_block_exits_early() {
+    let words = [
+        encode::addi(Reg::A1, Reg::ZERO, 0x100), // a1 = MMIO-ish after shift
+        encode::slli(Reg::A1, Reg::A1, 20),      // 0x1000_0000
+        encode::addi(Reg::A0, Reg::A0, 1),
+        encode::lw(Reg::T0, Reg::A1, 0), // MMIO load, skipped
+        encode::addi(Reg::A0, Reg::A0, 2),
+        encode::ebreak(),
+    ];
+    let (blocked, plain) = lockstep_with(&words, 5, |i, b, p| {
+        if i == 3 {
+            b.skip_next(0xabcd);
+            p.skip_next(0xabcd);
+        }
+    });
+    assert_eq!(blocked.state().xreg(Reg::T0), 0xabcd);
+    assert_eq!(plain.state().xreg(Reg::T0), 0xabcd);
+    assert_eq!(blocked.state().xreg(Reg::A0), 3);
+    assert!(
+        blocked.block_cache_stats().early_exits >= 1,
+        "skip sync must exit the block early"
+    );
+}
+
+/// Every workload preset runs identically with blocks on and off, and the
+/// block cache earns its keep (more entry hits than builds) on each.
+#[test]
+fn workload_presets_are_block_transparent() {
+    let presets = [
+        Workload::linux_boot(),
+        Workload::microbench(),
+        Workload::spec_like(),
+        Workload::mmio_heavy(),
+        Workload::trap_heavy(),
+        Workload::fuzz(),
+    ];
+    for builder in presets {
+        let w = builder.seed(11).iterations(40).build();
+        let m = lockstep(w.words(), 12_000);
+        let s = m.block_cache_stats();
+        assert!(
+            s.hits > s.misses,
+            "{}: expected a hot block cache, got {s:?}",
+            w.name()
+        );
+        assert!(
+            s.uop_steps > s.hits,
+            "{}: blocks should dispatch multiple uops per entry, got {s:?}",
+            w.name()
+        );
+        // Every miss built a block (preset images are word-aligned, so no
+        // page-straddling heads), and the length histogram records each.
+        let total_builds: u64 = m.block_len_counts().iter().sum();
+        assert_eq!(total_builds, s.misses, "{}", w.name());
+    }
+}
+
+/// Outcome-level sanity: a block-dispatched trap still reports `Trapped`
+/// with the correct PC (the classic off-by-one when a cursor advances
+/// before the trap is taken).
+#[test]
+fn trap_mid_block_reports_faulting_pc() {
+    let words = [
+        encode::addi(Reg::A0, Reg::A0, 1),
+        encode::addi(Reg::A1, Reg::ZERO, -1), // a1 = huge address
+        encode::lw(Reg::T0, Reg::A1, 0),      // load access fault
+        encode::addi(Reg::A0, Reg::A0, 2),
+        encode::ebreak(),
+    ];
+    let mut mem = Memory::new();
+    mem.load_words(Memory::RAM_BASE, &words);
+    let mut m = RefModel::new(mem);
+    m.step();
+    m.step();
+    let out = m.step();
+    match out {
+        StepOutcome::Trapped { pc, .. } => assert_eq!(pc, Memory::RAM_BASE + 8),
+        other => panic!("expected trap, got {other:?}"),
+    }
+    assert!(m.block_cache_stats().early_exits >= 1);
+}

@@ -35,6 +35,11 @@ fn lockstep(words: &[u32], steps: usize) -> RefModel {
     mem.load_words(Memory::RAM_BASE + POOL_OFF as u64, &patch_pool());
     let mut cached = RefModel::new(mem.clone());
     let mut plain = RefModel::new(mem);
+    // This suite isolates the per-insn decode-cache tier: block mode off on
+    // both sides (block coherence has its own lockstep suite), and the
+    // plain twin fully uncached.
+    cached.set_block_mode(false);
+    plain.set_block_mode(false);
     plain.set_decode_cache_enabled(false);
     cached.set_journal_enabled(true);
     plain.set_journal_enabled(true);
