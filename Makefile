@@ -5,7 +5,7 @@
 CARGO ?= cargo
 
 .PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
-	bench-record bench-smoke bench-compare socket seam
+	bench-record bench-smoke bench-compare socket seam intervals
 
 all: build
 
@@ -69,9 +69,10 @@ ci: seam
 # one runner reaching into another's internals is the coupling this
 # refactor removed, so it fails CI if it ever comes back.
 RUNNER_SRCS = crates/core/src/engine.rs crates/core/src/threaded.rs \
-	crates/core/src/sharded.rs crates/core/src/socket.rs
+	crates/core/src/sharded.rs crates/core/src/socket.rs \
+	crates/core/src/intervals.rs
 seam:
-	@if grep -nE 'use crate::(engine|threaded|sharded|socket)(::|;| )' $(RUNNER_SRCS); then \
+	@if grep -nE 'use crate::(engine|threaded|sharded|socket|intervals)(::|;| )' $(RUNNER_SRCS); then \
 		echo "runner seam violated: runners must build on session/link/consume only"; \
 		exit 1; \
 	else \
@@ -88,6 +89,14 @@ faults:
 socket:
 	$(CARGO) test --release --test socket_runner
 	$(CARGO) test --release -p difftest-core --test runner_equivalence
+
+# Time-parallel interval runner: the engine-equivalence proptests
+# (clean verdicts, mismatch identity up to a fusion window, fault
+# containment and seed replay) plus the checkpoint/revert/re-execute
+# coherence property the interval workers lean on.
+intervals:
+	$(CARGO) test --release -p difftest-core --test intervals_equivalence
+	$(CARGO) test --release -p difftest-ref --test block_coherence checkpoint_revert
 
 # Block-cache coherence suite: lockstep proptests of the basic-block
 # compiled REF tier against the block-disabled interpreter oracle —

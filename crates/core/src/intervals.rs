@@ -1,0 +1,1035 @@
+//! Time-parallel interval verification over REF checkpoints: the fifth
+//! runner.
+//!
+//! The other parallel runners ([`crate::threaded`], [`crate::sharded`],
+//! [`crate::socket`]) parallelize *across cores* — on a single-core DUT
+//! they all collapse to one producer and one checking thread, and the
+//! checker (unpack → order-restore → REF step → compare) is the
+//! bottleneck. This module parallelizes *across time* instead
+//! (FERIVer-style):
+//!
+//! 1. **Recording pass** — one thread runs the DUT and, per core, packs
+//!    the event stream through a per-interval [`AccelUnit`] while
+//!    *fast-forwarding* a recording [`RefModel`] over the same events:
+//!    plain commits step the REF, MMIO skip-commits arm
+//!    [`RefModel::skip_next`] with the DUT's value first (the only
+//!    non-deterministic input), and `ArchEvent`s replay interrupt/
+//!    exception boundaries. Fast-forwarding performs no comparisons and
+//!    runs on the basic-block compiled path, so it is much cheaper than
+//!    checking. Every `interval_insns` retired instructions the stream
+//!    is cut at a cycle boundary: the acceleration unit is flushed, the
+//!    REF is snapshotted into a byte image
+//!    ([`difftest_ref::checkpoint::save`]), and the (checkpoint,
+//!    event-slice) pair is dispatched as an [`IntervalJob`] — full
+//!    snapshots for now; a dirty-page delta against the previous
+//!    boundary is future work.
+//! 2. **Worker pool** — `workers` threads drain the job queue. Each job
+//!    seeds a fresh single-core checker from its checkpoint
+//!    ([`crate::Checker::resume_single`] at the interval's start
+//!    sequence) and verifies its slice independently through the shared
+//!    [`Consumer`](crate::consume::Consumer) pipeline. Intervals are
+//!    self-contained: packet sequence numbers, differencing baselines
+//!    and fusion windows all restart at each cut, and fused records
+//!    carry absolute first-sequence tags, so a resumed checker lines up
+//!    without any cross-interval state.
+//! 3. **Aggregation** — worker verdicts merge under the sharded
+//!    coordinator's deterministic first-failure rule: the mismatch with
+//!    the lowest `(seq, core)` wins, link errors rank by `(core,
+//!    interval)`, and a genuine mismatch outranks a link error.
+//!
+//! The report measures per-thread busy time (CPU clocks, so blocked
+//! queue waits cost nothing) and exposes the schedule's critical path
+//! as [`IntervalsReport::span_s`]: recording pass + busiest worker,
+//! the wall clock the run converges to once every thread has its own
+//! core — the honest speedup figure on an oversubscribed bench host.
+//!
+//! Correctness notes:
+//!
+//! - The recording REF retires its *own* computed values (only NDE skip
+//!   values come from the DUT), so checkpoints taken after a DUT bug
+//!   remain REF-correct: the worker holding the bug's interval reports
+//!   the serial checker's divergence — same core and failing register,
+//!   with the sequence pinned to within one squash fusion window, since
+//!   re-cut windows only expose the *last* write to a register and may
+//!   surface a squashed intermediate write a few commits away — and any
+//!   later worker's divergence carries a strictly higher sequence and
+//!   loses the aggregation (proptested in
+//!   `tests/intervals_equivalence.rs`).
+//! - Jobs are dispatched in increasing per-core sequence order, and a
+//!   stop request flushes the partial tail intervals before closing the
+//!   queue, so everything up to the stopping point is verified.
+//! - Under an injected fault plan each `(core, interval)` gets an
+//!   independent deterministic link, so runs replay from their seed;
+//!   because the per-interval re-packing shifts packet boundaries, the
+//!   *typed* fault outcome can legitimately differ from the engine's
+//!   (see `tests/intervals_equivalence.rs` for the weaker contract).
+//
+// Seam rule: runner modules build on `session`/`link`/`consume` only —
+// never on another runner's internals (enforced by `make ci`'s grep).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel;
+use difftest_dut::{BugSpec, DutConfig};
+use difftest_event::{commit_flags, Event};
+use difftest_isa::trap::Interrupt;
+use difftest_ref::{checkpoint, RefModel};
+use difftest_stats::{export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer};
+use difftest_workload::Workload;
+
+use crate::checker::{Mismatch, Verdict};
+use crate::consume::{NoCharge, Step};
+use crate::fault::{FaultPlan, FaultStats, LinkErrorKind, LinkStats};
+use crate::link::{FusionWatch, QueueSink, SendLink};
+use crate::pool::PoolStats;
+use crate::session::{DiffConfig, RunCommon, RunOutcome, Session};
+use crate::transport::{AccelUnit, Transfer};
+
+/// Per-thread busy-time meter for the span accounting.
+///
+/// Prefers the thread's cumulative CPU clock (`/proc/thread-self/stat`
+/// utime+stime on Linux; blocked channel waits cost nothing there, so a
+/// worker's reading is exactly its verification work), falling back to
+/// monotonic wall time where the proc file is unavailable — correct
+/// when each thread has a core to itself, pessimistic when the host is
+/// oversubscribed.
+struct ThreadCpuTimer {
+    cpu0: Option<f64>,
+    wall0: Instant,
+}
+
+impl ThreadCpuTimer {
+    fn start() -> Self {
+        ThreadCpuTimer {
+            cpu0: thread_cpu_s(),
+            wall0: Instant::now(),
+        }
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        match (self.cpu0, thread_cpu_s()) {
+            (Some(t0), Some(t1)) => (t1 - t0).max(0.0),
+            _ => self.wall0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Cumulative CPU seconds (user + system) consumed by the calling
+/// thread. utime/stime are fields 14/15 of the stat line, counted in
+/// USER_HZ ticks — fixed at 100 by the userspace ABI.
+fn thread_cpu_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // The comm field may contain spaces; parse after its closing paren.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut fields = rest.split_whitespace().skip(11);
+    let utime: u64 = fields.next()?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Tuning knobs of the interval runner.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalTuning {
+    /// Target interval length in retired instructions per core. The cut
+    /// happens at the first cycle boundary at or past this count, so
+    /// actual intervals run slightly long on wide cores. Clamped to 1.
+    pub interval_insns: u64,
+    /// Verification worker threads draining the job queue. Clamped to 1.
+    pub workers: usize,
+}
+
+impl Default for IntervalTuning {
+    fn default() -> Self {
+        IntervalTuning {
+            interval_insns: 8_192,
+            workers: 4,
+        }
+    }
+}
+
+/// One dispatched unit of verification work: a REF checkpoint at the
+/// interval's start plus the packed event slice covering it.
+struct IntervalJob {
+    core: u8,
+    index: u64,
+    start_seq: u64,
+    commits: u64,
+    checkpoint: Vec<u8>,
+    transfers: Vec<Transfer>,
+    /// Packets produced for this interval, pre-fault (tail-loss bound).
+    produced: u32,
+}
+
+/// What one verified interval hands back to the coordinator.
+struct JobOutcome {
+    core: u8,
+    index: u64,
+    commits: u64,
+    items: u64,
+    checked: u64,
+    verdict: Option<Verdict>,
+    mismatch: Option<Mismatch>,
+    link_error: Option<(LinkErrorKind, u32, u8)>,
+    link: LinkStats,
+    metrics: Metrics,
+    flight: FlightSnapshot,
+}
+
+/// Result of an interval run: the shared [`RunCommon`] core plus the
+/// interval/checkpoint accounting.
+#[derive(Debug, Clone)]
+pub struct IntervalsReport {
+    /// The report core shared by every runner. The mismatch is the
+    /// winning one across intervals (first-failure semantics); link
+    /// counters aggregate all workers.
+    pub common: RunCommon,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Host-side throughput in DUT cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Aggregate items per wall-clock second across workers.
+    pub items_per_sec: f64,
+    /// Intervals dispatched (across all cores).
+    pub intervals: u64,
+    /// Total bytes of checkpoint images shipped to workers.
+    pub checkpoint_bytes: u64,
+    /// Instructions re-verified by workers (equals
+    /// [`RunCommon::instructions`] on a clean run: every commit is
+    /// checked exactly once).
+    pub instructions_checked: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// High-water mark of simultaneously busy workers.
+    pub max_workers_busy: u64,
+    /// Busy seconds of the recording pass (producer thread): DUT tick +
+    /// pack + REF fast-forward + checkpoint serialization. Thread CPU
+    /// time where available (see [`ThreadCpuTimer`]).
+    pub recording_cpu_s: f64,
+    /// Busy seconds of the busiest verification worker.
+    pub worker_cpu_max_s: f64,
+    /// Total busy seconds across all verification workers — the serial
+    /// checking work the pool divided up.
+    pub worker_cpu_total_s: f64,
+    /// Aggregate buffer-pool statistics across per-interval producers.
+    pub pool: PoolStats,
+}
+
+impl Deref for IntervalsReport {
+    type Target = RunCommon;
+
+    fn deref(&self) -> &RunCommon {
+        &self.common
+    }
+}
+
+impl DerefMut for IntervalsReport {
+    fn deref_mut(&mut self) -> &mut RunCommon {
+        &mut self.common
+    }
+}
+
+impl IntervalsReport {
+    /// Exports the run as [`difftest_stats::Counters`] for the shared
+    /// table-rendering toolkit.
+    pub fn counters(&self) -> difftest_stats::Counters {
+        let mut c = difftest_stats::Counters::new();
+        c.set("hw.cycles", self.cycles);
+        c.set("hw.instructions", self.instructions);
+        c.set("sw.items_checked", self.items);
+        c.set("host.items_per_sec", self.items_per_sec as u64);
+        c.set("host.cycles_per_sec", self.cycles_per_sec as u64);
+        c.set("interval.count", self.intervals);
+        c.set("interval.checkpoint_bytes", self.checkpoint_bytes);
+        c.set("interval.instructions_checked", self.instructions_checked);
+        c.set("interval.workers", self.workers as u64);
+        c.set("interval.workers_busy.max", self.max_workers_busy);
+        c.set(
+            "interval.recording_cpu_us",
+            (self.recording_cpu_s * 1e6) as u64,
+        );
+        c.set(
+            "interval.worker_cpu_max_us",
+            (self.worker_cpu_max_s * 1e6) as u64,
+        );
+        c.set(
+            "interval.worker_cpu_total_us",
+            (self.worker_cpu_total_s * 1e6) as u64,
+        );
+        for kind in LinkErrorKind::ALL {
+            c.set(
+                format!("link.err.{}", kind.counter_name()),
+                self.link.count(kind),
+            );
+        }
+        c.set("link.stale_dropped", self.link.stale_dropped);
+        c
+    }
+
+    /// Critical path of the interval schedule in seconds: the recording
+    /// pass plus the busiest worker, i.e. the wall clock this run
+    /// converges to once every thread has a core of its own. On an
+    /// oversubscribed host (the extreme being a single-core container,
+    /// where [`wall_s`](Self::wall_s) degenerates to the *sum* of all
+    /// threads' work) this is the honest measure of the time-parallel
+    /// win; it is still conservative, since it ignores that workers
+    /// overlap the producer. Compare against a serial checker's wall
+    /// clock — see the `intervals/batch/clean` bench headline.
+    pub fn span_s(&self) -> f64 {
+        self.recording_cpu_s + self.worker_cpu_max_s
+    }
+}
+
+/// Advances the recording REF over one monitored event, mirroring the
+/// checker's NDE synchronization without any comparison: skip-commits
+/// arm the DUT's value, interrupts are raised at the same boundary,
+/// exceptions step into the trap. Returns `true` when the event was an
+/// instruction commit (the interval length unit — commit order tags and
+/// checker sequence numbers count exactly these).
+fn fast_forward(refm: &mut RefModel, ev: &Event) -> bool {
+    match ev {
+        Event::InstrCommit(c) => {
+            if c.flags & commit_flags::SKIP != 0 && c.flags & commit_flags::LOAD != 0 {
+                refm.skip_next(c.wdata);
+            }
+            let _ = refm.step();
+            true
+        }
+        Event::ArchEvent(a) => {
+            if a.is_interrupt != 0 {
+                if let Some(intr) = Interrupt::from_code(a.cause & 0x3ff) {
+                    refm.raise_interrupt(intr);
+                }
+                // An unknown code is a monitor fault; the worker holding
+                // this slice reports it as a mismatch.
+            } else {
+                // Exception: the REF traps on its own at this step.
+                let _ = refm.step();
+            }
+            false
+        }
+        // Everything else is compare-only: stores, writebacks, cache and
+        // TLB traffic never drive the REF. TrapEvent ends the stream and
+        // is verified (not applied) by the final interval's worker.
+        _ => false,
+    }
+}
+
+/// Per-core recording state: the fast-forwarded REF, the current
+/// interval's acceleration unit + link, and the checkpoint image taken
+/// at the interval's start.
+struct CoreRecorder {
+    core: u8,
+    refm: RefModel,
+    accel: AccelUnit,
+    link: SendLink<QueueSink>,
+    fusion: FusionWatch,
+    /// Checkpoint image captured at the current interval's start.
+    ckpt: Vec<u8>,
+    index: u64,
+    start_seq: u64,
+    commits_total: u64,
+    commits_in_interval: u64,
+}
+
+/// Producer-side accumulators folded at every cut (per-interval accels
+/// and links are replaced, so their stats must be banked first).
+#[derive(Default)]
+struct Folds {
+    pool: PoolStats,
+    fault: FaultStats,
+    checkpoint_bytes: u64,
+}
+
+impl Folds {
+    fn bank(&mut self, accel: &AccelUnit, link: &SendLink<QueueSink>) {
+        let p = accel.pool_stats();
+        self.pool.hits += p.hits;
+        self.pool.misses += p.misses;
+        self.pool.returns += p.returns;
+        self.pool.discards += p.discards;
+        if let Some(f) = link.fault_stats() {
+            self.fault.delivered += f.delivered;
+            self.fault.dropped += f.dropped;
+            self.fault.duplicated += f.duplicated;
+            self.fault.reordered += f.reordered;
+            self.fault.truncated += f.truncated;
+            self.fault.corrupted += f.corrupted;
+        }
+    }
+}
+
+/// Cuts `r`'s current interval: flushes the acceleration unit, banks the
+/// per-interval stats, snapshots the REF as the *next* interval's seed,
+/// and dispatches the job. Returns `false` when the job queue is gone
+/// (every worker died) — the producer stops.
+#[allow(clippy::too_many_arguments)]
+fn cut_interval(
+    r: &mut CoreRecorder,
+    session: &Session,
+    jobs: &channel::Sender<IntervalJob>,
+    transfers: &mut Vec<Transfer>,
+    folds: &mut Folds,
+    timer: &mut PhaseTimer,
+    rec: &mut FlightRecorder,
+    cycle: u64,
+) -> bool {
+    let t0 = timer.start();
+    r.accel.flush(transfers);
+    timer.stop(Phase::Pack, t0);
+    let t0 = timer.start();
+    r.link.feed(transfers, rec, cycle);
+    // Release transfers the fault model still holds for reordering:
+    // per-interval links never carry holds across a cut.
+    r.link.finish();
+    timer.stop(Phase::Transport, t0);
+
+    let produced = r.link.produced();
+    let slice = std::mem::take(&mut r.link.sink_mut().queue);
+    let commits = r.commits_in_interval;
+    if slice.is_empty() && commits == 0 && produced == 0 {
+        // Nothing happened since the last boundary; keep the current
+        // interval open instead of dispatching an empty job.
+        return true;
+    }
+    folds.bank(&r.accel, &r.link);
+
+    // Boundary housekeeping on the recording REF: the compensation log
+    // accumulated inside the finished interval can never be replayed
+    // again, so take a journal checkpoint and prune everything behind it
+    // (`prune(0)` — the keep-nothing path), keeping recording memory
+    // bounded. Then snapshot the byte image seeding the next interval.
+    let t0 = timer.start();
+    r.refm.checkpoint();
+    r.refm.prune_checkpoints(0);
+    let next_ckpt = checkpoint::save(&r.refm);
+    timer.stop(Phase::Monitor, t0);
+
+    let job = IntervalJob {
+        core: r.core,
+        index: r.index,
+        start_seq: r.start_seq,
+        commits,
+        checkpoint: std::mem::replace(&mut r.ckpt, next_ckpt),
+        transfers: slice,
+        produced,
+    };
+    folds.checkpoint_bytes += job.checkpoint.len() as u64;
+    r.index += 1;
+    r.start_seq = r.commits_total;
+    r.commits_in_interval = 0;
+    r.accel = session.accel_for_core(r.core);
+    r.link = session.send_link_for_interval(r.core, r.index, QueueSink::default());
+    r.fusion = FusionWatch::default();
+    jobs.send(job).is_ok()
+}
+
+/// Runs a co-simulation with time-parallel interval verification: a
+/// recording pass snapshots the REF every
+/// [`IntervalTuning::interval_insns`] retired instructions and a worker
+/// pool re-verifies the intervals independently. The signature mirrors
+/// [`crate::run_sharded`]; the verdict is equivalent to the serial
+/// runners' (proptested in `tests/intervals_equivalence.rs`).
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour.
+pub fn run_intervals(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+) -> IntervalsReport {
+    run_intervals_tuned(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        None,
+        IntervalTuning::default(),
+    )
+}
+
+/// [`run_intervals`] with an optional fault-injecting link. Each
+/// `(core, interval)` slice gets an independent deterministic
+/// [`crate::fault::FaultyLink`] derived from the plan's seed, so runs
+/// replay exactly while the slices fail differently.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_intervals_faulty(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+) -> IntervalsReport {
+    run_intervals_tuned(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
+        IntervalTuning::default(),
+    )
+}
+
+/// The fully tunable entry point behind [`run_intervals`] /
+/// [`run_intervals_faulty`].
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+#[allow(clippy::too_many_arguments)]
+pub fn run_intervals_tuned(
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+    tuning: IntervalTuning,
+) -> IntervalsReport {
+    let session = Session::new(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
+    );
+    session.require_nonblock("intervals");
+    let cores = session.cores();
+    let interval_insns = tuning.interval_insns.max(1);
+    let worker_count = tuning.workers.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy = Arc::new(AtomicU64::new(0));
+    let busy_max = Arc::new(AtomicU64::new(0));
+    // Bounded job queue: at most `queue_depth` checkpoints + slices in
+    // flight — the sending-queue model applied to whole intervals.
+    let (jobs_tx, jobs_rx) = channel::bounded::<IntervalJob>(session.queue_depth());
+
+    let start = Instant::now();
+
+    let producer = {
+        let session = session.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let cpu = ThreadCpuTimer::start();
+            let mut dut = session.dut();
+            let mut recs: Vec<CoreRecorder> = (0..cores)
+                .map(|k| {
+                    let mut refm = RefModel::new(session.image().clone());
+                    // Fast-forwarding is the hot loop of the recording
+                    // pass: run it on the basic-block compiled path, with
+                    // the journal on so interval boundaries exercise the
+                    // checkpoint + prune path they will later rely on for
+                    // dirty-page deltas.
+                    refm.set_block_mode(true);
+                    refm.set_journal_enabled(true);
+                    CoreRecorder {
+                        core: k as u8,
+                        ckpt: checkpoint::save(&refm),
+                        refm,
+                        accel: session.accel_for_core(k as u8),
+                        link: session.send_link_for_interval(k as u8, 0, QueueSink::default()),
+                        fusion: FusionWatch::default(),
+                        index: 0,
+                        start_seq: 0,
+                        commits_total: 0,
+                        commits_in_interval: 0,
+                    }
+                })
+                .collect();
+            let mut folds = Folds::default();
+            let mut events = Vec::new();
+            let mut transfers = Vec::new();
+            let mut timer = PhaseTimer::monotonic();
+            let mut rec = FlightRecorder::default();
+            let mut alive = true;
+            'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let t0 = timer.start();
+                events.clear();
+                dut.tick_into(&mut events);
+                timer.stop(Phase::Tick, t0);
+                for r in recs.iter_mut() {
+                    let t0 = timer.start();
+                    for m in events.iter().filter(|m| m.core == r.core) {
+                        if fast_forward(&mut r.refm, &m.event) {
+                            r.commits_total += 1;
+                            r.commits_in_interval += 1;
+                        }
+                    }
+                    timer.stop(Phase::Monitor, t0);
+                    let t0 = timer.start();
+                    r.accel.push_cycle_for_route_core(&events, &mut transfers);
+                    timer.stop(Phase::Pack, t0);
+                    r.fusion.observe(
+                        &r.accel,
+                        !transfers.is_empty(),
+                        r.core,
+                        dut.cycles(),
+                        &mut rec,
+                    );
+                    let t0 = timer.start();
+                    r.link.feed(&mut transfers, &mut rec, dut.cycles());
+                    timer.stop(Phase::Transport, t0);
+                    if r.commits_in_interval >= interval_insns
+                        && !cut_interval(
+                            r,
+                            &session,
+                            &jobs_tx,
+                            &mut transfers,
+                            &mut folds,
+                            &mut timer,
+                            &mut rec,
+                            dut.cycles(),
+                        )
+                    {
+                        alive = false;
+                        break 'run;
+                    }
+                }
+            }
+            if alive {
+                // Flush the partial tails — on a halt they hold the trap
+                // event; on a stop request they complete the verified
+                // prefix up to the stopping point.
+                for r in recs.iter_mut() {
+                    if !cut_interval(
+                        r,
+                        &session,
+                        &jobs_tx,
+                        &mut transfers,
+                        &mut folds,
+                        &mut timer,
+                        &mut rec,
+                        dut.cycles(),
+                    ) {
+                        break;
+                    }
+                }
+            }
+            drop(jobs_tx); // closes the queue: end of work
+            let fault_stats = session.fault_plan().is_some().then_some(folds.fault);
+            (
+                dut.cycles(),
+                dut.total_commits(),
+                folds.pool,
+                folds.checkpoint_bytes,
+                fault_stats,
+                timer.times(),
+                rec.snapshot(),
+                cpu.elapsed_s(),
+            )
+        })
+    };
+
+    let workers: Vec<thread::JoinHandle<(Vec<JobOutcome>, f64)>> = (0..worker_count)
+        .map(|_| {
+            let session = session.clone();
+            let stop = Arc::clone(&stop);
+            let jobs = jobs_rx.clone();
+            let busy = Arc::clone(&busy);
+            let busy_max = Arc::clone(&busy_max);
+            thread::spawn(move || {
+                let cpu = ThreadCpuTimer::start();
+                let mut outs = Vec::new();
+                while let Ok(job) = jobs.recv() {
+                    let now_busy = busy.fetch_add(1, Ordering::AcqRel) + 1;
+                    busy_max.fetch_max(now_busy, Ordering::AcqRel);
+                    let refm = match checkpoint::restore(&job.checkpoint) {
+                        Ok(m) => m,
+                        // The image never left this process; failure here
+                        // is a checkpoint-codec bug, not a link fault.
+                        Err(e) => unreachable!("in-process checkpoint failed to restore: {e}"),
+                    };
+                    let mut consumer = session.consumer_for_interval(job.core, refm, job.start_seq);
+                    let mut stopped = false;
+                    for t in &job.transfers {
+                        if consumer.ingest(t, 0, &mut NoCharge) == Step::Stop {
+                            // Decided streams stop the recording pass;
+                            // already-dispatched intervals still complete
+                            // so the aggregation stays deterministic.
+                            stop.store(true, Ordering::Release);
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    if !stopped {
+                        // The slice is complete: a packet still awaited
+                        // was lost in flight.
+                        consumer.finish_stream(Some(job.produced), 0, &mut NoCharge);
+                        if consumer.stopped() {
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
+                    let checked = consumer.checker().seq(job.core) - job.start_seq;
+                    let out = consumer.finish();
+                    busy.fetch_sub(1, Ordering::AcqRel);
+                    outs.push(JobOutcome {
+                        core: job.core,
+                        index: job.index,
+                        commits: job.commits,
+                        items: out.items,
+                        checked,
+                        verdict: out.verdict,
+                        mismatch: out.mismatch,
+                        link_error: out.link_error,
+                        link: out.link,
+                        metrics: out.metrics,
+                        flight: out.flight,
+                    });
+                }
+                (outs, cpu.elapsed_s())
+            })
+        })
+        .collect();
+    // The workers hold their own receiver clones; dropping ours lets a
+    // producer `send` fail fast (instead of blocking forever) should the
+    // whole pool die.
+    drop(jobs_rx);
+
+    let (
+        cycles,
+        instructions,
+        pool,
+        checkpoint_bytes,
+        fault_stats,
+        producer_times,
+        producer_flight,
+        recording_cpu_s,
+    ) = match producer.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut worker_cpu_max_s = 0.0f64;
+    let mut worker_cpu_total_s = 0.0f64;
+    for w in workers {
+        match w.join() {
+            Ok((mut o, cpu_s)) => {
+                outcomes.append(&mut o);
+                worker_cpu_max_s = worker_cpu_max_s.max(cpu_s);
+                worker_cpu_total_s += cpu_s;
+            }
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    outcomes.sort_by_key(|o| (o.core, o.index));
+
+    // First-failure semantics across intervals: the lowest instruction
+    // count wins, core id breaks ties deterministically (the sharded
+    // coordinator's rule). A genuine mismatch outranks a link error (the
+    // stream prefix it was found on was intact); link errors rank by
+    // (core, interval).
+    let mismatch = outcomes
+        .iter()
+        .filter_map(|o| o.mismatch.clone())
+        .min_by_key(|m| (m.seq, m.core));
+    let link_error = outcomes.iter().filter_map(|o| o.link_error).next();
+    let verdict = outcomes.iter().filter_map(|o| o.verdict).next();
+    let link = outcomes.iter().fold(LinkStats::default(), |mut a, o| {
+        for kind in LinkErrorKind::ALL {
+            a.detected[kind as usize] += o.link.count(kind);
+        }
+        a.stale_dropped += o.link.stale_dropped;
+        a
+    });
+
+    let outcome = if mismatch.is_some() {
+        RunOutcome::Mismatch
+    } else if let Some((kind, seq, core)) = link_error {
+        RunOutcome::LinkError { kind, seq, core }
+    } else {
+        match verdict {
+            Some(Verdict::Halt { good: true, .. }) => RunOutcome::GoodTrap,
+            Some(Verdict::Halt { good: false, .. }) => RunOutcome::BadTrap,
+            _ => RunOutcome::MaxCycles,
+        }
+    };
+
+    let items: u64 = outcomes.iter().map(|o| o.items).sum();
+    let instructions_checked: u64 = outcomes.iter().map(|o| o.checked).sum();
+    let intervals = outcomes.len() as u64;
+    let max_workers_busy = busy_max.load(Ordering::Acquire);
+
+    // Deterministic aggregation: producer phases first, then every
+    // interval's registry in (core, interval) order (outcomes are
+    // already sorted), so the merged metrics are independent of worker
+    // scheduling.
+    let mut metrics = Metrics::new();
+    metrics.phases.merge(&producer_times);
+    let h_len = metrics.register_histogram("interval.len");
+    for o in &outcomes {
+        metrics.record(h_len, o.commits);
+        metrics.merge(&o.metrics);
+    }
+    metrics.counters.set("hw.cycles", cycles);
+    metrics.counters.set("hw.instructions", instructions);
+    metrics.counters.set("interval.count", intervals);
+    metrics
+        .counters
+        .set("interval.checkpoint_bytes", checkpoint_bytes);
+    metrics
+        .counters
+        .set("interval.instructions_checked", instructions_checked);
+    metrics
+        .counters
+        .set("interval.workers", worker_count as u64);
+    metrics.set_gauge("interval.workers_busy.max", max_workers_busy);
+    // Busy-time accounting in µs: recording pass, busiest worker, and
+    // the total checking work the pool divided up. recording + max is
+    // the schedule's critical path (span) — see
+    // [`IntervalsReport::span_s`].
+    metrics
+        .counters
+        .set("interval.recording_cpu_us", (recording_cpu_s * 1e6) as u64);
+    metrics.counters.set(
+        "interval.worker_cpu_max_us",
+        (worker_cpu_max_s * 1e6) as u64,
+    );
+    metrics.counters.set(
+        "interval.worker_cpu_total_us",
+        (worker_cpu_total_s * 1e6) as u64,
+    );
+
+    // Attach producer context plus the failing interval's view; the
+    // interval whose verdict decided the outcome wins.
+    let flight = match outcome {
+        RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
+            let mut snap = producer_flight;
+            let failing = outcomes
+                .iter()
+                .find(|o| o.mismatch.is_some() && o.mismatch == mismatch)
+                .or_else(|| {
+                    outcomes
+                        .iter()
+                        .find(|o| o.link_error.is_some() && o.link_error == link_error)
+                })
+                .or_else(|| {
+                    outcomes
+                        .iter()
+                        .find(|o| o.mismatch.is_some() || o.link_error.is_some())
+                });
+            if let Some(o) = failing {
+                snap.append(&o.flight);
+            }
+            Some(snap)
+        }
+        _ => None,
+    };
+    if let Err(e) = export_to_env("intervals", &metrics, flight.as_ref()) {
+        eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);
+    }
+
+    IntervalsReport {
+        common: RunCommon {
+            outcome,
+            mismatch,
+            cycles,
+            instructions,
+            items,
+            link,
+            fault: fault_stats,
+            metrics,
+            flight,
+        },
+        wall_s,
+        cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+        items_per_sec: items as f64 / wall_s.max(1e-9),
+        intervals,
+        checkpoint_bytes,
+        instructions_checked,
+        workers: worker_count,
+        max_workers_busy,
+        recording_cpu_s,
+        worker_cpu_max_s,
+        worker_cpu_total_s,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftest_dut::BugKind;
+
+    fn tuned(insns: u64, workers: usize) -> IntervalTuning {
+        IntervalTuning {
+            interval_insns: insns,
+            workers,
+        }
+    }
+
+    #[test]
+    fn intervals_run_reaches_good_trap() {
+        let w = Workload::microbench().seed(2).iterations(50).build();
+        let r = run_intervals_tuned(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+            None,
+            tuned(64, 2),
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert!(r.intervals > 1, "short intervals must fan out");
+        assert!(r.items > 0);
+        assert!(r.checkpoint_bytes > 0);
+        assert_eq!(
+            r.instructions_checked, r.instructions,
+            "every commit verified exactly once"
+        );
+    }
+
+    #[test]
+    fn intervals_run_detects_bugs() {
+        let w = Workload::linux_boot().seed(2).iterations(300).build();
+        let r = run_intervals_tuned(
+            DutConfig::xiangshan_minimal(),
+            DiffConfig::BNSD,
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 5_000)],
+            500_000,
+            8,
+            None,
+            tuned(256, 3),
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert!(r.mismatch.is_some());
+    }
+
+    #[test]
+    fn single_giant_interval_degenerates_to_serial() {
+        let w = Workload::microbench().seed(7).iterations(30).build();
+        let r = run_intervals_tuned(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+            None,
+            tuned(u64::MAX, 2),
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert_eq!(r.intervals, 1, "one interval covers the whole run");
+        assert_eq!(r.max_workers_busy, 1);
+    }
+
+    #[test]
+    fn dual_core_good_trap() {
+        let mut cfg = DutConfig::xiangshan_minimal();
+        cfg.cores = 2;
+        let w = Workload::microbench().seed(5).iterations(40).build();
+        let r = run_intervals_tuned(
+            cfg,
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+            None,
+            tuned(128, 3),
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert_eq!(r.instructions_checked, r.instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-blocking")]
+    fn intervals_run_rejects_blocking_configs() {
+        let w = Workload::microbench().seed(2).iterations(5).build();
+        let _ = run_intervals(
+            DutConfig::nutshell(),
+            DiffConfig::Z,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+        );
+    }
+
+    #[test]
+    fn counters_export_interval_stats() {
+        let w = Workload::microbench().seed(2).iterations(40).build();
+        let r = run_intervals_tuned(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+            None,
+            tuned(64, 2),
+        );
+        let c = r.counters();
+        assert_eq!(c.get("interval.count"), r.intervals);
+        assert_eq!(c.get("interval.checkpoint_bytes"), r.checkpoint_bytes);
+        assert!(r.max_workers_busy >= 1 && r.max_workers_busy <= 2);
+        assert_eq!(r.metrics.counters.get("interval.count"), r.intervals);
+        assert!(
+            r.metrics
+                .histogram("interval.len")
+                .is_some_and(|h| h.count() == r.intervals),
+            "interval-length histogram records one entry per interval"
+        );
+    }
+
+    #[test]
+    fn span_accounting_is_consistent() {
+        let w = Workload::microbench().seed(9).iterations(40).build();
+        let r = run_intervals_tuned(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            500_000,
+            8,
+            None,
+            tuned(128, 3),
+        );
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        // CPU clocks tick at 10ms granularity, so short runs may read
+        // zero busy time — the invariants below must hold regardless.
+        assert!(r.recording_cpu_s >= 0.0);
+        assert!(
+            r.worker_cpu_max_s <= r.worker_cpu_total_s + 1e-9,
+            "busiest worker cannot exceed the pool total"
+        );
+        let span = r.span_s();
+        assert!((span - (r.recording_cpu_s + r.worker_cpu_max_s)).abs() < 1e-12);
+        assert_eq!(
+            r.metrics.counters.get("interval.recording_cpu_us"),
+            (r.recording_cpu_s * 1e6) as u64
+        );
+        assert_eq!(
+            r.metrics.counters.get("interval.worker_cpu_max_us"),
+            (r.worker_cpu_max_s * 1e6) as u64
+        );
+    }
+}

@@ -35,7 +35,11 @@
 //!   verify → unpack → check → bounded ARQ recovery) every runner
 //!   drives,
 //! - [`socket`]: the fourth runner — producer and consumer in separate
-//!   OS processes over a Unix-domain socket.
+//!   OS processes over a Unix-domain socket,
+//! - [`intervals`]: the fifth runner — time-parallel interval
+//!   verification: a recording pass snapshots the REF every K retired
+//!   instructions and a worker pool re-verifies the checkpoint-delimited
+//!   slices independently.
 //!
 //! # Quick start
 //!
@@ -69,6 +73,7 @@ pub mod checker;
 pub mod consume;
 pub mod engine;
 pub mod fault;
+pub mod intervals;
 pub mod link;
 pub mod pool;
 pub mod prior;
@@ -89,6 +94,9 @@ pub use consume::{
 };
 pub use engine::{BuildError, CoSimulation, CoSimulationBuilder, RunReport};
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
+pub use intervals::{
+    run_intervals, run_intervals_faulty, run_intervals_tuned, IntervalTuning, IntervalsReport,
+};
 pub use link::{
     ChannelSink, ChannelSource, FusionWatch, LinkSink, LinkSource, QueueSink, SendLink,
 };

@@ -370,6 +370,19 @@ impl Session {
         Consumer::new(self.sw_unit(), self.checker_for_core(core)).with_home_core(core)
     }
 
+    /// Builds the receive-side pipeline for one *interval* of shard
+    /// `core`: the checker resumes mid-stream at `seq` over a REF
+    /// restored from a checkpoint image, so fused records whose absolute
+    /// first-sequence tags continue the recorded stream line up without
+    /// cross-interval state (the interval runner's worker side).
+    pub fn consumer_for_interval(&self, core: u8, refm: RefModel, seq: u64) -> Consumer {
+        Consumer::new(
+            self.sw_unit(),
+            Checker::resume_single(core, refm, seq, false),
+        )
+        .with_home_core(core)
+    }
+
     /// Builds the engine's receive-side pipeline: checker compensation
     /// logging per `replay`, plus a packet/event retention ring of
     /// `ring` entries enabling bounded ARQ recovery and §4.4 replay.
@@ -397,6 +410,31 @@ impl Session {
         });
         SendLink::new(sink, link)
     }
+
+    /// Per-interval variant of
+    /// [`send_link_for_core`](Self::send_link_for_core): each `(core,
+    /// interval)` slice gets an independent deterministic link, so the
+    /// interval runner's schedule replays exactly while consecutive
+    /// slices fail differently. The interval index is spread with a
+    /// 64-bit odd multiplier so neighbouring `(core, interval)` pairs
+    /// never collide with plain `seed + core` derivations.
+    pub fn send_link_for_interval<S: LinkSink>(
+        &self,
+        core: u8,
+        interval: u64,
+        sink: S,
+    ) -> SendLink<S> {
+        let link = self.fault.map(|p| {
+            FaultyLink::new(FaultPlan {
+                seed: p
+                    .seed
+                    .wrapping_add(core as u64)
+                    .wrapping_add(interval.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ..p
+            })
+        });
+        SendLink::new(sink, link)
+    }
 }
 
 /// Which transport substrate runs the shared pipeline.
@@ -413,15 +451,20 @@ pub enum RunnerKind {
     /// process boundary). The hosting binary must call
     /// [`crate::socket::child_entry`] first thing in `main`.
     Socket,
+    /// Recording pass + time-parallel interval verification over REF
+    /// checkpoints: a worker pool re-verifies checkpoint-delimited
+    /// slices of the stream independently (wall-clock).
+    Intervals,
 }
 
 impl RunnerKind {
     /// All runners, in the order the runner matrix documents them.
-    pub const ALL: [RunnerKind; 4] = [
+    pub const ALL: [RunnerKind; 5] = [
         RunnerKind::Engine,
         RunnerKind::Threaded,
         RunnerKind::Sharded,
         RunnerKind::Socket,
+        RunnerKind::Intervals,
     ];
 
     /// Stable lowercase name (matrix rows, bench scenario labels).
@@ -431,6 +474,7 @@ impl RunnerKind {
             RunnerKind::Threaded => "threaded",
             RunnerKind::Sharded => "sharded",
             RunnerKind::Socket => "socket",
+            RunnerKind::Intervals => "intervals",
         }
     }
 }
@@ -458,6 +502,9 @@ pub enum RunnerReport {
     Sharded(crate::sharded::ShardedReport),
     /// Socket report (cross-process wall-clock throughput).
     Socket(crate::socket::SocketReport),
+    /// Intervals report (checkpoint/interval accounting, worker pool
+    /// high-water mark).
+    Intervals(crate::intervals::IntervalsReport),
 }
 
 impl Deref for RunnerReport {
@@ -469,6 +516,7 @@ impl Deref for RunnerReport {
             RunnerReport::Threaded(r) => r,
             RunnerReport::Sharded(r) => r,
             RunnerReport::Socket(r) => r,
+            RunnerReport::Intervals(r) => r,
         }
     }
 }
@@ -480,6 +528,7 @@ impl DerefMut for RunnerReport {
             RunnerReport::Threaded(r) => r,
             RunnerReport::Sharded(r) => r,
             RunnerReport::Socket(r) => r,
+            RunnerReport::Intervals(r) => r,
         }
     }
 }
@@ -492,6 +541,7 @@ impl RunnerReport {
             RunnerReport::Threaded(_) => RunnerKind::Threaded,
             RunnerReport::Sharded(_) => RunnerKind::Sharded,
             RunnerReport::Socket(_) => RunnerKind::Socket,
+            RunnerReport::Intervals(_) => RunnerKind::Intervals,
         }
     }
 
@@ -505,6 +555,7 @@ impl RunnerReport {
             RunnerReport::Threaded(r) => Some((r.wall_s, r.cycles_per_sec)),
             RunnerReport::Sharded(r) => Some((r.wall_s, r.cycles_per_sec)),
             RunnerReport::Socket(r) => Some((r.wall_s, r.cycles_per_sec)),
+            RunnerReport::Intervals(r) => Some((r.wall_s, r.cycles_per_sec)),
         }
     }
 }
@@ -565,6 +616,15 @@ pub fn run_runner(
             fault,
         )),
         RunnerKind::Socket => RunnerReport::Socket(crate::socket::run_socket_faulty(
+            dut_cfg,
+            config,
+            workload,
+            bugs,
+            max_cycles,
+            queue_depth,
+            fault,
+        )),
+        RunnerKind::Intervals => RunnerReport::Intervals(crate::intervals::run_intervals_faulty(
             dut_cfg,
             config,
             workload,

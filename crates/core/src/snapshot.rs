@@ -47,9 +47,27 @@ pub struct SnapshotReport {
     pub regenerated_events: u64,
 }
 
+/// A decode failure on the in-process perfect link is host-side corruption:
+/// it surfaces as a mismatch at the checker's *current* sequence for the
+/// transfer's routing core — not `seq: 0`, which would incorrectly outrank
+/// every real mismatch under the lowest-(seq, core) aggregation rule.
+fn decode_failure(checker: &Checker, core: u8, err: &str) -> Mismatch {
+    Mismatch {
+        core,
+        seq: checker.seq(core),
+        check: "wire.decode".into(),
+        expected: "well-formed transfer".into(),
+        actual: err.to_owned(),
+    }
+}
+
 /// Runs a squash-fused co-simulation debugged by periodic whole-DUT
 /// snapshots (interval in cycles), reproducing the prior-work flow of
 /// paper Fig. 10 for comparison against Replay.
+///
+/// `snapshot_interval == 0` is clamped to 1 (snapshot every cycle) rather
+/// than silently disabling snapshots, which would make `precise`
+/// localization return `None` with no signal.
 pub fn snapshot_debug_run(
     dut_cfg: DutConfig,
     workload: &Workload,
@@ -57,9 +75,15 @@ pub fn snapshot_debug_run(
     snapshot_interval: u64,
     max_cycles: u64,
 ) -> SnapshotReport {
+    let snapshot_interval = snapshot_interval.max(1);
     let mut image = Memory::new();
     image.load_words(Memory::RAM_BASE, workload.words());
     let cores = dut_cfg.cores as usize;
+
+    // Kept for the debug flow: a mismatch before the first periodic
+    // snapshot re-executes from reset instead of a snapshot.
+    let re_cfg = dut_cfg.clone();
+    let re_bugs = bugs.clone();
 
     let mut dut = Dut::new(dut_cfg, &image, bugs);
     let mut accel = AccelUnit::squash_batch(cores, 4096, 32, false);
@@ -84,13 +108,9 @@ pub fn snapshot_debug_run(
             // a decode failure here means host-side corruption, which
             // surfaces as a (non-localizable) mismatch on the transfer's
             // routing core rather than a panic.
-            let items = sw.decode(&t).map_err(|e| Mismatch {
-                core: t.core,
-                seq: 0,
-                check: "wire.decode".into(),
-                expected: "well-formed transfer".into(),
-                actual: e.to_string(),
-            })?;
+            let items = sw
+                .decode(&t)
+                .map_err(|e| decode_failure(checker, t.core, &e.to_string()))?;
             for item in items {
                 match checker.process(item)? {
                     Verdict::Continue => {}
@@ -104,8 +124,10 @@ pub fn snapshot_debug_run(
     'run: while dut.halted().is_none() && dut.cycles() < max_cycles {
         // Periodic snapshot: quiesce the pipeline first (flush fusion
         // windows and partial packets, check everything) — the structural
-        // cost snapshotting imposes on fusion.
-        if dut.cycles().is_multiple_of(snapshot_interval) {
+        // cost snapshotting imposes on fusion. Cycle 0 is skipped: a
+        // snapshot before any execution is the reset state, which the
+        // debug flow can rebuild for free.
+        if dut.cycles() > 0 && dut.cycles().is_multiple_of(snapshot_interval) {
             accel.flush(&mut transfers);
             match process(&mut sw, &mut checker, &mut transfers) {
                 Ok(Some(v)) => {
@@ -179,7 +201,16 @@ pub fn snapshot_debug_run(
     let mut reexecuted_cycles = 0u64;
     let mut regenerated_events = 0u64;
     if coarse.is_some() {
-        if let Some((mut re_dut, refs)) = snapshot.take() {
+        // A mismatch before the first periodic snapshot falls back to the
+        // reset state (a fresh DUT and fresh REFs), so localization still
+        // works without the wasted cycle-0 whole-DUT copy.
+        let (mut re_dut, refs) = snapshot.take().unwrap_or_else(|| {
+            let refs = (0..cores)
+                .map(|_| (RefModel::new(image.clone()), 0u64))
+                .collect();
+            (Dut::new(re_cfg, &image, re_bugs), refs)
+        });
+        {
             let mut re_checker = Checker::resume(refs, false);
             'replay: while re_dut.halted().is_none() && re_dut.cycles() < max_cycles {
                 let out = re_dut.tick();
@@ -253,5 +284,54 @@ mod tests {
         let r = snapshot_debug_run(DutConfig::nutshell(), &w, Vec::new(), 5_000, 400_000);
         assert_eq!(r.outcome, RunOutcome::GoodTrap);
         assert!(r.precise.is_none());
+    }
+
+    /// Regression: cycle 0 used to satisfy `is_multiple_of(interval)` and
+    /// clone the whole DUT before a single cycle had executed. With an
+    /// interval longer than the run, no snapshot should ever be taken.
+    #[test]
+    fn no_wasted_snapshot_at_cycle_zero() {
+        let w = Workload::microbench().seed(41).iterations(40).build();
+        let r = snapshot_debug_run(DutConfig::nutshell(), &w, Vec::new(), 1_000_000, 400_000);
+        assert_eq!(r.outcome, RunOutcome::GoodTrap);
+        assert_eq!(r.snapshots, 0, "interval > run length must snapshot never");
+    }
+
+    /// A mismatch that fires before the first periodic snapshot still gets
+    /// precise localization: the debug flow re-executes from reset.
+    #[test]
+    fn bug_before_first_snapshot_localizes_from_reset() {
+        let w = Workload::linux_boot().seed(41).iterations(300).build();
+        let r = snapshot_debug_run(
+            DutConfig::xiangshan_minimal(),
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 6_000)],
+            50_000,
+            200_000,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert_eq!(r.snapshots, 0, "bug fires before the first snapshot");
+        let precise = r.precise.expect("reset re-execution reproduces the bug");
+        assert!(precise.check.contains("commit"), "{precise}");
+        assert!(r.reexecuted_cycles > 0);
+    }
+
+    /// Regression: `snapshot_interval == 0` used to silently disable
+    /// snapshots (nothing is a multiple of 0), so `precise` came back
+    /// `None` with no signal. It now clamps to snapshot-every-cycle and
+    /// localization works.
+    #[test]
+    fn interval_zero_clamps_instead_of_disabling() {
+        let w = Workload::linux_boot().seed(41).iterations(300).build();
+        let r = snapshot_debug_run(
+            DutConfig::xiangshan_minimal(),
+            &w,
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 500)],
+            0,
+            100_000,
+        );
+        assert_eq!(r.outcome, RunOutcome::Mismatch);
+        assert!(r.snapshots > 0, "interval 0 must not disable snapshots");
+        assert!(r.precise.is_some(), "localization must still work");
     }
 }

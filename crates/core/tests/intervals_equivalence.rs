@@ -1,0 +1,200 @@
+//! Property tests: the interval runner is observationally equivalent to
+//! the virtual-time engine — same verdict and, on a single core, the
+//! identical mismatch — across workload seeds, bug-injection points and
+//! interval lengths. Cutting the stream into checkpoint-delimited
+//! slices must never change *what* is checked.
+//!
+//! Two contracts here are deliberately weaker than
+//! `tests/runner_equivalence.rs`'s, and for the same root cause:
+//! per-interval re-packing restarts the squash fusion windows, so the
+//! byte stream differs from the serial runners'.
+//!
+//! - **Mismatch identity** holds up to one fusion window: register-write
+//!   squashing only exposes the *last* write to a register inside a
+//!   window, so cutting the windows differently can move the first
+//!   observable divergence by at most the window span (32 commits, the
+//!   session default). Core and failing register must still agree, and
+//!   when the whole run is one interval the packing is identical and the
+//!   mismatch must be byte-for-byte the engine's.
+//! - **Fault schedules** perturb different packets, so only the
+//!   containment contract holds: recovered-clean or a *typed* link
+//!   error, never a phantom mismatch, and exact replay from the seed.
+
+use difftest_core::{
+    run_intervals_tuned, run_runner, DiffConfig, FaultPlan, IntervalTuning, RunOutcome, RunnerKind,
+};
+use difftest_dut::{BugKind, BugSpec, DutConfig};
+use difftest_workload::Workload;
+use proptest::prelude::*;
+
+fn intervals(
+    dut: DutConfig,
+    w: &Workload,
+    bugs: Vec<BugSpec>,
+    fault: Option<FaultPlan>,
+    insns: u64,
+    workers: usize,
+) -> difftest_core::IntervalsReport {
+    run_intervals_tuned(
+        dut,
+        DiffConfig::BNSD,
+        w,
+        bugs,
+        500_000,
+        8,
+        fault,
+        IntervalTuning {
+            interval_insns: insns,
+            workers,
+        },
+    )
+}
+
+fn engine(dut: DutConfig, w: &Workload, bugs: Vec<BugSpec>) -> difftest_core::RunnerReport {
+    run_runner(
+        RunnerKind::Engine,
+        dut,
+        DiffConfig::BNSD,
+        w,
+        bugs,
+        500_000,
+        8,
+        None,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn intervals_match_engine_on_clean_runs(
+        seed in 0u64..1_000,
+        insns_pick in 0usize..3,
+        workers in 1usize..4,
+    ) {
+        let insns = [32u64, 257, 4096][insns_pick];
+        let w = Workload::microbench().seed(seed).iterations(40).build();
+        let e = engine(DutConfig::nutshell(), &w, Vec::new());
+        prop_assert_eq!(e.outcome, RunOutcome::GoodTrap);
+        let r = intervals(DutConfig::nutshell(), &w, Vec::new(), None, insns, workers);
+        prop_assert_eq!(r.outcome, e.outcome, "insns={} workers={}", insns, workers);
+        prop_assert!(r.mismatch.is_none());
+        prop_assert_eq!(r.instructions, e.instructions);
+        // Completeness: the interval workers re-verify every committed
+        // instruction exactly once — no gaps, no overlaps at the cuts.
+        prop_assert_eq!(r.instructions_checked, r.instructions);
+    }
+
+    #[test]
+    fn intervals_match_engine_mismatch_identity(
+        seed in 0u64..1_000,
+        bug_cycle in 1_000u64..6_000,
+        insns_pick in 0usize..3,
+    ) {
+        let insns = [64u64, 513, 100_000][insns_pick];
+        let w = Workload::linux_boot().seed(seed).iterations(300).build();
+        let bugs = vec![BugSpec::new(BugKind::RegWriteCorruption, bug_cycle)];
+        let e = engine(DutConfig::xiangshan_minimal(), &w, bugs.clone());
+        let r = intervals(DutConfig::xiangshan_minimal(), &w, bugs, None, insns, 3);
+        prop_assert_eq!(r.outcome, e.outcome, "insns={}", insns);
+        // The worker holding the bug's interval starts from a REF-correct
+        // checkpoint, so it reports the engine's divergence: same core,
+        // same failing register, and a sequence within one squash window
+        // (re-cut fusion windows may surface a squashed intermediate
+        // write up to the window span later or earlier).
+        let (rm, em) = (r.mismatch.as_ref(), e.mismatch.as_ref());
+        prop_assert_eq!(rm.is_some(), em.is_some(), "insns={}", insns);
+        if let (Some(rm), Some(em)) = (rm, em) {
+            prop_assert_eq!(rm.core, em.core);
+            prop_assert_eq!(
+                rm.check.split_whitespace().last(), em.check.split_whitespace().last(),
+                "different failing register: {:?} vs {:?}", rm, em
+            );
+            prop_assert!(
+                rm.seq.abs_diff(em.seq) <= 32,
+                "mismatch drifted past a fusion window: intervals seq {} vs engine seq {}",
+                rm.seq, em.seq
+            );
+        }
+        if r.intervals == 1 {
+            // Degenerate cut: one interval repacks the identical stream,
+            // so the mismatch must be byte-for-byte the engine's.
+            prop_assert_eq!(r.mismatch.clone(), e.mismatch.clone());
+        }
+        if let Some(m) = &r.mismatch {
+            let snap = r.flight.as_ref().expect("mismatch without flight snapshot");
+            prop_assert!(
+                snap.records.iter().any(|rec| {
+                    rec.kind == difftest_stats::FlightKind::Mismatch && rec.value == m.seq
+                }),
+                "snapshot missing the mismatch record"
+            );
+        }
+    }
+
+    #[test]
+    fn intervals_contain_faults_and_replay_from_seed(
+        seed in 0u64..1_000,
+        rate in 5u16..40,
+    ) {
+        let w = Workload::microbench().seed(seed).iterations(60).build();
+        let plan = Some(FaultPlan::uniform(seed ^ 0x51ed, rate));
+        let a = intervals(DutConfig::nutshell(), &w, Vec::new(), plan, 128, 2);
+        prop_assert!(
+            matches!(a.outcome, RunOutcome::GoodTrap | RunOutcome::LinkError { .. }),
+            "fault must be recovered or typed, got {:?}", a.outcome
+        );
+        prop_assert!(a.mismatch.is_none(), "phantom mismatch under faults");
+        if let RunOutcome::LinkError { .. } = a.outcome {
+            prop_assert!(a.link.total_detected() > 0, "untyped link error");
+            prop_assert!(
+                a.fault.is_some_and(|f| f.total_faults() > 0),
+                "link error without an injected fault"
+            );
+        }
+        // Determinism: per-(core, interval) link seeds derive from the
+        // plan, so the verdict replays exactly. Totals (fault counts,
+        // interval count) are only stable on clean runs — a typed link
+        // error stops the recording pass at a worker-timing-dependent
+        // cycle, but jobs dispatch in sequence order, so the *first*
+        // failing interval (and with it the verdict) is invariant.
+        let b = intervals(DutConfig::nutshell(), &w, Vec::new(), plan, 128, 2);
+        prop_assert_eq!(a.outcome, b.outcome);
+        if a.outcome == RunOutcome::GoodTrap {
+            prop_assert_eq!(a.link, b.link);
+            prop_assert_eq!(a.fault, b.fault);
+            prop_assert_eq!(a.intervals, b.intervals);
+        }
+    }
+
+    #[test]
+    fn interval_length_never_changes_the_verdict(
+        seed in 0u64..1_000,
+        buggy in any::<bool>(),
+    ) {
+        // The same run cut three different ways must agree with itself.
+        let w = Workload::linux_boot().seed(seed).iterations(200).build();
+        let bugs = if buggy {
+            vec![BugSpec::new(BugKind::RegWriteCorruption, 3_000)]
+        } else {
+            Vec::new()
+        };
+        let dut = DutConfig::xiangshan_minimal;
+        let coarse = intervals(dut(), &w, bugs.clone(), None, u64::MAX, 2);
+        let medium = intervals(dut(), &w, bugs.clone(), None, 1_024, 2);
+        let fine = intervals(dut(), &w, bugs, None, 97, 2);
+        prop_assert_eq!(medium.outcome, coarse.outcome);
+        prop_assert_eq!(fine.outcome, coarse.outcome);
+        for cut in [&medium, &fine] {
+            prop_assert_eq!(cut.mismatch.is_some(), coarse.mismatch.is_some());
+            if let (Some(c), Some(m)) = (cut.mismatch.as_ref(), coarse.mismatch.as_ref()) {
+                prop_assert_eq!(c.core, m.core);
+                prop_assert!(
+                    c.seq.abs_diff(m.seq) <= 32,
+                    "cut drifted past a fusion window: {} vs {}", c.seq, m.seq
+                );
+            }
+        }
+        prop_assert!(fine.intervals >= medium.intervals);
+    }
+}

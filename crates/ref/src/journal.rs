@@ -129,8 +129,17 @@ impl Journal {
 
     /// Keeps only the most recent `keep` checkpoints, discarding older log
     /// prefix so memory stays bounded during long runs.
+    ///
+    /// `prune(0)` drops every checkpoint — and, since nothing is revertible
+    /// without one, the whole log (including entries recorded after the
+    /// newest checkpoint).
     pub fn prune(&mut self, keep: usize) {
         if self.checkpoints.len() <= keep {
+            return;
+        }
+        if keep == 0 {
+            self.checkpoints.clear();
+            self.entries.clear();
             return;
         }
         let drop_count = self.checkpoints.len() - keep;
@@ -209,5 +218,42 @@ mod tests {
         assert!(j.revert_into(&mut state, &mut mem));
         assert_eq!(state.xreg(Reg::A1), 2);
         assert!(!j.revert_into(&mut state, &mut mem));
+    }
+
+    /// Regression: `prune(0)` used to index `checkpoints[len]` and panic.
+    /// It must instead drain everything — checkpoints, the log prefix they
+    /// guard, *and* the post-checkpoint tail — leaving nothing revertible.
+    #[test]
+    fn prune_zero_drains_everything() {
+        let mut j = Journal::new();
+        j.set_enabled(true);
+        let mut state = ArchState::new(0);
+        let mut mem = Memory::new();
+
+        for round in 0..3u64 {
+            j.checkpoint();
+            j.record(JournalEntry::Xreg(Reg::A1, round));
+            state.set_xreg(Reg::A1, round + 1);
+        }
+        // Entries after the newest checkpoint go too: with zero checkpoints
+        // left they could never be replayed.
+        j.record(JournalEntry::Pc(0x1234));
+
+        j.prune(0);
+        assert_eq!(j.checkpoint_count(), 0);
+        assert!(j.is_empty());
+        assert!(!j.revert_into(&mut state, &mut mem));
+        assert_eq!(state.xreg(Reg::A1), 3, "prune must not touch state");
+
+        // The journal keeps working after a full drain.
+        j.checkpoint();
+        j.record(JournalEntry::Xreg(Reg::A1, 3));
+        state.set_xreg(Reg::A1, 9);
+        assert!(j.revert_into(&mut state, &mut mem));
+        assert_eq!(state.xreg(Reg::A1), 3);
+
+        // prune(0) on an already-empty journal is a no-op, not a panic.
+        j.prune(0);
+        assert_eq!(j.checkpoint_count(), 0);
     }
 }

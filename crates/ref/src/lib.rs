@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod exec;
 mod icache;
 mod journal;
@@ -39,6 +40,7 @@ mod mem;
 mod model;
 mod state;
 
+pub use checkpoint::CheckpointError;
 pub use icache::{BlockCache, BlockCacheStats, DecodeCache, DecodeCacheStats, Uop, MAX_BLOCK_LEN};
 pub use journal::{Journal, JournalEntry};
 pub use mem::Memory;

@@ -23,6 +23,8 @@ impl Memory {
     pub const RAM_BASE: u64 = 0x8000_0000;
     /// Size of the RAM window.
     pub const RAM_SIZE: u64 = 0x1000_0000; // 256 MiB
+    /// Size of one lazily-allocated page (the checkpoint codec's unit).
+    pub const PAGE_SIZE: usize = PAGE_SIZE;
 
     /// Creates an empty memory.
     pub fn new() -> Self {
@@ -156,6 +158,30 @@ impl Memory {
     /// Number of resident (allocated) pages; used by tests and stats.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Resident pages as `(base_address, bytes)` pairs, sorted by address.
+    ///
+    /// The serde shims are no-ops, so the checkpoint codec
+    /// ([`crate::checkpoint`]) walks pages itself; sorting makes the byte
+    /// image deterministic for a given memory state.
+    pub fn page_images(&self) -> Vec<(u64, &[u8])> {
+        let mut pages: Vec<(u64, &[u8])> = self
+            .pages
+            .iter()
+            .map(|(idx, bytes)| (idx << PAGE_BITS, bytes.as_slice()))
+            .collect();
+        pages.sort_unstable_by_key(|&(base, _)| base);
+        pages
+    }
+
+    /// Installs one full page at `base` (which must be page-aligned and
+    /// `bytes` exactly [`Memory::PAGE_SIZE`] long) — the checkpoint-restore
+    /// inverse of [`page_images`](Self::page_images).
+    pub fn install_page(&mut self, base: u64, bytes: &[u8]) {
+        debug_assert_eq!(base & (PAGE_SIZE as u64 - 1), 0, "unaligned page base");
+        debug_assert_eq!(bytes.len(), PAGE_SIZE, "short page image");
+        self.pages.insert(base >> PAGE_BITS, bytes.to_vec());
     }
 }
 

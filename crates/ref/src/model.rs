@@ -100,6 +100,21 @@ impl RefModel {
         }
     }
 
+    /// Reassembles a model from a restored architectural state and memory
+    /// image (the [`crate::checkpoint`] codec's constructor). The journal
+    /// starts empty and disabled; both execution caches start cold — they
+    /// are pure acceleration state and warm back up on first use.
+    pub fn from_parts(state: ArchState, mem: Memory) -> Self {
+        RefModel {
+            state,
+            mem,
+            journal: Journal::new(),
+            pending_skip: None,
+            icache: DecodeCache::default(),
+            blocks: BlockCache::default(),
+        }
+    }
+
     /// Enables or disables the per-insn pre-decoded instruction cache (on
     /// by default). The coherence proptests disable this *and*
     /// [`set_block_mode`](Self::set_block_mode) to run a fully uncached

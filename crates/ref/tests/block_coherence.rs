@@ -9,7 +9,7 @@
 //! steady state.
 
 use difftest_isa::{encode, Reg};
-use difftest_ref::{Memory, RefModel, StepOutcome};
+use difftest_ref::{checkpoint, Memory, RefModel, StepOutcome};
 use difftest_workload::Workload;
 use proptest::prelude::*;
 
@@ -132,6 +132,74 @@ proptest! {
         // extra steps land in the deterministic post-ebreak trap loop,
         // which must also agree.
         lockstep(&words, words.len() + 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint → execute → revert → re-execute is bit-identical, with
+    /// block mode on or off, across a serialization round-trip, and with
+    /// a `prune` landing mid-re-execution. This is the invariant the
+    /// interval runner leans on: a worker seeded from a serialized
+    /// checkpoint must retrace exactly what the recording REF executed.
+    #[test]
+    fn checkpoint_revert_reexecute_is_bit_identical(
+        preset in 0usize..6,
+        seed in 0u64..1_000,
+        warmup in 0usize..400,
+        leg in 1usize..400,
+        block in any::<bool>(),
+        keep in 0usize..3,
+    ) {
+        let builders = [
+            Workload::linux_boot, Workload::microbench, Workload::spec_like,
+            Workload::mmio_heavy, Workload::trap_heavy, Workload::fuzz,
+        ];
+        let w = builders[preset]().seed(seed).iterations(30).build();
+        let mut mem = Memory::new();
+        mem.load_words(Memory::RAM_BASE, w.words());
+        let mut m = RefModel::new(mem);
+        m.set_block_mode(block);
+        m.set_journal_enabled(true);
+        for _ in 0..warmup {
+            m.step();
+        }
+        m.checkpoint();
+        let img = checkpoint::save(&m);
+
+        // A twin restored from the serialized image starts in the same
+        // architectural state and runs the leg in the *opposite* block
+        // mode — the codec round-trip and block transparency compose.
+        let mut twin = checkpoint::restore(&img).expect("restore of a fresh image");
+        prop_assert_eq!(twin.state(), m.state(), "restore diverged from the live model");
+        twin.set_block_mode(!block);
+        twin.set_journal_enabled(true);
+
+        let first: Vec<StepOutcome> = (0..leg).map(|_| m.step()).collect();
+        prop_assert!(m.revert(), "revert with a live checkpoint must succeed");
+        prop_assert_eq!(
+            m.state(), twin.state(),
+            "revert must restore exactly the checkpointed state"
+        );
+
+        // Re-execute after the revert; a checkpoint+prune pair landing
+        // mid-leg (keep=0 drains the journal outright) must only discard
+        // history, never perturb execution.
+        let second: Vec<StepOutcome> = (0..leg)
+            .map(|i| {
+                if i == leg / 2 {
+                    m.checkpoint();
+                    m.prune_checkpoints(keep);
+                }
+                m.step()
+            })
+            .collect();
+        prop_assert_eq!(&first, &second, "re-execution diverged after revert");
+
+        let twin_leg: Vec<StepOutcome> = (0..leg).map(|_| twin.step()).collect();
+        prop_assert_eq!(&first, &twin_leg, "restored twin diverged");
+        prop_assert_eq!(m.state(), twin.state(), "final states diverged");
     }
 }
 

@@ -13,7 +13,8 @@
 use std::collections::BTreeSet;
 
 use difftest_h::core::{
-    run_sharded_faulty, run_threaded, CoSimulation, DiffConfig, FaultPlan, RunOutcome,
+    run_intervals, run_sharded_faulty, run_threaded, CoSimulation, DiffConfig, FaultPlan,
+    RunOutcome,
 };
 use difftest_h::dut::DutConfig;
 use difftest_h::platform::Platform;
@@ -94,6 +95,27 @@ fn main() {
         assert!(!snap.records.is_empty(), "snapshot must carry records");
     }
 
+    // 4. Interval runner: clean run, `interval.*` rows in the export.
+    let iv = run_intervals(
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        &w,
+        Vec::new(),
+        400_000,
+        8,
+    );
+    assert_eq!(iv.outcome, RunOutcome::GoodTrap);
+    assert_eq!(iv.instructions_checked, iv.instructions);
+    println!(
+        "intervals: {:?}, {} intervals, {} checkpoint bytes, busy high-water {}, \
+         span {:.0} ms",
+        iv.outcome,
+        iv.intervals,
+        iv.checkpoint_bytes,
+        iv.max_workers_busy,
+        iv.span_s() * 1e3
+    );
+
     // Validate the export: parse every line, collect phases per runner.
     let text = std::fs::read_to_string(&path).expect("export file written");
     let mut phases: BTreeSet<String> = BTreeSet::new();
@@ -117,7 +139,24 @@ fn main() {
             }
         }
     }
-    assert_eq!(runs, 3, "three runners must have exported");
+    assert_eq!(runs, 4, "four runners must have exported");
+    assert!(
+        text.contains("\"interval.count\""),
+        "interval counters missing from export"
+    );
+    assert!(
+        text.contains("\"interval.len\""),
+        "interval length histogram missing from export"
+    );
+    assert!(
+        text.contains("\"interval.workers_busy.max\""),
+        "workers-busy gauge missing from export"
+    );
+    assert!(
+        text.contains("\"interval.recording_cpu_us\"")
+            && text.contains("\"interval.worker_cpu_max_us\""),
+        "span busy-time counters missing from export"
+    );
     for phase in Phase::ALL {
         assert!(
             phases.contains(phase.name()),

@@ -26,8 +26,11 @@ fn main() {
         Some("threaded") => RunnerKind::Threaded,
         Some("sharded") => RunnerKind::Sharded,
         Some("socket") => RunnerKind::Socket,
+        Some("intervals") => RunnerKind::Intervals,
         Some(other) => {
-            eprintln!("unknown runner {other:?}; expected engine|threaded|sharded|socket");
+            eprintln!(
+                "unknown runner {other:?}; expected engine|threaded|sharded|socket|intervals"
+            );
             std::process::exit(2);
         }
     };
