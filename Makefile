@@ -5,7 +5,7 @@
 CARGO ?= cargo
 
 .PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
-	bench-record bench-smoke bench-compare socket seam intervals
+	bench-record bench-smoke bench-compare socket seam intervals trace
 
 all: build
 
@@ -110,6 +110,21 @@ blocks:
 # histogram summaries, and a flight snapshot on the injected failure.
 obs:
 	$(CARGO) run --release --example observability
+
+# Causal span tracing smoke (DESIGN.md §15). The socket example's clean
+# run exports one merged Chrome trace spanning both processes;
+# trace_check holds it to the cross-process bar (matched pack→unpack
+# flow arrows, producer and consumer pids). The observability example
+# then exports and self-validates the engine/sharded/interval traces,
+# and trace_check re-gates the files from the outside.
+trace:
+	mkdir -p target/trace
+	DIFFTEST_TRACE=target/trace/socket.json $(CARGO) run --release --example socket
+	scripts/trace_check --require-flows target/trace/socket.json
+	DIFFTEST_TRACE=target/trace/obs.json $(CARGO) run --release --example observability
+	scripts/trace_check --require-flows target/trace/obs.engine.json \
+		target/trace/obs.intervals.json
+	scripts/trace_check target/trace/obs.sharded.json
 
 # A.5.1-style quick start: run the co-simulation end to end.
 examples:

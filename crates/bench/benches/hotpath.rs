@@ -29,7 +29,7 @@ use difftest_core::engine::DiffConfig;
 use difftest_core::{run_runner, CoSimulation, FaultPlan, RunOutcome, RunnerKind, RunnerReport};
 use difftest_dut::DutConfig;
 use difftest_platform::Platform;
-use difftest_stats::{Metrics, Phase};
+use difftest_stats::{Metrics, Phase, TRACE_ENV};
 use difftest_workload::Workload;
 
 const FULL_CYCLES: u64 = 150_000;
@@ -66,6 +66,16 @@ const CACHE_KEYS: [&str; 11] = [
 ];
 
 fn phase_stats(metrics: &Metrics, s: &mut ScenarioStats) {
+    // Dormant-tracing guarantee (DESIGN.md §15): the gated baselines
+    // are recorded with span tracing off, so a run that silently
+    // started accounting spans would invalidate every comparison.
+    if std::env::var_os(TRACE_ENV).is_none() {
+        assert_eq!(
+            metrics.counters.get("trace.spans_recorded"),
+            0,
+            "bench scenario ran with span tracing active"
+        );
+    }
     s.unpack_ns = metrics.phases.get(Phase::Unpack);
     s.check_ns = metrics.phases.get(Phase::Check);
     s.phases = metrics

@@ -20,7 +20,7 @@
 use difftest_event::wire::CodecError;
 use difftest_stats::{
     FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, GaugeId, HistogramId, Metrics, Phase,
-    PhaseTimer,
+    PhaseTimer, SpanBuf, SpanSink,
 };
 
 use crate::batch::peek_packet_seq;
@@ -87,6 +87,8 @@ pub struct ConsumerOutput {
     pub metrics: Metrics,
     /// Flight records, oldest first.
     pub flight: FlightSnapshot,
+    /// Consume-side span buffer (empty when tracing is off).
+    pub spans: SpanBuf,
 }
 
 /// The shared receive-side pipeline: decoder, checker, observability
@@ -113,6 +115,7 @@ pub struct Consumer {
     retention: Option<ReplayBuffer>,
     recovery_budget: u32,
     home_core: u8,
+    spans: SpanSink,
 }
 
 impl Consumer {
@@ -148,7 +151,22 @@ impl Consumer {
             retention: None,
             recovery_budget: RECOVERY_BUDGET,
             home_core: 0,
+            spans: SpanSink::disabled(),
         }
+    }
+
+    /// Installs a span sink: every ingested transfer records a `pkt`
+    /// flow target plus `unpack`/`check` spans keyed by its seq, and
+    /// samples the reorder/pending occupancy as counter tracks.
+    pub fn with_spans(mut self, spans: SpanSink) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// The consume-side span sink (runners add their own samples, e.g.
+    /// interval workers marking whole-job spans).
+    pub fn spans_mut(&mut self) -> &mut SpanSink {
+        &mut self.spans
     }
 
     /// Attaches a packet/event retention ring of `capacity` entries,
@@ -192,6 +210,7 @@ impl Consumer {
         self.obs_transfers += 1;
         self.obs_bytes += t.bytes.len() as u64;
 
+        self.spans.flow_in("pkt", seq as u64);
         let before = *self.checker.stats();
         // Reuse the decode scratch across calls: dropping the transfer
         // afterwards recycles its payload to the pool, so the steady
@@ -199,11 +218,14 @@ impl Consumer {
         let mut items = std::mem::take(&mut self.item_buf);
         items.clear();
         let t0 = self.timer.start();
+        let s0 = self.spans.start();
         let decode = self.sw.decode_into(t, &mut items);
+        self.spans.end("unpack", s0, seq as u64);
         self.timer.stop(Phase::Unpack, t0);
         match decode {
             Ok(_) => {
                 let t0 = self.timer.start();
+                let s0 = self.spans.start();
                 let mut stop = false;
                 for item in items.drain(..) {
                     self.items += 1;
@@ -237,6 +259,7 @@ impl Consumer {
                 }
                 items.clear();
                 self.item_buf = items;
+                self.spans.end("check", s0, seq as u64);
                 self.timer.stop(Phase::Check, t0);
                 // Occupancy high-water marks by handle: an indexed store
                 // per transfer, no name lookup.
@@ -244,6 +267,12 @@ impl Consumer {
                     .set_max(self.g_reorder, self.sw.buffered_packets() as u64);
                 self.metrics
                     .set_max(self.g_pending, self.checker.pending_items() as u64);
+                if self.spans.enabled() {
+                    self.spans
+                        .counter("reorder.buffered", self.sw.buffered_packets() as u64);
+                    self.spans
+                        .counter("checker.pending", self.checker.pending_items() as u64);
+                }
                 obs.transfer_done(t, &before, self.checker.stats());
                 if stop {
                     Step::Stop
@@ -540,6 +569,7 @@ impl Consumer {
             link: self.link,
             metrics,
             flight: self.flight.snapshot(),
+            spans: self.spans.into_buf(),
         }
     }
 }

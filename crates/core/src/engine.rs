@@ -24,7 +24,7 @@ use std::ops::{Deref, DerefMut};
 
 use difftest_dut::{BugSpec, Dut, DutConfig};
 use difftest_platform::{LinkParams, OverheadBreakdown, Platform};
-use difftest_stats::{export_to_env, Metrics, Phase};
+use difftest_stats::{export_to_env, Metrics, Phase, SpanBuf, Tracer, PID_CONSUMER, PID_PRODUCER};
 use difftest_workload::Workload;
 
 use crate::batch::peek_packet_seq;
@@ -77,6 +77,7 @@ pub struct CoSimulationBuilder {
     replay: bool,
     queue_depth: usize,
     fault_plan: Option<FaultPlan>,
+    tracer: Option<Tracer>,
 }
 
 impl Default for CoSimulationBuilder {
@@ -94,6 +95,7 @@ impl Default for CoSimulationBuilder {
             replay: true,
             queue_depth: 8,
             fault_plan: None,
+            tracer: None,
         }
     }
 }
@@ -176,6 +178,15 @@ impl CoSimulationBuilder {
         self
     }
 
+    /// Overrides the span tracer (default: the `DIFFTEST_TRACE`
+    /// environment variable). Tests inject a
+    /// [`FakeClock`](difftest_stats::FakeClock)-driven tracer here for
+    /// deterministic span timestamps.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the co-simulation over a workload image.
     ///
     /// # Errors
@@ -192,7 +203,7 @@ impl CoSimulationBuilder {
             return Err(BuildError::ZeroWindow);
         }
 
-        let session = Session::new(
+        let mut session = Session::new(
             self.dut.clone(),
             self.config,
             workload,
@@ -205,6 +216,9 @@ impl CoSimulationBuilder {
         .with_fusion_window(self.fusion_window)
         .with_order_coupled(self.order_coupled)
         .with_differencing(self.differencing);
+        if self.tracer.is_some() {
+            session = session.with_tracer(self.tracer);
+        }
 
         let replay_on = self.replay && self.config.squash();
         let dut = session.dut();
@@ -213,8 +227,12 @@ impl CoSimulationBuilder {
             session.consumer_with_retention(true, 1 << 16)
         } else {
             session.consumer()
-        };
-        let link = session.send_link(QueueSink::default());
+        }
+        .with_spans(session.span_sink(PID_CONSUMER, 0, "consumer", "consumer"));
+        let link = session
+            .send_link(QueueSink::default())
+            .with_spans(session.span_sink(PID_PRODUCER, 0, "producer", "dut"));
+        let tracer = session.tracer().cloned();
         let gates = self.dut.gates;
 
         Ok(CoSimulation {
@@ -239,6 +257,7 @@ impl CoSimulationBuilder {
             staging: Vec::new(),
             events_buf: Vec::new(),
             failure: None,
+            tracer,
         })
     }
 }
@@ -495,6 +514,9 @@ pub struct CoSimulation {
     staging: Vec<Transfer>,
     events_buf: Vec<difftest_event::MonitoredEvent>,
     failure: Option<FailureReport>,
+    /// Span-trace configuration, when `DIFFTEST_TRACE` (or a builder
+    /// override) enabled tracing.
+    tracer: Option<Tracer>,
 }
 
 impl CoSimulation {
@@ -623,6 +645,11 @@ impl CoSimulation {
         // and complete it with the run counters.
         let mut metrics = self.consumer.metrics_snapshot();
         metrics.counters.merge(&report.counters());
+        let bufs: Vec<SpanBuf> = [self.link.take_spans(), self.consumer.spans_mut().take_buf()]
+            .into_iter()
+            .filter(|b| !b.is_empty())
+            .collect();
+        crate::session::export_trace(self.tracer.as_ref(), &bufs, &mut metrics);
         report.common.metrics = metrics;
         if let Err(e) = export_to_env("engine", &report.metrics, report.flight.as_ref()) {
             eprintln!("difftest: {} export failed: {e}", difftest_stats::OBS_ENV);

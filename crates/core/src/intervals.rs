@@ -78,7 +78,10 @@ use difftest_dut::{BugSpec, DutConfig};
 use difftest_event::{commit_flags, Event};
 use difftest_isa::trap::Interrupt;
 use difftest_ref::{checkpoint, RefModel};
-use difftest_stats::{export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer};
+use difftest_stats::{
+    export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer, SpanBuf,
+    PID_CONSUMER, PID_PRODUCER,
+};
 use difftest_workload::Workload;
 
 use crate::checker::{Mismatch, Verdict};
@@ -333,6 +336,9 @@ struct CoreRecorder {
     start_seq: u64,
     commits_total: u64,
     commits_in_interval: u64,
+    /// Recording-track span buffer: the short-lived per-interval link
+    /// sinks are absorbed here at every cut.
+    spans: SpanBuf,
 }
 
 /// Producer-side accumulators folded at every cut (per-interval accels
@@ -421,8 +427,16 @@ fn cut_interval(
     r.index += 1;
     r.start_seq = r.commits_total;
     r.commits_in_interval = 0;
+    r.spans.absorb(r.link.take_spans());
     r.accel = session.accel_for_core(r.core);
-    r.link = session.send_link_for_interval(r.core, r.index, QueueSink::default());
+    r.link = session
+        .send_link_for_interval(r.core, r.index, QueueSink::default())
+        .with_spans(session.span_sink(
+            PID_PRODUCER,
+            u32::from(r.core),
+            "producer",
+            &format!("record-core{}", r.core),
+        ));
     r.fusion = FusionWatch::default();
     jobs.send(job).is_ok()
 }
@@ -506,16 +520,31 @@ pub fn run_intervals_tuned(
     fault: Option<FaultPlan>,
     tuning: IntervalTuning,
 ) -> IntervalsReport {
-    let session = Session::new(
-        dut_cfg,
-        config,
-        workload,
-        bugs,
-        max_cycles,
-        queue_depth,
-        fault,
-    );
+    run_intervals_session(
+        Session::new(
+            dut_cfg,
+            config,
+            workload,
+            bugs,
+            max_cycles,
+            queue_depth,
+            fault,
+        ),
+        tuning,
+    )
+}
+
+/// [`run_intervals_tuned`] on a pre-built [`Session`] — the entry point
+/// tests use to inject a [`Tracer`](difftest_stats::Tracer) (via
+/// [`Session::with_tracer`]) without touching process environment.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_intervals_session(session: Session, tuning: IntervalTuning) -> IntervalsReport {
     session.require_nonblock("intervals");
+    let max_cycles = session.max_cycles();
     let cores = session.cores();
     let interval_insns = tuning.interval_insns.max(1);
     let worker_count = tuning.workers.max(1);
@@ -549,12 +578,20 @@ pub fn run_intervals_tuned(
                         ckpt: checkpoint::save(&refm),
                         refm,
                         accel: session.accel_for_core(k as u8),
-                        link: session.send_link_for_interval(k as u8, 0, QueueSink::default()),
+                        link: session
+                            .send_link_for_interval(k as u8, 0, QueueSink::default())
+                            .with_spans(session.span_sink(
+                                PID_PRODUCER,
+                                k as u32,
+                                "producer",
+                                &format!("record-core{k}"),
+                            )),
                         fusion: FusionWatch::default(),
                         index: 0,
                         start_seq: 0,
                         commits_total: 0,
                         commits_in_interval: 0,
+                        spans: SpanBuf::default(),
                     }
                 })
                 .collect();
@@ -632,6 +669,16 @@ pub fn run_intervals_tuned(
             }
             drop(jobs_tx); // closes the queue: end of work
             let fault_stats = session.fault_plan().is_some().then_some(folds.fault);
+            let spans: Vec<SpanBuf> = recs
+                .into_iter()
+                .map(|mut r| {
+                    // The final cut left a fresh (possibly idle) link
+                    // behind; fold whatever it recorded too.
+                    let tail = r.link.take_spans();
+                    r.spans.absorb(tail);
+                    r.spans
+                })
+                .collect();
             (
                 dut.cycles(),
                 dut.total_commits(),
@@ -641,12 +688,13 @@ pub fn run_intervals_tuned(
                 timer.times(),
                 rec.snapshot(),
                 cpu.elapsed_s(),
+                spans,
             )
         })
     };
 
-    let workers: Vec<thread::JoinHandle<(Vec<JobOutcome>, f64)>> = (0..worker_count)
-        .map(|_| {
+    let workers: Vec<thread::JoinHandle<(Vec<JobOutcome>, f64, SpanBuf)>> = (0..worker_count)
+        .map(|w| {
             let session = session.clone();
             let stop = Arc::clone(&stop);
             let jobs = jobs_rx.clone();
@@ -655,16 +703,34 @@ pub fn run_intervals_tuned(
             thread::spawn(move || {
                 let cpu = ThreadCpuTimer::start();
                 let mut outs = Vec::new();
+                // This worker's track: one "interval" span per job
+                // (tagged by the interval index), pool-occupancy counter
+                // samples, and the per-job consumers' unpack/check
+                // spans, all folded into one buffer.
+                let mut sink =
+                    session.span_sink(PID_CONSUMER, w as u32, "consumer", &format!("worker-{w}"));
+                let mut track = SpanBuf::default();
                 while let Ok(job) = jobs.recv() {
                     let now_busy = busy.fetch_add(1, Ordering::AcqRel) + 1;
                     busy_max.fetch_max(now_busy, Ordering::AcqRel);
+                    let s0 = sink.start();
+                    if sink.enabled() {
+                        sink.counter("interval.workers_busy", now_busy);
+                    }
                     let refm = match checkpoint::restore(&job.checkpoint) {
                         Ok(m) => m,
                         // The image never left this process; failure here
                         // is a checkpoint-codec bug, not a link fault.
                         Err(e) => unreachable!("in-process checkpoint failed to restore: {e}"),
                     };
-                    let mut consumer = session.consumer_for_interval(job.core, refm, job.start_seq);
+                    let mut consumer = session
+                        .consumer_for_interval(job.core, refm, job.start_seq)
+                        .with_spans(session.span_sink(
+                            PID_CONSUMER,
+                            w as u32,
+                            "consumer",
+                            &format!("worker-{w}"),
+                        ));
                     let mut stopped = false;
                     for t in &job.transfers {
                         if consumer.ingest(t, 0, &mut NoCharge) == Step::Stop {
@@ -686,7 +752,12 @@ pub fn run_intervals_tuned(
                     }
                     let checked = consumer.checker().seq(job.core) - job.start_seq;
                     let out = consumer.finish();
-                    busy.fetch_sub(1, Ordering::AcqRel);
+                    sink.end("interval", s0, job.index);
+                    track.absorb(out.spans);
+                    let still_busy = busy.fetch_sub(1, Ordering::AcqRel) - 1;
+                    if sink.enabled() {
+                        sink.counter("interval.workers_busy", still_busy);
+                    }
                     outs.push(JobOutcome {
                         core: job.core,
                         index: job.index,
@@ -701,7 +772,8 @@ pub fn run_intervals_tuned(
                         flight: out.flight,
                     });
                 }
-                (outs, cpu.elapsed_s())
+                track.absorb(sink.into_buf());
+                (outs, cpu.elapsed_s(), track)
             })
         })
         .collect();
@@ -719,17 +791,20 @@ pub fn run_intervals_tuned(
         producer_times,
         producer_flight,
         recording_cpu_s,
+        recording_spans,
     ) = match producer.join() {
         Ok(v) => v,
         Err(panic) => std::panic::resume_unwind(panic),
     };
     let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut worker_spans: Vec<SpanBuf> = Vec::new();
     let mut worker_cpu_max_s = 0.0f64;
     let mut worker_cpu_total_s = 0.0f64;
     for w in workers {
         match w.join() {
-            Ok((mut o, cpu_s)) => {
+            Ok((mut o, cpu_s, spans)) => {
                 outcomes.append(&mut o);
+                worker_spans.push(spans);
                 worker_cpu_max_s = worker_cpu_max_s.max(cpu_s);
                 worker_cpu_total_s += cpu_s;
             }
@@ -814,6 +889,15 @@ pub fn run_intervals_tuned(
         "interval.worker_cpu_total_us",
         (worker_cpu_total_s * 1e6) as u64,
     );
+    // Recording tracks in core order, then worker tracks in spawn order
+    // (workers joined in spawn order), so the merged trace layout is
+    // schedule-independent even though span timing is not.
+    let bufs: Vec<SpanBuf> = recording_spans
+        .into_iter()
+        .chain(worker_spans)
+        .filter(|b| !b.is_empty())
+        .collect();
+    crate::session::export_trace(session.tracer(), &bufs, &mut metrics);
 
     // Attach producer context plus the failing interval's view; the
     // interval whose verdict decided the outcome wins.

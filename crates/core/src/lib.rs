@@ -95,7 +95,8 @@ pub use consume::{
 pub use engine::{BuildError, CoSimulation, CoSimulationBuilder, RunReport};
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyLink, LinkErrorKind, LinkStats};
 pub use intervals::{
-    run_intervals, run_intervals_faulty, run_intervals_tuned, IntervalTuning, IntervalsReport,
+    run_intervals, run_intervals_faulty, run_intervals_session, run_intervals_tuned,
+    IntervalTuning, IntervalsReport,
 };
 pub use link::{
     ChannelSink, ChannelSource, FusionWatch, LinkSink, LinkSource, QueueSink, SendLink,
@@ -103,15 +104,17 @@ pub use link::{
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use replay::{FailureReport, ReplayBuffer, Retransmission};
 pub use session::{
-    run_runner, DiffConfig, RunCommon, RunOutcome, RunnerKind, RunnerReport, Session,
+    export_trace, run_runner, DiffConfig, RunCommon, RunOutcome, RunnerKind, RunnerReport, Session,
 };
-pub use sharded::{run_sharded, run_sharded_faulty, ShardedReport, WorkerReport};
+pub use sharded::{
+    run_sharded, run_sharded_faulty, run_sharded_session, ShardedReport, WorkerReport,
+};
 pub use snapshot::{snapshot_debug_run, SnapshotReport};
 pub use socket::{
     child_entry, run_socket, run_socket_faulty, run_socket_tuned, SocketReport, SocketTuning,
     KILLED_EXIT,
 };
 pub use squash::{FusedCommit, SquashStats, SquashUnit};
-pub use threaded::{run_threaded, run_threaded_faulty, ThreadedReport};
+pub use threaded::{run_threaded, run_threaded_faulty, run_threaded_session, ThreadedReport};
 pub use transport::{AccelUnit, SwUnit, Transfer};
 pub use wire::{WireItem, WireKind};

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
-use difftest_stats::{FlightKind, FlightRecord, FlightRecorder};
+use difftest_stats::{FlightKind, FlightRecord, FlightRecorder, SpanBuf, SpanSink};
 
 use crate::batch::peek_packet_seq;
 use crate::fault::{FaultStats, FaultyLink};
@@ -104,6 +104,9 @@ pub struct SendLink<S: LinkSink> {
     produced: Arc<AtomicU32>,
     /// Scratch for what emerges on the far side of the fault model.
     wire: Vec<Transfer>,
+    /// Producer-side span track; disabled (one branch per packet)
+    /// unless a tracer is installed.
+    spans: SpanSink,
 }
 
 impl<S: LinkSink> SendLink<S> {
@@ -114,7 +117,20 @@ impl<S: LinkSink> SendLink<S> {
             fault,
             produced: Arc::new(AtomicU32::new(0)),
             wire: Vec::new(),
+            spans: SpanSink::disabled(),
         }
+    }
+
+    /// Installs a span sink: every packet fed through the link records
+    /// a `pack` span and a `pkt` flow origin keyed by its seq.
+    pub fn with_spans(mut self, spans: SpanSink) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Takes the producer-side span buffer (empty when tracing is off).
+    pub fn take_spans(&mut self) -> SpanBuf {
+        self.spans.take_buf()
     }
 
     /// Pushes produced transfers through the (possibly faulty) link into
@@ -128,24 +144,26 @@ impl<S: LinkSink> SendLink<S> {
     ) -> bool {
         self.produced
             .fetch_add(transfers.len() as u32, Ordering::AcqRel);
-        for t in transfers.iter() {
+        let mut ok = true;
+        for t in transfers.drain(..) {
+            let seq = peek_packet_seq(&t.bytes).unwrap_or(0);
             rec.record(FlightRecord {
                 kind: FlightKind::PacketSent,
                 core: t.core,
-                seq: peek_packet_seq(&t.bytes).unwrap_or(0),
+                seq,
                 cycle,
                 value: t.bytes.len() as u64,
             });
-        }
-        match &mut self.fault {
-            Some(l) => {
-                for t in transfers.drain(..) {
-                    l.transmit(t, &mut self.wire);
-                }
+            let t0 = self.spans.start();
+            match &mut self.fault {
+                Some(l) => l.transmit(t, &mut self.wire),
+                None => self.wire.push(t),
             }
-            None => self.wire.append(transfers),
+            self.drain_wire(&mut ok);
+            self.spans.end("pack", t0, seq as u64);
+            self.spans.flow_out("pkt", seq as u64);
         }
-        self.drain_wire()
+        ok
     }
 
     /// End of stream: releases transfers the fault model still holds for
@@ -155,18 +173,18 @@ impl<S: LinkSink> SendLink<S> {
         if let Some(l) = &mut self.fault {
             l.flush(&mut self.wire);
         }
-        self.drain_wire()
+        let mut ok = true;
+        self.drain_wire(&mut ok);
+        ok
     }
 
-    fn drain_wire(&mut self) -> bool {
-        let mut ok = true;
+    fn drain_wire(&mut self, ok: &mut bool) {
         for t in self.wire.drain(..) {
-            if ok && !self.sink.send(t) {
+            if *ok && !self.sink.send(t) {
                 // Receiver gone: drop the rest of this batch.
-                ok = false;
+                *ok = false;
             }
         }
-        ok
     }
 
     /// Shared handle to the produced-packet counter (tail-loss

@@ -25,7 +25,7 @@ use std::ops::{Deref, DerefMut};
 
 use difftest_dut::{BugSpec, Dut, DutConfig};
 use difftest_ref::{Memory, RefModel};
-use difftest_stats::{FlightSnapshot, Metrics};
+use difftest_stats::{chrometrace, FlightSnapshot, Metrics, SpanBuf, SpanSink, Tracer};
 use difftest_workload::Workload;
 
 use crate::checker::{Checker, Mismatch};
@@ -178,6 +178,7 @@ pub struct Session {
     fusion_window: u32,
     order_coupled: bool,
     differencing: bool,
+    tracer: Option<Tracer>,
 }
 
 impl Session {
@@ -224,7 +225,41 @@ impl Session {
             fusion_window: 32,
             order_coupled: false,
             differencing: true,
+            tracer: Tracer::from_env(),
         }
+    }
+
+    /// Overrides the span tracer (default: [`Tracer::from_env`], i.e.
+    /// `DIFFTEST_TRACE=<path>`). Pass `None` to force tracing off — the
+    /// socket consumer process does this so the inherited environment
+    /// never makes the child clobber the producer's merged trace file.
+    pub fn with_tracer(mut self, tracer: Option<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The session's span tracer, when tracing is on.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// A span sink on the named track — enabled when the session has a
+    /// tracer, a single-branch no-op otherwise.
+    pub fn span_sink(&self, pid: u32, tid: u32, process: &str, track: &str) -> SpanSink {
+        match &self.tracer {
+            Some(t) => t.sink(pid, tid, process, track),
+            None => SpanSink::disabled(),
+        }
+    }
+
+    /// Finishes a traced run: folds `trace.spans_recorded` /
+    /// `trace.spans_dropped` into `metrics` and writes the gathered
+    /// buffers as Chrome trace-event JSON to the tracer's path. No-op
+    /// when tracing is off. Runners call this exactly once, after all
+    /// producer/consumer/worker buffers are gathered (counters are
+    /// *added*, so sharded metric merges stay consistent).
+    pub fn export_trace(&self, bufs: &[SpanBuf], metrics: &mut Metrics) {
+        export_trace(self.tracer.as_ref(), bufs, metrics);
     }
 
     /// Overrides the transmission packet capacity in bytes.
@@ -434,6 +469,25 @@ impl Session {
             })
         });
         SendLink::new(sink, link)
+    }
+}
+
+/// Free-function form of [`Session::export_trace`] for runners that
+/// keep only the [`Tracer`] after setup (the engine). Counters are
+/// added only when tracing is on, so dormant runs stay byte-identical.
+pub fn export_trace(tracer: Option<&Tracer>, bufs: &[SpanBuf], metrics: &mut Metrics) {
+    let Some(tracer) = tracer else {
+        return;
+    };
+    let recorded: u64 = bufs.iter().map(|b| b.recorded).sum();
+    let dropped: u64 = bufs.iter().map(|b| b.dropped).sum();
+    metrics.counters.add("trace.spans_recorded", recorded);
+    metrics.counters.add("trace.spans_dropped", dropped);
+    if let Err(e) = chrometrace::write_trace(tracer.path(), bufs) {
+        eprintln!(
+            "difftest: failed to write trace {}: {e}",
+            tracer.path().display()
+        );
     }
 }
 

@@ -36,7 +36,10 @@ use std::time::Instant;
 
 use crossbeam::channel;
 use difftest_dut::{BugSpec, DutConfig};
-use difftest_stats::{export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer};
+use difftest_stats::{
+    export_to_env, FlightRecorder, FlightSnapshot, Metrics, Phase, PhaseTimer, SpanBuf,
+    PID_CONSUMER, PID_PRODUCER,
+};
 use difftest_workload::Workload;
 
 use crate::checker::{Mismatch, Verdict};
@@ -144,6 +147,7 @@ struct WorkerOutcome {
     link: LinkStats,
     metrics: Metrics,
     flight: FlightSnapshot,
+    spans: SpanBuf,
 }
 
 /// Runs a co-simulation with one checker worker per DUT core.
@@ -199,7 +203,7 @@ pub fn run_sharded_faulty(
     queue_depth: usize,
     fault: Option<FaultPlan>,
 ) -> ShardedReport {
-    let session = Session::new(
+    run_sharded_session(Session::new(
         dut_cfg,
         config,
         workload,
@@ -207,8 +211,20 @@ pub fn run_sharded_faulty(
         max_cycles,
         queue_depth,
         fault,
-    );
+    ))
+}
+
+/// [`run_sharded_faulty`] on a pre-built [`Session`] — the entry point
+/// tests use to inject a [`Tracer`](difftest_stats::Tracer) (via
+/// [`Session::with_tracer`]) without touching process environment.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_sharded_session(session: Session) -> ShardedReport {
     session.require_nonblock("sharded");
+    let max_cycles = session.max_cycles();
     let cores = session.cores();
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -218,7 +234,16 @@ pub fn run_sharded_faulty(
         let (tx, rx) = channel::bounded(session.queue_depth());
         // One independent deterministic link per shard (seed + core),
         // counting this shard's produced packets for tail-loss detection.
-        links.push(session.send_link_for_core(k as u8, ChannelSink(tx)));
+        links.push(
+            session
+                .send_link_for_core(k as u8, ChannelSink(tx))
+                .with_spans(session.span_sink(
+                    PID_PRODUCER,
+                    k as u32,
+                    "producer",
+                    &format!("dut-core{k}"),
+                )),
+        );
         rxs.push(rx);
     }
     let produced_handles: Vec<_> = links.iter().map(SendLink::produced_handle).collect();
@@ -304,6 +329,7 @@ pub fn run_sharded_faulty(
             } else {
                 None
             };
+            let spans: Vec<SpanBuf> = links.iter_mut().map(SendLink::take_spans).collect();
             drop(links); // closes every channel: end of stream
             (
                 dut.cycles(),
@@ -312,6 +338,7 @@ pub fn run_sharded_faulty(
                 fault_stats,
                 timer.times(),
                 rec.snapshot(),
+                spans,
             )
         })
     };
@@ -327,7 +354,14 @@ pub fn run_sharded_faulty(
                 let started = Instant::now();
                 let core = k as u8;
                 let mut source = ChannelSource(rx);
-                let mut consumer = session.consumer_for_core(core);
+                let mut consumer = session
+                    .consumer_for_core(core)
+                    .with_spans(session.span_sink(
+                        PID_CONSUMER,
+                        core as u32,
+                        "consumer",
+                        &format!("worker-{core}"),
+                    ));
                 let exhausted = drive(&mut source, &mut consumer, || {
                     stop.store(true, Ordering::Release);
                 });
@@ -350,12 +384,13 @@ pub fn run_sharded_faulty(
                     link: out.link,
                     metrics: out.metrics,
                     flight: out.flight,
+                    spans: out.spans,
                 }
             })
         })
         .collect();
 
-    let (cycles, instructions, pool, fault_stats, producer_times, producer_flight) =
+    let (cycles, instructions, pool, fault_stats, producer_times, producer_flight, producer_spans) =
         match producer.join() {
             Ok(v) => v,
             Err(panic) => std::panic::resume_unwind(panic),
@@ -412,6 +447,14 @@ pub fn run_sharded_faulty(
     }
     metrics.counters.set("hw.cycles", cycles);
     metrics.counters.set("hw.instructions", instructions);
+    // Producer tracks in core order, then worker tracks in core order
+    // (outcomes are sorted), so the merged trace is schedule-independent.
+    let bufs: Vec<SpanBuf> = producer_spans
+        .into_iter()
+        .chain(outcomes.iter().map(|o| o.spans.clone()))
+        .filter(|b| !b.is_empty())
+        .collect();
+    crate::session::export_trace(session.tracer(), &bufs, &mut metrics);
 
     // Attach producer context plus the failing worker's view; the worker
     // whose verdict decided the outcome wins (first-mismatch semantics).

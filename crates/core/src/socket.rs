@@ -27,6 +27,7 @@
 // Seam rule: runner modules build on `session`/`link`/`consume` only —
 // never on another runner's internals (enforced by `make ci`'s grep).
 
+use std::borrow::Cow;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::Shutdown;
 use std::ops::{Deref, DerefMut};
@@ -34,13 +35,16 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use difftest_dut::{BugSpec, DutConfig};
 use difftest_ref::Memory;
+use difftest_stats::span::DEFAULT_SPAN_CAPACITY;
 use difftest_stats::{
-    export_to_env, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot, Metrics, Phase,
-    PhaseTimer, PhaseTimes,
+    export_to_env, wall_epoch_ns, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot,
+    Metrics, MonotonicClock, Phase, PhaseTimer, PhaseTimes, SpanBuf, SpanEvent, SpanKind, SpanSink,
+    PID_CONSUMER, PID_PRODUCER,
 };
 use difftest_workload::Workload;
 
@@ -394,7 +398,10 @@ fn run_producer(
     let mut metrics = Metrics::new();
     let h_bytes = metrics.register_histogram("packet.bytes");
     let h_items = metrics.register_histogram("packet.items");
-    let mut link = session.send_link(sink);
+    let mut link =
+        session
+            .send_link(sink)
+            .with_spans(session.span_sink(PID_PRODUCER, 0, "producer", "dut"));
     let mut transfers = Vec::new();
     let mut events = Vec::new();
     let max_cycles = session.max_cycles();
@@ -432,6 +439,7 @@ fn run_producer(
 
     let produced = link.produced();
     let fault_stats = link.fault_stats();
+    let producer_spans = link.take_spans();
     // End-of-stream frame carrying the pre-fault produced count (the
     // consumer's tail-loss reference), then half-close so EOF is
     // unambiguous even if the end frame itself was lost to EPIPE.
@@ -470,6 +478,14 @@ fn run_producer(
             metrics.counters.set("obs.items", res.items);
             metrics.set_gauge("reorder.buffered.max", res.g_reorder);
             metrics.set_gauge("checker.pending.max", res.g_pending);
+            // One merged timeline: the producer's own track plus the
+            // consumer process's tracks, already shifted onto this
+            // clock via the wall-epoch exchanged in the handshake.
+            let bufs: Vec<SpanBuf> = std::iter::once(producer_spans)
+                .chain(res.spans)
+                .filter(|b| !b.is_empty())
+                .collect();
+            crate::session::export_trace(session.tracer(), &bufs, &mut metrics);
             let flight = match outcome {
                 RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
                     // Producer-side context (sends, fusion) first, then
@@ -515,6 +531,12 @@ fn run_producer(
             metrics.phases = timer.times();
             metrics.counters.set("hw.cycles", cycles);
             metrics.counters.set("hw.instructions", instructions);
+            // No consumer result blob means no consumer spans; the
+            // producer's side of the timeline is still worth keeping.
+            let bufs: Vec<SpanBuf> = std::iter::once(producer_spans)
+                .filter(|b| !b.is_empty())
+                .collect();
+            crate::session::export_trace(session.tracer(), &bufs, &mut metrics);
             SocketReport {
                 common: RunCommon {
                     outcome: RunOutcome::LinkError {
@@ -571,9 +593,27 @@ fn consumer_main() -> i32 {
     image.load_words(Memory::RAM_BASE, &hs.words);
     // The consumer only needs what the receive side uses: core count
     // and the memory image the reference models boot from. Bugs, cycle
-    // budget and fault plans live producer-side.
-    let session = Session::from_image(dut_cfg, hs.config, image, Vec::new(), 0, 1, None);
+    // budget and fault plans live producer-side. Tracing config comes
+    // from the handshake, never the inherited environment: with_tracer
+    // (None) keeps this process from clobbering the producer's merged
+    // trace file.
+    let session =
+        Session::from_image(dut_cfg, hs.config, image, Vec::new(), 0, 1, None).with_tracer(None);
     let mut consumer = session.consumer();
+    let mut child_epoch = 0u64;
+    if hs.trace {
+        // Own clock, origin now; the matching wall epoch lets the spans
+        // be shifted onto the producer's timeline before shipping.
+        child_epoch = wall_epoch_ns();
+        consumer = consumer.with_spans(SpanSink::on_track(
+            Arc::new(MonotonicClock::default()),
+            DEFAULT_SPAN_CAPACITY,
+            PID_CONSUMER,
+            0,
+            "consumer",
+            "consumer",
+        ));
+    }
     let mut source = StreamSource {
         r: reader,
         produced: None,
@@ -591,7 +631,14 @@ fn consumer_main() -> i32 {
         // exposes tail loss the sequence window cannot see.
         consumer.finish_stream(source.produced, 0, &mut NoCharge);
     }
-    let out = consumer.finish();
+    let mut out = consumer.finish();
+    if hs.trace {
+        // Producer timeline = wall - producer_epoch; ours = wall -
+        // child_epoch. Shifting by (child - producer) maps our spans
+        // onto the producer's clock.
+        out.spans
+            .shift_ts(child_epoch as i64 - hs.epoch_wall_ns as i64);
+    }
     let mut w = BufWriter::new(stop_handle);
     if write_result(&mut w, &out).and_then(|()| w.flush()).is_err() {
         return 5;
@@ -662,6 +709,13 @@ struct Handshake {
     config: DiffConfig,
     cores: u32,
     kill_after: u32,
+    /// Span tracing requested: the consumer records its own tracks and
+    /// ships them back in the result blob.
+    trace: bool,
+    /// The producer's wall-clock nanoseconds at its trace clock origin;
+    /// the consumer shifts its spans by the epoch delta so both
+    /// processes land on one merged timeline.
+    epoch_wall_ns: u64,
     words: Vec<u32>,
 }
 
@@ -675,6 +729,8 @@ fn write_handshake<W: Write>(
     w_u8(w, session.config().to_wire())?;
     w_u32(w, session.dut_cfg().cores)?;
     w_u32(w, tuning.kill_consumer_after.unwrap_or(0))?;
+    w_u8(w, u8::from(session.tracer().is_some()))?;
+    w_u64(w, session.tracer().map_or(0, |t| t.epoch_wall_ns()))?;
     w_u32(w, words.len() as u32)?;
     for &word in words {
         w_u32(w, word)?;
@@ -694,6 +750,8 @@ fn read_handshake<R: Read>(r: &mut R) -> Option<Handshake> {
         return None;
     }
     let kill_after = r_u32(r).ok()?;
+    let trace = r_u8(r).ok()? != 0;
+    let epoch_wall_ns = r_u64(r).ok()?;
     let len = r_u32(r).ok()? as usize;
     if len > (Memory::RAM_SIZE / 4) as usize {
         return None;
@@ -706,6 +764,8 @@ fn read_handshake<R: Read>(r: &mut R) -> Option<Handshake> {
         config,
         cores,
         kill_after,
+        trace,
+        epoch_wall_ns,
         words,
     })
 }
@@ -736,6 +796,9 @@ struct ConsumerResult {
     g_reorder: u64,
     g_pending: u64,
     flight: FlightSnapshot,
+    /// Consumer-process span tracks (timestamps already shifted onto
+    /// the producer's clock), empty when tracing was off.
+    spans: Vec<SpanBuf>,
 }
 
 fn write_result<W: Write>(w: &mut W, out: &ConsumerOutput) -> io::Result<()> {
@@ -793,7 +856,82 @@ fn write_result<W: Write>(w: &mut W, out: &ConsumerOutput) -> io::Result<()> {
         w_u64(w, r.cycle)?;
         w_u64(w, r.value)?;
     }
-    w_u64(w, out.flight.evicted)
+    w_u64(w, out.flight.evicted)?;
+    if out.spans.is_empty() {
+        w_u32(w, 0)
+    } else {
+        w_u32(w, 1)?;
+        write_span_buf(w, &out.spans)
+    }
+}
+
+fn write_span_buf<W: Write>(w: &mut W, b: &SpanBuf) -> io::Result<()> {
+    w_u32(w, b.pid)?;
+    w_u32(w, b.tid)?;
+    w_str(w, &b.process)?;
+    w_str(w, &b.track)?;
+    w_u64(w, b.recorded)?;
+    w_u64(w, b.dropped)?;
+    w_u32(w, b.events.len() as u32)?;
+    for e in &b.events {
+        w_u8(w, span_kind_wire(e.kind))?;
+        w_str(w, &e.name)?;
+        w_u64(w, e.ts_ns)?;
+        w_u64(w, e.dur_ns)?;
+        w_u64(w, e.id)?;
+    }
+    Ok(())
+}
+
+fn read_span_buf<R: Read>(r: &mut R) -> io::Result<SpanBuf> {
+    let pid = r_u32(r)?;
+    let tid = r_u32(r)?;
+    let process = r_str(r)?;
+    let track = r_str(r)?;
+    let recorded = r_u64(r)?;
+    let dropped = r_u64(r)?;
+    let n = r_u32(r)? as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(bad("span count"));
+    }
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(SpanEvent {
+            kind: span_kind_from_wire(r_u8(r)?)?,
+            name: Cow::Owned(r_str(r)?),
+            ts_ns: r_u64(r)?,
+            dur_ns: r_u64(r)?,
+            id: r_u64(r)?,
+        });
+    }
+    Ok(SpanBuf {
+        pid,
+        tid,
+        process,
+        track,
+        events,
+        recorded,
+        dropped,
+    })
+}
+
+fn span_kind_wire(k: SpanKind) -> u8 {
+    match k {
+        SpanKind::Span => 0,
+        SpanKind::FlowOut => 1,
+        SpanKind::FlowIn => 2,
+        SpanKind::Counter => 3,
+    }
+}
+
+fn span_kind_from_wire(b: u8) -> io::Result<SpanKind> {
+    match b {
+        0 => Ok(SpanKind::Span),
+        1 => Ok(SpanKind::FlowOut),
+        2 => Ok(SpanKind::FlowIn),
+        3 => Ok(SpanKind::Counter),
+        _ => Err(bad("span kind")),
+    }
 }
 
 fn read_result<R: Read>(r: &mut R) -> io::Result<ConsumerResult> {
@@ -862,6 +1000,14 @@ fn read_result<R: Read>(r: &mut R) -> io::Result<ConsumerResult> {
         });
     }
     let evicted = r_u64(r)?;
+    let nbufs = r_u32(r)? as usize;
+    if nbufs > 4096 {
+        return Err(bad("span buf count"));
+    }
+    let mut spans = Vec::with_capacity(nbufs);
+    for _ in 0..nbufs {
+        spans.push(read_span_buf(r)?);
+    }
     Ok(ConsumerResult {
         verdict,
         mismatch,
@@ -874,6 +1020,7 @@ fn read_result<R: Read>(r: &mut R) -> io::Result<ConsumerResult> {
         g_reorder,
         g_pending,
         flight: FlightSnapshot { records, evicted },
+        spans,
     })
 }
 
@@ -997,6 +1144,30 @@ mod tests {
             cycle: 1234,
             value: 7,
         });
+        out.spans = SpanBuf {
+            pid: PID_CONSUMER,
+            tid: 0,
+            process: "consumer".into(),
+            track: "consumer".into(),
+            events: vec![
+                SpanEvent {
+                    kind: SpanKind::FlowIn,
+                    name: Cow::Borrowed("pkt"),
+                    ts_ns: 10,
+                    dur_ns: 0,
+                    id: 3,
+                },
+                SpanEvent {
+                    kind: SpanKind::Span,
+                    name: Cow::Borrowed("unpack"),
+                    ts_ns: 10,
+                    dur_ns: 25,
+                    id: 3,
+                },
+            ],
+            recorded: 2,
+            dropped: 0,
+        };
         let mut blob = Vec::new();
         write_result(&mut blob, &out).unwrap();
         let res = read_result(&mut blob.as_slice()).unwrap();
@@ -1009,6 +1180,21 @@ mod tests {
         assert_eq!(res.flight.records.len(), 1);
         assert_eq!(res.flight.records[0].kind, FlightKind::Mismatch);
         assert_eq!(res.flight.records[0].cycle, 1234);
+        assert_eq!(res.spans, vec![out.spans]);
+    }
+
+    #[test]
+    fn result_blob_omits_empty_span_section() {
+        let image = Memory::new();
+        let consumer = crate::consume::Consumer::new(
+            SwUnit::packed(1),
+            Checker::new(vec![RefModel::new(image)], false),
+        );
+        let out = consumer.finish();
+        let mut blob = Vec::new();
+        write_result(&mut blob, &out).unwrap();
+        let res = read_result(&mut blob.as_slice()).unwrap();
+        assert!(res.spans.is_empty());
     }
 
     #[test]
@@ -1038,6 +1224,32 @@ mod tests {
         assert_eq!(hs.cores, session.dut_cfg().cores);
         assert_eq!(hs.kill_after, 5);
         assert_eq!(hs.words, w.words());
+        assert_eq!(hs.trace, session.tracer().is_some());
+    }
+
+    #[test]
+    fn handshake_carries_trace_epoch() {
+        let w = Workload::microbench().seed(3).iterations(5).build();
+        let clock = Arc::new(MonotonicClock::default());
+        let session = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            1_000,
+            8,
+            None,
+        )
+        .with_tracer(Some(difftest_stats::Tracer::with_clock(
+            "/tmp/unused-trace.json",
+            clock,
+            123_456_789,
+        )));
+        let mut blob = Vec::new();
+        write_handshake(&mut blob, &session, SocketTuning::default(), w.words()).unwrap();
+        let hs = read_handshake(&mut blob.as_slice()).unwrap();
+        assert!(hs.trace);
+        assert_eq!(hs.epoch_wall_ns, 123_456_789);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::time::Instant;
 
 use crossbeam::channel;
 use difftest_dut::{BugSpec, DutConfig};
-use difftest_stats::{export_to_env, FlightRecorder, Phase, PhaseTimer};
+use difftest_stats::{
+    export_to_env, FlightRecorder, Phase, PhaseTimer, SpanBuf, PID_CONSUMER, PID_PRODUCER,
+};
 use difftest_workload::Workload;
 
 use crate::consume::{drive, NoCharge};
@@ -107,7 +109,7 @@ pub fn run_threaded_faulty(
     queue_depth: usize,
     fault: Option<FaultPlan>,
 ) -> ThreadedReport {
-    let session = Session::new(
+    run_threaded_session(Session::new(
         dut_cfg,
         config,
         workload,
@@ -115,8 +117,20 @@ pub fn run_threaded_faulty(
         max_cycles,
         queue_depth,
         fault,
-    );
+    ))
+}
+
+/// [`run_threaded_faulty`] on a pre-built [`Session`] — the entry point
+/// tests use to inject a [`Tracer`](difftest_stats::Tracer) (via
+/// [`Session::with_tracer`]) without touching process environment.
+///
+/// # Panics
+///
+/// Panics if a thread dies (a poisoned internal invariant), never on
+/// workload behaviour or link faults.
+pub fn run_threaded_session(session: Session) -> ThreadedReport {
     session.require_nonblock("threaded");
+    let max_cycles = session.max_cycles();
 
     let (tx, rx) = channel::bounded(session.queue_depth());
     // Consumer -> producer stop signal (mismatch or trap seen early). An
@@ -128,7 +142,9 @@ pub fn run_threaded_faulty(
     // injection; the consumer compares its expected sequence against
     // this after the channel closes to detect drops the reorder window
     // never sees (tail loss).
-    let mut link = session.send_link(ChannelSink(tx));
+    let mut link = session
+        .send_link(ChannelSink(tx))
+        .with_spans(session.span_sink(PID_PRODUCER, 0, "producer", "dut"));
     let produced = link.produced_handle();
 
     let start = Instant::now();
@@ -174,6 +190,7 @@ pub fn run_threaded_faulty(
             }
             timer.stop(Phase::Transport, t0);
             let fault_stats = link.fault_stats();
+            let spans = link.take_spans();
             drop(link); // closes the channel: end of stream
             (
                 dut.cycles(),
@@ -181,6 +198,7 @@ pub fn run_threaded_faulty(
                 fault_stats,
                 timer.times(),
                 rec.snapshot(),
+                spans,
             )
         })
     };
@@ -190,7 +208,12 @@ pub fn run_threaded_faulty(
         let stop = Arc::clone(&stop);
         thread::spawn(move || {
             let mut source = ChannelSource(rx);
-            let mut consumer = session.consumer();
+            let mut consumer = session.consumer().with_spans(session.span_sink(
+                PID_CONSUMER,
+                0,
+                "consumer",
+                "consumer",
+            ));
             let exhausted = drive(&mut source, &mut consumer, || {
                 stop.store(true, Ordering::Release);
             });
@@ -204,11 +227,11 @@ pub fn run_threaded_faulty(
         })
     };
 
-    let (cycles, instructions, fault_stats, producer_times, producer_flight) = match producer.join()
-    {
-        Ok(v) => v,
-        Err(panic) => std::panic::resume_unwind(panic),
-    };
+    let (cycles, instructions, fault_stats, producer_times, producer_flight, producer_spans) =
+        match producer.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
     let out = match consumer.join() {
         Ok(v) => v,
         Err(panic) => std::panic::resume_unwind(panic),
@@ -231,6 +254,11 @@ pub fn run_threaded_faulty(
     metrics.phases.merge(&producer_times);
     metrics.counters.set("hw.cycles", cycles);
     metrics.counters.set("hw.instructions", instructions);
+    let bufs: Vec<SpanBuf> = [producer_spans, out.spans]
+        .into_iter()
+        .filter(|b| !b.is_empty())
+        .collect();
+    crate::session::export_trace(session.tracer(), &bufs, &mut metrics);
     let flight = match outcome {
         RunOutcome::Mismatch | RunOutcome::LinkError { .. } => {
             // Producer-side context (sends, fusion) first, then the

@@ -18,7 +18,13 @@
 //!   the verification logic,
 //! - [`TraceQuery`]: typed filter/group/aggregate analysis over reloaded
 //!   traces (the substitution for the paper's SQL backend — see
-//!   `DESIGN.md` §1).
+//!   `DESIGN.md` §1),
+//! - [`span`] and [`chrometrace`]: causal span tracing — bounded
+//!   per-thread span buffers over the injectable [`Clock`], exported as
+//!   Chrome trace-event JSON (`DIFFTEST_TRACE=<path>`) that loads in
+//!   Perfetto, with flow arrows linking a packet's pack→unpack→check
+//!   spans by `seq` and an offline [`SpanQuery`] analysis pass
+//!   (DESIGN.md §15).
 //!
 //! # Examples
 //!
@@ -33,14 +39,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chrometrace;
 mod counter;
 mod histogram;
 mod metrics;
 mod query;
 mod recorder;
+pub mod span;
 mod table;
 pub mod trace;
 
+pub use chrometrace::{parse_json, validate as validate_trace, Json, TraceSummary};
 pub use counter::Counters;
 pub use histogram::Histogram;
 pub use metrics::{
@@ -49,4 +58,8 @@ pub use metrics::{
 };
 pub use query::{GroupStats, TraceQuery};
 pub use recorder::{FlightKind, FlightRecord, FlightRecorder, FlightSnapshot};
+pub use span::{
+    wall_epoch_ns, CriticalStep, SpanBuf, SpanEvent, SpanGroup, SpanKind, SpanQuery, SpanSink,
+    Tracer, PID_CONSUMER, PID_PRODUCER, TRACE_ENV,
+};
 pub use table::{fmt_hz, fmt_pct, fmt_ratio, Table};

@@ -144,10 +144,12 @@ impl Clock for MonotonicClock {
     }
 }
 
-/// A manually advanced clock for deterministic timing tests.
+/// A manually advanced clock for deterministic timing tests. Atomic (not
+/// `Cell`) so one clock can be shared behind an `Arc` by every span sink
+/// and phase timer in a multi-threaded deterministic run.
 #[derive(Debug, Default)]
 pub struct FakeClock {
-    now: std::cell::Cell<u64>,
+    now: std::sync::atomic::AtomicU64,
 }
 
 impl FakeClock {
@@ -158,13 +160,14 @@ impl FakeClock {
 
     /// Advances the clock by `nanos`.
     pub fn advance(&self, nanos: u64) {
-        self.now.set(self.now.get() + nanos);
+        self.now
+            .fetch_add(nanos, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
 impl Clock for FakeClock {
     fn now_ns(&self) -> u64 {
-        self.now.get()
+        self.now.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -615,5 +618,50 @@ mod tests {
             let m = Metrics::new();
             assert!(!export_to_env("none", &m, None).unwrap());
         }
+    }
+
+    /// Every JSONL line must be a parseable JSON object even under
+    /// hostile metric names — the exact edge cases `escape_json`
+    /// handles (quotes, backslashes, control characters) plus names
+    /// that need no escaping at all.
+    #[test]
+    fn jsonl_lines_parse_under_hostile_metric_names() {
+        let hostile = [
+            "plain.counter",
+            "quote\"inside",
+            "back\\slash",
+            "tab\there",
+            "new\nline",
+            "carriage\rreturn",
+            "nul\u{0}byte",
+            "unicode.καμήλα",
+            "all\"\\\n\tat once",
+        ];
+        let mut m = Metrics::new();
+        for (i, name) in hostile.iter().enumerate() {
+            m.counters.set(*name, i as u64 + 1);
+            m.set_gauge(*name, 10 + i as u64);
+            let h = m.register_histogram(*name);
+            m.record(h, 100 + i as u64);
+        }
+        let text = m.to_jsonl("runner\"with\\specials\n");
+        let mut names_seen = 0usize;
+        for line in text.lines() {
+            let v = crate::chrometrace::parse_json(line)
+                .unwrap_or_else(|e| panic!("unparseable JSONL line ({e}): {line}"));
+            let name = v.get("name").and_then(crate::chrometrace::Json::as_str);
+            if let Some(name) = name {
+                if hostile.contains(&name) {
+                    // Escaping must round-trip: the parsed name is the
+                    // original, byte for byte.
+                    names_seen += 1;
+                }
+            }
+        }
+        assert_eq!(
+            names_seen,
+            hostile.len() * 3,
+            "each hostile name must round-trip through counter, gauge and histogram lines"
+        );
     }
 }

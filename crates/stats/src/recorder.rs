@@ -164,6 +164,13 @@ impl FlightSnapshot {
             .position(|r| r.kind == kind && r.seq == seq)
     }
 
+    /// Lifetime total the snapshot stands for: retained records plus
+    /// the evicted ones. Derived (not stored), so [`append`](Self::append)
+    /// keeps it consistent automatically.
+    pub fn recorded(&self) -> u64 {
+        self.records.len() as u64 + self.evicted
+    }
+
     /// Writes the snapshot as JSONL, one record per line.
     ///
     /// # Errors
@@ -172,9 +179,10 @@ impl FlightSnapshot {
     pub fn to_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(
             w,
-            "{{\"type\":\"flight_snapshot\",\"records\":{},\"evicted\":{}}}",
+            "{{\"type\":\"flight_snapshot\",\"records\":{},\"evicted\":{},\"recorded\":{}}}",
             self.records.len(),
-            self.evicted
+            self.evicted,
+            self.recorded()
         )?;
         for r in &self.records {
             writeln!(
@@ -245,6 +253,38 @@ mod tests {
         assert_eq!(snap.records.len(), 3);
         assert_eq!(snap.records[0].kind, FlightKind::PacketSent);
         assert_eq!(snap.records[2].kind, FlightKind::LinkError);
+    }
+
+    #[test]
+    fn snapshot_recorded_total_survives_eviction_and_append() {
+        let mut a = FlightRecorder::new(2);
+        for i in 0..5u32 {
+            a.record(rec(FlightKind::PacketSent, i));
+        }
+        let mut snap = a.snapshot();
+        assert_eq!(snap.recorded(), a.recorded(), "snapshot matches the ring");
+        assert_eq!(snap.recorded(), 5);
+        assert_eq!(snap.evicted, 3);
+
+        let mut b = FlightRecorder::new(2);
+        for i in 0..3u32 {
+            b.record(rec(FlightKind::PacketReceived, i));
+        }
+        snap.append(&b.snapshot());
+        assert_eq!(snap.evicted, 3 + 1, "append sums evicted counts");
+        assert_eq!(snap.recorded(), 5 + 3, "append keeps the total consistent");
+
+        let mut out = Vec::new();
+        snap.to_jsonl(&mut out).unwrap();
+        let header = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        assert!(header.contains("\"records\":4"), "{header}");
+        assert!(header.contains("\"evicted\":4"), "{header}");
+        assert!(header.contains("\"recorded\":8"), "{header}");
     }
 
     #[test]

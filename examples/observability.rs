@@ -1,25 +1,57 @@
 //! Observability smoke: run every runner with `DIFFTEST_OBS` set and
 //! validate the exported JSONL — all seven phases present, packet
 //! histograms populated, and a flight-recorder snapshot attached to the
-//! fault-injected failure.
+//! fault-injected failure. The engine, sharded and interval runners
+//! additionally export Chrome/Perfetto span traces (DESIGN.md §15) that
+//! are validated in-process and counted via the `trace.*` counters.
 //!
 //! ```text
-//! DIFFTEST_OBS=metrics.jsonl cargo run --release --example observability
+//! DIFFTEST_OBS=metrics.jsonl DIFFTEST_TRACE=trace.json \
+//!     cargo run --release --example observability
 //! ```
 //!
-//! Without `DIFFTEST_OBS` the example exports to a temporary file under
-//! the target directory so `make obs` is self-contained.
+//! Without the env vars the example exports to temporary files so
+//! `make obs` is self-contained. `DIFFTEST_TRACE` is treated as a stem:
+//! the three traced runners write `<stem>.engine.json`,
+//! `<stem>.sharded.json` and `<stem>.intervals.json`.
 
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 
 use difftest_h::core::{
-    run_intervals, run_sharded_faulty, run_threaded, CoSimulation, DiffConfig, FaultPlan,
-    RunOutcome,
+    run_intervals_session, run_sharded_session, run_threaded, CoSimulation, DiffConfig, FaultPlan,
+    IntervalTuning, RunOutcome, Session,
 };
 use difftest_h::dut::DutConfig;
 use difftest_h::platform::Platform;
-use difftest_h::stats::{Phase, OBS_ENV};
+use difftest_h::stats::{validate_trace, Metrics, Phase, TraceSummary, Tracer, OBS_ENV, TRACE_ENV};
 use difftest_h::workload::Workload;
+
+/// Reads back a runner's exported trace, checks its structural
+/// invariants and the `trace.*` counters it accounted.
+fn check_trace(runner: &str, path: &PathBuf, metrics: &Metrics) -> TraceSummary {
+    let recorded = metrics.counters.get("trace.spans_recorded");
+    assert!(recorded > 0, "{runner}: trace.spans_recorded missing");
+    assert_eq!(
+        metrics.counters.get("trace.spans_dropped"),
+        0,
+        "{runner}: span buffers overflowed"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{runner}: trace not written to {}: {e}", path.display()));
+    let summary = validate_trace(&text).unwrap_or_else(|e| panic!("{runner}: invalid trace: {e}"));
+    assert!(summary.spans > 0, "{runner}: no duration events");
+    assert!(summary.flows > 0, "{runner}: no pack→unpack flow arrows");
+    println!(
+        "          trace {}: {} spans, {} flows, {} tracks, {} recorded",
+        path.display(),
+        summary.spans,
+        summary.flows,
+        summary.tracks,
+        recorded
+    );
+    summary
+}
 
 fn main() {
     let path = match std::env::var_os(OBS_ENV) {
@@ -34,14 +66,29 @@ fn main() {
     let _ = std::fs::remove_file(&path);
     println!("exporting observability JSONL to {}\n", path.display());
 
+    // Per-runner trace paths. The stem comes from `DIFFTEST_TRACE` when
+    // set; the var is then cleared and tracers are injected through the
+    // session seam instead, so the runners don't truncate one shared
+    // file (and the untraced threaded leg stays dormant).
+    let trace_stem = match std::env::var_os(TRACE_ENV) {
+        Some(p) if !p.is_empty() => {
+            std::env::remove_var(TRACE_ENV);
+            PathBuf::from(p)
+        }
+        _ => std::env::temp_dir().join("difftest-obs-trace.json"),
+    };
+    let trace_for = |runner: &str| trace_stem.with_extension(format!("{runner}.json"));
+
     let w = Workload::microbench().seed(11).iterations(60).build();
 
     // 1. Virtual-time engine, BNSD: clean run, no snapshot expected.
+    let engine_trace = trace_for("engine");
     let mut sim = CoSimulation::builder()
         .dut(DutConfig::nutshell())
         .platform(Platform::palladium())
         .config(DiffConfig::BNSD)
         .max_cycles(400_000)
+        .tracer(Tracer::to_path(&engine_trace))
         .build(&w)
         .expect("valid setup");
     let engine = sim.run();
@@ -58,6 +105,8 @@ fn main() {
             .histogram("packet.bytes")
             .map_or(0, |h| h.percentile(50.0))
     );
+    let engine_summary = check_trace("engine", &engine_trace, &engine.metrics);
+    assert_eq!(engine_summary.tracks, 2, "engine: producer + consumer");
 
     // 2. Threaded runner: clean run, wall-clock phase attribution.
     let t = run_threaded(
@@ -69,24 +118,38 @@ fn main() {
         8,
     );
     assert_eq!(t.outcome, RunOutcome::GoodTrap);
+    // No tracer injected and the env var is cleared: the threaded leg
+    // demonstrates the dormant path — zero spans accounted.
+    assert_eq!(
+        t.metrics.counters.get("trace.spans_recorded"),
+        0,
+        "untraced run must not account spans"
+    );
     println!(
-        "threaded: {:?}, check phase {} ns",
+        "threaded: {:?}, check phase {} ns (untraced: 0 spans)",
         t.outcome,
         t.metrics.phases.get(Phase::Check)
     );
 
     // 3. Sharded runner behind a hostile link: a typed failure with a
     //    flight snapshot (seed/rate chosen so the grid reliably faults).
-    let s = run_sharded_faulty(
-        DutConfig::nutshell(),
-        DiffConfig::BNSD,
-        &w,
-        Vec::new(),
-        400_000,
-        8,
-        Some(FaultPlan::uniform(4242, 40)),
+    //    The trace still exports — producer tracks plus whatever the
+    //    workers checked before the link gave out.
+    let sharded_trace = trace_for("sharded");
+    let s = run_sharded_session(
+        Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            400_000,
+            8,
+            Some(FaultPlan::uniform(4242, 40)),
+        )
+        .with_tracer(Some(Tracer::to_path(&sharded_trace))),
     );
     println!("sharded (lossy link): {:?}", s.outcome);
+    check_trace("sharded", &sharded_trace, &s.metrics);
     if let RunOutcome::LinkError { .. } = s.outcome {
         let snap = s
             .flight
@@ -95,14 +158,21 @@ fn main() {
         assert!(!snap.records.is_empty(), "snapshot must carry records");
     }
 
-    // 4. Interval runner: clean run, `interval.*` rows in the export.
-    let iv = run_intervals(
-        DutConfig::nutshell(),
-        DiffConfig::BNSD,
-        &w,
-        Vec::new(),
-        400_000,
-        8,
+    // 4. Interval runner: clean run, `interval.*` rows in the export,
+    //    per-worker trace tracks with `interval.workers_busy` samples.
+    let intervals_trace = trace_for("intervals");
+    let iv = run_intervals_session(
+        Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            400_000,
+            8,
+            None,
+        )
+        .with_tracer(Some(Tracer::to_path(&intervals_trace))),
+        IntervalTuning::default(),
     );
     assert_eq!(iv.outcome, RunOutcome::GoodTrap);
     assert_eq!(iv.instructions_checked, iv.instructions);
@@ -114,6 +184,11 @@ fn main() {
         iv.checkpoint_bytes,
         iv.max_workers_busy,
         iv.span_s() * 1e3
+    );
+    let iv_summary = check_trace("intervals", &intervals_trace, &iv.metrics);
+    assert!(
+        iv_summary.counters > 0,
+        "intervals: no interval.workers_busy counter samples"
     );
 
     // Validate the export: parse every line, collect phases per runner.

@@ -11,11 +11,17 @@
 //! ```text
 //! cargo run --release --example socket
 //! ```
+//!
+//! With `DIFFTEST_TRACE=<path>` the clean run exports one merged
+//! Chrome/Perfetto trace spanning both processes: the handshake carries
+//! the producer's clock epoch, so the consumer's spans land on the same
+//! timeline (`make trace` gates this through `scripts/trace_check`).
 
 use difftest_h::core::{
     run_socket, run_socket_tuned, DiffConfig, RunOutcome, SocketTuning, KILLED_EXIT,
 };
 use difftest_h::dut::DutConfig;
+use difftest_h::stats::TRACE_ENV;
 use difftest_h::workload::Workload;
 
 fn main() {
@@ -52,6 +58,18 @@ fn main() {
         report.metrics.counters.get("obs.transfers"),
         report.metrics.counters.get("obs.bytes"),
     );
+
+    if let Some(p) = std::env::var_os(TRACE_ENV) {
+        // The clean run above wrote one merged trace covering both
+        // processes. Clear the var so the kill-run below — whose child
+        // dies mid-stream — doesn't truncate it with a producer-only
+        // export.
+        std::env::remove_var(TRACE_ENV);
+        println!(
+            "merged socket trace written to {}",
+            std::path::PathBuf::from(p).display()
+        );
+    }
 
     // The same run with the consumer process dying after two packets.
     let report = run_socket_tuned(

@@ -14,11 +14,11 @@
 //! process can never spawn a second generation of consumers.
 
 use difftest_h::core::{
-    run_runner, run_socket_tuned, DiffConfig, LinkErrorKind, RunOutcome, RunnerKind, RunnerReport,
-    SocketTuning, KILLED_EXIT,
+    run_runner, run_socket, run_socket_tuned, DiffConfig, LinkErrorKind, RunOutcome, RunnerKind,
+    RunnerReport, SocketTuning, KILLED_EXIT,
 };
 use difftest_h::dut::{BugKind, BugSpec, DutConfig};
-use difftest_h::stats::FlightKind;
+use difftest_h::stats::{parse_json, validate_trace, FlightKind, Json, TRACE_ENV};
 use difftest_h::workload::Workload;
 
 const MAX_CYCLES: u64 = 400_000;
@@ -205,6 +205,85 @@ fn consumer_processes_cannot_spawn_consumers() {
     assert_eq!(r.cycles, 0, "guard trips before the DUT runs");
 }
 
+/// `DIFFTEST_TRACE` on the socket runner produces ONE merged
+/// Chrome/Perfetto trace: the handshake ships the producer's clock
+/// epoch to the child, the result blob ships the child's span buffers
+/// back, and the export interleaves both processes' tracks. This test
+/// is env-var-driven on purpose — it lives in this harness-free binary
+/// (single-threaded `main`), where process-global `set_var` cannot race
+/// another test thread.
+fn trace_env_merges_both_processes() {
+    let path =
+        std::env::temp_dir().join(format!("difftest-socket-trace-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(TRACE_ENV, &path);
+    let w = Workload::microbench().seed(11).iterations(40).build();
+    let r = run_socket(
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        &w,
+        Vec::new(),
+        MAX_CYCLES,
+        QUEUE_DEPTH,
+    );
+    std::env::remove_var(TRACE_ENV);
+    assert_eq!(r.outcome, RunOutcome::GoodTrap);
+    assert!(
+        r.metrics.counters.get("trace.spans_recorded") > 0,
+        "trace counters missing from the report"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("merged trace written");
+    let summary = validate_trace(&text).expect("well-formed trace");
+    assert_eq!(summary.tracks, 2, "producer + consumer track");
+    assert!(summary.spans > 0, "no duration events");
+    assert!(
+        summary.flows > 0,
+        "no matched pack→unpack flows across the process boundary"
+    );
+
+    // Both processes contributed: pack spans and flow starts on the
+    // producer pid, unpack/check spans and flow ends on the consumer
+    // pid — causally linked per sequence number.
+    let root = parse_json(&text).expect("parse");
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let mut pack_ids = std::collections::BTreeSet::new();
+    let mut unpack_ids = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        let pid = ev.get("pid").and_then(Json::as_num).expect("pid") as u32;
+        let id = || {
+            ev.get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(Json::as_num)
+                .expect("span id") as u64
+        };
+        match (ph, name) {
+            ("X", "pack") => {
+                assert_eq!(pid, 1, "pack on the producer pid");
+                pack_ids.insert(id());
+            }
+            ("X", "unpack") => {
+                assert_eq!(pid, 2, "unpack on the consumer pid");
+                unpack_ids.insert(id());
+            }
+            ("s", _) => assert_eq!((name, pid), ("pkt", 1)),
+            ("f", _) => assert_eq!((name, pid), ("pkt", 2)),
+            _ => {}
+        }
+    }
+    assert!(!pack_ids.is_empty(), "producer contributed no pack spans");
+    assert_eq!(
+        pack_ids, unpack_ids,
+        "every packed seq is unpacked in the other process"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 fn main() {
     // MUST be first: a spawned consumer process diverges here and never
     // reaches the test list below.
@@ -212,6 +291,10 @@ fn main() {
 
     let tests: &[(&str, fn())] = &[
         ("clean_matches_engine", clean_matches_engine),
+        (
+            "trace_env_merges_both_processes",
+            trace_env_merges_both_processes,
+        ),
         ("buggy_matches_engine", buggy_matches_engine),
         ("fault_grid_matches_engine", fault_grid_matches_engine),
         (
