@@ -5,7 +5,7 @@
 CARGO ?= cargo
 
 .PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
-	bench-record bench-smoke bench-compare socket seam intervals trace
+	bench-record bench-smoke bench-compare socket seam intervals trace alloc
 
 all: build
 
@@ -78,6 +78,12 @@ seam:
 	else \
 		echo "runner seam clean: no runner imports another runner's internals"; \
 	fi
+
+# Allocation-regression gate: a counting global allocator pins the
+# packed consume path (admit → view-based streaming check) to zero
+# steady-state heap allocations per packet.
+alloc:
+	$(CARGO) test -p difftest-core --test alloc_regression
 
 # Lossy-link fault suite on its own (property tests + cross-runner grid).
 faults:

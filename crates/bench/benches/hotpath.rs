@@ -76,6 +76,7 @@ fn phase_stats(metrics: &Metrics, s: &mut ScenarioStats) {
             "bench scenario ran with span tracing active"
         );
     }
+    s.pack_ns = metrics.phases.get(Phase::Pack);
     s.unpack_ns = metrics.phases.get(Phase::Unpack);
     s.check_ns = metrics.phases.get(Phase::Check);
     s.phases = metrics
@@ -363,6 +364,7 @@ fn print_table(results: &[(String, ScenarioStats)]) {
             "events",
             "events/s",
             "cycles/s",
+            "pack ms",
             "unpack ms",
             "check ms",
             "u+c ev/s",
@@ -374,6 +376,7 @@ fn print_table(results: &[(String, ScenarioStats)]) {
             s.events.to_string(),
             format!("{:.0}", s.events_per_sec),
             format!("{:.0}", s.cycles_per_sec),
+            format!("{:.2}", s.pack_ns as f64 / 1e6),
             format!("{:.2}", s.unpack_ns as f64 / 1e6),
             format!("{:.2}", s.check_ns as f64 / 1e6),
             format!("{:.0}", s.uc_events_per_sec),
@@ -492,6 +495,25 @@ fn compare(path: &str) {
             "{name}: {:.0} ev/s vs recorded {rec:.0} ({delta_pct:+.1}%) {verdict}",
             s.events_per_sec
         );
+        // Producer-side gate: the push-encode pack phase must not
+        // silently regress either (skipped where the recorded run has
+        // no consumer-visible pack attribution, e.g. the ref scenarios
+        // and runners whose producer runs in another thread/process).
+        let rec_pack = extract_num(obj, "pack_ns").unwrap_or(0.0);
+        if rec_pack > 1e6 && s.pack_ns > 0 {
+            let pack_delta_pct = (s.pack_ns as f64 - rec_pack) / rec_pack * 100.0;
+            let verdict = if pack_delta_pct > tol {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{name}: pack {:.0} ms vs recorded {:.0} ms ({pack_delta_pct:+.1}%) {verdict}",
+                s.pack_ns as f64 / 1e6,
+                rec_pack / 1e6
+            );
+        }
         // Pool-scheduled runners also gate their span (critical path):
         // the recorded time-parallel speedup must not silently erode.
         let rec_span = extract_num(obj, "span_ns").unwrap_or(0.0);

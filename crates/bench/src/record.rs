@@ -31,6 +31,10 @@ pub struct ScenarioStats {
     pub events_per_sec: f64,
     /// Simulated cycles per host wall-clock second.
     pub cycles_per_sec: f64,
+    /// Host nanoseconds attributed to the pack phase (producer-side
+    /// encode; gated so push-encode regressions fail CI like consumer
+    /// ones).
+    pub pack_ns: u64,
     /// Host nanoseconds attributed to the unpack phase.
     pub unpack_ns: u64,
     /// Host nanoseconds attributed to the check phase.
@@ -74,6 +78,7 @@ fn render_scenario(out: &mut String, indent: &str, s: &ScenarioStats) {
         "{indent}  \"cycles_per_sec\": {:.1},",
         s.cycles_per_sec
     );
+    let _ = writeln!(out, "{indent}  \"pack_ns\": {},", s.pack_ns);
     let _ = writeln!(out, "{indent}  \"unpack_ns\": {},", s.unpack_ns);
     let _ = writeln!(out, "{indent}  \"check_ns\": {},", s.check_ns);
     let _ = writeln!(
@@ -210,6 +215,7 @@ mod tests {
             cycles: 500,
             wall_ns: 2_000_000_000,
             span_ns: 1_500_000_000,
+            pack_ns: 100_000_000,
             unpack_ns: 250_000_000,
             check_ns: 250_000_000,
             phases: vec![("tick", 1), ("check", 250_000_000)],
@@ -244,6 +250,7 @@ mod tests {
         assert_eq!(extract_num(sc, "events_per_sec"), Some(500.0));
         assert_eq!(extract_num(sc, "uc_events_per_sec"), Some(2000.0));
         assert_eq!(extract_num(sc, "span_ns"), Some(1_500_000_000.0));
+        assert_eq!(extract_num(sc, "pack_ns"), Some(100_000_000.0));
         assert_eq!(extract_num(sc, "block.hits"), Some(800.0));
         assert_eq!(extract_num(sc, "decode.misses"), Some(3.0));
         // The baseline section survives re-rendering untouched.

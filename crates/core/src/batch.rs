@@ -27,7 +27,10 @@ use difftest_event::wire::{
 use difftest_event::{Event, EventKind, MonitoredEvent};
 
 use crate::pool::{BufferPool, PooledBuf};
-use crate::wire::{decode_item_body, encode_item_body, DiffCache, WireItem, WireKind};
+use crate::wire::{
+    decode_item_ref_body, encode_item_body, validate_item_body, DiffCache, WireItem, WireItemRef,
+    WireKind,
+};
 
 /// One metadata record: `count` items of `wire_kind` from `core`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,11 +76,13 @@ impl Packet {
 }
 
 /// Type-level packing (paper Fig. 7): compacts the valid entries of one
-/// event type's hardware slots. The K-th output is the K-th valid input —
-/// in RTL this is a prefix-counter mux-tree; here the semantics are the
-/// same selection function.
-pub fn type_level_pack<T: Clone>(slots: &[Option<T>]) -> Vec<T> {
-    let mut packed = Vec::new();
+/// event type's hardware slots into `packed`. The K-th output is the K-th
+/// valid input — in RTL this is a prefix-counter mux-tree; here the
+/// semantics are the same selection function. `packed` is cleared first
+/// and is meant to be reused across cycles so the steady state never
+/// reallocates.
+pub fn type_level_pack<T: Clone>(slots: &[Option<T>], packed: &mut Vec<T>) {
+    packed.clear();
     for (i, slot) in slots.iter().enumerate() {
         // prefix_valids(i) == packed.len() by induction: entry i lands at
         // output index equal to the number of valid entries before it.
@@ -86,7 +91,6 @@ pub fn type_level_pack<T: Clone>(slots: &[Option<T>]) -> Vec<T> {
             packed.push(v.clone());
         }
     }
-    packed
 }
 
 /// Running statistics of a packer.
@@ -222,6 +226,37 @@ impl BatchUnit {
         }
     }
 
+    /// Packs one Plain event straight into the packet's payload buffer —
+    /// the producer-side zero-materialization fast path. The fixed layout
+    /// means the item's size is known *before* encoding, so the flush
+    /// check runs first and the bytes are then written in place: no
+    /// [`WireItem`] is built, no per-item body scratch is filled and
+    /// copied.
+    #[inline]
+    pub fn push_plain(&mut self, core: u8, event: &Event, out: &mut Vec<Packet>) {
+        let kind = WireKind::Plain(event.kind()).to_u8();
+        let extends_run = matches!(
+            self.meta.last(),
+            Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX
+        );
+        let needed = event.encoded_len() + if extends_run { 0 } else { META_ENTRY_BYTES };
+        if self.current_len() + needed > self.capacity && self.items > 0 {
+            self.flush_packet(out);
+        }
+        match self.meta.last_mut() {
+            Some(m) if m.wire_kind == kind && m.core == core && m.count < u16::MAX => {
+                m.count += 1;
+            }
+            _ => self.meta.push(MetaEntry {
+                core,
+                wire_kind: kind,
+                count: 1,
+            }),
+        }
+        event.encode_into(&mut self.payload);
+        self.items += 1;
+    }
+
     /// Flushes the partially filled packet, if any.
     pub fn flush(&mut self, out: &mut Vec<Packet>) {
         if self.items > 0 {
@@ -277,8 +312,6 @@ pub struct Unpacker {
     expected_seq: u32,
     /// Early arrivals waiting for the sequence gap to fill.
     reorder: std::collections::BTreeMap<u32, Vec<u8>>,
-    /// Metadata scratch, reused across packets.
-    meta_buf: Vec<MetaEntry>,
 }
 
 impl Unpacker {
@@ -288,7 +321,6 @@ impl Unpacker {
             diff: DiffCache::new(cores),
             expected_seq: 0,
             reorder: std::collections::BTreeMap::new(),
-            meta_buf: Vec::new(),
         }
     }
 
@@ -336,18 +368,42 @@ impl Unpacker {
     /// # Errors
     ///
     /// Returns [`CodecError`] on malformed packets or on a
-    /// stale/duplicate sequence number. `out` may hold a partial batch
-    /// after an error.
-    ///
-    /// The CRC trailer is verified *before* any state (sequence window,
-    /// diff caches) is touched, so a corrupted or truncated packet is
-    /// rejected without desynchronizing the unpacker: a later clean
-    /// retransmission of the same packet decodes normally.
+    /// stale/duplicate sequence number. Packets are validated on
+    /// admission, so `out` never holds a partial batch after an error.
     pub fn unpack_bytes_into(
         &mut self,
         bytes: &[u8],
         out: &mut Vec<WireItem>,
     ) -> Result<usize, CodecError> {
+        let before = out.len();
+        if let Some(body) = self.admit(bytes)? {
+            self.visit_admitted(body, &mut |item: WireItemRef<'_>| {
+                out.push(item.into_item());
+                true
+            })?;
+        }
+        Ok(out.len() - before)
+    }
+
+    /// Admits one packet frame: CRC verification, stale/duplicate
+    /// sequence rejection, reorder buffering, and a structural
+    /// validation walk of the body — everything that can *fail*, with no
+    /// checker-visible side effects (the diff mirror is untouched).
+    ///
+    /// Returns the in-order body (after the sequence word), ready for
+    /// [`visit_admitted`](Self::visit_admitted), or `None` when the
+    /// packet arrived early and was buffered (early packets are
+    /// validated before buffering, so draining them cannot fail).
+    ///
+    /// The CRC trailer is verified *before* any state (sequence window,
+    /// diff caches) is touched, so a corrupted or truncated packet is
+    /// rejected without desynchronizing the unpacker: a later clean
+    /// retransmission of the same packet decodes normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on corrupt, malformed, or stale packets.
+    pub fn admit<'a>(&mut self, bytes: &'a [u8]) -> Result<Option<&'a [u8]>, CodecError> {
         let body = verify_crc_frame(bytes)?;
         let mut r = Reader::new(body);
         let seq = r.u32()?;
@@ -359,6 +415,7 @@ impl Unpacker {
                 got: seq,
             });
         }
+        Self::validate_body(&body[4..])?;
         if seq != self.expected_seq {
             // Bound the reassembly window: a gap that outlives this many
             // packets means the link lost one, which must surface rather
@@ -370,49 +427,103 @@ impl Unpacker {
                 });
             }
             self.reorder.insert(seq, body.to_vec());
-            return Ok(0);
+            return Ok(None);
         }
-
-        let before = out.len();
-        self.decode_body(&body[4..], out)?;
-        self.expected_seq = self.expected_seq.wrapping_add(1);
-        while let Some(next) = self.reorder.remove(&self.expected_seq) {
-            self.decode_body(&next[4..], out)?;
-            self.expected_seq = self.expected_seq.wrapping_add(1);
-        }
-        Ok(out.len() - before)
+        Ok(Some(&body[4..]))
     }
 
-    /// Decodes the body of an in-order packet (after the sequence number),
-    /// appending to `out`.
-    fn decode_body(&mut self, bytes: &[u8], out: &mut Vec<WireItem>) -> Result<(), CodecError> {
+    /// Streams the items of an admitted in-order body — plus any buffered
+    /// successors it unblocks — through `visit` as borrowed
+    /// [`WireItemRef`] views, decoding straight out of the packet bytes.
+    /// `body` must be the slice [`admit`](Self::admit) just returned.
+    /// Returns the number of items visited; `visit` returns `false` to
+    /// stop early (remaining items of the stream are dropped, as a halt
+    /// verdict ends the run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed bodies — unreachable for
+    /// bodies that passed admission validation.
+    pub fn visit_admitted<F>(&mut self, body: &[u8], visit: &mut F) -> Result<usize, CodecError>
+    where
+        F: FnMut(WireItemRef<'_>) -> bool,
+    {
+        let mut n = 0usize;
+        let mut stopped = self.visit_body(body, visit, &mut n)?;
+        self.expected_seq = self.expected_seq.wrapping_add(1);
+        while !stopped {
+            let Some(next) = self.reorder.remove(&self.expected_seq) else {
+                break;
+            };
+            stopped = self.visit_body(&next[4..], visit, &mut n)?;
+            self.expected_seq = self.expected_seq.wrapping_add(1);
+        }
+        Ok(n)
+    }
+
+    /// Validates one packet body structurally (meta table plus every
+    /// item's byte extent) without materializing anything or touching
+    /// the diff mirror. Fixed-layout runs are skipped in O(1) per run —
+    /// this is all the per-byte work the admission path does beyond the
+    /// CRC.
+    fn validate_body(bytes: &[u8]) -> Result<(), CodecError> {
         let mut r = Reader::new(bytes);
         let n_meta = r.u16()? as usize;
-        let mut meta = std::mem::take(&mut self.meta_buf);
-        meta.clear();
-        meta.reserve(n_meta);
+        let payload_at = 2 + n_meta * META_ENTRY_BYTES;
+        let mut pr = Reader::new(bytes.get(payload_at..).unwrap_or_default());
         for _ in 0..n_meta {
-            let core = r.u8()?;
+            let _core = r.u8()?;
             let wire_kind = r.u8()?;
-            let count = r.u16()?;
-            meta.push(MetaEntry {
-                core,
-                wire_kind,
-                count,
-            });
-        }
-        let decode_runs = |diff: &mut DiffCache, out: &mut Vec<WireItem>| {
-            for m in &meta {
-                let kind = WireKind::from_u8(m.wire_kind)?;
-                for _ in 0..m.count {
-                    out.push(decode_item_body(kind, m.core, diff, &mut r)?);
+            let count = r.u16()? as usize;
+            match WireKind::from_u8(wire_kind)? {
+                // Fixed layouts: the whole run's extent in one step.
+                WireKind::Plain(k) => {
+                    pr.bytes_dyn(count * k.encoded_len())?;
+                }
+                WireKind::Tagged(k) => {
+                    pr.bytes_dyn(count * (16 + k.encoded_len()))?;
+                }
+                // Self-describing bodies must be walked item by item.
+                kind => {
+                    for _ in 0..count {
+                        validate_item_body(kind, &mut pr)?;
+                    }
                 }
             }
-            r.finish()
-        };
-        let result = decode_runs(&mut self.diff, out);
-        self.meta_buf = meta;
-        result
+        }
+        pr.finish()
+    }
+
+    /// Decodes one validated body, streaming each item through `visit`.
+    /// Returns `true` when `visit` stopped the stream.
+    fn visit_body<F>(
+        &mut self,
+        bytes: &[u8],
+        visit: &mut F,
+        n: &mut usize,
+    ) -> Result<bool, CodecError>
+    where
+        F: FnMut(WireItemRef<'_>) -> bool,
+    {
+        let mut mr = Reader::new(bytes);
+        let n_meta = mr.u16()? as usize;
+        let payload_at = 2 + n_meta * META_ENTRY_BYTES;
+        let mut pr = Reader::new(bytes.get(payload_at..).unwrap_or_default());
+        for _ in 0..n_meta {
+            let core = mr.u8()?;
+            let wire_kind = mr.u8()?;
+            let count = mr.u16()?;
+            let kind = WireKind::from_u8(wire_kind)?;
+            for _ in 0..count {
+                let item = decode_item_ref_body(kind, core, &mut self.diff, &mut pr)?;
+                *n += 1;
+                if !visit(item) {
+                    return Ok(true);
+                }
+            }
+        }
+        pr.finish()?;
+        Ok(false)
     }
 }
 
@@ -530,10 +641,16 @@ mod tests {
 
     #[test]
     fn type_level_pack_selects_kth_valid() {
+        let mut packed = Vec::new();
         let slots = [Some(1), None, Some(2), None, Some(3), None];
-        assert_eq!(type_level_pack(&slots), vec![1, 2, 3]);
-        let empty: [Option<u8>; 4] = [None; 4];
-        assert!(type_level_pack(&empty).is_empty());
+        type_level_pack(&slots, &mut packed);
+        assert_eq!(packed, vec![1, 2, 3]);
+        // The scratch is reused — cleared each cycle, capacity retained.
+        let cap = packed.capacity();
+        let empty: [Option<i32>; 4] = [None; 4];
+        type_level_pack(&empty, &mut packed);
+        assert!(packed.is_empty());
+        assert_eq!(packed.capacity(), cap);
     }
 
     #[test]

@@ -16,14 +16,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use difftest_event::{commit_flags, Event, EventKind, InstrCommit, MonitoredEvent, Token};
+use difftest_event::{
+    commit_flags, Event, EventKind, EventRef, InstrCommit, MonitoredEvent, Token,
+};
 use difftest_isa::csr::CsrIndex;
 use difftest_isa::trap::Interrupt;
 use difftest_ref::exec::Effect;
 use difftest_ref::{BlockCacheStats, DecodeCacheStats, RefModel, StepOutcome, MAX_BLOCK_LEN};
 
 use crate::squash::FusedCommit;
-use crate::wire::WireItem;
+use crate::wire::{WireItem, WireItemRef};
 
 /// A detected divergence between the DUT and the REF.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -758,6 +760,84 @@ impl CoreChecker {
             other => Ok(self.check_event(other, stats)?.unwrap_or(Verdict::Continue)),
         }
     }
+
+    /// Checks one plain item through its borrowed wire view — the
+    /// zero-materialization fast path. Commits and traps copy their
+    /// small fixed struct off the wire; the big state dumps compare the
+    /// packet bytes against the REF lazily and only materialize when a
+    /// register actually diverges (to render the precise [`Mismatch`]);
+    /// the remaining kinds materialize their (small) owned struct and
+    /// take the standard path.
+    fn process_plain_ref(
+        &mut self,
+        event: &EventRef<'_>,
+        stats: &mut CheckStats,
+    ) -> Result<Verdict, Mismatch> {
+        match event {
+            EventRef::InstrCommit(c) => {
+                let c = (*c).to_owned();
+                self.check_commit(&c, stats)?;
+                Ok(Verdict::Continue)
+            }
+            EventRef::TrapEvent(t) => {
+                let t = (*t).to_owned();
+                self.check_trap(&t, stats)
+            }
+            EventRef::ArchIntRegState(s) => {
+                let diverges = s
+                    .regs()
+                    .iter()
+                    .zip(self.refm.state().xregs())
+                    .any(|(got, want)| got != *want);
+                if diverges {
+                    return self.process_plain(&(*s).to_owned().into(), stats);
+                }
+                stats.events += 1;
+                stats.bytes += s.wire_bytes().len() as u64;
+                Ok(Verdict::Continue)
+            }
+            EventRef::ArchFpRegState(s) => {
+                let diverges = s
+                    .regs()
+                    .iter()
+                    .zip(self.refm.state().fregs())
+                    .any(|(got, want)| got != *want);
+                if diverges {
+                    return self.process_plain(&(*s).to_owned().into(), stats);
+                }
+                stats.events += 1;
+                stats.bytes += s.wire_bytes().len() as u64;
+                Ok(Verdict::Continue)
+            }
+            EventRef::CsrState(s) => {
+                let diverges = s
+                    .csrs()
+                    .iter()
+                    .zip(self.refm.state().csrs())
+                    .any(|(got, want)| got != *want);
+                if diverges {
+                    return self.process_plain(&(*s).to_owned().into(), stats);
+                }
+                stats.events += 1;
+                stats.bytes += s.wire_bytes().len() as u64;
+                Ok(Verdict::Continue)
+            }
+            EventRef::ArchVecRegState(s) => {
+                // Architecturally zero on both sides; any non-zero half
+                // is a monitor/datapath fault.
+                if s.regs().iter().any(|got| got != 0) {
+                    return self.process_plain(&(*s).to_owned().into(), stats);
+                }
+                stats.events += 1;
+                stats.bytes += s.wire_bytes().len() as u64;
+                Ok(Verdict::Continue)
+            }
+            other => {
+                let ev = other.to_event();
+                self.process_plain(&ev, stats)
+            }
+        }
+    }
 }
 
 /// The multi-core ISA checker.
@@ -962,6 +1042,45 @@ impl Checker {
                 .accept_tagged(tag.0, token, event, stats)?
                 .unwrap_or(Verdict::Continue)),
             WireItem::Fused { fused, .. } => Ok(core
+                .process_fused(&fused, stats)?
+                .unwrap_or(Verdict::Continue)),
+        }
+    }
+
+    /// Processes one borrowed wire item straight off the packet bytes —
+    /// the zero-materialization fast path of the streaming consumer.
+    /// Plain payloads are checked in place (see `process_plain_ref`);
+    /// order-tagged payloads materialize because the pending queue must
+    /// own them until their checking position is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Mismatch`] that aborted checking.
+    pub fn process_ref(&mut self, item: WireItemRef<'_>) -> Result<Verdict, Mismatch> {
+        let idx = (item.core() as usize).wrapping_sub(self.core_base as usize);
+        let Some(core) = self.cores.get_mut(idx) else {
+            return Err(Mismatch {
+                core: item.core(),
+                seq: 0,
+                check: "wire.core out of range".to_owned(),
+                expected: format!("{:#x}", self.cores.len()),
+                actual: format!("{:#x}", item.core()),
+            });
+        };
+        let stats = &mut self.stats;
+        match item {
+            WireItemRef::Plain { event, .. } => core.process_plain_ref(&event, stats),
+            WireItemRef::Tagged {
+                tag, token, event, ..
+            } => Ok(core
+                .accept_tagged(tag.0, token, event.to_event(), stats)?
+                .unwrap_or(Verdict::Continue)),
+            WireItemRef::Diff {
+                tag, token, event, ..
+            } => Ok(core
+                .accept_tagged(tag.0, token, event, stats)?
+                .unwrap_or(Verdict::Continue)),
+            WireItemRef::Fused { fused, .. } => Ok(core
                 .process_fused(&fused, stats)?
                 .unwrap_or(Verdict::Continue)),
         }

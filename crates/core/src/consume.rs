@@ -30,7 +30,6 @@ use crate::link::LinkSource;
 use crate::pool::PooledBuf;
 use crate::replay::ReplayBuffer;
 use crate::transport::{SwUnit, Transfer};
-use crate::wire::WireItem;
 
 /// Retransmissions a run may issue before a link failure is reported
 /// unrecoverable (bounds the cost a hostile schedule can impose).
@@ -104,7 +103,6 @@ pub struct Consumer {
     g_pending: GaugeId,
     timer: PhaseTimer,
     flight: FlightRecorder,
-    item_buf: Vec<WireItem>,
     items: u64,
     obs_transfers: u64,
     obs_bytes: u64,
@@ -140,7 +138,6 @@ impl Consumer {
             g_pending,
             timer: PhaseTimer::monotonic(),
             flight: FlightRecorder::default(),
-            item_buf: Vec::new(),
             items: 0,
             obs_transfers: 0,
             obs_bytes: 0,
@@ -212,55 +209,69 @@ impl Consumer {
 
         self.spans.flow_in("pkt", seq as u64);
         let before = *self.checker.stats();
-        // Reuse the decode scratch across calls: dropping the transfer
-        // afterwards recycles its payload to the pool, so the steady
-        // state allocates neither payload nor item storage.
-        let mut items = std::mem::take(&mut self.item_buf);
-        items.clear();
+        // Admission does everything that can fail — CRC, sequence
+        // bookkeeping, structural validation — without materializing a
+        // single event, so the checking pass below cannot observe a
+        // malformed item and packets that fail decode leave no checker
+        // effects behind.
         let t0 = self.timer.start();
         let s0 = self.spans.start();
-        let decode = self.sw.decode_into(t, &mut items);
+        let admitted = self.sw.admit(t);
         self.spans.end("unpack", s0, seq as u64);
         self.timer.stop(Phase::Unpack, t0);
-        match decode {
-            Ok(_) => {
+        let result = match admitted {
+            Ok(None) => Ok(()), // buffered early packet: nothing to check yet
+            Ok(Some(body)) => {
                 let t0 = self.timer.start();
                 let s0 = self.spans.start();
-                let mut stop = false;
-                for item in items.drain(..) {
-                    self.items += 1;
-                    match self.checker.process(item) {
-                        Ok(Verdict::Continue) => {}
+                // Stream the items through the checker as borrowed views
+                // reading straight from the packet bytes — no `WireItem`
+                // batch is ever built on this path.
+                let Consumer {
+                    sw,
+                    checker,
+                    flight,
+                    items,
+                    verdict,
+                    mismatch,
+                    ..
+                } = self;
+                let visited = sw.visit_admitted(body, &mut |item| {
+                    *items += 1;
+                    match checker.process_ref(item) {
+                        Ok(Verdict::Continue) => true,
                         Ok(v @ Verdict::Halt { good, .. }) => {
-                            self.flight.record(FlightRecord {
+                            flight.record(FlightRecord {
                                 kind: FlightKind::Verdict,
                                 core: t.core,
                                 seq,
                                 cycle,
                                 value: u64::from(good),
                             });
-                            self.verdict = Some(v);
-                            stop = true;
-                            break;
+                            *verdict = Some(v);
+                            false
                         }
                         Err(m) => {
-                            self.flight.record(FlightRecord {
+                            flight.record(FlightRecord {
                                 kind: FlightKind::Mismatch,
                                 core: m.core,
                                 seq,
                                 cycle,
                                 value: m.seq,
                             });
-                            self.mismatch = Some(m);
-                            stop = true;
-                            break;
+                            *mismatch = Some(m);
+                            false
                         }
                     }
-                }
-                items.clear();
-                self.item_buf = items;
+                });
                 self.spans.end("check", s0, seq as u64);
                 self.timer.stop(Phase::Check, t0);
+                visited.map(|_| ())
+            }
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(()) => {
                 // Occupancy high-water marks by handle: an indexed store
                 // per transfer, no name lookup.
                 self.metrics
@@ -274,15 +285,13 @@ impl Consumer {
                         .counter("checker.pending", self.checker.pending_items() as u64);
                 }
                 obs.transfer_done(t, &before, self.checker.stats());
-                if stop {
+                if self.verdict.is_some() || self.mismatch.is_some() {
                     Step::Stop
                 } else {
                     Step::Continue
                 }
             }
             Err(e) => {
-                items.clear();
-                self.item_buf = items;
                 // The damaged bytes crossed the link regardless.
                 obs.transfer_done(t, &before, &before);
                 self.on_decode_error(t, &e, cycle, depth, obs)

@@ -554,9 +554,7 @@ impl CoSimulation {
 
             let t0 = self.consumer.timer_mut().start();
             if let Some(rb) = self.consumer.retention_mut() {
-                for ev in &self.events_buf {
-                    rb.push(ev.clone());
-                }
+                rb.push_slice(&self.events_buf);
             }
             self.consumer.timer_mut().stop(Phase::Monitor, t0);
 

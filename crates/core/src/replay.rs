@@ -74,6 +74,29 @@ impl ReplayBuffer {
         self.ring.push_back(ev);
     }
 
+    /// Buffers one cycle's captured events in bulk. Evictions for the
+    /// whole batch are computed up front, so the per-event hot loop the
+    /// engine's monitor phase runs every cycle is a clone + ring append
+    /// with no capacity or watermark bookkeeping. Equivalent to calling
+    /// [`push`](Self::push) once per event.
+    pub fn push_slice(&mut self, events: &[MonitoredEvent]) {
+        let overflow = (self.ring.len() + events.len()).saturating_sub(self.capacity);
+        for _ in 0..overflow.min(self.ring.len()) {
+            if let Some(old) = self.ring.pop_front() {
+                self.note_evicted(&old);
+                self.dropped += 1;
+            }
+        }
+        // A batch larger than the ring evicts its own oldest events on
+        // arrival.
+        let skip = events.len().saturating_sub(self.capacity);
+        for ev in &events[..skip] {
+            self.note_evicted(ev);
+            self.dropped += 1;
+        }
+        self.ring.extend(events[skip..].iter().cloned());
+    }
+
     fn note_evicted(&mut self, ev: &MonitoredEvent) {
         let idx = ev.core as usize;
         if self.evicted_watermark.len() <= idx {
@@ -226,6 +249,35 @@ mod tests {
             order: OrderTag(token),
             token: Token(token),
             event: InstrCommit::default().into(),
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_per_event_push() {
+        // Batches straddling every eviction regime: empty ring, partial
+        // overflow, and a batch larger than the whole ring.
+        for (cap, batches) in [
+            (4usize, vec![3usize, 3, 3]),
+            (4, vec![6]),
+            (2, vec![1, 5, 1]),
+            (8, vec![2, 2, 2]),
+        ] {
+            let mut a = ReplayBuffer::new(cap);
+            let mut b = ReplayBuffer::new(cap);
+            let mut t = 0u64;
+            for n in batches {
+                let evs: Vec<MonitoredEvent> =
+                    (0..n).map(|i| ev((i % 2) as u8, t + i as u64)).collect();
+                t += n as u64;
+                for e in &evs {
+                    a.push(e.clone());
+                }
+                b.push_slice(&evs);
+            }
+            assert_eq!(a.len(), b.len(), "cap {cap}");
+            assert_eq!(a.dropped(), b.dropped(), "cap {cap}");
+            assert_eq!(a.evicted_watermark, b.evicted_watermark, "cap {cap}");
+            assert!(a.ring.iter().eq(b.ring.iter()), "cap {cap}");
         }
     }
 

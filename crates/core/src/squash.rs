@@ -189,6 +189,29 @@ impl FusedCommit {
             fp_writes,
         })
     }
+
+    /// Advances the reader past one encoded record without materializing
+    /// it — the packet-admission validation pass walks bodies with this
+    /// so the later checking pass cannot hit a codec error mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`CodecError`]s as [`Self::decode_from`].
+    pub fn skip_from(r: &mut Reader<'_>) -> Result<(), CodecError> {
+        read_varint(r)?; // first_seq
+        u32::try_from(read_varint(r)?)
+            .map_err(|_| CodecError::Malformed("fused count overruns 32 bits"))?;
+        read_varint(r)?; // final_pc
+        read_varint(r)?; // token_first
+        read_varint(r)?; // token_last
+        let n_int = r.u8()? as usize;
+        let n_fp = r.u8()? as usize;
+        for _ in 0..n_int + n_fp {
+            r.u8()?;
+            read_varint(r)?;
+        }
+        Ok(())
+    }
 }
 
 /// Counters the Squash unit maintains (paper §5: fusion ratios).

@@ -13,12 +13,12 @@
 //! [`WireItem`]s for the checker.
 
 use difftest_event::wire::{append_crc_frame, verify_crc_frame, CodecError, Reader};
-use difftest_event::{Event, EventKind, MonitoredEvent};
+use difftest_event::{EventKind, EventRef, MonitoredEvent};
 
 use crate::batch::{BatchUnit, PackStats, Packet, Unpacker, DEFAULT_POOL_SLOTS};
 use crate::pool::{BufferPool, PoolStats, PooledBuf};
 use crate::squash::{SquashStats, SquashUnit};
-use crate::wire::WireItem;
+use crate::wire::{WireItem, WireItemRef};
 
 /// One hardware→software transfer (one communication startup).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,12 +194,12 @@ impl AccelUnit {
                 }
             }
             HwMode::Batch(batch) => {
-                self.item_buf.clear();
-                self.item_buf.extend(events.map(|ev| WireItem::Plain {
-                    core: ev.core,
-                    event: ev.event.clone(),
-                }));
-                batch.push_cycle(&self.item_buf, &mut self.packet_buf);
+                // Zero-materialization fast path: each event encodes
+                // straight into the packer's payload buffer — no
+                // WireItem staging, no event clone.
+                for ev in events {
+                    batch.push_plain(ev.core, &ev.event, &mut self.packet_buf);
+                }
                 drain_packets(&mut self.packet_buf, self.route_core, out);
             }
             HwMode::SquashBatch(squash, batch) => {
@@ -312,27 +312,75 @@ impl SwUnit {
     /// # Errors
     ///
     /// Returns [`CodecError`] on malformed transfers or stale sequences.
-    /// `out` may hold a partial batch after an error.
+    /// Transfers are validated on admission, so `out` never holds a
+    /// partial batch after an error.
     pub fn decode_into(
         &mut self,
         transfer: &Transfer,
         out: &mut Vec<WireItem>,
     ) -> Result<usize, CodecError> {
+        let before = out.len();
+        if let Some(body) = self.admit(transfer)? {
+            self.visit_admitted(body, &mut |item: WireItemRef<'_>| {
+                out.push(item.into_item());
+                true
+            })?;
+        }
+        Ok(out.len() - before)
+    }
+
+    /// Admits one transfer: CRC verification, sequence bookkeeping, and
+    /// structural validation — everything that can fail — without
+    /// materializing a single event. Returns the validated body for
+    /// [`visit_admitted`](Self::visit_admitted), or `None` when a packed
+    /// transfer arrived early and was buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on corrupt, malformed, or stale transfers.
+    pub fn admit<'a>(&mut self, transfer: &'a Transfer) -> Result<Option<&'a [u8]>, CodecError> {
         match &mut self.mode {
             SwMode::PerEvent => {
                 let body = verify_crc_frame(&transfer.bytes)?;
+                let mut r = Reader::new(body);
+                let _core = r.u8()?;
+                let kind = EventKind::from_u8(r.u8()?)?;
+                r.bytes_dyn(kind.encoded_len())?;
+                r.finish()?;
+                Ok(Some(body))
+            }
+            SwMode::Packed(unpacker) => unpacker.admit(&transfer.bytes),
+        }
+    }
+
+    /// Streams the admitted body's items through `visit` as borrowed
+    /// [`WireItemRef`] views reading straight from the transfer bytes.
+    /// `body` must be the slice [`admit`](Self::admit) just returned.
+    /// Returns the number of items visited; `visit` returns `false` to
+    /// stop early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed bodies — unreachable for
+    /// bodies that passed admission.
+    pub fn visit_admitted<F>(&mut self, body: &[u8], visit: &mut F) -> Result<usize, CodecError>
+    where
+        F: FnMut(WireItemRef<'_>) -> bool,
+    {
+        match &mut self.mode {
+            SwMode::PerEvent => {
                 let mut r = Reader::new(body);
                 let core = r.u8()?;
                 let kind = EventKind::from_u8(r.u8()?)?;
                 let payload = r.bytes_dyn(kind.encoded_len())?;
                 r.finish()?;
-                out.push(WireItem::Plain {
+                visit(WireItemRef::Plain {
                     core,
-                    event: Event::decode(kind, payload)?,
+                    event: EventRef::parse(kind, payload)?,
                 });
                 Ok(1)
             }
-            SwMode::Packed(unpacker) => unpacker.unpack_bytes_into(&transfer.bytes, out),
+            SwMode::Packed(unpacker) => unpacker.visit_admitted(body, visit),
         }
     }
 }
@@ -340,7 +388,7 @@ impl SwUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use difftest_event::{InstrCommit, OrderTag, Token};
+    use difftest_event::{Event, InstrCommit, OrderTag, Token};
 
     fn mev(core: u8, seq: u64, pc: u64) -> MonitoredEvent {
         MonitoredEvent {

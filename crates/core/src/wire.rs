@@ -16,7 +16,7 @@
 //! compute offsets while walking a packet (structural semantics).
 
 use difftest_event::wire::{CodecError, Reader, Writer};
-use difftest_event::{Event, EventKind, OrderTag, Token};
+use difftest_event::{Event, EventKind, EventRef, OrderTag, Token};
 
 use crate::squash::FusedCommit;
 
@@ -85,6 +85,104 @@ impl WireItem {
             WireItem::Tagged { event, .. } => WireKind::Tagged(event.kind()),
             WireItem::Fused { .. } => WireKind::Fused,
             WireItem::Diff { event, .. } => WireKind::Diff(event.kind()),
+        }
+    }
+}
+
+/// One unit of the stream as a *borrowed view* over validated packet
+/// bytes — the consumer-side zero-materialization type.
+///
+/// Plain and Tagged payloads stay in the packet buffer and are read
+/// field-by-field through [`EventRef`]; only the variants whose bodies
+/// have no fixed layout to view carry owned data: Fused records are
+/// varint-coded ([`FusedCommit`]) and Diff events are reconstructed
+/// against the [`DiffCache`] mirror.
+// Boxing the rare owned variants would put an allocation on the
+// per-item hot path the type exists to keep allocation-free; views are
+// consumed immediately by value, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum WireItemRef<'a> {
+    /// An unmodified event in capture order, viewed in place.
+    Plain {
+        /// Source core.
+        core: u8,
+        /// Borrowed payload view.
+        event: EventRef<'a>,
+    },
+    /// An event transmitted ahead of its checking position.
+    Tagged {
+        /// Source core.
+        core: u8,
+        /// Commit-order binding.
+        tag: OrderTag,
+        /// Replay-buffer token.
+        token: Token,
+        /// Borrowed payload view.
+        event: EventRef<'a>,
+    },
+    /// A fused run of instruction commits (owned: varint-coded).
+    Fused {
+        /// Source core.
+        core: u8,
+        /// The fusion record.
+        fused: FusedCommit,
+    },
+    /// A differenced event (owned: reconstructed from the cache mirror).
+    Diff {
+        /// Source core.
+        core: u8,
+        /// Commit-order binding.
+        tag: OrderTag,
+        /// Replay-buffer token.
+        token: Token,
+        /// The reconstructed event.
+        event: Event,
+    },
+}
+
+impl WireItemRef<'_> {
+    /// The source core of the item.
+    pub fn core(&self) -> u8 {
+        match self {
+            WireItemRef::Plain { core, .. }
+            | WireItemRef::Tagged { core, .. }
+            | WireItemRef::Fused { core, .. }
+            | WireItemRef::Diff { core, .. } => *core,
+        }
+    }
+
+    /// Materializes the owned [`WireItem`] (legacy decode paths and
+    /// tests; the hot path checks through the view directly).
+    pub fn into_item(self) -> WireItem {
+        match self {
+            WireItemRef::Plain { core, event } => WireItem::Plain {
+                core,
+                event: event.to_event(),
+            },
+            WireItemRef::Tagged {
+                core,
+                tag,
+                token,
+                event,
+            } => WireItem::Tagged {
+                core,
+                tag,
+                token,
+                event: event.to_event(),
+            },
+            WireItemRef::Fused { core, fused } => WireItem::Fused { core, fused },
+            WireItemRef::Diff {
+                core,
+                tag,
+                token,
+                event,
+            } => WireItem::Diff {
+                core,
+                tag,
+                token,
+                event,
+            },
         }
     }
 }
@@ -238,6 +336,27 @@ impl DiffCache {
         *self.slot(core, kind) = Some(cur);
         Ok(event)
     }
+
+    /// Advances the reader past one diff body without touching any cache
+    /// state (the validation pass; reconstruction must stay strictly
+    /// in-order, so only [`DiffCache::decode`] mutates the mirror).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same truncation [`CodecError`]s as
+    /// [`DiffCache::decode`].
+    pub fn skip(kind: EventKind, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let len = kind.encoded_len();
+        let words = len.div_ceil(8);
+        let bitmap_bytes = words.div_ceil(8);
+        let bitmap = r.bytes_dyn(bitmap_bytes)?;
+        for w in 0..words {
+            if bitmap[w / 8] & (1 << (w % 8)) != 0 {
+                r.bytes_dyn(8)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Encodes one wire item's body (excluding the kind byte, which packet
@@ -324,6 +443,88 @@ pub fn decode_item_body(
             }
         }
     })
+}
+
+/// Decodes one wire item's body as a borrowed view: Plain/Tagged payloads
+/// are *not* copied out of the packet buffer.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated or malformed bodies.
+#[inline]
+pub fn decode_item_ref_body<'a>(
+    kind: WireKind,
+    core: u8,
+    diff: &mut DiffCache,
+    r: &mut Reader<'a>,
+) -> Result<WireItemRef<'a>, CodecError> {
+    Ok(match kind {
+        WireKind::Plain(k) => {
+            let payload = r.bytes_dyn(k.encoded_len())?;
+            WireItemRef::Plain {
+                core,
+                event: EventRef::parse(k, payload)?,
+            }
+        }
+        WireKind::Tagged(k) => {
+            let tag = OrderTag(r.u64()?);
+            let token = Token(r.u64()?);
+            let payload = r.bytes_dyn(k.encoded_len())?;
+            WireItemRef::Tagged {
+                core,
+                tag,
+                token,
+                event: EventRef::parse(k, payload)?,
+            }
+        }
+        WireKind::Fused => WireItemRef::Fused {
+            core,
+            fused: FusedCommit::decode_from(r)?,
+        },
+        WireKind::Diff(k) => {
+            let tag = OrderTag(r.u64()?);
+            let token = Token(r.u64()?);
+            let event = diff.decode(core, k, r)?;
+            WireItemRef::Diff {
+                core,
+                tag,
+                token,
+                event,
+            }
+        }
+    })
+}
+
+/// Advances the reader past one wire item's body without materializing
+/// anything or touching the diff mirror: the admission-time validation
+/// pass. Walks the exact byte positions [`decode_item_ref_body`] reads,
+/// so it fails with the same [`CodecError`] at the same spot — which is
+/// what lets the later checking pass stream items straight into the
+/// checker without a mid-packet decode error ever splitting a packet's
+/// effects in two.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on truncated or malformed bodies.
+#[inline]
+pub fn validate_item_body(kind: WireKind, r: &mut Reader<'_>) -> Result<(), CodecError> {
+    match kind {
+        WireKind::Plain(k) => {
+            r.bytes_dyn(k.encoded_len())?;
+        }
+        WireKind::Tagged(k) => {
+            r.u64()?;
+            r.u64()?;
+            r.bytes_dyn(k.encoded_len())?;
+        }
+        WireKind::Fused => FusedCommit::skip_from(r)?,
+        WireKind::Diff(k) => {
+            r.u64()?;
+            r.u64()?;
+            DiffCache::skip(k, r)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -47,10 +47,29 @@ impl Category {
     }
 }
 
+/// Generates compile-time-offset field accessors for one borrowed view
+/// struct: a token muncher that accumulates each preceding field's
+/// `WireField::LEN` into the next accessor's offset, so every read is a
+/// direct indexed load from the wire bytes with no runtime cursor.
+macro_rules! view_accessors {
+    ($refname:ident, $off:expr,) => {};
+    ($refname:ident, $off:expr, $field:ident : $ty:ty, $($rest:tt)*) => {
+        impl<'a> $refname<'a> {
+            #[doc = concat!("Reads the `", stringify!($field),
+                "` field straight from the wire bytes.")]
+            #[inline]
+            pub fn $field(&self) -> <$ty as WireField>::View<'a> {
+                <$ty as WireField>::view_at(self.bytes, $off)
+            }
+        }
+        view_accessors!($refname, $off + <$ty as WireField>::LEN, $($rest)*);
+    };
+}
+
 macro_rules! catalog {
     ($(
         $(#[$meta:meta])*
-        ($category:ident) struct $name:ident {
+        ($category:ident) struct $name:ident view $refname:ident {
             $( $(#[$fmeta:meta])* pub $field:ident : $ty:ty, )*
         }
     )*) => {
@@ -90,6 +109,70 @@ macro_rules! catalog {
                     Self { $( $field: <$ty as WireField>::ZERO, )* }
                 }
             }
+
+            #[doc = concat!("A borrowed view of a [`", stringify!($name),
+                "`] payload, reading fields directly from validated wire \
+                 bytes without materializing the struct.")]
+            #[derive(Debug, Clone, Copy)]
+            pub struct $refname<'a> {
+                /// Exactly [`ENCODED_LEN`](Self::ENCODED_LEN) wire bytes.
+                bytes: &'a [u8],
+            }
+
+            impl<'a> $refname<'a> {
+                #[doc = concat!("Encoded size in bytes, equal to [`",
+                    stringify!($name), "::ENCODED_LEN`].")]
+                pub const ENCODED_LEN: usize = $name::ENCODED_LEN;
+
+                #[doc = concat!("Wraps an exact-length payload slice \
+                    without copying.\n\n# Errors\n\nReturns the same \
+                    [`CodecError`] as [`", stringify!($name),
+                    "::decode`] when `bytes` is not exactly `ENCODED_LEN` \
+                    long.")]
+                #[inline]
+                pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+                    if bytes.len() == $name::ENCODED_LEN {
+                        Ok($refname { bytes })
+                    } else {
+                        // Cold path: the field-wise decoder reports the
+                        // exact error the materializing path would.
+                        match $name::decode(bytes) {
+                            Err(e) => Err(e),
+                            Ok(_) => unreachable!("length mismatch must fail decode"),
+                        }
+                    }
+                }
+
+                /// The raw wire bytes backing this view.
+                #[inline]
+                pub fn wire_bytes(&self) -> &'a [u8] {
+                    self.bytes
+                }
+
+                /// Materializes the owned payload struct.
+                #[inline]
+                pub fn to_owned(self) -> $name {
+                    match $name::decode(self.bytes) {
+                        Ok(v) => v,
+                        Err(_) => unreachable!("length was validated at construction"),
+                    }
+                }
+
+                /// Whether every field view equals the corresponding
+                /// field of `owned` — pins the generated accessors to the
+                /// materializing decoder in property tests.
+                pub fn fields_match(&self, owned: &$name) -> bool {
+                    true $(&& <$ty as WireField>::view_matches(self.$field(), &owned.$field))*
+                }
+            }
+
+            impl PartialEq<$name> for $refname<'_> {
+                fn eq(&self, other: &$name) -> bool {
+                    self.fields_match(other)
+                }
+            }
+
+            view_accessors!($refname, 0usize, $( $field : $ty, )*);
         )*
 
         /// Discriminant identifying one of the 32 verification event types.
@@ -178,6 +261,61 @@ macro_rules! catalog {
                 fn from(p: $name) -> Event { Event::$name(p) }
             }
         )*
+
+        /// A borrowed verification event: one of the 32 catalog views
+        /// over validated wire bytes.
+        ///
+        /// This is the consumer-side zero-materialization type: checking
+        /// reads fields through it directly from the packet buffer, and
+        /// the owned [`Event`] is only built on the cold paths (mismatch
+        /// reporting, order-decoupled queuing, replay).
+        #[derive(Debug, Clone, Copy)]
+        pub enum EventRef<'a> {
+            $(
+                #[doc = concat!("A borrowed [`", stringify!($name), "`] payload.")]
+                $name($refname<'a>),
+            )*
+        }
+
+        impl<'a> EventRef<'a> {
+            /// Wraps an exact-length payload slice of the given kind
+            /// without copying or materializing.
+            ///
+            /// # Errors
+            ///
+            /// Returns the same [`CodecError`] as [`Event::decode`] on a
+            /// length mismatch.
+            #[inline]
+            pub fn parse(kind: EventKind, bytes: &'a [u8]) -> Result<EventRef<'a>, CodecError> {
+                Ok(match kind {
+                    $( EventKind::$name => EventRef::$name($refname::new(bytes)?), )*
+                })
+            }
+
+            /// The kind discriminant of this event.
+            pub const fn kind(&self) -> EventKind {
+                match self { $( EventRef::$name(_) => EventKind::$name, )* }
+            }
+
+            /// The raw wire bytes backing this view.
+            pub fn wire_bytes(&self) -> &'a [u8] {
+                match self { $( EventRef::$name(v) => v.wire_bytes(), )* }
+            }
+
+            /// Materializes the owned [`Event`].
+            pub fn to_event(&self) -> Event {
+                match self { $( EventRef::$name(v) => Event::$name((*v).to_owned()), )* }
+            }
+
+            /// Whether this view's field reads all equal the fields of an
+            /// owned event of the same kind.
+            pub fn fields_match(&self, owned: &Event) -> bool {
+                match (self, owned) {
+                    $( (EventRef::$name(v), Event::$name(o)) => v.fields_match(o), )*
+                    _ => false,
+                }
+            }
+        }
     };
 }
 
@@ -187,7 +325,7 @@ catalog! {
     // ------------------------------------------------------------------
 
     /// One committed instruction: the fundamental verification event.
-    (ControlFlow) struct InstrCommit {
+    (ControlFlow) struct InstrCommit view InstrCommitRef {
         /// PC of the committed instruction.
         pub pc: u64,
         /// Raw instruction word.
@@ -205,7 +343,7 @@ catalog! {
     }
 
     /// Simulation-terminating trap (good/bad trap in DiffTest terms).
-    (ControlFlow) struct TrapEvent {
+    (ControlFlow) struct TrapEvent view TrapEventRef {
         /// PC of the trapping instruction.
         pub pc: u64,
         /// Trap code: 0 = good trap (`ebreak` with a0 == 0), else bad.
@@ -218,7 +356,7 @@ catalog! {
 
     /// Exception or interrupt entry. Interrupt entries are
     /// non-deterministic events that must be synchronized to the REF.
-    (ControlFlow) struct ArchEvent {
+    (ControlFlow) struct ArchEvent view ArchEventRef {
         /// PC at trap entry.
         pub pc: u64,
         /// `mcause` value (interrupt bit included).
@@ -230,7 +368,7 @@ catalog! {
     }
 
     /// Front-end redirect (taken branch / jump) for control-flow tracing.
-    (ControlFlow) struct Redirect {
+    (ControlFlow) struct Redirect view RedirectRef {
         /// PC of the redirecting instruction.
         pub pc: u64,
         /// Redirect target.
@@ -243,7 +381,7 @@ catalog! {
 
     /// Runahead checkpoint bookkeeping: the smallest event of the catalog
     /// (3 bytes, giving the catalog its 170× size spread).
-    (ControlFlow) struct RunaheadEvent {
+    (ControlFlow) struct RunaheadEvent view RunaheadEventRef {
         /// Non-zero when a checkpoint is live.
         pub valid: u8,
         /// Checkpoint identifier.
@@ -255,25 +393,25 @@ catalog! {
     // ------------------------------------------------------------------
 
     /// Full integer architectural register file.
-    (RegisterUpdate) struct ArchIntRegState {
+    (RegisterUpdate) struct ArchIntRegState view ArchIntRegStateRef {
         /// `x0..x31`.
         pub regs: [u64; 32],
     }
 
     /// Full floating-point architectural register file.
-    (RegisterUpdate) struct ArchFpRegState {
+    (RegisterUpdate) struct ArchFpRegState view ArchFpRegStateRef {
         /// `f0..f31` raw bits.
         pub regs: [u64; 32],
     }
 
     /// The dense tracked-CSR file (indexed by `difftest_isa::csr::CsrIndex`).
-    (RegisterUpdate) struct CsrState {
+    (RegisterUpdate) struct CsrState view CsrStateRef {
         /// All 24 tracked CSRs.
         pub csrs: [u64; 24],
     }
 
     /// A single integer register writeback (port-level event).
-    (RegisterUpdate) struct IntWriteback {
+    (RegisterUpdate) struct IntWriteback view IntWritebackRef {
         /// Destination register index.
         pub idx: u8,
         /// Value written.
@@ -281,7 +419,7 @@ catalog! {
     }
 
     /// A single floating-point register writeback (port-level event).
-    (RegisterUpdate) struct FpWriteback {
+    (RegisterUpdate) struct FpWriteback view FpWritebackRef {
         /// Destination register index.
         pub idx: u8,
         /// Raw bits written.
@@ -289,7 +427,7 @@ catalog! {
     }
 
     /// Debug-mode register state.
-    (RegisterUpdate) struct DebugModeState {
+    (RegisterUpdate) struct DebugModeState view DebugModeStateRef {
         /// Non-zero when the hart is in debug mode.
         pub debug_mode: u8,
         /// `dcsr`.
@@ -303,7 +441,7 @@ catalog! {
     }
 
     /// Hardware trigger (Sdtrig) CSR state.
-    (RegisterUpdate) struct TriggerCsrState {
+    (RegisterUpdate) struct TriggerCsrState view TriggerCsrStateRef {
         /// `tselect`.
         pub tselect: u64,
         /// `tdata1` for four triggers.
@@ -315,7 +453,7 @@ catalog! {
     }
 
     /// Hypervisor CSR state.
-    (RegisterUpdate) struct HypervisorCsrState {
+    (RegisterUpdate) struct HypervisorCsrState view HypervisorCsrStateRef {
         /// `hstatus, hedeleg, hideleg, hvip, hip, hie, htval, htinst,
         /// hgatp, vsstatus, vsatp`.
         pub csrs: [u64; 11],
@@ -324,7 +462,7 @@ catalog! {
     }
 
     /// Vector CSR state.
-    (RegisterUpdate) struct VecCsrState {
+    (RegisterUpdate) struct VecCsrState view VecCsrStateRef {
         /// `vstart`.
         pub vstart: u64,
         /// `vl`.
@@ -345,7 +483,7 @@ catalog! {
 
     /// A load operation. MMIO loads are non-deterministic events whose
     /// observed value must be synchronized to the REF (skip mechanism).
-    (MemoryAccess) struct LoadEvent {
+    (MemoryAccess) struct LoadEvent view LoadEventRef {
         /// PC of the load.
         pub pc: u64,
         /// Effective address.
@@ -363,7 +501,7 @@ catalog! {
     }
 
     /// A store operation leaving the store queue.
-    (MemoryAccess) struct StoreEvent {
+    (MemoryAccess) struct StoreEvent view StoreEventRef {
         /// Effective address (8-byte aligned base).
         pub addr: u64,
         /// Store data (little-endian, masked).
@@ -373,7 +511,7 @@ catalog! {
     }
 
     /// An atomic memory operation (AMO or LR/SC pair completion).
-    (MemoryAccess) struct AtomicEvent {
+    (MemoryAccess) struct AtomicEvent view AtomicEventRef {
         /// Effective address.
         pub addr: u64,
         /// Operand data.
@@ -391,7 +529,7 @@ catalog! {
     // ------------------------------------------------------------------
 
     /// A store-buffer (sbuffer) flush of one 64-byte cache line.
-    (MemoryHierarchy) struct SbufferEvent {
+    (MemoryHierarchy) struct SbufferEvent view SbufferEventRef {
         /// Line-aligned address.
         pub addr: u64,
         /// Line data.
@@ -401,7 +539,7 @@ catalog! {
     }
 
     /// A cache refill of one 64-byte line (d-cache or i-cache).
-    (MemoryHierarchy) struct RefillEvent {
+    (MemoryHierarchy) struct RefillEvent view RefillEventRef {
         /// Line-aligned address.
         pub addr: u64,
         /// Line data as eight 64-bit beats.
@@ -411,7 +549,7 @@ catalog! {
     }
 
     /// An L1 TLB fill.
-    (MemoryHierarchy) struct L1TlbEvent {
+    (MemoryHierarchy) struct L1TlbEvent view L1TlbEventRef {
         /// `satp` at the time of the fill.
         pub satp: u64,
         /// Virtual page number.
@@ -423,7 +561,7 @@ catalog! {
     }
 
     /// An L2 TLB fill (covers multiple PTEs per fill).
-    (MemoryHierarchy) struct L2TlbEvent {
+    (MemoryHierarchy) struct L2TlbEvent view L2TlbEventRef {
         /// Non-zero when the fill is valid.
         pub valid: u8,
         /// Base virtual page number.
@@ -437,7 +575,7 @@ catalog! {
     }
 
     /// LR/SC reservation tracking.
-    (MemoryHierarchy) struct LrScEvent {
+    (MemoryHierarchy) struct LrScEvent view LrScEventRef {
         /// Non-zero when the event is valid.
         pub valid: u8,
         /// Non-zero when the SC succeeded.
@@ -449,7 +587,7 @@ catalog! {
     }
 
     /// A page-table-walk completion.
-    (MemoryHierarchy) struct PtwEvent {
+    (MemoryHierarchy) struct PtwEvent view PtwEventRef {
         /// Virtual page number walked.
         pub vpn: u64,
         /// PTEs fetched at each of four levels.
@@ -466,13 +604,13 @@ catalog! {
 
     /// Full vector architectural register file (32 × VLEN=128 as 2 × u64
     /// halves): the largest event of the catalog (512 bytes).
-    (Extension) struct ArchVecRegState {
+    (Extension) struct ArchVecRegState view ArchVecRegStateRef {
         /// `v0..v31`, two 64-bit halves each.
         pub regs: [u64; 64],
     }
 
     /// A single vector register writeback.
-    (Extension) struct VecWriteback {
+    (Extension) struct VecWriteback view VecWritebackRef {
         /// Destination vector register index.
         pub idx: u8,
         /// The 128-bit value as two 64-bit halves.
@@ -480,7 +618,7 @@ catalog! {
     }
 
     /// A hypervisor CSR update.
-    (Extension) struct HCsrUpdate {
+    (Extension) struct HCsrUpdate view HCsrUpdateRef {
         /// CSR address.
         pub addr: u16,
         /// New value.
@@ -490,7 +628,7 @@ catalog! {
     }
 
     /// A virtual interrupt injection.
-    (Extension) struct VirtualInterrupt {
+    (Extension) struct VirtualInterrupt view VirtualInterruptRef {
         /// Interrupt cause.
         pub cause: u64,
         /// PC at injection.
@@ -500,7 +638,7 @@ catalog! {
     }
 
     /// A guest page fault (two-stage translation).
-    (Extension) struct GuestPageFault {
+    (Extension) struct GuestPageFault view GuestPageFaultRef {
         /// Guest physical address.
         pub gpaddr: u64,
         /// Guest virtual address.
@@ -512,7 +650,7 @@ catalog! {
     }
 
     /// A vector unit-stride load.
-    (Extension) struct VecLoad {
+    (Extension) struct VecLoad view VecLoadRef {
         /// PC of the load.
         pub pc: u64,
         /// Effective address.
@@ -526,7 +664,7 @@ catalog! {
     }
 
     /// A vector unit-stride store.
-    (Extension) struct VecStore {
+    (Extension) struct VecStore view VecStoreRef {
         /// PC of the store.
         pub pc: u64,
         /// Effective address.
@@ -538,7 +676,7 @@ catalog! {
     }
 
     /// A floating-point CSR (fflags/frm) update.
-    (Extension) struct FpCsrUpdate {
+    (Extension) struct FpCsrUpdate view FpCsrUpdateRef {
         /// Accumulated exception flags.
         pub fflags: u8,
         /// Rounding mode.
@@ -548,7 +686,7 @@ catalog! {
     }
 
     /// A `vsetvl`-style vector configuration change.
-    (Extension) struct VecConfig {
+    (Extension) struct VecConfig view VecConfigRef {
         /// New `vl`.
         pub vl: u64,
         /// New `vtype`.
@@ -582,6 +720,20 @@ impl Event {
             Event::LoadEvent(e) => e.is_mmio != 0,
             Event::InstrCommit(c) => c.flags & commit_flags::SKIP != 0,
             Event::VirtualInterrupt(v) => v.valid != 0,
+            _ => false,
+        }
+    }
+}
+
+impl EventRef<'_> {
+    /// Mirror of [`Event::is_nde`] over the borrowed view: reads only the
+    /// discriminating field from the wire bytes.
+    pub fn is_nde(&self) -> bool {
+        match self {
+            EventRef::ArchEvent(e) => e.is_interrupt() != 0,
+            EventRef::LoadEvent(e) => e.is_mmio() != 0,
+            EventRef::InstrCommit(c) => c.flags() & commit_flags::SKIP != 0,
+            EventRef::VirtualInterrupt(v) => v.valid() != 0,
             _ => false,
         }
     }

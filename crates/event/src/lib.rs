@@ -36,12 +36,19 @@ mod monitor;
 pub mod wire;
 
 pub use catalog::{
-    commit_flags, ArchEvent, ArchFpRegState, ArchIntRegState, ArchVecRegState, AtomicEvent,
-    Category, CsrState, DebugModeState, Event, EventKind, FpCsrUpdate, FpWriteback, GuestPageFault,
-    HCsrUpdate, HypervisorCsrState, InstrCommit, IntWriteback, L1TlbEvent, L2TlbEvent, LoadEvent,
-    LrScEvent, PtwEvent, Redirect, RefillEvent, RunaheadEvent, SbufferEvent, StoreEvent, TrapEvent,
-    TriggerCsrState, VecConfig, VecCsrState, VecLoad, VecStore, VecWriteback, VirtualInterrupt,
+    commit_flags, ArchEvent, ArchEventRef, ArchFpRegState, ArchFpRegStateRef, ArchIntRegState,
+    ArchIntRegStateRef, ArchVecRegState, ArchVecRegStateRef, AtomicEvent, AtomicEventRef, Category,
+    CsrState, CsrStateRef, DebugModeState, DebugModeStateRef, Event, EventKind, EventRef,
+    FpCsrUpdate, FpCsrUpdateRef, FpWriteback, FpWritebackRef, GuestPageFault, GuestPageFaultRef,
+    HCsrUpdate, HCsrUpdateRef, HypervisorCsrState, HypervisorCsrStateRef, InstrCommit,
+    InstrCommitRef, IntWriteback, IntWritebackRef, L1TlbEvent, L1TlbEventRef, L2TlbEvent,
+    L2TlbEventRef, LoadEvent, LoadEventRef, LrScEvent, LrScEventRef, PtwEvent, PtwEventRef,
+    Redirect, RedirectRef, RefillEvent, RefillEventRef, RunaheadEvent, RunaheadEventRef,
+    SbufferEvent, SbufferEventRef, StoreEvent, StoreEventRef, TrapEvent, TrapEventRef,
+    TriggerCsrState, TriggerCsrStateRef, VecConfig, VecConfigRef, VecCsrState, VecCsrStateRef,
+    VecLoad, VecLoadRef, VecStore, VecStoreRef, VecWriteback, VecWritebackRef, VirtualInterrupt,
+    VirtualInterruptRef,
 };
-pub use field::WireField;
+pub use field::{U64ArrayView, WireField};
 pub use monitor::{MonitoredEvent, OrderTag, Token};
 pub use wire::CodecError;

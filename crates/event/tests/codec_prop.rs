@@ -1,8 +1,22 @@
 //! Property tests: every event kind's codec is total over exact-length
-//! inputs and encode∘decode is the identity on the byte level.
+//! inputs, encode∘decode is the identity on the byte level, and the
+//! borrowed [`EventRef`] view family agrees with the materializing
+//! decode path — field reads, matching, and error behavior alike.
 
-use difftest_event::{Event, EventKind};
+use difftest_event::{Event, EventKind, EventRef};
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random payload of the kind's exact length.
+fn payload(kind: EventKind, seed: u64) -> Vec<u8> {
+    (0..kind.encoded_len())
+        .map(|i| {
+            (seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(i as u32)
+                >> 32) as u8
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -13,10 +27,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let kind = EventKind::ALL[kind_idx];
-        // Deterministic pseudo-random payload of the exact length.
-        let bytes: Vec<u8> = (0..kind.encoded_len())
-            .map(|i| (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i as u32) >> 32) as u8)
-            .collect();
+        let bytes = payload(kind, seed);
         let event = Event::decode(kind, &bytes).expect("exact length decodes");
         let mut back = Vec::new();
         event.encode_into(&mut back);
@@ -33,5 +44,60 @@ proptest! {
         prop_assume!(len != kind.encoded_len());
         let bytes = vec![0u8; len];
         prop_assert!(Event::decode(kind, &bytes).is_err());
+    }
+
+    #[test]
+    fn view_agrees_with_materializing_decode(
+        kind_idx in 0usize..EventKind::COUNT,
+        seed in any::<u64>(),
+    ) {
+        let kind = EventKind::ALL[kind_idx];
+        let bytes = payload(kind, seed);
+        let event = Event::decode(kind, &bytes).expect("exact length decodes");
+        let view = EventRef::parse(kind, &bytes).expect("exact length parses");
+        prop_assert_eq!(view.kind(), kind);
+        prop_assert_eq!(view.wire_bytes(), bytes.as_slice());
+        // View-based checking agrees with the owned event, in both the
+        // matching and the fully materializing direction.
+        prop_assert!(view.fields_match(&event));
+        prop_assert_eq!(view.to_event(), event.clone());
+        prop_assert_eq!(view.is_nde(), event.is_nde());
+    }
+
+    #[test]
+    fn view_detects_any_corrupted_byte(
+        kind_idx in 0usize..EventKind::COUNT,
+        seed in any::<u64>(),
+        flip_pos in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        let kind = EventKind::ALL[kind_idx];
+        let bytes = payload(kind, seed);
+        let event = Event::decode(kind, &bytes).expect("exact length decodes");
+        let mut corrupt = bytes.clone();
+        let pos = (flip_pos % corrupt.len() as u64) as usize;
+        corrupt[pos] ^= 1 << flip_bit;
+        // The codec is byte-injective (see identity test above), so a
+        // flipped bit must break the view/owned agreement — and the view
+        // of the corrupted bytes must still match its own decode.
+        let view = EventRef::parse(kind, &corrupt).expect("exact length parses");
+        prop_assert!(!view.fields_match(&event));
+        let reread = Event::decode(kind, &corrupt).expect("exact length decodes");
+        prop_assert!(view.fields_match(&reread));
+        prop_assert_eq!(view.to_event(), reread);
+    }
+
+    #[test]
+    fn view_and_decode_return_identical_errors(
+        kind_idx in 0usize..EventKind::COUNT,
+        delta in prop_oneof![Just(-17i64), Just(-1i64), Just(1i64), Just(7i64)],
+    ) {
+        let kind = EventKind::ALL[kind_idx];
+        let len = (kind.encoded_len() as i64 + delta).max(0) as usize;
+        prop_assume!(len != kind.encoded_len());
+        let bytes = vec![0u8; len];
+        let owned = Event::decode(kind, &bytes).expect_err("wrong length rejected");
+        let view = EventRef::parse(kind, &bytes).expect_err("wrong length rejected");
+        prop_assert_eq!(view, owned);
     }
 }
