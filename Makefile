@@ -5,7 +5,7 @@
 CARGO ?= cargo
 
 .PHONY: all build test bench examples table5 table7 figures ablations doc clean ci faults obs \
-	bench-record bench-smoke bench-compare socket seam intervals trace alloc
+	bench-record bench-smoke bench-compare socket seam intervals trace alloc serve
 
 all: build
 
@@ -67,16 +67,40 @@ ci: seam
 
 # Runner modules build on the shared session/link/consume layer only —
 # one runner reaching into another's internals is the coupling this
-# refactor removed, so it fails CI if it ever comes back.
+# refactor removed, so it fails CI if it ever comes back. The wire layer
+# (proto/mux) has its own rules: it sits below every runner (imports
+# none of them), only the socket runner speaks it in-process, and the
+# difftest-serve crate builds on it exclusively (no runner internals).
 RUNNER_SRCS = crates/core/src/engine.rs crates/core/src/threaded.rs \
 	crates/core/src/sharded.rs crates/core/src/socket.rs \
 	crates/core/src/intervals.rs
+WIRE_SRCS = crates/core/src/proto.rs crates/core/src/mux.rs
+INPROC_RUNNER_SRCS = crates/core/src/engine.rs crates/core/src/threaded.rs \
+	crates/core/src/sharded.rs crates/core/src/intervals.rs
 seam:
 	@if grep -nE 'use crate::(engine|threaded|sharded|socket|intervals)(::|;| )' $(RUNNER_SRCS); then \
 		echo "runner seam violated: runners must build on session/link/consume only"; \
 		exit 1; \
 	else \
 		echo "runner seam clean: no runner imports another runner's internals"; \
+	fi
+	@if grep -nE 'use crate::(engine|threaded|sharded|socket|intervals)(::|;| )' $(WIRE_SRCS); then \
+		echo "wire seam violated: proto/mux sit below the runners"; \
+		exit 1; \
+	else \
+		echo "wire seam clean: proto/mux import no runner"; \
+	fi
+	@if grep -nE 'use crate::(proto|mux)(::|;| )' $(INPROC_RUNNER_SRCS); then \
+		echo "wire seam violated: only the socket runner speaks the wire protocol"; \
+		exit 1; \
+	else \
+		echo "wire seam clean: in-process runners stay off the wire layer"; \
+	fi
+	@if grep -rnE 'difftest_core::(engine|threaded|sharded|socket|intervals)(::|;| )' crates/serve/src; then \
+		echo "service seam violated: difftest-serve builds on proto/mux only"; \
+		exit 1; \
+	else \
+		echo "service seam clean: difftest-serve reaches no runner internals"; \
 	fi
 
 # Allocation-regression gate: a counting global allocator pins the
@@ -95,6 +119,16 @@ faults:
 socket:
 	$(CARGO) test --release --test socket_runner
 	$(CARGO) test --release -p difftest-core --test runner_equivalence
+
+# Persistent verification daemon: concurrent-session acceptance over
+# Unix and TCP (per-session verdicts vs the engine, mismatch and fault
+# containment, flag- and SIGTERM-driven drain of the real binary), the
+# hostile-bytes protocol fuzz, and the in-process example with its
+# per-session observability assertions.
+serve:
+	$(CARGO) test --release -p difftest-serve
+	$(CARGO) test --release -p difftest-core --test proto_prop
+	$(CARGO) run --release --example serve
 
 # Time-parallel interval runner: the engine-equivalence proptests
 # (clean verdicts, mismatch identity up to a fusion window, fault

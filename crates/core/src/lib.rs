@@ -34,8 +34,13 @@
 //! - [`consume`]: the receive-side state machine ([`Consumer`]: CRC
 //!   verify → unpack → check → bounded ARQ recovery) every runner
 //!   drives,
+//! - [`proto`]: the DTH wire protocol itself — typed handshake/frame/
+//!   result codecs with incremental, bounded-allocation decoding,
+//! - [`mux`]: push-driven consumer sessions over that protocol and the
+//!   [`SessionRegistry`] a multi-session service accounts them in,
 //! - [`socket`]: the fourth runner — producer and consumer in separate
-//!   OS processes over a Unix-domain socket,
+//!   OS processes speaking [`proto`] over a Unix-domain socket (or to a
+//!   persistent `difftest-serve` daemon, Unix or TCP),
 //! - [`intervals`]: the fifth runner — time-parallel interval
 //!   verification: a recording pass snapshots the REF every K retired
 //!   instructions and a worker pool re-verifies the checkpoint-delimited
@@ -75,8 +80,10 @@ pub mod engine;
 pub mod fault;
 pub mod intervals;
 pub mod link;
+pub mod mux;
 pub mod pool;
 pub mod prior;
+pub mod proto;
 pub mod replay;
 pub mod session;
 pub mod sharded;
@@ -101,7 +108,9 @@ pub use intervals::{
 pub use link::{
     ChannelSink, ChannelSource, FusionWatch, LinkSink, LinkSource, QueueSink, SendLink,
 };
+pub use mux::{CloseReason, MuxStep, ProtoSession, SessionRegistry, SessionResult};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
+pub use proto::{ClientMsg, FrameDecoder, Hello, ProtoError, ServeAddr, SERVE_ADDR_ENV};
 pub use replay::{FailureReport, ReplayBuffer, Retransmission};
 pub use session::{
     export_trace, run_runner, DiffConfig, RunCommon, RunOutcome, RunnerKind, RunnerReport, Session,
@@ -111,8 +120,8 @@ pub use sharded::{
 };
 pub use snapshot::{snapshot_debug_run, SnapshotReport};
 pub use socket::{
-    child_entry, run_socket, run_socket_faulty, run_socket_tuned, SocketReport, SocketTuning,
-    KILLED_EXIT,
+    child_entry, run_socket, run_socket_at, run_socket_faulty, run_socket_tuned, SocketReport,
+    SocketTuning, KILLED_EXIT,
 };
 pub use squash::{FusedCommit, SquashStats, SquashUnit};
 pub use threaded::{run_threaded, run_threaded_faulty, run_threaded_session, ThreadedReport};

@@ -1,0 +1,536 @@
+//! Multiplex-ready sessions: one [`ProtoSession`] per client stream,
+//! drivable incrementally from partial frames, and a [`SessionRegistry`]
+//! that namespaces many of them behind one service.
+//!
+//! The one-shot socket consumer drives the shared pipeline with a
+//! blocking reader ([`crate::consume::drive`]). A daemon cannot block on
+//! any single connection, so this layer inverts control: bytes are
+//! *pushed* into a session as they arrive ([`ProtoSession::feed`]), the
+//! embedded [`FrameDecoder`] surfaces whole messages, and each message
+//! advances the same `Consumer` state machine the blocking path uses.
+//! The verdict-relevant semantics are identical by construction:
+//!
+//! - the kill knob fires *before* the n-th transfer is ingested,
+//! - an early consumer stop ([`MuxStep::Decided`]) seals the result
+//!   immediately (the caller half-closes its read side, mirroring the
+//!   one-shot consumer's `shutdown(Read)`),
+//! - a post-hello codec error is treated as end-of-stream — the
+//!   one-shot consumer's reader returned `None` on a malformed frame,
+//!   and the pipeline judges what the truncation means,
+//! - EOF without an end frame finishes the stream with an unknown
+//!   produced count (tail-loss attribution unchanged).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use difftest_dut::DutConfig;
+use difftest_ref::Memory;
+use difftest_stats::span::DEFAULT_SPAN_CAPACITY;
+use difftest_stats::{wall_epoch_ns, GaugeId, Metrics, MonotonicClock, SpanSink, PID_CONSUMER};
+
+use crate::consume::{Consumer, ConsumerOutput, NoCharge, Step};
+use crate::proto::{write_result, ClientMsg, FrameDecoder, Hello, ProtoError};
+use crate::session::Session;
+
+/// Where a session stands after a [`ProtoSession::feed`] / `eof` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxStep {
+    /// Mid-stream: keep feeding bytes.
+    Running,
+    /// The consumer decided the run early (mismatch/trap/link error):
+    /// the result is sealed — stop reading, deliver the blob, close.
+    Decided,
+    /// The stream completed (end frame or orderly EOF): result sealed.
+    Finished,
+    /// The hello's kill knob fired: abandon the connection abruptly —
+    /// no result blob, no teardown (the tuning knob simulates consumer
+    /// death mid-run).
+    Killed,
+    /// The stream ended before a handshake arrived: nothing to report.
+    NoSession,
+}
+
+/// A sealed session's deliverables: the serialized `DTHR` blob to send
+/// back, and the structured output for service-side accounting and
+/// per-session observability export.
+#[derive(Debug)]
+pub struct SessionResult {
+    /// The `DTHR` result blob, ready to write to the peer.
+    pub blob: Vec<u8>,
+    /// The consumer's structured output (items, verdict, metrics, …).
+    pub output: ConsumerOutput,
+}
+
+/// The running half of a session, created when the hello decodes.
+struct Running {
+    consumer: Consumer,
+    trace: bool,
+    producer_epoch: u64,
+    child_epoch: u64,
+    kill_after: u32,
+    delivered: u32,
+}
+
+/// One client stream's incremental state machine: decoder + consumer.
+///
+/// Feed bytes in any fragmentation; the returned [`MuxStep`] says when
+/// the session has sealed a result (fetch it with
+/// [`take_result`](Self::take_result)). After any terminal step
+/// (`Decided`/`Finished`/`Killed`/`NoSession`) or error the session is
+/// done and further feeds are inert.
+pub struct ProtoSession {
+    dec: FrameDecoder,
+    run: Option<Running>,
+    result: Option<SessionResult>,
+    done: bool,
+}
+
+impl Default for ProtoSession {
+    fn default() -> Self {
+        ProtoSession::new()
+    }
+}
+
+impl ProtoSession {
+    /// A session expecting the start of a client stream.
+    pub fn new() -> ProtoSession {
+        ProtoSession {
+            dec: FrameDecoder::new(),
+            run: None,
+            result: None,
+            done: false,
+        }
+    }
+
+    /// Whether the handshake has been decoded.
+    pub fn hello_seen(&self) -> bool {
+        self.dec.hello_seen()
+    }
+
+    /// Whether the session has reached a terminal state.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Pushes newly received bytes and advances the state machine.
+    ///
+    /// `Err` is only returned for a *pre-hello* protocol violation (bad
+    /// magic/version/bounds): there is no session to report, the caller
+    /// should drop the connection. Post-hello damage is folded into
+    /// end-of-stream, matching the blocking consumer.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<MuxStep, ProtoError> {
+        if self.done {
+            return Ok(self.terminal_step());
+        }
+        self.dec.push(bytes);
+        self.pump()
+    }
+
+    /// Signals end-of-stream (peer closed or read error): finishes the
+    /// stream with whatever arrived.
+    pub fn eof(&mut self) -> MuxStep {
+        if self.done {
+            return self.terminal_step();
+        }
+        if self.run.is_none() {
+            self.done = true;
+            return MuxStep::NoSession;
+        }
+        self.seal(None, false)
+    }
+
+    /// Takes the sealed result, once a terminal step reported one.
+    pub fn take_result(&mut self) -> Option<SessionResult> {
+        self.result.take()
+    }
+
+    /// The step to repeat once `done` (feeds after a terminal state).
+    fn terminal_step(&self) -> MuxStep {
+        if self.result.is_some() {
+            MuxStep::Finished
+        } else if self.run.is_none() && !self.dec.hello_seen() {
+            MuxStep::NoSession
+        } else {
+            MuxStep::Killed
+        }
+    }
+
+    fn pump(&mut self) -> Result<MuxStep, ProtoError> {
+        loop {
+            let msg = match self.dec.next_msg() {
+                Ok(Some(m)) => m,
+                Ok(None) => return Ok(MuxStep::Running),
+                Err(e) => {
+                    if self.run.is_none() {
+                        self.done = true;
+                        return Err(e);
+                    }
+                    // Post-hello codec damage: the blocking consumer's
+                    // reader treated a malformed frame as end-of-stream
+                    // and let the pipeline judge the truncation. Same
+                    // here.
+                    return Ok(self.seal(None, false));
+                }
+            };
+            match msg {
+                ClientMsg::Hello(h) => self.start(h),
+                ClientMsg::Transfer(t) => {
+                    let Some(r) = self.run.as_mut() else {
+                        // Unreachable: the decoder only yields frames
+                        // after the hello. Treat as stream damage.
+                        return Ok(self.seal(None, false));
+                    };
+                    r.delivered += 1;
+                    if r.kill_after != 0 && r.delivered >= r.kill_after {
+                        // The knob kills *before* the n-th transfer is
+                        // ingested, exactly like the one-shot consumer
+                        // (which exited inside its reader).
+                        self.done = true;
+                        return Ok(MuxStep::Killed);
+                    }
+                    if r.consumer.ingest(&t, 0, &mut NoCharge) == Step::Stop {
+                        return Ok(self.seal(None, true));
+                    }
+                }
+                ClientMsg::End { produced } => {
+                    return Ok(self.seal(Some(produced), false));
+                }
+            }
+        }
+    }
+
+    /// Builds the per-session pipeline from a decoded hello. The
+    /// consumer only needs what the receive side uses: core count and
+    /// the memory image the reference models boot from. Bugs, cycle
+    /// budget and fault plans live producer-side. Tracing config comes
+    /// from the handshake, never this process's environment:
+    /// `with_tracer(None)` keeps a consumer process (or daemon) from
+    /// clobbering the producer's merged trace file.
+    fn start(&mut self, h: Hello) {
+        let mut dut_cfg = DutConfig::nutshell();
+        dut_cfg.cores = h.cores;
+        let mut image = Memory::new();
+        image.load_words(Memory::RAM_BASE, &h.words);
+        let session =
+            Session::from_image(dut_cfg, h.config, image, Vec::new(), 0, 1, None).with_tracer(None);
+        let mut consumer = session.consumer();
+        let mut child_epoch = 0u64;
+        if h.trace {
+            // Own clock, origin now; the matching wall epoch lets the
+            // spans be shifted onto the producer's timeline before
+            // shipping.
+            child_epoch = wall_epoch_ns();
+            consumer = consumer.with_spans(SpanSink::on_track(
+                Arc::new(MonotonicClock::default()),
+                DEFAULT_SPAN_CAPACITY,
+                PID_CONSUMER,
+                0,
+                "consumer",
+                "consumer",
+            ));
+        }
+        self.run = Some(Running {
+            consumer,
+            trace: h.trace,
+            producer_epoch: h.epoch_wall_ns,
+            child_epoch,
+            kill_after: h.kill_after,
+            delivered: 0,
+        });
+    }
+
+    /// Seals the session: finish the stream (unless the consumer already
+    /// stopped), serialize the result blob, record the terminal step.
+    fn seal(&mut self, produced: Option<u32>, early: bool) -> MuxStep {
+        let Some(mut r) = self.run.take() else {
+            self.done = true;
+            return MuxStep::NoSession;
+        };
+        self.done = true;
+        if !r.consumer.stopped() {
+            // EOF/end frame: the produced count (when it arrived)
+            // exposes tail loss the sequence window cannot see.
+            r.consumer.finish_stream(produced, 0, &mut NoCharge);
+        }
+        let mut out = r.consumer.finish();
+        if r.trace {
+            // Producer timeline = wall - producer_epoch; ours = wall -
+            // child_epoch. Shifting by (child - producer) maps our
+            // spans onto the producer's clock.
+            out.spans
+                .shift_ts(r.child_epoch as i64 - r.producer_epoch as i64);
+        }
+        let mut blob = Vec::new();
+        if write_result(&mut blob, &out).is_err() {
+            // Vec writes cannot fail; keep the typed path anyway.
+            blob.clear();
+        }
+        self.result = Some(SessionResult { blob, output: out });
+        if early {
+            MuxStep::Decided
+        } else {
+            MuxStep::Finished
+        }
+    }
+}
+
+/// Why a session left the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Stream completed and the result blob was delivered.
+    Finished,
+    /// Consumer decided early; result delivered, read side dropped.
+    EarlyStop,
+    /// The hello's kill knob fired (diagnostic tooling).
+    Killed,
+    /// Pre-hello protocol violation; connection dropped.
+    Rejected,
+    /// No hello within the service's deadline; connection dropped.
+    HelloTimeout,
+    /// The peer vanished mid-stream (read or result-write failure).
+    ProducerLost,
+}
+
+impl CloseReason {
+    /// The `serve.sessions.*` counter this close increments.
+    fn counter(self) -> &'static str {
+        match self {
+            CloseReason::Finished => "serve.sessions.finished",
+            CloseReason::EarlyStop => "serve.sessions.early_stop",
+            CloseReason::Killed => "serve.sessions.killed",
+            CloseReason::Rejected => "serve.sessions.rejected",
+            CloseReason::HelloTimeout => "serve.sessions.hello_timeout",
+            CloseReason::ProducerLost => "serve.sessions.producer_lost",
+        }
+    }
+}
+
+/// Many concurrent [`ProtoSession`]s keyed by session id, plus the
+/// service-level metrics registry (`serve.sessions.*` lifecycle
+/// counters, the `serve.sessions.active` gauge and its high-water
+/// mark). The service owns connection-level counters; everything
+/// session-lifecycle lives here so in-process embedders (tests, the
+/// example) and the daemon binary account identically.
+pub struct SessionRegistry {
+    next_id: u64,
+    sessions: HashMap<u64, ProtoSession>,
+    metrics: Metrics,
+    g_active: GaugeId,
+    g_active_max: GaugeId,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry with zeroed lifecycle metrics.
+    pub fn new() -> SessionRegistry {
+        let mut metrics = Metrics::new();
+        let g_active = metrics.register_gauge("serve.sessions.active");
+        let g_active_max = metrics.register_gauge("serve.sessions.active.max");
+        SessionRegistry {
+            next_id: 0,
+            sessions: HashMap::new(),
+            metrics,
+            g_active,
+            g_active_max,
+        }
+    }
+
+    /// Opens a new session, returning its id (ids are unique for the
+    /// registry's lifetime; they namespace per-session observability as
+    /// `serve.s<id>`).
+    pub fn open(&mut self) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.sessions.insert(id, ProtoSession::new());
+        self.metrics.counters.add("serve.sessions.opened", 1);
+        let active = self.sessions.len() as u64;
+        self.metrics.set(self.g_active, active);
+        self.metrics.set_max(self.g_active_max, active);
+        id
+    }
+
+    /// The session with this id, while it is open.
+    pub fn session(&mut self, id: u64) -> Option<&mut ProtoSession> {
+        self.sessions.get_mut(&id)
+    }
+
+    /// Closes a session: updates lifecycle counters and the active
+    /// gauge, folds the session's volume into the service totals, and
+    /// hands back the sealed result (when the session produced one) so
+    /// the caller can deliver the blob and export per-session metrics.
+    pub fn close(&mut self, id: u64, reason: CloseReason) -> Option<SessionResult> {
+        let mut sess = self.sessions.remove(&id)?;
+        self.metrics.set(self.g_active, self.sessions.len() as u64);
+        self.metrics.counters.add(reason.counter(), 1);
+        let result = sess.take_result();
+        if let Some(res) = &result {
+            self.metrics.counters.add("serve.items", res.output.items);
+        }
+        result
+    }
+
+    /// Open sessions right now.
+    pub fn active(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Session ids currently open (sorted, for deterministic polling).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The service-level metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access for service-level counters (connection accepts,
+    /// bytes read, drains).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::QueueSink;
+    use crate::proto::{write_end_frame, write_hello, write_transfer_frame};
+    use crate::session::DiffConfig;
+    use crate::session::RunOutcome;
+    use difftest_workload::Workload;
+
+    /// Produces a full clean stream (hello + frames + end) for `seed`.
+    fn stream_for(seed: u64) -> (Vec<u8>, u64) {
+        let w = Workload::microbench().seed(seed).iterations(10).build();
+        let session = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            200_000,
+            8,
+            None,
+        );
+        let mut dut = session.dut();
+        let mut accel = session.accel();
+        let mut link = session.send_link(QueueSink::default());
+        let mut rec = difftest_stats::FlightRecorder::default();
+        let mut transfers = Vec::new();
+        let mut events = Vec::new();
+        while dut.halted().is_none() && dut.cycles() < session.max_cycles() {
+            events.clear();
+            dut.tick_into(&mut events);
+            accel.push_cycle(&events, &mut transfers);
+            link.feed(&mut transfers, &mut rec, dut.cycles());
+        }
+        accel.flush(&mut transfers);
+        link.feed(&mut transfers, &mut rec, dut.cycles());
+        link.finish();
+        let mut bytes = Vec::new();
+        write_hello(&mut bytes, &Hello::from_session(&session, 0, w.words())).unwrap();
+        let queued: Vec<_> = link.sink_mut().queue.drain(..).collect();
+        for t in queued {
+            write_transfer_frame(&mut bytes, &t).unwrap();
+        }
+        write_end_frame(&mut bytes, link.produced()).unwrap();
+        (bytes, dut.cycles())
+    }
+
+    #[test]
+    fn incremental_session_matches_engine_verdict() {
+        let (bytes, _) = stream_for(7);
+        let engine = crate::session::run_runner(
+            crate::session::RunnerKind::Engine,
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &Workload::microbench().seed(7).iterations(10).build(),
+            Vec::new(),
+            200_000,
+            8,
+            None,
+        );
+        let mut sess = ProtoSession::new();
+        // Ragged chunking across the whole stream.
+        let mut step = MuxStep::Running;
+        for chunk in bytes.chunks(193) {
+            step = sess.feed(chunk).unwrap();
+        }
+        assert_eq!(step, MuxStep::Finished);
+        let res = sess.take_result().unwrap();
+        assert!(res.output.mismatch.is_none());
+        assert!(res.output.link_error.is_none());
+        assert_eq!(engine.outcome, RunOutcome::GoodTrap);
+        assert_eq!(res.output.items, engine.items);
+        assert!(!res.blob.is_empty());
+    }
+
+    #[test]
+    fn registry_tracks_lifecycle_counters() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.open();
+        let b = reg.open();
+        assert_eq!(reg.active(), 2);
+        assert_eq!(reg.metrics().gauge("serve.sessions.active.max"), 2);
+
+        let (bytes, _) = stream_for(3);
+        let step = reg.session(a).unwrap().feed(&bytes).unwrap();
+        assert_eq!(step, MuxStep::Finished);
+        assert!(reg.close(a, CloseReason::Finished).is_some());
+        assert!(reg.close(b, CloseReason::HelloTimeout).is_none());
+        assert_eq!(reg.active(), 0);
+        let m = reg.metrics();
+        assert_eq!(m.counters.get("serve.sessions.opened"), 2);
+        assert_eq!(m.counters.get("serve.sessions.finished"), 1);
+        assert_eq!(m.counters.get("serve.sessions.hello_timeout"), 1);
+        assert_eq!(m.gauge("serve.sessions.active"), 0);
+        assert!(m.counters.get("serve.items") > 0);
+    }
+
+    #[test]
+    fn kill_knob_fires_before_nth_transfer() {
+        let w = Workload::microbench().seed(5).iterations(10).build();
+        let session = Session::new(
+            DutConfig::nutshell(),
+            DiffConfig::BNSD,
+            &w,
+            Vec::new(),
+            200_000,
+            8,
+            None,
+        );
+        let mut bytes = Vec::new();
+        // kill_after = 1: the knob must fire before even the first
+        // transfer is ingested (the payloads below would otherwise
+        // trip CRC admission and stop the run early).
+        write_hello(&mut bytes, &Hello::from_session(&session, 1, w.words())).unwrap();
+        for i in 0..4u8 {
+            let t = crate::transport::Transfer {
+                bytes: crate::pool::PooledBuf::detached(vec![i; 8]),
+                core: 0,
+                invokes: 1,
+                items: 1,
+            };
+            write_transfer_frame(&mut bytes, &t).unwrap();
+        }
+        let mut sess = ProtoSession::new();
+        assert_eq!(sess.feed(&bytes).unwrap(), MuxStep::Killed);
+        assert!(sess.done());
+        assert!(sess.take_result().is_none());
+    }
+
+    #[test]
+    fn eof_before_hello_is_no_session() {
+        let mut sess = ProtoSession::new();
+        assert_eq!(sess.feed(b"DT").unwrap(), MuxStep::Running);
+        assert_eq!(sess.eof(), MuxStep::NoSession);
+        assert!(sess.take_result().is_none());
+    }
+}

@@ -1,15 +1,24 @@
 //! The process-separated runner: producer and consumer in different OS
-//! processes exchanging the existing CRC-framed wire format over a
-//! Unix-domain socket.
+//! processes exchanging the [`crate::proto`] wire format over a socket.
 //!
 //! The other runners share an address space, so "transport" is a queue
 //! or channel of [`Transfer`]s. Here the packet bytes genuinely leave
-//! the process: the producer re-executes the current binary as a
-//! consumer process (the host binary must call [`child_entry`] first
-//! thing in `main`), streams length-prefixed frames over the socket,
-//! and reads back a serialized verdict. Both sides are the same shared
-//! pipeline — [`Session`] components on the producer,
-//! [`Consumer`](crate::consume::Consumer) driven by [`drive`] on the
+//! the process. Two peer arrangements exist, both speaking the same
+//! protocol module:
+//!
+//! - **spawned child** (the default): the producer re-executes the
+//!   current binary as a one-shot consumer process (the host binary
+//!   must call [`child_entry`] first thing in `main`), joined by a
+//!   Unix-domain socket;
+//! - **external daemon**: with `DIFFTEST_SERVE_ADDR=unix:<path>` or
+//!   `tcp:<host:port>` set (or via [`run_socket_at`]), the producer
+//!   connects to a persistent `difftest-serve` service multiplexing
+//!   many concurrent sessions (see the `difftest-serve` crate).
+//!
+//! Either way the producer streams length-prefixed frames and reads
+//! back a serialized verdict; both sides are the same shared pipeline —
+//! [`Session`] components on the producer, a
+//! [`ProtoSession`](crate::mux::ProtoSession) state machine on the
 //! consumer — so verdicts are identical to the in-process runners.
 //!
 //! Failure semantics: consumer-process death mid-run (EPIPE on the
@@ -24,35 +33,34 @@
 //! result; counters, gauges, phase times and flight records cross the
 //! socket and match the in-process runners.
 //
-// Seam rule: runner modules build on `session`/`link`/`consume` only —
-// never on another runner's internals (enforced by `make ci`'s grep).
+// Seam rule: runner modules build on `session`/`link`/`consume` (and,
+// uniquely for this runner, the `proto`/`mux` wire layer) — never on
+// another runner's internals (enforced by `make ci`'s grep).
 
-use std::borrow::Cow;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::Shutdown;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::ops::{Deref, DerefMut};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use difftest_dut::{BugSpec, DutConfig};
-use difftest_ref::Memory;
-use difftest_stats::span::DEFAULT_SPAN_CAPACITY;
 use difftest_stats::{
-    export_to_env, wall_epoch_ns, FlightKind, FlightRecord, FlightRecorder, FlightSnapshot,
-    Metrics, MonotonicClock, Phase, PhaseTimer, PhaseTimes, SpanBuf, SpanEvent, SpanKind, SpanSink,
-    PID_CONSUMER, PID_PRODUCER,
+    export_to_env, wall_epoch_ns, FlightKind, FlightRecord, FlightRecorder, Metrics, Phase,
+    PhaseTimer, SpanBuf, PID_PRODUCER,
 };
 use difftest_workload::Workload;
 
-use crate::checker::{Mismatch, Verdict};
-use crate::consume::{drive, ConsumerOutput, NoCharge};
-use crate::fault::{FaultPlan, LinkErrorKind, LinkStats};
-use crate::link::{FusionWatch, LinkSink, LinkSource};
-use crate::pool::PooledBuf;
+use crate::checker::Verdict;
+use crate::fault::{LinkErrorKind, LinkStats};
+use crate::link::{FusionWatch, LinkSink};
+use crate::mux::{MuxStep, ProtoSession};
+use crate::proto::{
+    read_result, write_end_frame, write_hello, write_transfer_frame, Hello, ServeAddr,
+    SERVE_ADDR_ENV,
+};
 use crate::session::{DiffConfig, RunCommon, RunOutcome, Session};
 use crate::transport::Transfer;
 
@@ -61,15 +69,16 @@ const ROLE_ENV: &str = "DIFFTEST_SOCKET_ROLE";
 /// Environment variable carrying the socket path to the consumer.
 const PATH_ENV: &str = "DIFFTEST_SOCKET_PATH";
 
-const HANDSHAKE_MAGIC: [u8; 4] = *b"DTH1";
-const RESULT_MAGIC: [u8; 4] = *b"DTHR";
-const FRAME_TRANSFER: u8 = 0;
-const FRAME_END: u8 = 1;
-/// Upper bound on any length-prefixed field (frames, strings); a larger
-/// prefix means a desynchronized or hostile stream.
-const MAX_FRAME_BYTES: usize = 1 << 24;
 const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
 const CHILD_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long the consumer waits for the handshake before concluding the
+/// peer is dead. Applied only until the hello decodes — mid-run reads
+/// may legitimately block while the producer computes between frames.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long the producer waits for the result blob after its end frame.
+/// The consumer is at most one socket buffer behind, so a healthy peer
+/// answers in well under a second; only a hung peer trips this.
+const RESULT_TIMEOUT: Duration = Duration::from_secs(60);
 /// Exit code of a consumer killed by [`SocketTuning::kill_consumer_after`].
 pub const KILLED_EXIT: i32 = 86;
 
@@ -96,8 +105,8 @@ pub struct SocketReport {
     pub wall_s: f64,
     /// Host-side throughput in DUT cycles per wall-clock second.
     pub cycles_per_sec: f64,
-    /// Consumer process exit code (`None` if it had to be killed or
-    /// never ran).
+    /// Consumer process exit code (`None` if it had to be killed, never
+    /// ran, or belongs to an external daemon this run does not own).
     pub consumer_exit: Option<i32>,
 }
 
@@ -131,7 +140,7 @@ pub fn child_entry() {
 
 /// Runs a co-simulation with the producer in this process and the
 /// shared receive-side pipeline in a separate consumer process, joined
-/// by a Unix-domain socket carrying the CRC-framed wire format.
+/// by a socket carrying the CRC-framed wire format.
 ///
 /// Only meaningful for non-blocking configurations ([`DiffConfig::BN`] /
 /// [`DiffConfig::BNSD`]), like the other parallel runners.
@@ -188,8 +197,14 @@ pub fn run_socket_faulty(
     )
 }
 
+use crate::fault::FaultPlan;
+
 /// [`run_socket_faulty`] with explicit [`SocketTuning`] (tests use it
 /// to kill the consumer process mid-run).
+///
+/// When `DIFFTEST_SERVE_ADDR` names an external daemon, the run
+/// connects there instead of spawning a consumer child (a malformed
+/// address is a setup failure, not a silent fallback).
 ///
 /// # Panics
 ///
@@ -216,12 +231,72 @@ pub fn run_socket_tuned(
     );
     session.require_nonblock("socket");
     let start = Instant::now();
+    if let Ok(env) = std::env::var(SERVE_ADDR_ENV) {
+        let Some(addr) = ServeAddr::parse(&env) else {
+            return setup_failure_report(start, LinkErrorKind::Malformed, None);
+        };
+        return match connect_remote(&addr)
+            .and_then(|conn| run_producer(&session, workload.words(), tuning, start, conn, None))
+        {
+            Ok(report) => report,
+            Err(fail) => setup_failure_report(start, fail.kind, fail.consumer_exit),
+        };
+    }
     // Anti-fork-bomb guard: a consumer process must never spawn another
     // generation of consumers, even if a test calls the runner from one.
     if std::env::var_os(ROLE_ENV).is_some() {
         return setup_failure_report(start, LinkErrorKind::Malformed, None);
     }
-    match run_producer(&session, workload.words(), tuning, start) {
+    let spawned = spawn_consumer().and_then(|(stream, guard)| {
+        run_producer(
+            &session,
+            workload.words(),
+            tuning,
+            start,
+            ConnStream::Unix(stream),
+            Some(guard),
+        )
+    });
+    match spawned {
+        Ok(report) => report,
+        Err(fail) => setup_failure_report(start, fail.kind, fail.consumer_exit),
+    }
+}
+
+/// Runs a socket co-simulation against an external daemon at `addr`
+/// (Unix or TCP), without spawning a consumer child. This is how many
+/// producers share one `difftest-serve` fleet; `consumer_exit` is
+/// always `None` — the daemon outlives the run.
+///
+/// # Panics
+///
+/// Panics when `config` is blocking (`Z`/`B`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_socket_at(
+    addr: &ServeAddr,
+    dut_cfg: DutConfig,
+    config: DiffConfig,
+    workload: &Workload,
+    bugs: Vec<BugSpec>,
+    max_cycles: u64,
+    queue_depth: usize,
+    fault: Option<FaultPlan>,
+    tuning: SocketTuning,
+) -> SocketReport {
+    let session = Session::new(
+        dut_cfg,
+        config,
+        workload,
+        bugs,
+        max_cycles,
+        queue_depth,
+        fault,
+    );
+    session.require_nonblock("socket");
+    let start = Instant::now();
+    match connect_remote(addr)
+        .and_then(|conn| run_producer(&session, workload.words(), tuning, start, conn, None))
+    {
         Ok(report) => report,
         Err(fail) => setup_failure_report(start, fail.kind, fail.consumer_exit),
     }
@@ -309,21 +384,83 @@ impl Drop for ChildGuard {
     }
 }
 
-/// Distinguishes concurrent runs (and runs within one process) sharing
-/// a temp directory.
+/// Distinguishes runs within one process sharing a temp directory.
 static PATH_SALT: AtomicU64 = AtomicU64::new(0);
 
+/// A socket path no concurrent run can collide with: pid (distinct
+/// processes), wall-clock nanos (pid-reuse across test binaries), and a
+/// process-local counter (runs within one process, including several in
+/// the same nanosecond). Stale files from crashed runs are additionally
+/// unlinked before bind.
 fn socket_path() -> PathBuf {
     let salt = PATH_SALT.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!("difftest-{}-{salt}.sock", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "difftest-{}-{:x}-{salt}.sock",
+        std::process::id(),
+        wall_epoch_ns()
+    ))
 }
 
-fn run_producer(
-    session: &Session,
-    words: &[u32],
-    tuning: SocketTuning,
-    start: Instant,
-) -> Result<SocketReport, SetupFail> {
+/// Either transport the producer can speak, behind one Read/Write face.
+enum ConnStream {
+    /// A Unix-domain stream (spawned child, or a daemon's unix listener).
+    Unix(UnixStream),
+    /// A TCP stream to a daemon.
+    Tcp(TcpStream),
+}
+
+impl ConnStream {
+    fn try_clone(&self) -> io::Result<ConnStream> {
+        match self {
+            ConnStream::Unix(s) => s.try_clone().map(ConnStream::Unix),
+            ConnStream::Tcp(s) => s.try_clone().map(ConnStream::Tcp),
+        }
+    }
+
+    fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            ConnStream::Unix(s) => s.shutdown(how),
+            ConnStream::Tcp(s) => s.shutdown(how),
+        }
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            ConnStream::Unix(s) => s.set_read_timeout(dur),
+            ConnStream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Unix(s) => s.read(buf),
+            ConnStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Unix(s) => s.write(buf),
+            ConnStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ConnStream::Unix(s) => s.flush(),
+            ConnStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Binds a fresh socket, re-executes the current binary as the
+/// consumer, and accepts its connection (bounded: a consumer that never
+/// connects must not hang the run).
+fn spawn_consumer() -> Result<(UnixStream, ChildGuard), SetupFail> {
     let path = socket_path();
     let _ = std::fs::remove_file(&path);
     let listener =
@@ -346,8 +483,6 @@ fn run_producer(
         })?;
     let mut guard = ChildGuard { child, path };
 
-    // Accept with a deadline: a consumer that never connects (crashed on
-    // startup) must not hang the run.
     let accept_from = Instant::now();
     let stream = loop {
         match listener.accept() {
@@ -374,16 +509,63 @@ fn run_producer(
     if stream.set_nonblocking(false).is_err() {
         return Err(SetupFail::new(LinkErrorKind::Malformed));
     }
+    Ok((stream, guard))
+}
+
+/// Connects to an external daemon.
+fn connect_remote(addr: &ServeAddr) -> Result<ConnStream, SetupFail> {
+    match addr {
+        ServeAddr::Unix(path) => UnixStream::connect(path)
+            .map(ConnStream::Unix)
+            .map_err(|_| SetupFail::new(LinkErrorKind::Gap)),
+        ServeAddr::Tcp(spec) => {
+            let sa = spec
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .ok_or_else(|| SetupFail::new(LinkErrorKind::Malformed))?;
+            let stream = TcpStream::connect_timeout(&sa, ACCEPT_TIMEOUT)
+                .map_err(|_| SetupFail::new(LinkErrorKind::Gap))?;
+            // Frames are latency-sensitive and already batched; never
+            // let Nagle hold them back.
+            let _ = stream.set_nodelay(true);
+            Ok(ConnStream::Tcp(stream))
+        }
+    }
+}
+
+/// Producer-side frame writer behind the shared send path: a failed
+/// write means the consumer is gone, which [`SendLink`](crate::link::SendLink)
+/// reports to the producer loop exactly like a closed channel.
+struct StreamSink<W: Write> {
+    w: BufWriter<W>,
+}
+
+impl<W: Write> LinkSink for StreamSink<W> {
+    fn send(&mut self, t: Transfer) -> bool {
+        write_transfer_frame(&mut self.w, &t).is_ok()
+    }
+}
+
+fn run_producer(
+    session: &Session,
+    words: &[u32],
+    tuning: SocketTuning,
+    start: Instant,
+    stream: ConnStream,
+    mut guard: Option<ChildGuard>,
+) -> Result<SocketReport, SetupFail> {
     let writer = stream
         .try_clone()
         .map_err(|_| SetupFail::new(LinkErrorKind::Malformed))?;
     let mut sink = StreamSink {
         w: BufWriter::new(writer),
     };
-    if write_handshake(&mut sink.w, session, tuning, words).is_err() {
+    let hello = Hello::from_session(session, tuning.kill_consumer_after.unwrap_or(0), words);
+    if write_hello(&mut sink.w, &hello).is_err() {
         return Err(SetupFail {
             kind: LinkErrorKind::Gap,
-            consumer_exit: guard.wait_exit(),
+            consumer_exit: guard.as_mut().and_then(ChildGuard::wait_exit),
         });
     }
 
@@ -449,9 +631,11 @@ fn run_producer(
 
     // Read the verdict back. Whatever went wrong on the way here (EPIPE
     // mid-stream included), the consumer may still have decided the run
-    // and written its result before exiting — so always try.
-    let result = read_result(&mut BufReader::new(&stream));
-    let consumer_exit = guard.wait_exit();
+    // and written its result before exiting — so always try. Bounded:
+    // a hung daemon must not hang the producer.
+    let _ = stream.set_read_timeout(Some(RESULT_TIMEOUT));
+    let result = read_result(&mut BufReader::new(stream));
+    let consumer_exit = guard.as_mut().and_then(ChildGuard::wait_exit);
 
     let cycles = dut.cycles();
     let instructions = dut.total_commits();
@@ -569,706 +753,84 @@ fn run_producer(
     Ok(report)
 }
 
-/// The consumer process: connect back, read the handshake, drive the
-/// shared pipeline off the socket, serialize the verdict. Exit codes
-/// are diagnostics only (the producer treats any missing/short result
-/// blob as a link error).
+/// The spawned consumer process: connect back and drive one
+/// [`ProtoSession`] off the socket with blocking reads, then serialize
+/// the verdict. Exit codes are diagnostics only (the producer treats
+/// any missing/short result blob as a link error).
 fn consumer_main() -> i32 {
     let Some(path) = std::env::var_os(PATH_ENV) else {
         return 2;
     };
-    let Ok(stream) = UnixStream::connect(&path) else {
+    let Ok(mut stream) = UnixStream::connect(&path) else {
         return 3;
     };
-    let Ok(stop_handle) = stream.try_clone() else {
+    let Ok(result_handle) = stream.try_clone() else {
         return 3;
     };
-    let mut reader = BufReader::new(stream);
-    let Some(hs) = read_handshake(&mut reader) else {
+    // A dead or wedged peer must not hang setup forever: bounded reads
+    // until the handshake decodes, unbounded after (the producer may
+    // legitimately compute for a long time between frames).
+    if stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err() {
+        return 3;
+    }
+    let mut sess = ProtoSession::new();
+    let mut buf = [0u8; 64 * 1024];
+    let mut hello_handled = false;
+    let outcome = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break sess.eof(),
+            Ok(n) => {
+                let step = match sess.feed(&buf[..n]) {
+                    Ok(step) => step,
+                    // Pre-hello protocol violation: nothing to report.
+                    Err(_) => return 4,
+                };
+                match step {
+                    MuxStep::Running => {
+                        if !hello_handled && sess.hello_seen() {
+                            hello_handled = true;
+                            let _ = stream.set_read_timeout(None);
+                        }
+                    }
+                    // Tuning knob: die abruptly mid-stream, exercising
+                    // the producer's EPIPE/short-result handling.
+                    MuxStep::Killed => std::process::exit(KILLED_EXIT),
+                    MuxStep::Decided => {
+                        // Early stop (mismatch/trap decided the run):
+                        // half-close the read side so the producer's
+                        // blocked frame writes fail with EPIPE instead
+                        // of stuffing a dead pipe.
+                        let _ = result_handle.shutdown(Shutdown::Read);
+                        break MuxStep::Decided;
+                    }
+                    other => break other,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Handshake never arrived within the deadline.
+                return 4;
+            }
+            // Peer vanished: decide with what arrived (the result write
+            // below will usually fail, which is fine — exit codes are
+            // diagnostics).
+            Err(_) => break sess.eof(),
+        }
+    };
+    if outcome == MuxStep::NoSession {
+        return 4;
+    }
+    let Some(res) = sess.take_result() else {
         return 4;
     };
-    let mut dut_cfg = DutConfig::nutshell();
-    dut_cfg.cores = hs.cores;
-    let mut image = Memory::new();
-    image.load_words(Memory::RAM_BASE, &hs.words);
-    // The consumer only needs what the receive side uses: core count
-    // and the memory image the reference models boot from. Bugs, cycle
-    // budget and fault plans live producer-side. Tracing config comes
-    // from the handshake, never the inherited environment: with_tracer
-    // (None) keeps this process from clobbering the producer's merged
-    // trace file.
-    let session =
-        Session::from_image(dut_cfg, hs.config, image, Vec::new(), 0, 1, None).with_tracer(None);
-    let mut consumer = session.consumer();
-    let mut child_epoch = 0u64;
-    if hs.trace {
-        // Own clock, origin now; the matching wall epoch lets the spans
-        // be shifted onto the producer's timeline before shipping.
-        child_epoch = wall_epoch_ns();
-        consumer = consumer.with_spans(SpanSink::on_track(
-            Arc::new(MonotonicClock::default()),
-            DEFAULT_SPAN_CAPACITY,
-            PID_CONSUMER,
-            0,
-            "consumer",
-            "consumer",
-        ));
-    }
-    let mut source = StreamSource {
-        r: reader,
-        produced: None,
-        delivered: 0,
-        kill_after: hs.kill_after,
-    };
-    let exhausted = drive(&mut source, &mut consumer, || {
-        // Early stop (mismatch/trap decided the run): half-close the
-        // read side so the producer's blocked frame writes fail with
-        // EPIPE instead of stuffing a dead pipe.
-        let _ = stop_handle.shutdown(Shutdown::Read);
-    });
-    if exhausted && !consumer.stopped() {
-        // EOF: the produced count from the end frame (when it arrived)
-        // exposes tail loss the sequence window cannot see.
-        consumer.finish_stream(source.produced, 0, &mut NoCharge);
-    }
-    let mut out = consumer.finish();
-    if hs.trace {
-        // Producer timeline = wall - producer_epoch; ours = wall -
-        // child_epoch. Shifting by (child - producer) maps our spans
-        // onto the producer's clock.
-        out.spans
-            .shift_ts(child_epoch as i64 - hs.epoch_wall_ns as i64);
-    }
-    let mut w = BufWriter::new(stop_handle);
-    if write_result(&mut w, &out).and_then(|()| w.flush()).is_err() {
+    let mut w = BufWriter::new(result_handle);
+    if w.write_all(&res.blob).and_then(|()| w.flush()).is_err() {
         return 5;
     }
     0
-}
-
-/// Producer-side frame writer behind the shared send path: a failed
-/// write means the consumer is gone, which [`SendLink`] reports to the
-/// producer loop exactly like a closed channel.
-struct StreamSink {
-    w: BufWriter<UnixStream>,
-}
-
-impl LinkSink for StreamSink {
-    fn send(&mut self, t: Transfer) -> bool {
-        write_transfer_frame(&mut self.w, &t).is_ok()
-    }
-}
-
-/// Consumer-side frame reader: yields transfers until the end frame,
-/// EOF, or a malformed frame (the shared pipeline then judges what the
-/// truncation means).
-struct StreamSource {
-    r: BufReader<UnixStream>,
-    /// Pre-fault produced count from the end frame, once seen.
-    produced: Option<u32>,
-    delivered: u32,
-    kill_after: u32,
-}
-
-impl LinkSource for StreamSource {
-    fn recv(&mut self) -> Option<Transfer> {
-        match r_u8(&mut self.r).ok()? {
-            FRAME_TRANSFER => {
-                let core = r_u8(&mut self.r).ok()?;
-                let items = r_u32(&mut self.r).ok()?;
-                let len = r_u32(&mut self.r).ok()? as usize;
-                if len > MAX_FRAME_BYTES {
-                    return None;
-                }
-                let mut bytes = vec![0u8; len];
-                self.r.read_exact(&mut bytes).ok()?;
-                self.delivered += 1;
-                if self.kill_after != 0 && self.delivered >= self.kill_after {
-                    // Tuning knob: die abruptly mid-stream, exercising
-                    // the producer's EPIPE/short-result handling.
-                    std::process::exit(KILLED_EXIT);
-                }
-                Some(Transfer {
-                    bytes: PooledBuf::detached(bytes),
-                    core,
-                    invokes: 1,
-                    items,
-                })
-            }
-            FRAME_END => {
-                self.produced = r_u32(&mut self.r).ok();
-                None
-            }
-            _ => None,
-        }
-    }
-}
-
-/// What the producer tells the consumer before any frame flows.
-struct Handshake {
-    config: DiffConfig,
-    cores: u32,
-    kill_after: u32,
-    /// Span tracing requested: the consumer records its own tracks and
-    /// ships them back in the result blob.
-    trace: bool,
-    /// The producer's wall-clock nanoseconds at its trace clock origin;
-    /// the consumer shifts its spans by the epoch delta so both
-    /// processes land on one merged timeline.
-    epoch_wall_ns: u64,
-    words: Vec<u32>,
-}
-
-fn write_handshake<W: Write>(
-    w: &mut W,
-    session: &Session,
-    tuning: SocketTuning,
-    words: &[u32],
-) -> io::Result<()> {
-    w.write_all(&HANDSHAKE_MAGIC)?;
-    w_u8(w, session.config().to_wire())?;
-    w_u32(w, session.dut_cfg().cores)?;
-    w_u32(w, tuning.kill_consumer_after.unwrap_or(0))?;
-    w_u8(w, u8::from(session.tracer().is_some()))?;
-    w_u64(w, session.tracer().map_or(0, |t| t.epoch_wall_ns()))?;
-    w_u32(w, words.len() as u32)?;
-    for &word in words {
-        w_u32(w, word)?;
-    }
-    Ok(())
-}
-
-fn read_handshake<R: Read>(r: &mut R) -> Option<Handshake> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).ok()?;
-    if magic != HANDSHAKE_MAGIC {
-        return None;
-    }
-    let config = DiffConfig::from_wire(r_u8(r).ok()?)?;
-    let cores = r_u32(r).ok()?;
-    if cores == 0 || cores > 1024 {
-        return None;
-    }
-    let kill_after = r_u32(r).ok()?;
-    let trace = r_u8(r).ok()? != 0;
-    let epoch_wall_ns = r_u64(r).ok()?;
-    let len = r_u32(r).ok()? as usize;
-    if len > (Memory::RAM_SIZE / 4) as usize {
-        return None;
-    }
-    let mut words = Vec::with_capacity(len);
-    for _ in 0..len {
-        words.push(r_u32(r).ok()?);
-    }
-    Some(Handshake {
-        config,
-        cores,
-        kill_after,
-        trace,
-        epoch_wall_ns,
-        words,
-    })
-}
-
-fn write_transfer_frame<W: Write>(w: &mut W, t: &Transfer) -> io::Result<()> {
-    w_u8(w, FRAME_TRANSFER)?;
-    w_u8(w, t.core)?;
-    w_u32(w, t.items)?;
-    w_u32(w, t.bytes.len() as u32)?;
-    w.write_all(&t.bytes)
-}
-
-fn write_end_frame<W: Write>(w: &mut W, produced: u32) -> io::Result<()> {
-    w_u8(w, FRAME_END)?;
-    w_u32(w, produced)
-}
-
-/// The consumer's serialized verdict, as the producer reconstructs it.
-struct ConsumerResult {
-    verdict: Option<Verdict>,
-    mismatch: Option<Mismatch>,
-    link_error: Option<(LinkErrorKind, u32, u8)>,
-    items: u64,
-    link: LinkStats,
-    phases: PhaseTimes,
-    obs_transfers: u64,
-    obs_bytes: u64,
-    g_reorder: u64,
-    g_pending: u64,
-    flight: FlightSnapshot,
-    /// Consumer-process span tracks (timestamps already shifted onto
-    /// the producer's clock), empty when tracing was off.
-    spans: Vec<SpanBuf>,
-}
-
-fn write_result<W: Write>(w: &mut W, out: &ConsumerOutput) -> io::Result<()> {
-    w.write_all(&RESULT_MAGIC)?;
-    match out.verdict {
-        Some(Verdict::Halt { core, good, pc }) => {
-            w_u8(w, 1)?;
-            w_u8(w, core)?;
-            w_u8(w, u8::from(good))?;
-            w_u64(w, pc)?;
-        }
-        // `Continue` and `None` both mean "no verified halt".
-        _ => w_u8(w, 0)?,
-    }
-    match &out.mismatch {
-        Some(m) => {
-            w_u8(w, 1)?;
-            w_u8(w, m.core)?;
-            w_u64(w, m.seq)?;
-            w_str(w, &m.check)?;
-            w_str(w, &m.expected)?;
-            w_str(w, &m.actual)?;
-        }
-        None => w_u8(w, 0)?,
-    }
-    match out.link_error {
-        Some((kind, seq, core)) => {
-            w_u8(w, 1)?;
-            w_u8(w, kind as u8)?;
-            w_u32(w, seq)?;
-            w_u8(w, core)?;
-        }
-        None => w_u8(w, 0)?,
-    }
-    w_u64(w, out.items)?;
-    for d in out.link.detected {
-        w_u64(w, d)?;
-    }
-    w_u64(w, out.link.stale_dropped)?;
-    w_u64(w, out.link.recovered)?;
-    w_u64(w, out.link.retransmits)?;
-    w_u64(w, out.link.retransmit_bytes)?;
-    for (_, nanos) in out.metrics.phases.iter() {
-        w_u64(w, nanos)?;
-    }
-    w_u64(w, out.metrics.counters.get("obs.transfers"))?;
-    w_u64(w, out.metrics.counters.get("obs.bytes"))?;
-    w_u64(w, out.metrics.gauge("reorder.buffered.max"))?;
-    w_u64(w, out.metrics.gauge("checker.pending.max"))?;
-    w_u32(w, out.flight.records.len() as u32)?;
-    for r in &out.flight.records {
-        w_u8(w, flight_kind_wire(r.kind))?;
-        w_u8(w, r.core)?;
-        w_u32(w, r.seq)?;
-        w_u64(w, r.cycle)?;
-        w_u64(w, r.value)?;
-    }
-    w_u64(w, out.flight.evicted)?;
-    if out.spans.is_empty() {
-        w_u32(w, 0)
-    } else {
-        w_u32(w, 1)?;
-        write_span_buf(w, &out.spans)
-    }
-}
-
-fn write_span_buf<W: Write>(w: &mut W, b: &SpanBuf) -> io::Result<()> {
-    w_u32(w, b.pid)?;
-    w_u32(w, b.tid)?;
-    w_str(w, &b.process)?;
-    w_str(w, &b.track)?;
-    w_u64(w, b.recorded)?;
-    w_u64(w, b.dropped)?;
-    w_u32(w, b.events.len() as u32)?;
-    for e in &b.events {
-        w_u8(w, span_kind_wire(e.kind))?;
-        w_str(w, &e.name)?;
-        w_u64(w, e.ts_ns)?;
-        w_u64(w, e.dur_ns)?;
-        w_u64(w, e.id)?;
-    }
-    Ok(())
-}
-
-fn read_span_buf<R: Read>(r: &mut R) -> io::Result<SpanBuf> {
-    let pid = r_u32(r)?;
-    let tid = r_u32(r)?;
-    let process = r_str(r)?;
-    let track = r_str(r)?;
-    let recorded = r_u64(r)?;
-    let dropped = r_u64(r)?;
-    let n = r_u32(r)? as usize;
-    if n > MAX_FRAME_BYTES {
-        return Err(bad("span count"));
-    }
-    let mut events = Vec::with_capacity(n);
-    for _ in 0..n {
-        events.push(SpanEvent {
-            kind: span_kind_from_wire(r_u8(r)?)?,
-            name: Cow::Owned(r_str(r)?),
-            ts_ns: r_u64(r)?,
-            dur_ns: r_u64(r)?,
-            id: r_u64(r)?,
-        });
-    }
-    Ok(SpanBuf {
-        pid,
-        tid,
-        process,
-        track,
-        events,
-        recorded,
-        dropped,
-    })
-}
-
-fn span_kind_wire(k: SpanKind) -> u8 {
-    match k {
-        SpanKind::Span => 0,
-        SpanKind::FlowOut => 1,
-        SpanKind::FlowIn => 2,
-        SpanKind::Counter => 3,
-    }
-}
-
-fn span_kind_from_wire(b: u8) -> io::Result<SpanKind> {
-    match b {
-        0 => Ok(SpanKind::Span),
-        1 => Ok(SpanKind::FlowOut),
-        2 => Ok(SpanKind::FlowIn),
-        3 => Ok(SpanKind::Counter),
-        _ => Err(bad("span kind")),
-    }
-}
-
-fn read_result<R: Read>(r: &mut R) -> io::Result<ConsumerResult> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != RESULT_MAGIC {
-        return Err(bad("result magic"));
-    }
-    let verdict = match r_u8(r)? {
-        0 => None,
-        _ => {
-            let core = r_u8(r)?;
-            let good = r_u8(r)? != 0;
-            let pc = r_u64(r)?;
-            Some(Verdict::Halt { core, good, pc })
-        }
-    };
-    let mismatch = match r_u8(r)? {
-        0 => None,
-        _ => Some(Mismatch {
-            core: r_u8(r)?,
-            seq: r_u64(r)?,
-            check: r_str(r)?,
-            expected: r_str(r)?,
-            actual: r_str(r)?,
-        }),
-    };
-    let link_error = match r_u8(r)? {
-        0 => None,
-        _ => {
-            let kind = link_error_kind_from_wire(r_u8(r)?)?;
-            let seq = r_u32(r)?;
-            let core = r_u8(r)?;
-            Some((kind, seq, core))
-        }
-    };
-    let items = r_u64(r)?;
-    let mut link = LinkStats::default();
-    for slot in &mut link.detected {
-        *slot = r_u64(r)?;
-    }
-    link.stale_dropped = r_u64(r)?;
-    link.recovered = r_u64(r)?;
-    link.retransmits = r_u64(r)?;
-    link.retransmit_bytes = r_u64(r)?;
-    let mut phases = PhaseTimes::default();
-    for p in Phase::ALL {
-        phases.add(p, r_u64(r)?);
-    }
-    let obs_transfers = r_u64(r)?;
-    let obs_bytes = r_u64(r)?;
-    let g_reorder = r_u64(r)?;
-    let g_pending = r_u64(r)?;
-    let n = r_u32(r)? as usize;
-    if n > MAX_FRAME_BYTES {
-        return Err(bad("flight count"));
-    }
-    let mut records = Vec::with_capacity(n);
-    for _ in 0..n {
-        records.push(FlightRecord {
-            kind: flight_kind_from_wire(r_u8(r)?)?,
-            core: r_u8(r)?,
-            seq: r_u32(r)?,
-            cycle: r_u64(r)?,
-            value: r_u64(r)?,
-        });
-    }
-    let evicted = r_u64(r)?;
-    let nbufs = r_u32(r)? as usize;
-    if nbufs > 4096 {
-        return Err(bad("span buf count"));
-    }
-    let mut spans = Vec::with_capacity(nbufs);
-    for _ in 0..nbufs {
-        spans.push(read_span_buf(r)?);
-    }
-    Ok(ConsumerResult {
-        verdict,
-        mismatch,
-        link_error,
-        items,
-        link,
-        phases,
-        obs_transfers,
-        obs_bytes,
-        g_reorder,
-        g_pending,
-        flight: FlightSnapshot { records, evicted },
-        spans,
-    })
-}
-
-fn flight_kind_wire(k: FlightKind) -> u8 {
-    match k {
-        FlightKind::PacketSent => 0,
-        FlightKind::PacketReceived => 1,
-        FlightKind::Fusion => 2,
-        FlightKind::Retransmit => 3,
-        FlightKind::LinkError => 4,
-        FlightKind::Mismatch => 5,
-        FlightKind::Verdict => 6,
-    }
-}
-
-fn flight_kind_from_wire(b: u8) -> io::Result<FlightKind> {
-    match b {
-        0 => Ok(FlightKind::PacketSent),
-        1 => Ok(FlightKind::PacketReceived),
-        2 => Ok(FlightKind::Fusion),
-        3 => Ok(FlightKind::Retransmit),
-        4 => Ok(FlightKind::LinkError),
-        5 => Ok(FlightKind::Mismatch),
-        6 => Ok(FlightKind::Verdict),
-        _ => Err(bad("flight kind")),
-    }
-}
-
-fn link_error_kind_from_wire(b: u8) -> io::Result<LinkErrorKind> {
-    LinkErrorKind::ALL
-        .get(b as usize)
-        .copied()
-        .ok_or_else(|| bad("link error kind"))
-}
-
-fn bad(what: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("socket wire: bad {what}"),
-    )
-}
-
-fn w_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
-    w.write_all(&[v])
-}
-
-fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn w_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
-    w_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
-}
-
-fn r_u8<R: Read>(r: &mut R) -> io::Result<u8> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(b[0])
-}
-
-fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn r_str<R: Read>(r: &mut R) -> io::Result<String> {
-    let len = r_u32(r)? as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(bad("string length"));
-    }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| bad("string utf-8"))
-}
-
-// Process-spawning tests cannot live here: the default test harness's
-// `main` would never reach `child_entry`, so a spawned consumer would
-// re-run the test suite instead of consuming. The end-to-end coverage
-// lives in the harness-free `tests/socket_runner.rs` integration test.
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::checker::Checker;
-    use crate::transport::SwUnit;
-    use difftest_ref::RefModel;
-
-    #[test]
-    fn result_blob_round_trips() {
-        let image = Memory::new();
-        let consumer = crate::consume::Consumer::new(
-            SwUnit::packed(1),
-            Checker::new(vec![RefModel::new(image)], false),
-        );
-        let mut out = consumer.finish();
-        out.items = 42;
-        out.mismatch = Some(Mismatch {
-            core: 1,
-            seq: 7,
-            check: "pc".into(),
-            expected: "0x80000000".into(),
-            actual: "0x80000004".into(),
-        });
-        out.link_error = Some((LinkErrorKind::Gap, 9, 1));
-        out.link.note(LinkErrorKind::Gap);
-        out.flight.records.push(FlightRecord {
-            kind: FlightKind::Mismatch,
-            core: 1,
-            seq: 9,
-            cycle: 1234,
-            value: 7,
-        });
-        out.spans = SpanBuf {
-            pid: PID_CONSUMER,
-            tid: 0,
-            process: "consumer".into(),
-            track: "consumer".into(),
-            events: vec![
-                SpanEvent {
-                    kind: SpanKind::FlowIn,
-                    name: Cow::Borrowed("pkt"),
-                    ts_ns: 10,
-                    dur_ns: 0,
-                    id: 3,
-                },
-                SpanEvent {
-                    kind: SpanKind::Span,
-                    name: Cow::Borrowed("unpack"),
-                    ts_ns: 10,
-                    dur_ns: 25,
-                    id: 3,
-                },
-            ],
-            recorded: 2,
-            dropped: 0,
-        };
-        let mut blob = Vec::new();
-        write_result(&mut blob, &out).unwrap();
-        let res = read_result(&mut blob.as_slice()).unwrap();
-        assert_eq!(res.items, 42);
-        let m = res.mismatch.unwrap();
-        assert_eq!((m.core, m.seq), (1, 7));
-        assert_eq!(m.actual, "0x80000004");
-        assert_eq!(res.link_error, Some((LinkErrorKind::Gap, 9, 1)));
-        assert_eq!(res.link.count(LinkErrorKind::Gap), 1);
-        assert_eq!(res.flight.records.len(), 1);
-        assert_eq!(res.flight.records[0].kind, FlightKind::Mismatch);
-        assert_eq!(res.flight.records[0].cycle, 1234);
-        assert_eq!(res.spans, vec![out.spans]);
-    }
-
-    #[test]
-    fn result_blob_omits_empty_span_section() {
-        let image = Memory::new();
-        let consumer = crate::consume::Consumer::new(
-            SwUnit::packed(1),
-            Checker::new(vec![RefModel::new(image)], false),
-        );
-        let out = consumer.finish();
-        let mut blob = Vec::new();
-        write_result(&mut blob, &out).unwrap();
-        let res = read_result(&mut blob.as_slice()).unwrap();
-        assert!(res.spans.is_empty());
-    }
-
-    #[test]
-    fn handshake_round_trips() {
-        let w = Workload::microbench().seed(3).iterations(5).build();
-        let session = Session::new(
-            DutConfig::nutshell(),
-            DiffConfig::BNSD,
-            &w,
-            Vec::new(),
-            1_000,
-            8,
-            None,
-        );
-        let mut blob = Vec::new();
-        write_handshake(
-            &mut blob,
-            &session,
-            SocketTuning {
-                kill_consumer_after: Some(5),
-            },
-            w.words(),
-        )
-        .unwrap();
-        let hs = read_handshake(&mut blob.as_slice()).unwrap();
-        assert_eq!(hs.config, DiffConfig::BNSD);
-        assert_eq!(hs.cores, session.dut_cfg().cores);
-        assert_eq!(hs.kill_after, 5);
-        assert_eq!(hs.words, w.words());
-        assert_eq!(hs.trace, session.tracer().is_some());
-    }
-
-    #[test]
-    fn handshake_carries_trace_epoch() {
-        let w = Workload::microbench().seed(3).iterations(5).build();
-        let clock = Arc::new(MonotonicClock::default());
-        let session = Session::new(
-            DutConfig::nutshell(),
-            DiffConfig::BNSD,
-            &w,
-            Vec::new(),
-            1_000,
-            8,
-            None,
-        )
-        .with_tracer(Some(difftest_stats::Tracer::with_clock(
-            "/tmp/unused-trace.json",
-            clock,
-            123_456_789,
-        )));
-        let mut blob = Vec::new();
-        write_handshake(&mut blob, &session, SocketTuning::default(), w.words()).unwrap();
-        let hs = read_handshake(&mut blob.as_slice()).unwrap();
-        assert!(hs.trace);
-        assert_eq!(hs.epoch_wall_ns, 123_456_789);
-    }
-
-    #[test]
-    fn flight_kinds_survive_the_wire() {
-        for k in [
-            FlightKind::PacketSent,
-            FlightKind::PacketReceived,
-            FlightKind::Fusion,
-            FlightKind::Retransmit,
-            FlightKind::LinkError,
-            FlightKind::Mismatch,
-            FlightKind::Verdict,
-        ] {
-            assert_eq!(flight_kind_from_wire(flight_kind_wire(k)).unwrap(), k);
-        }
-        assert!(flight_kind_from_wire(7).is_err());
-        for k in LinkErrorKind::ALL {
-            assert_eq!(link_error_kind_from_wire(k as u8).unwrap(), k);
-        }
-        assert!(link_error_kind_from_wire(5).is_err());
-    }
 }

@@ -14,6 +14,7 @@
 //! state, and a worker restoring a checkpoint wants a cold, journal-disabled
 //! model anyway.
 
+use crate::wireio::{self, put_u16, put_u32, put_u64};
 use crate::{ArchState, Memory, RefModel};
 use difftest_isa::csr::CSR_COUNT;
 
@@ -60,51 +61,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(CheckpointError::Truncated);
-        }
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u16(&mut self) -> Result<u16, CheckpointError> {
-        let s = self.take(2)?;
-        Ok(u16::from_le_bytes([s[0], s[1]]))
-    }
-
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
-        let s = self.take(4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
-        let s = self.take(8)?;
-        let mut b = [0u8; 8];
-        b.copy_from_slice(s);
-        Ok(u64::from_le_bytes(b))
+// The image-side byte plumbing (put_* builders and the bounds-checked
+// slice reader) is the shared `wireio` module; only the mapping from a
+// short read onto this module's error enum lives here.
+impl From<wireio::ShortRead> for CheckpointError {
+    fn from(_: wireio::ShortRead) -> Self {
+        CheckpointError::Truncated
     }
 }
+
+/// A [`wireio::Reader`] whose underflows become
+/// [`CheckpointError::Truncated`] via the `From` impl above (`?` does
+/// the conversion at every call site).
+type Reader<'a> = wireio::Reader<'a>;
 
 /// Serializes the model's architectural state and resident memory into a
 /// self-describing byte image.
@@ -164,10 +133,7 @@ pub fn restore(bytes: &[u8]) -> Result<RefModel, CheckpointError> {
         return Err(CheckpointError::BadChecksum);
     }
 
-    let mut r = Reader {
-        bytes: payload,
-        pos: 0,
-    };
+    let mut r = Reader::new(payload);
     if r.take(4)? != MAGIC || r.u16()? != VERSION {
         return Err(CheckpointError::BadHeader);
     }
@@ -208,7 +174,7 @@ pub fn restore(bytes: &[u8]) -> Result<RefModel, CheckpointError> {
         let page = r.take(Memory::PAGE_SIZE)?;
         mem.install_page(base, page);
     }
-    if r.pos != payload.len() {
+    if !r.is_empty() {
         // Trailing garbage would have broken the checksum, but be strict.
         return Err(CheckpointError::BadHeader);
     }

@@ -39,6 +39,7 @@ pub mod map;
 mod mem;
 mod model;
 mod state;
+pub mod wireio;
 
 pub use checkpoint::CheckpointError;
 pub use icache::{BlockCache, BlockCacheStats, DecodeCache, DecodeCacheStats, Uop, MAX_BLOCK_LEN};

@@ -1,0 +1,122 @@
+//! `difftest-serve`: the standalone verification daemon.
+//!
+//! Listens on a Unix-domain socket and/or a TCP address and serves any
+//! number of concurrent DiffTest-H producer sessions (point producers
+//! at it with `DIFFTEST_SERVE_ADDR=unix:<path>` or `tcp:<host:port>`).
+//! SIGTERM/SIGINT start a graceful drain: in-flight sessions finish and
+//! get their verdicts before the process exits 0.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use difftest_serve::{bind, serve, ServeConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// Minimal signal(2) binding: the vendored shims carry no libc crate,
+// and all the daemon needs is "flip a flag on SIGTERM/SIGINT".
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+const USAGE: &str = "\
+difftest-serve: persistent DiffTest-H verification daemon
+
+USAGE:
+    difftest-serve [--unix PATH] [--tcp ADDR] [--max-sessions N]
+                   [--hello-timeout-ms N]
+
+With no listener flags, serves on a Unix socket at
+$TMPDIR/difftest-serve-<pid>.sock. SIGTERM/SIGINT drain gracefully.
+Producers connect via DIFFTEST_SERVE_ADDR=unix:<path> | tcp:<host:port>.";
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("difftest-serve: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--unix" => cfg.unix_path = Some(PathBuf::from(value("--unix"))),
+            "--tcp" => cfg.tcp_addr = Some(value("--tcp")),
+            "--max-sessions" => match value("--max-sessions").parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.max_sessions = n,
+                _ => {
+                    eprintln!("difftest-serve: --max-sessions needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--hello-timeout-ms" => match value("--hello-timeout-ms").parse::<u64>() {
+                Ok(ms) => cfg.hello_timeout = Duration::from_millis(ms),
+                Err(_) => {
+                    eprintln!("difftest-serve: --hello-timeout-ms needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("difftest-serve: unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.unix_path.is_none() && cfg.tcp_addr.is_none() {
+        cfg.unix_path =
+            Some(std::env::temp_dir().join(format!("difftest-serve-{}.sock", std::process::id())));
+    }
+
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+
+    let bound = match bind(cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("difftest-serve: bind failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(addr) = bound.unix_addr() {
+        println!("listening {addr}");
+    }
+    if let Some(addr) = bound.tcp_addr() {
+        println!("listening {addr}");
+    }
+    println!("ready");
+    let _ = std::io::stdout().flush();
+
+    match serve(bound, &SHUTDOWN) {
+        Ok(summary) => {
+            println!(
+                "drained: opened={} finished={} early_stop={} rejected={} lost={} items={}",
+                summary.counter("serve.sessions.opened"),
+                summary.counter("serve.sessions.finished"),
+                summary.counter("serve.sessions.early_stop"),
+                summary.counter("serve.sessions.rejected"),
+                summary.counter("serve.sessions.producer_lost"),
+                summary.counter("serve.items"),
+            );
+        }
+        Err(e) => {
+            eprintln!("difftest-serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

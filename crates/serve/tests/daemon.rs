@@ -1,0 +1,363 @@
+//! End-to-end acceptance for the persistent verification daemon.
+//!
+//! Unlike the one-shot socket runner's suite this one needs no
+//! harness-free `main`: producers connect to an in-process (or
+//! spawned-binary) daemon instead of re-executing the test binary, so
+//! the default libtest harness — and its thread-per-test parallelism —
+//! is exactly what multiplexing needs exercised.
+//!
+//! Coverage: many concurrent sessions reach verdicts byte-identical to
+//! the single-process engine over both transports, one mismatching
+//! session cannot disturb its neighbors, hostile or vanished clients
+//! are contained as counters, and drain (flag or SIGTERM on the real
+//! binary) finishes in-flight sessions before exiting.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use difftest_core::proto::write_hello;
+use difftest_core::{
+    run_runner, run_socket_at, DiffConfig, Hello, RunOutcome, RunnerKind, RunnerReport, ServeAddr,
+    SocketReport, SocketTuning,
+};
+use difftest_dut::{BugKind, BugSpec, DutConfig};
+use difftest_serve::{spawn, ServeConfig};
+use difftest_workload::Workload;
+
+const MAX_CYCLES: u64 = 400_000;
+const QUEUE_DEPTH: usize = 8;
+
+fn engine(w: &Workload, bugs: Vec<BugSpec>) -> RunnerReport {
+    run_runner(
+        RunnerKind::Engine,
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        w,
+        bugs,
+        MAX_CYCLES,
+        QUEUE_DEPTH,
+        None,
+    )
+}
+
+fn via_daemon(addr: &ServeAddr, w: &Workload, bugs: Vec<BugSpec>) -> SocketReport {
+    run_socket_at(
+        addr,
+        DutConfig::nutshell(),
+        DiffConfig::BNSD,
+        w,
+        bugs,
+        MAX_CYCLES,
+        QUEUE_DEPTH,
+        None,
+        SocketTuning::default(),
+    )
+}
+
+fn unix_sock(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("difftest-daemon-{tag}-{}.sock", std::process::id()))
+}
+
+/// Eight producers dialing one daemon at once, each with its own
+/// workload: every per-session verdict must equal the single-process
+/// engine on the same workload, and the high-water gauge must prove the
+/// sessions genuinely overlapped.
+#[test]
+fn eight_concurrent_unix_sessions_match_engine() {
+    let handle = spawn(ServeConfig {
+        unix_path: Some(unix_sock("eight")),
+        max_sessions: 16,
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.unix_addr().expect("unix addr").clone();
+    let barrier = Arc::new(Barrier::new(8));
+    let joins: Vec<_> = (0..8u64)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let w = Workload::microbench()
+                    .seed(100 + i)
+                    .iterations(40 + i as u32)
+                    .build();
+                barrier.wait();
+                (i, via_daemon(&addr, &w, Vec::new()))
+            })
+        })
+        .collect();
+    for join in joins {
+        let (i, rep) = join.join().expect("producer thread");
+        let w = Workload::microbench()
+            .seed(100 + i)
+            .iterations(40 + i as u32)
+            .build();
+        let e = engine(&w, Vec::new());
+        assert_eq!(rep.outcome, RunOutcome::GoodTrap, "session {i}");
+        assert_eq!(rep.outcome, e.outcome, "session {i}");
+        assert_eq!(rep.items, e.items, "session {i}: same stream, same items");
+        assert_eq!(rep.instructions, e.instructions, "session {i}");
+        assert!(rep.consumer_exit.is_none(), "daemon sessions own no child");
+    }
+    let summary = handle.drain().expect("drain");
+    assert_eq!(summary.counter("serve.sessions.opened"), 8);
+    assert_eq!(summary.counter("serve.sessions.finished"), 8);
+    assert_eq!(
+        summary.metrics.gauge("serve.sessions.active.max"),
+        8,
+        "sessions must have been concurrent, not serialized"
+    );
+    assert_eq!(summary.metrics.gauge("serve.sessions.active"), 0);
+    assert_eq!(summary.counter("serve.conns.unix"), 8);
+}
+
+/// TCP transport, one session carrying an injected DUT bug among clean
+/// neighbors: the buggy session must report the engine's exact
+/// mismatch, the neighbors must stay clean — fault containment across
+/// sessions of one daemon.
+#[test]
+fn tcp_mismatch_is_contained_to_its_session() {
+    let handle = spawn(ServeConfig {
+        tcp_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.tcp_addr().expect("tcp addr").clone();
+    let bugs = vec![BugSpec::new(BugKind::RegWriteCorruption, 2_000)];
+    let buggy_w = Workload::linux_boot().seed(7).iterations(300).build();
+    let barrier = Arc::new(Barrier::new(4));
+    let mut joins = Vec::new();
+    {
+        let addr = addr.clone();
+        let barrier = Arc::clone(&barrier);
+        let bugs = bugs.clone();
+        let w = buggy_w.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            (u64::MAX, via_daemon(&addr, &w, bugs))
+        }));
+    }
+    for i in 0..3u64 {
+        let addr = addr.clone();
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let w = Workload::microbench().seed(200 + i).iterations(30).build();
+            barrier.wait();
+            (i, via_daemon(&addr, &w, Vec::new()))
+        }));
+    }
+    for join in joins {
+        let (i, rep) = join.join().expect("producer thread");
+        if i == u64::MAX {
+            let e = engine(&buggy_w, bugs.clone());
+            assert_eq!(rep.outcome, RunOutcome::Mismatch, "buggy session");
+            assert_eq!(rep.mismatch, e.mismatch, "mismatch identity");
+        } else {
+            assert_eq!(rep.outcome, RunOutcome::GoodTrap, "clean neighbor {i}");
+        }
+    }
+    let summary = handle.drain().expect("drain");
+    assert_eq!(summary.counter("serve.sessions.opened"), 4);
+    assert_eq!(summary.counter("serve.sessions.finished"), 3);
+    assert_eq!(summary.counter("serve.sessions.early_stop"), 1);
+    assert_eq!(summary.counter("serve.conns.tcp"), 4);
+}
+
+/// Hostile and vanished raw clients: garbage magic is rejected, silence
+/// trips the hello timeout, and a peer that dies right after its
+/// handshake costs the daemon nothing but a counter — no hangs, no
+/// panics, no effect on later sessions.
+#[test]
+fn hostile_and_lost_clients_are_contained() {
+    let handle = spawn(ServeConfig {
+        unix_path: Some(unix_sock("hostile")),
+        hello_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let Some(ServeAddr::Unix(path)) = handle.unix_addr().cloned() else {
+        panic!("unix addr");
+    };
+
+    // Wrong magic: dropped on the first mismatching byte.
+    let mut garbage = UnixStream::connect(&path).expect("connect");
+    garbage.write_all(b"NOPE").expect("write garbage");
+    let mut tail = Vec::new();
+    garbage
+        .read_to_end(&mut tail)
+        .expect("peer closes, not hangs");
+    assert!(tail.is_empty(), "no result for a rejected client");
+
+    // Silence: never sends a byte, must not hold a session slot forever.
+    let silent = UnixStream::connect(&path).expect("connect");
+
+    // Valid handshake, then the producer process "dies".
+    let mut ghost = UnixStream::connect(&path).expect("connect");
+    write_hello(
+        &mut ghost,
+        &Hello {
+            config: DiffConfig::BNSD,
+            cores: 1,
+            kill_after: 0,
+            trace: false,
+            epoch_wall_ns: 0,
+            words: vec![0x13],
+        },
+    )
+    .expect("hello");
+    drop(ghost);
+
+    // A clean session afterwards must be unaffected.
+    let w = Workload::microbench().seed(9).iterations(20).build();
+    let rep = via_daemon(&ServeAddr::Unix(path), &w, Vec::new());
+    assert_eq!(rep.outcome, RunOutcome::GoodTrap);
+
+    drop(silent);
+    let summary = handle.drain().expect("drain");
+    assert_eq!(summary.counter("serve.sessions.rejected"), 1);
+    // EOF right after a hello still seals a (empty-stream) result; the
+    // write back fails because the peer is gone.
+    assert_eq!(summary.counter("serve.results.undelivered"), 1);
+    assert_eq!(summary.counter("serve.sessions.opened"), 4);
+}
+
+/// The silent client from above, isolated: with nothing else happening
+/// the daemon must evict it via the hello timeout during drain.
+#[test]
+fn hello_timeout_evicts_silent_clients() {
+    let handle = spawn(ServeConfig {
+        unix_path: Some(unix_sock("timeout")),
+        hello_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let Some(ServeAddr::Unix(path)) = handle.unix_addr().cloned() else {
+        panic!("unix addr");
+    };
+    let mut silent = UnixStream::connect(&path).expect("connect");
+    let mut tail = Vec::new();
+    // The daemon closes the connection once the deadline passes.
+    silent.read_to_end(&mut tail).expect("evicted, not hung");
+    assert!(tail.is_empty());
+    let summary = handle.drain().expect("drain");
+    assert_eq!(summary.counter("serve.sessions.hello_timeout"), 1);
+}
+
+/// Graceful drain with sessions in flight: setting the shutdown flag
+/// mid-run must let every producer finish its stream and receive its
+/// DTHR verdict, then stop the loop.
+#[test]
+fn drain_finishes_inflight_sessions() {
+    let handle = spawn(ServeConfig {
+        unix_path: Some(unix_sock("drain")),
+        ..ServeConfig::default()
+    })
+    .expect("bind daemon");
+    let addr = handle.unix_addr().expect("unix addr").clone();
+    let flag = handle.shutdown_flag();
+    let barrier = Arc::new(Barrier::new(4));
+    let joins: Vec<_> = (0..3u64)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let w = Workload::linux_boot().seed(i).iterations(150).build();
+                barrier.wait();
+                (i, via_daemon(&addr, &w, Vec::new()))
+            })
+        })
+        .collect();
+    barrier.wait();
+    // Let the producers connect and get their streams going, then pull
+    // the plug while they are mid-flight.
+    std::thread::sleep(Duration::from_millis(200));
+    flag.store(true, Ordering::SeqCst);
+    for join in joins {
+        let (i, rep) = join.join().expect("producer thread");
+        assert_eq!(
+            rep.outcome,
+            RunOutcome::GoodTrap,
+            "session {i} must finish across the drain"
+        );
+    }
+    let summary = handle.drain().expect("drain");
+    assert_eq!(summary.counter("serve.drains"), 1);
+    assert_eq!(summary.counter("serve.sessions.finished"), 3);
+    assert_eq!(summary.metrics.gauge("serve.sessions.active"), 0);
+}
+
+/// The real binary under SIGTERM: spawn `difftest-serve`, run sessions
+/// against it, signal mid-flight, and require a clean exit with the
+/// final `serve.*` accounting exported through `DIFFTEST_OBS`.
+#[test]
+fn sigterm_binary_drains_gracefully() {
+    let sock = unix_sock("sigterm");
+    let obs = std::env::temp_dir().join(format!("difftest-serve-obs-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&obs);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_difftest-serve"))
+        .arg("--unix")
+        .arg(&sock)
+        .env("DIFFTEST_OBS", &obs)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn difftest-serve");
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = lines.read_line(&mut line).expect("daemon stdout");
+        assert!(n > 0, "daemon exited before becoming ready");
+        if line.trim() == "ready" {
+            break;
+        }
+    }
+
+    let addr = ServeAddr::Unix(sock.clone());
+    let joins: Vec<_> = (0..2u64)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let w = Workload::linux_boot().seed(40 + i).iterations(150).build();
+                (i, via_daemon(&addr, &w, Vec::new()))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let killed = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -TERM {}", child.id()))
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success());
+
+    for join in joins {
+        let (i, rep) = join.join().expect("producer thread");
+        assert_eq!(
+            rep.outcome,
+            RunOutcome::GoodTrap,
+            "session {i} must finish across SIGTERM"
+        );
+    }
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).expect("daemon stdout tail");
+    assert!(rest.contains("drained:"), "missing drain summary: {rest:?}");
+
+    let text = std::fs::read_to_string(&obs).expect("obs export");
+    assert!(
+        text.contains("\"runner\":\"serve\""),
+        "service-level export"
+    );
+    assert!(text.contains("serve.sessions.finished"));
+    assert!(
+        text.contains("\"runner\":\"serve.s1\"") && text.contains("\"runner\":\"serve.s2\""),
+        "per-session exports"
+    );
+    let _ = std::fs::remove_file(&obs);
+}
